@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Extension (not in the paper): ablation of the design constants the
+ * paper fixes — DTTLB/PTLB capacity and the TLB-shootdown cost — on
+ * one representative workload. Answers the design questions DESIGN.md
+ * calls out: how much of MPK virtualization's overhead is the 16-key
+ * limit vs the shootdown price, and how quickly domain
+ * virtualization's PTLB stops mattering as it grows.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/replay.hh"
+#include "exp/experiments.hh"
+
+namespace
+{
+
+pmodv::exp::MicroPoint
+runPoint(const pmodv::workloads::MicroParams &mp,
+         const pmodv::core::SimConfig &config)
+{
+    using pmodv::arch::SchemeKind;
+    return pmodv::exp::runMicroPoint(
+        "avl", mp, config, {SchemeKind::MpkVirt, SchemeKind::DomainVirt});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmodv;
+    using arch::SchemeKind;
+    const auto opt = bench::parseOptions(argc, argv);
+
+    workloads::MicroParams mp;
+    mp.numPmos = 256;
+    mp.initialNodes = 1024;
+    mp.numOps = opt.ops ? opt.ops : (opt.quick ? 4'000 : 20'000);
+
+    std::printf("=== Ablation: buffer sizing and shootdown cost "
+                "(avl, %u PMOs, %llu ops) ===\n",
+                mp.numPmos,
+                static_cast<unsigned long long>(mp.numOps));
+
+    std::printf("\n[1] PTLB capacity (domain virtualization)\n");
+    std::printf("%12s %18s\n", "PTLB entries", "domain_virt(%)");
+    bench::rule(32);
+    for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        core::SimConfig config;
+        config.prot.ptlbEntries = entries;
+        const auto pt = runPoint(mp, config);
+        std::printf("%12u %18.1f\n", entries,
+                    pt.overheadPct.at(SchemeKind::DomainVirt));
+    }
+
+    std::printf("\n[2] DTTLB capacity (MPK virtualization; note the "
+                "key count stays 16,\n    so capacity only helps the "
+                "DTT-walk rate, not the eviction rate)\n");
+    std::printf("%12s %18s %14s\n", "DTTLB entries", "mpk_virt(%)",
+                "key remaps");
+    bench::rule(48);
+    for (unsigned entries : {4u, 8u, 16u, 32u, 64u}) {
+        core::SimConfig config;
+        config.prot.dttlbEntries = entries;
+        const auto pt = runPoint(mp, config);
+        std::printf("%12u %18.1f %14.0f\n", entries,
+                    pt.overheadPct.at(SchemeKind::MpkVirt),
+                    pt.keyRemaps.at(SchemeKind::MpkVirt));
+    }
+
+    std::printf("\n[3] TLB invalidation (shootdown) cost "
+                "(MPK virtualization)\n");
+    std::printf("%16s %18s\n", "cycles/shootdown", "mpk_virt(%)");
+    bench::rule(36);
+    for (Cycles cost : {Cycles{0}, Cycles{143}, Cycles{286},
+                        Cycles{572}, Cycles{1144}}) {
+        core::SimConfig config;
+        config.prot.tlbInvalidationCycles = cost;
+        const auto pt = runPoint(mp, config);
+        std::printf("%16llu %18.1f\n",
+                    static_cast<unsigned long long>(cost),
+                    pt.overheadPct.at(SchemeKind::MpkVirt));
+    }
+
+    std::printf("\n[4] Simulated core count (shootdowns are per-core; "
+                "domain virtualization is immune)\n");
+    std::printf("%8s %14s %16s\n", "cores", "mpk_virt(%)",
+                "domain_virt(%)");
+    bench::rule(40);
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        core::SimConfig config;
+        config.prot.numCores = cores;
+        const auto pt = runPoint(mp, config);
+        std::printf("%8u %14.1f %16.1f\n", cores,
+                    pt.overheadPct.at(SchemeKind::MpkVirt),
+                    pt.overheadPct.at(SchemeKind::DomainVirt));
+    }
+
+    std::printf("\n[5] Context-switch frequency (two threads over 24 "
+                "domains each;\n    MPK virt reconstructs PKRU + "
+                "flushes the DTTLB, domain virt only spills dirty "
+                "PTLB entries)\n");
+    std::printf("%18s %14s %16s\n", "accesses/switch", "mpk_virt(%)",
+                "domain_virt(%)");
+    bench::rule(50);
+    for (unsigned span : {2u, 8u, 32u, 128u}) {
+        using trace::TraceRecord;
+        core::SimConfig config;
+        core::MultiReplay replay(config,
+                                 {arch::SchemeKind::Lowerbound,
+                                  arch::SchemeKind::MpkVirt,
+                                  arch::SchemeKind::DomainVirt});
+        std::vector<TraceRecord> t;
+        constexpr Addr base = Addr{1} << 33;
+        constexpr Addr stride = Addr{16} << 20;
+        constexpr unsigned per_thread = 24;
+        for (unsigned d = 1; d <= 2 * per_thread; ++d) {
+            t.push_back(TraceRecord::attach(
+                0, d, base + (d - 1) * stride, Addr{1} << 20,
+                Perm::ReadWrite));
+        }
+        for (unsigned tid = 0; tid < 2; ++tid) {
+            t.push_back(TraceRecord::threadSwitch(
+                static_cast<std::uint16_t>(tid)));
+            for (unsigned d = 0; d < per_thread; ++d) {
+                t.push_back(TraceRecord::setPerm(
+                    static_cast<std::uint16_t>(tid),
+                    tid * per_thread + d + 1, Perm::ReadWrite));
+            }
+        }
+        const unsigned total_accesses = 40'000;
+        unsigned tid = 0, since_switch = 0, step = 0;
+        for (unsigned a = 0; a < total_accesses; ++a) {
+            if (since_switch++ == span) {
+                since_switch = 0;
+                tid ^= 1;
+                t.push_back(TraceRecord::threadSwitch(
+                    static_cast<std::uint16_t>(tid)));
+            }
+            const unsigned d = tid * per_thread + (step++ % per_thread);
+            t.push_back(TraceRecord::load(
+                static_cast<std::uint16_t>(tid),
+                base + d * stride + (a * 4096) % (Addr{1} << 20), 8,
+                true));
+        }
+        replay.replay(t);
+        const double lb = static_cast<double>(
+            replay.system(arch::SchemeKind::Lowerbound).totalCycles());
+        auto over = [&](arch::SchemeKind k) {
+            return (static_cast<double>(
+                        replay.system(k).totalCycles()) -
+                    lb) /
+                   lb * 100.0;
+        };
+        std::printf("%18u %14.1f %16.1f\n", span,
+                    over(arch::SchemeKind::MpkVirt),
+                    over(arch::SchemeKind::DomainVirt));
+    }
+
+    std::printf("\n[6] Attach mapping granularity (avl, 256 PMOs). "
+                "2MB pages collapse the baseline TLB-miss rate, yet\n"
+                "    the remap count is unchanged: every access to an "
+                "evicted domain is a TLB miss *because the\n"
+                "    eviction's shootdown flushed it* — key capacity, "
+                "not TLB reach, is the binding constraint.\n");
+    std::printf("%12s %14s %16s %14s\n", "page size", "mpk_virt(%)",
+                "domain_virt(%)", "remaps");
+    bench::rule(60);
+    for (PageSize ps : {PageSize::Size4K, PageSize::Size2M}) {
+        core::SimConfig config;
+        workloads::MicroParams hp = mp;
+        hp.pageSize = ps;
+        const auto pt = runPoint(hp, config);
+        std::printf("%12s %14.1f %16.1f %14.0f\n",
+                    ps == PageSize::Size4K ? "4KB" : "2MB",
+                    pt.overheadPct.at(SchemeKind::MpkVirt),
+                    pt.overheadPct.at(SchemeKind::DomainVirt),
+                    pt.keyRemaps.at(SchemeKind::MpkVirt));
+    }
+
+    std::printf("\nTakeaways: the PTLB saturates quickly (16 entries "
+                "is already near the knee); MPK virtualization's\n"
+                "overhead is dominated by the shootdown price and "
+                "scales with core count — the structural reason the\n"
+                "paper's second design wins at scale.\n");
+    return 0;
+}

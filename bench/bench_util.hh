@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: a tiny
+ * CLI parser (--quick / --full / --ops N / --pmos a,b,c) and table
+ * formatting utilities.
+ */
+
+#ifndef PMODV_BENCH_BENCH_UTIL_HH
+#define PMODV_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmodv::bench
+{
+
+/** Common options for experiment binaries. */
+struct Options
+{
+    /** Operation/transaction count scale. */
+    std::uint64_t ops = 0; ///< 0 = use the binary's default.
+    bool quick = false;    ///< Shrink everything for smoke runs.
+    bool full = false;     ///< Paper-scale run (slow).
+    bool csv = false;      ///< Machine-readable output (plotting).
+    std::vector<unsigned> pmoCounts;
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            opt.quick = true;
+        } else if (arg == "--full") {
+            opt.full = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--ops" && i + 1 < argc) {
+            opt.ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--pmos" && i + 1 < argc) {
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                auto comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                opt.pmoCounts.push_back(static_cast<unsigned>(
+                    std::stoul(list.substr(pos, comma - pos))));
+                pos = comma + 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--quick|--full] [--csv] [--ops N] [--pmos a,b,c]\n",
+                argv[0]);
+            std::exit(0);
+        }
+    }
+    return opt;
+}
+
+/** Horizontal rule sized to a table width. */
+inline void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** The PMO-count sweep used by Figures 6/7 (paper: 16..1024). */
+inline std::vector<unsigned>
+defaultSweep(const Options &opt)
+{
+    if (!opt.pmoCounts.empty())
+        return opt.pmoCounts;
+    if (opt.quick)
+        return {16, 128, 1024};
+    if (opt.full)
+        return {16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024};
+    return {16, 32, 64, 128, 256, 512, 1024};
+}
+
+} // namespace pmodv::bench
+
+#endif // PMODV_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Figure 7: the five microbenchmarks' overheads averaged
+ * per PMO count, for libmpk, HW MPK virtualization, HW domain
+ * virtualization and the lowerbound — plus the headline speedups the
+ * paper quotes: at 64 PMOs, MPK virtualization 10.1x and domain
+ * virtualization 25.8x faster than libmpk; at 1024 PMOs, 10.6x and
+ * 52.5x.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "exp/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmodv;
+    using arch::SchemeKind;
+    const auto opt = bench::parseOptions(argc, argv);
+
+    auto sweep = bench::defaultSweep(opt);
+    workloads::MicroParams base;
+    base.initialNodes = 1024;
+    base.numOps = opt.ops ? opt.ops : (opt.quick ? 5'000 : 30'000);
+    if (opt.full)
+        base.numOps = 1'000'000;
+
+    core::SimConfig config;
+    const std::vector<SchemeKind> schemes{
+        SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+
+    std::printf("=== Figure 7: average overhead over lowerbound vs "
+                "#PMOs (%llu ops/point) ===\n\n",
+                static_cast<unsigned long long>(base.numOps));
+    std::printf("%8s %14s %14s %14s %18s %18s\n", "#PMOs", "libmpk(%)",
+                "mpk_virt(%)", "domain_virt(%)", "libmpk/mpk_virt",
+                "libmpk/domain");
+    pmodv::bench::rule(92);
+
+    std::map<unsigned, std::map<SchemeKind, double>> averages;
+    for (unsigned pmos : sweep) {
+        std::map<SchemeKind, double> sum;
+        for (const auto &name : workloads::microNames()) {
+            workloads::MicroParams mp = base;
+            mp.numPmos = pmos;
+            const auto pt =
+                exp::runMicroPoint(name, mp, config, schemes);
+            for (SchemeKind k : schemes)
+                sum[k] += pt.overheadPct.at(k);
+        }
+        for (SchemeKind k : schemes)
+            sum[k] /= static_cast<double>(workloads::microNames().size());
+        averages[pmos] = sum;
+
+        const double lib = sum[SchemeKind::LibMpk];
+        const double mpkv = sum[SchemeKind::MpkVirt];
+        const double domv = sum[SchemeKind::DomainVirt];
+        std::printf("%8u %14.1f %14.1f %14.1f %17.1fx %17.1fx\n", pmos,
+                    lib, mpkv, domv, mpkv > 0 ? lib / mpkv : 0,
+                    domv > 0 ? lib / domv : 0);
+    }
+    pmodv::bench::rule(92);
+
+    std::printf("\nPaper headline factors: @64 PMOs libmpk/mpk_virt = "
+                "10.1x, libmpk/domain_virt = 25.8x;\n"
+                "                        @1024 PMOs                 = "
+                "10.6x,                      = 52.5x.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the PMO library itself: host
+ * (wall-clock) cost of allocation, checked access, permission
+ * switches, transactions and attach/detach. These measure the
+ * *emulation library*, not the simulated hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pmo/api.hh"
+#include "pmo/txn.hh"
+
+namespace
+{
+
+using namespace pmodv;
+using pmo::Namespace;
+using pmo::Oid;
+using pmo::PmoApi;
+using pmo::Pool;
+
+constexpr std::size_t kPoolBytes = 8 << 20;
+
+void
+BM_PoolPmallocPfree(benchmark::State &state)
+{
+    auto pool = Pool::create(1, kPoolBytes);
+    const std::size_t size = state.range(0);
+    for (auto _ : state) {
+        Oid oid = pool->pmalloc(size);
+        benchmark::DoNotOptimize(oid);
+        pool->pfree(oid);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolPmallocPfree)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_CheckedReadWrite(benchmark::State &state)
+{
+    Namespace ns;
+    PmoApi api(ns, 1000, 1);
+    Pool *pool = api.poolCreate("bench", kPoolBytes);
+    const Oid oid = api.pmalloc(pool, 64);
+    api.setPerm(0, pool, Perm::ReadWrite);
+    auto &rt = api.runtime();
+    std::uint64_t value = 0;
+    for (auto _ : state) {
+        rt.writeValue<std::uint64_t>(0, oid, value);
+        value = rt.readValue<std::uint64_t>(0, oid) + 1;
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_CheckedReadWrite);
+
+void
+BM_SetPermPair(benchmark::State &state)
+{
+    Namespace ns;
+    PmoApi api(ns, 1000, 1);
+    Pool *pool = api.poolCreate("bench", kPoolBytes);
+    const DomainId domain = api.domainOf(pool);
+    auto &rt = api.runtime();
+    for (auto _ : state) {
+        rt.setPerm(0, domain, Perm::ReadWrite);
+        rt.setPerm(0, domain, Perm::None);
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_SetPermPair);
+
+void
+BM_TxnCommit(benchmark::State &state)
+{
+    auto pool = Pool::create(1, kPoolBytes);
+    const Oid oid = pool->pmalloc(256);
+    pmo::Transaction txn(*pool);
+    const unsigned writes = static_cast<unsigned>(state.range(0));
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        txn.begin();
+        for (unsigned i = 0; i < writes; ++i) {
+            txn.writeValue<std::uint64_t>(
+                Oid{oid.pool, oid.offset + 8 * (i % 32)}, ++v);
+        }
+        txn.commit();
+    }
+    state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_TxnCommit)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_CrashRecovery(benchmark::State &state)
+{
+    auto pool = Pool::create(1, kPoolBytes);
+    const Oid oid = pool->pmalloc(256);
+    for (auto _ : state) {
+        state.PauseTiming();
+        pmo::Transaction txn(*pool);
+        txn.begin();
+        for (unsigned i = 0; i < 16; ++i) {
+            txn.writeValue<std::uint64_t>(
+                Oid{oid.pool, oid.offset + 8 * (i % 32)}, i);
+        }
+        pool->arena().crash();
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(pmo::Transaction::recover(*pool));
+    }
+}
+BENCHMARK(BM_CrashRecovery);
+
+void
+BM_AttachDetach(benchmark::State &state)
+{
+    Namespace ns;
+    ns.create("p", kPoolBytes, 1000);
+    pmo::Runtime rt(ns, 1000, 1);
+    for (auto _ : state) {
+        const auto &att = rt.attach("p", Perm::ReadWrite);
+        rt.detach(att.domain);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttachDetach);
+
+void
+BM_OidDirectTranslation(benchmark::State &state)
+{
+    Namespace ns;
+    PmoApi api(ns, 1000, 1);
+    Pool *pool = api.poolCreate("bench", kPoolBytes);
+    const Oid oid = api.pmalloc(pool, 64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(api.oidDirect(oid));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OidDirectTranslation);
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate: host
+ * throughput of TLB translation, cache access, protection checks and
+ * full trace-record replay — the numbers that determine how fast the
+ * table/figure experiments run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace pmodv;
+using arch::SchemeKind;
+using trace::TraceRecord;
+
+constexpr Addr kBase = Addr{1} << 33;
+constexpr Addr kSize = Addr{8} << 20;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    stats::Group root(nullptr, "");
+    mem::CacheHierarchy caches(&root, {});
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(caches.access(rng.next(1 << 26),
+                                               AccessType::Read,
+                                               MemClass::Dram));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbTranslate(benchmark::State &state)
+{
+    stats::Group root(nullptr, "");
+    tlb::AddressSpace space;
+    tlb::Region region;
+    region.base = kBase;
+    region.size = kSize;
+    region.domain = 1;
+    region.memClass = MemClass::Nvm;
+    space.map(region);
+    tlb::TlbHierarchy tlbs(&root, {}, space);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlbs.translate(0, kBase + rng.next(kSize)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbTranslate);
+
+void
+BM_ReplayRecordThroughput(benchmark::State &state)
+{
+    const auto kind = static_cast<SchemeKind>(state.range(0));
+    core::SimConfig cfg;
+    core::System sys(cfg, kind);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    Rng rng(7);
+    for (auto _ : state) {
+        sys.put(TraceRecord::load(0, kBase + rng.next(kSize - 8), 8,
+                                  true));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(arch::schemeName(kind));
+}
+BENCHMARK(BM_ReplayRecordThroughput)
+    ->Arg(static_cast<int>(SchemeKind::NoProtection))
+    ->Arg(static_cast<int>(SchemeKind::Mpk))
+    ->Arg(static_cast<int>(SchemeKind::MpkVirt))
+    ->Arg(static_cast<int>(SchemeKind::DomainVirt))
+    ->Arg(static_cast<int>(SchemeKind::LibMpk));
+
+void
+BM_MultiDomainReplay(benchmark::State &state)
+{
+    // The hot loop of the Figure 6 sweeps: accesses spread over many
+    // domains under MPK virtualization (constant remap pressure).
+    core::SimConfig cfg;
+    core::System sys(cfg, SchemeKind::MpkVirt);
+    const unsigned domains = static_cast<unsigned>(state.range(0));
+    const Addr stride = Addr{16} << 20;
+    for (unsigned i = 0; i < domains; ++i) {
+        sys.put(TraceRecord::attach(0, i + 1, kBase + i * stride,
+                                    kSize, Perm::ReadWrite));
+        sys.put(TraceRecord::setPerm(0, i + 1, Perm::ReadWrite));
+    }
+    Rng rng(7);
+    for (auto _ : state) {
+        const unsigned d = static_cast<unsigned>(rng.next(domains));
+        sys.put(TraceRecord::load(
+            0, kBase + d * stride + rng.next(kSize - 8), 8, true));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultiDomainReplay)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces Table II: the simulation parameters in effect. Purely a
+ * configuration printout so every other experiment's context is on
+ * record.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/config.hh"
+
+int
+main(int argc, char **argv)
+{
+    pmodv::bench::parseOptions(argc, argv);
+    std::cout << "=== Table II: simulation parameters ===\n\n";
+    pmodv::core::SimConfig config;
+    pmodv::core::printConfig(std::cout, config);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces Table VIII: the hardware-area and per-process memory
+ * overheads of the two designs, computed from the configured buffer
+ * geometries at the paper's scale (1024 domains, 1024 threads).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "exp/area.hh"
+
+int
+main(int argc, char **argv)
+{
+    pmodv::bench::parseOptions(argc, argv);
+    std::cout << "=== Table VIII: area overhead summary ===\n\n";
+    pmodv::exp::AreaInputs in;
+    pmodv::exp::printAreaTable(std::cout, in);
+    std::cout << "\nDTT, DRT and PT are cacheable software structures "
+                 "in the paging system; only the DTTLB and PTLB\n"
+                 "need dedicated hardware, and both stay below 0.2 KB "
+                 "per core.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Crash consistency end to end: a persistent bank ledger updated
+ * through durable transactions, with injected power failures. After
+ * every crash + recovery the ledger's invariant (total balance is
+ * conserved) holds, across simulated process restarts backed by an
+ * on-disk namespace.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hh"
+#include "pmo/api.hh"
+#include "pmo/txn.hh"
+
+using namespace pmodv;
+using pmo::Oid;
+
+namespace
+{
+
+constexpr unsigned kAccounts = 16;
+constexpr std::uint64_t kInitialBalance = 1'000;
+
+Oid
+accountOid(Oid base, unsigned idx)
+{
+    return Oid{base.pool, base.offset + 8 * idx};
+}
+
+std::uint64_t
+totalBalance(pmo::Pool &pool, Oid base)
+{
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kAccounts; ++i) {
+        std::uint64_t v = 0;
+        pool.read(accountOid(base, i), &v, 8);
+        total += v;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("pmodv_example_ledger_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    Oid table;
+
+    // Session 1: create the ledger.
+    {
+        pmo::Namespace ns(dir);
+        pmo::PmoApi api(ns, 1000, 1);
+        pmo::Pool *pool = api.poolCreate("ledger", 1 << 20);
+        table = api.poolRoot(pool, 8 * kAccounts);
+        pmo::Transaction txn(*pool);
+        txn.begin();
+        for (unsigned i = 0; i < kAccounts; ++i)
+            txn.writeValue<std::uint64_t>(accountOid(table, i),
+                                          kInitialBalance);
+        txn.commit();
+        ns.sync();
+        std::printf("session 1: ledger created, total=%llu\n",
+                    static_cast<unsigned long long>(
+                        totalBalance(*pool, table)));
+    }
+
+    // Sessions 2..N: random transfers with injected power failures.
+    Rng rng(2026);
+    for (int session = 2; session <= 6; ++session) {
+        pmo::Namespace ns(dir);
+        pmo::Pool &pool = ns.pool("ledger");
+
+        // Crash recovery first — the previous session may have died
+        // mid-transaction.
+        if (pmo::Transaction::recover(pool))
+            std::printf("session %d: rolled back an interrupted "
+                        "transfer\n",
+                        session);
+        const std::uint64_t total_before = totalBalance(pool, table);
+
+        pmo::Transaction txn(pool);
+        for (int t = 0; t < 50; ++t) {
+            const unsigned from =
+                static_cast<unsigned>(rng.next(kAccounts));
+            unsigned to = static_cast<unsigned>(rng.next(kAccounts));
+            if (to == from)
+                to = (to + 1) % kAccounts;
+            const std::uint64_t amount = rng.next(100);
+
+            std::uint64_t from_bal = 0, to_bal = 0;
+            pool.read(accountOid(table, from), &from_bal, 8);
+            pool.read(accountOid(table, to), &to_bal, 8);
+            if (from_bal < amount)
+                continue;
+
+            txn.begin();
+            txn.writeValue<std::uint64_t>(accountOid(table, from),
+                                          from_bal - amount);
+            // Power failure strikes 10% of transfers right here —
+            // after the debit, before the credit.
+            if (rng.chance(0.10)) {
+                pool.arena().crash();
+                std::printf("session %d: power failure mid-transfer "
+                            "(transfer %d)\n",
+                            session, t);
+                break;
+            }
+            txn.writeValue<std::uint64_t>(accountOid(table, to),
+                                          to_bal + amount);
+            txn.commit();
+        }
+
+        // Recover whatever state the session ended in and check the
+        // conservation invariant.
+        pmo::Transaction::recover(pool);
+        const std::uint64_t total_after = totalBalance(pool, table);
+        std::printf("session %d: total %llu -> %llu %s\n", session,
+                    static_cast<unsigned long long>(total_before),
+                    static_cast<unsigned long long>(total_after),
+                    total_before == total_after ? "(conserved)"
+                                                : "(VIOLATED!)");
+        if (total_before != total_after)
+            return 1;
+        ns.sync();
+    }
+
+    std::filesystem::remove_all(dir);
+    std::printf("crash_recovery done: balance conserved through every "
+                "failure\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Driving the architecture simulator directly: capture a real
+ * application trace from the PMO library (a session-store workload)
+ * and replay it under every protection scheme, printing the paper's
+ * headline comparison on your own workload.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/replay.hh"
+#include "pmo/api.hh"
+
+using namespace pmodv;
+using arch::SchemeKind;
+using pmo::Oid;
+
+int
+main()
+{
+    // Build the replay pipelines first so the trace streams straight
+    // into all of them (one pass, six simulated machines).
+    core::SimConfig config;
+    const std::vector<SchemeKind> schemes{
+        SchemeKind::NoProtection, SchemeKind::Lowerbound,
+        SchemeKind::Mpk,          SchemeKind::LibMpk,
+        SchemeKind::MpkVirt,      SchemeKind::DomainVirt};
+    core::MultiReplay replay(config, schemes);
+
+    // A session store: 48 PMOs (one per session), random updates with
+    // a SETPERM window per operation.
+    pmo::Namespace ns;
+    pmo::PmoApi api(ns, 1000, 1);
+    pmo::Runtime &rt = api.runtime();
+    rt.setTraceSink(&replay.sink());
+
+    constexpr unsigned kSessions = 48;
+    constexpr unsigned kOps = 3'000;
+    std::vector<pmo::Pool *> pools;
+    std::vector<Oid> records;
+    for (unsigned s = 0; s < kSessions; ++s) {
+        pmo::Pool *pool =
+            api.poolCreate("sess" + std::to_string(s), 256 << 10);
+        pools.push_back(pool);
+        records.push_back(api.poolRoot(pool, 64));
+    }
+
+    Rng rng(7);
+    for (unsigned op = 0; op < kOps; ++op) {
+        const unsigned s = static_cast<unsigned>(rng.next(kSessions));
+        rt.opBegin(0);
+        rt.compute(0, 400); // Request parsing etc.
+        api.setPerm(0, pools[s], Perm::ReadWrite);
+        std::uint8_t record[64];
+        rt.read(0, records[s], record, sizeof(record));
+        record[0] += 1;
+        rt.write(0, records[s], record, sizeof(record));
+        api.setPerm(0, pools[s], Perm::None);
+        rt.opEnd(0);
+    }
+    rt.setTraceSink(nullptr);
+
+    // Report.
+    std::printf("=== protection_demo: %u sessions, %u operations ===\n",
+                kSessions, kOps);
+    std::printf("%-14s %14s %16s %18s\n", "scheme", "cycles",
+                "vs baseline(%)", "vs lowerbound(%)");
+    const double base = static_cast<double>(
+        replay.system(SchemeKind::NoProtection).totalCycles());
+    const double lower = static_cast<double>(
+        replay.system(SchemeKind::Lowerbound).totalCycles());
+    for (SchemeKind kind : schemes) {
+        const auto &sys = replay.system(kind);
+        const double cycles = static_cast<double>(sys.totalCycles());
+        std::printf("%-14s %14.0f %16.2f %18.2f\n",
+                    arch::schemeName(kind), cycles,
+                    (cycles - base) / base * 100.0,
+                    (cycles - lower) / lower * 100.0);
+        if (sys.deniedAccesses.value() != 0)
+            std::printf("  (!) %g denied accesses\n",
+                        sys.deniedAccesses.value());
+    }
+
+    std::printf("\nper-operation latency (mean / max cycles):\n");
+    for (SchemeKind kind : schemes) {
+        const auto &h = replay.system(kind).opCycles;
+        std::printf("%-14s %10.0f %10llu\n", arch::schemeName(kind),
+                    h.mean(),
+                    static_cast<unsigned long long>(h.max()));
+    }
+    std::printf("\nWith %u domains, stock MPK ran out of keys: %g "
+                "sessions went unprotected (key_exhausted).\n",
+                kSessions,
+                static_cast<const stats::Group &>(
+                    replay.system(SchemeKind::Mpk))
+                    .lookup("mpk.key_exhausted"));
+    std::printf("The two proposed schemes protect all %u domains; "
+                "compare their overhead columns with libmpk's.\n",
+                kSessions);
+    return 0;
+}

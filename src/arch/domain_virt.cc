@@ -1,0 +1,232 @@
+#include "arch/domain_virt.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+DomainVirtScheme::DomainVirtScheme(stats::Group *parent,
+                                   const ProtParams &params,
+                                   const tlb::AddressSpace &space)
+    : ProtectionScheme(parent, "domain_virt", params, space),
+      drtWalks(this, "drt_walks", "DRT walks on TLB misses"),
+      ptlbWritebacks(this, "ptlb_writebacks",
+                     "dirty PTLB entries written back to the PT"),
+      contextSwitches(this, "context_switches",
+                      "context switches processed")
+{
+    ptlb_ = std::make_unique<Ptlb>(this, params_.ptlbEntries);
+}
+
+void
+DomainVirtScheme::setTlb(tlb::TlbHierarchy *tlb)
+{
+    ProtectionScheme::setTlb(tlb);
+    if (tlb_) {
+        fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
+        tlb_->setFillPolicy(fillPolicyStorage_.get());
+    }
+}
+
+Cycles
+DomainVirtScheme::FillPolicy::fill(ThreadId, Addr va,
+                                   const tlb::Region *region,
+                                   tlb::TlbEntry &entry)
+{
+    DomainVirtScheme &s = owner_;
+    if (!region) {
+        entry.domain = kNullDomain;
+        return 0;
+    }
+    // DRT walk, performed in parallel with the page table walk; the
+    // DRT is shallower than the page table, so no extra latency.
+    ++s.drtWalks;
+    auto walk = s.drt_.walk(va);
+    entry.domain = walk.found ? walk.domain : kNullDomain;
+    entry.key = kNullKey; // This design has no protection keys.
+    return 0;
+}
+
+void
+DomainVirtScheme::writeback(ThreadId tid, const PtlbEntry &entry)
+{
+    ++ptlbWritebacks;
+    pt_.set(entry.domain, tid, entry.perm);
+}
+
+Perm
+DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
+                             Cycles &cycles)
+{
+    if (tid != currentThread_) {
+        // Accesses are normally issued by the running thread; a
+        // mismatch means the harness skipped the context switch, so
+        // consult the PT directly (functional correctness first).
+        return pt_.get(domain, tid);
+    }
+    if (PtlbEntry *hit = ptlb_->lookup(domain))
+        return hit->perm;
+
+    // PTLB miss: fetch from the PT (Table II: 30 cycles including the
+    // table lookup), then install the entry.
+    cycles += params_.ptlbMissCycles;
+    cycTableMiss += static_cast<double>(params_.ptlbMissCycles);
+
+    PtlbEntry entry;
+    entry.used = true;
+    entry.domain = domain;
+    entry.perm = pt_.get(domain, tid);
+    entry.dirty = false;
+
+    PtlbEntry evicted;
+    bool had_eviction = false;
+    ptlb_->insert(entry, evicted, had_eviction);
+    cycles += params_.ptlbEntryOpCycles;
+    cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
+    if (had_eviction && evicted.dirty) {
+        writeback(tid, evicted);
+        cycles += params_.ptlbEntryOpCycles;
+        cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
+    }
+    return entry.perm;
+}
+
+CheckResult
+DomainVirtScheme::checkAccess(const AccessContext &ctx)
+{
+    const DomainId domain = ctx.entry->domain;
+    if (domain == kNullDomain)
+        return {}; // Domainless: no PTLB lookup, no extra latency.
+
+    // The PTLB permission lookup adds latency to every domain access,
+    // even when the data hits in the cache (paper §VI-A).
+    Cycles cycles = params_.ptlbAccessCycles;
+    cycAccessLatency += static_cast<double>(params_.ptlbAccessCycles);
+
+    const Perm domain_perm = lookupPerm(ctx.tid, domain, cycles);
+    CheckResult res = judge(ctx, domain_perm, cycles);
+    if (!res.allowed)
+        ++protectionFaults;
+    return res;
+}
+
+Cycles
+DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    perm = permNormalizeHw(perm);
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    Cycles cycles = params_.wrpkruCycles;
+
+    // The PTLB caches the *running* thread's permissions only; a
+    // cross-thread permission update (an OS-assisted grant) goes
+    // straight to the in-memory PT.
+    if (tid != currentThread_) {
+        pt_.set(domain, tid, perm);
+        return cycles;
+    }
+
+    // SETPERM completes entirely in the PTLB: hit entries are
+    // modified in place and marked dirty; on a miss a new dirty entry
+    // is installed (the 2-bit permission is fully overwritten, so no
+    // PT read is needed).
+    if (PtlbEntry *hit = ptlb_->lookup(domain)) {
+        hit->perm = perm;
+        hit->dirty = true;
+        cycles += params_.ptlbEntryOpCycles;
+        cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
+        return cycles;
+    }
+
+    PtlbEntry entry;
+    entry.used = true;
+    entry.domain = domain;
+    entry.perm = perm;
+    entry.dirty = true;
+
+    PtlbEntry evicted;
+    bool had_eviction = false;
+    ptlb_->insert(entry, evicted, had_eviction);
+    cycles += params_.ptlbEntryOpCycles;
+    cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
+    if (had_eviction && evicted.dirty) {
+        writeback(tid, evicted);
+        cycles += params_.ptlbEntryOpCycles;
+        cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
+    }
+    return cycles;
+}
+
+Cycles
+DomainVirtScheme::attach(ThreadId, DomainId domain, Addr base, Addr size,
+                         Perm)
+{
+    panic_if(domains_.count(domain), "domain %u attached twice", domain);
+    auto info = std::make_shared<DrtInfo>();
+    info->domain = domain;
+    info->base = base;
+    info->size = size;
+    domains_[domain] = info;
+    drt_.insert(base, size, domain, info);
+    return 0;
+}
+
+Cycles
+DomainVirtScheme::detach(ThreadId tid, DomainId domain)
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return 0;
+    // Stale PTLB state for this thread is dropped (dirty values are
+    // dead: the domain is going away).
+    ptlb_->invalidate(domain);
+    pt_.dropDomain(domain);
+    // The unmap itself invalidates the translations (normal munmap
+    // shootdown, part of the detach syscall).
+    if (tlb_)
+        tlb_->flushRange(it->second->base, it->second->size);
+    (void)tid;
+    drt_.remove(domain);
+    domains_.erase(it);
+    return 0;
+}
+
+Cycles
+DomainVirtScheme::contextSwitch(ThreadId, ThreadId to)
+{
+    ++contextSwitches;
+    Cycles cycles = 0;
+    // Dirty PTLB entries belong to the outgoing thread; write them
+    // back, then flush. The TLB itself keeps its (thread-agnostic)
+    // domain ids — the design's key win on switches.
+    std::vector<PtlbEntry> dirty;
+    ptlb_->flushAll(dirty);
+    for (const PtlbEntry &e : dirty) {
+        writeback(currentThread_, e);
+        cycles += params_.contextSwitchWritebackCycles;
+        cycEntryChange +=
+            static_cast<double>(params_.contextSwitchWritebackCycles);
+    }
+    currentThread_ = to;
+    return cycles;
+}
+
+Perm
+DomainVirtScheme::effectivePerm(ThreadId tid, DomainId domain) const
+{
+    if (!domains_.count(domain))
+        return Perm::ReadWrite; // Not a domain: page permission rules.
+    if (tid == currentThread_) {
+        if (const PtlbEntry *e = ptlb_->probe(domain))
+            return e->perm;
+    }
+    return pt_.get(domain, tid);
+}
+
+std::uint64_t
+DomainVirtScheme::drtMemoryBytes() const
+{
+    return drt_.nodeCount() * kRadixFanout * 8;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The paper's second proposed design: **hardware domain
+ * virtualization**. Protection keys are abandoned entirely:
+ *
+ *  - each TLB entry carries a 10-bit domain id, filled from the
+ *    Domain Range Table (DRT), a VA-indexed radix tree walked in
+ *    parallel with the page walk;
+ *  - per-(domain, thread) permissions live in the Permission Table
+ *    (PT), cached in the 16-entry PTLB;
+ *  - SETPERM completes entirely inside the PTLB;
+ *  - key remapping — and therefore TLB shootdown — never happens.
+ */
+
+#ifndef PMODV_ARCH_DOMAIN_VIRT_HH
+#define PMODV_ARCH_DOMAIN_VIRT_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "arch/ptlb.hh"
+#include "arch/radix.hh"
+#include "arch/scheme.hh"
+
+namespace pmodv::arch
+{
+
+/** Per-domain payload in DRT root entries (bounds for detach). */
+struct DrtInfo
+{
+    DomainId domain = kNullDomain;
+    Addr base = 0;
+    Addr size = 0;
+};
+
+/**
+ * The OS-managed Permission Table: (domain, thread) -> 2-bit
+ * permission. Plain cacheable memory in the paper; modelled
+ * functionally with a footprint estimate for Table VIII.
+ */
+class PermissionTable
+{
+  public:
+    Perm
+    get(DomainId domain, ThreadId tid) const
+    {
+        auto d = perms_.find(domain);
+        if (d == perms_.end())
+            return Perm::None;
+        auto t = d->second.find(tid);
+        return t == d->second.end() ? Perm::None : t->second;
+    }
+
+    void set(DomainId domain, ThreadId tid, Perm perm)
+    {
+        perms_[domain][tid] = perm;
+    }
+
+    void dropDomain(DomainId domain) { perms_.erase(domain); }
+
+    std::size_t numDomains() const { return perms_.size(); }
+
+  private:
+    std::unordered_map<DomainId, std::unordered_map<ThreadId, Perm>>
+        perms_;
+};
+
+/** Hardware domain virtualization. */
+class DomainVirtScheme : public ProtectionScheme
+{
+  public:
+    DomainVirtScheme(stats::Group *parent, const ProtParams &params,
+                     const tlb::AddressSpace &space);
+
+    void setTlb(tlb::TlbHierarchy *tlb) override;
+
+    CheckResult checkAccess(const AccessContext &ctx) override;
+    Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
+    Cycles attach(ThreadId tid, DomainId domain, Addr base, Addr size,
+                  Perm max_perm) override;
+    Cycles detach(ThreadId tid, DomainId domain) override;
+    Cycles contextSwitch(ThreadId from, ThreadId to) override;
+    Perm effectivePerm(ThreadId tid, DomainId domain) const override;
+
+    Ptlb &ptlb() { return *ptlb_; }
+    const PermissionTable &pt() const { return pt_; }
+    const VaRadixTree<DrtInfo> &drt() const { return drt_; }
+
+    /** DRT memory footprint in bytes (Table VIII model). */
+    std::uint64_t drtMemoryBytes() const;
+
+    stats::Scalar drtWalks;
+    stats::Scalar ptlbWritebacks;
+    stats::Scalar contextSwitches;
+
+  private:
+    class FillPolicy : public tlb::TlbFillPolicy
+    {
+      public:
+        explicit FillPolicy(DomainVirtScheme &owner) : owner_(owner) {}
+        Cycles fill(ThreadId tid, Addr va, const tlb::Region *region,
+                    tlb::TlbEntry &entry) override;
+
+      private:
+        DomainVirtScheme &owner_;
+    };
+
+    /**
+     * Look the domain up in the PTLB, filling from the PT on a miss.
+     * Returns the permission and accumulates cycles into @p cycles.
+     */
+    Perm lookupPerm(ThreadId tid, DomainId domain, Cycles &cycles);
+
+    /** Write @p entry's permission back to the PT. */
+    void writeback(ThreadId tid, const PtlbEntry &entry);
+
+    std::unique_ptr<FillPolicy> fillPolicyStorage_;
+    VaRadixTree<DrtInfo> drt_;
+    std::unordered_map<DomainId, std::shared_ptr<DrtInfo>> domains_;
+    PermissionTable pt_;
+    std::unique_ptr<Ptlb> ptlb_;
+    /** The thread whose permissions the PTLB currently caches. */
+    ThreadId currentThread_ = 0;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_DOMAIN_VIRT_HH

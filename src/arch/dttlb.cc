@@ -1,0 +1,104 @@
+#include "arch/dttlb.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+Dttlb::Dttlb(stats::Group *parent, unsigned entries)
+    : stats::Group(parent, "dttlb"),
+      hits(this, "hits", "VA lookups that matched"),
+      misses(this, "misses", "VA lookups that missed"),
+      evictions(this, "evictions", "slots evicted by capacity"),
+      slots_(entries), plru_(entries)
+{
+    fatal_if(entries == 0, "DTTLB needs at least one entry");
+}
+
+DttlbEntry *
+Dttlb::lookupVa(Addr va)
+{
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].contains(va)) {
+            ++hits;
+            plru_.touch(i);
+            return &slots_[i];
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+DttlbEntry *
+Dttlb::findDomain(DomainId domain)
+{
+    for (auto &slot : slots_) {
+        if (slot.used && slot.domain == domain)
+            return &slot;
+    }
+    return nullptr;
+}
+
+DttlbEntry &
+Dttlb::insert(const DttlbEntry &entry, DttlbEntry &evicted,
+              bool &had_eviction)
+{
+    had_eviction = false;
+    // Reuse the slot already caching this domain, else a free slot,
+    // else the pseudo-LRU victim.
+    unsigned slot = static_cast<unsigned>(slots_.size());
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].used && slots_[i].domain == entry.domain) {
+            slot = i;
+            break;
+        }
+        if (slot == slots_.size() && !slots_[i].used)
+            slot = i;
+    }
+    if (slot == slots_.size()) {
+        slot = plru_.victim();
+        evicted = slots_[slot];
+        had_eviction = true;
+        ++evictions;
+    }
+    slots_[slot] = entry;
+    slots_[slot].used = true;
+    plru_.touch(slot);
+    return slots_[slot];
+}
+
+bool
+Dttlb::invalidateDomain(DomainId domain)
+{
+    for (auto &slot : slots_) {
+        if (slot.used && slot.domain == domain) {
+            slot = DttlbEntry{};
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Dttlb::flushAll(std::vector<DttlbEntry> &dirty_out)
+{
+    for (auto &slot : slots_) {
+        if (slot.used && slot.dirty)
+            dirty_out.push_back(slot);
+        slot = DttlbEntry{};
+    }
+    plru_.reset();
+}
+
+unsigned
+Dttlb::usedCount() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots_) {
+        if (slot.used)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace pmodv::arch

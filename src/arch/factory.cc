@@ -1,0 +1,34 @@
+#include "arch/factory.hh"
+
+#include "arch/domain_virt.hh"
+#include "arch/libmpk.hh"
+#include "arch/mpk.hh"
+#include "arch/mpk_virt.hh"
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+std::unique_ptr<ProtectionScheme>
+makeScheme(SchemeKind kind, stats::Group *parent,
+           const ProtParams &params, const tlb::AddressSpace &space)
+{
+    switch (kind) {
+      case SchemeKind::NoProtection:
+        return std::make_unique<NoProtectionScheme>(parent, params,
+                                                    space);
+      case SchemeKind::Lowerbound:
+        return std::make_unique<LowerboundScheme>(parent, params, space);
+      case SchemeKind::Mpk:
+        return std::make_unique<MpkScheme>(parent, params, space);
+      case SchemeKind::LibMpk:
+        return std::make_unique<LibMpkScheme>(parent, params, space);
+      case SchemeKind::MpkVirt:
+        return std::make_unique<MpkVirtScheme>(parent, params, space);
+      case SchemeKind::DomainVirt:
+        return std::make_unique<DomainVirtScheme>(parent, params, space);
+    }
+    panic("unhandled scheme kind");
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,228 @@
+#include "arch/libmpk.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+LibMpkScheme::LibMpkScheme(stats::Group *parent, const ProtParams &params,
+                           const tlb::AddressSpace &space)
+    : ProtectionScheme(parent, "libmpk", params, space),
+      evictions(this, "evictions", "software key evictions"),
+      ptePatches(this, "pte_patches", "PTE pkey fields rewritten")
+{
+    keyHolder_.fill(kNullDomain);
+    keyStamp_.fill(0);
+}
+
+void
+LibMpkScheme::setTlb(tlb::TlbHierarchy *tlb)
+{
+    ProtectionScheme::setTlb(tlb);
+    if (tlb_) {
+        fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
+        tlb_->setFillPolicy(fillPolicyStorage_.get());
+    }
+}
+
+Cycles
+LibMpkScheme::FillPolicy::fill(ThreadId tid, Addr,
+                               const tlb::Region *region,
+                               tlb::TlbEntry &entry)
+{
+    if (!region || region->domain == kNullDomain) {
+        entry.key = kNullKey;
+        return 0;
+    }
+    // An access to a domain whose key was evicted traps; libmpk's
+    // exception handler runs the software remap (paper §I: "if it
+    // accesses an unmapped domain, an exception is triggered, and the
+    // exception handler selects a domain to unmap and reassigns the
+    // key to the new domain").
+    Cycles cycles = 0;
+    auto it = owner_.domains_.find(region->domain);
+    if (it != owner_.domains_.end()) {
+        DomainState &st = it->second;
+        if (st.key == kInvalidKey)
+            cycles = owner_.mapDomain(tid, st, region->domain);
+        entry.key = st.key;
+    } else {
+        entry.key = kNullKey;
+    }
+    return cycles;
+}
+
+ProtKey
+LibMpkScheme::victimKey() const
+{
+    ProtKey best = kInvalidKey;
+    for (ProtKey k = 1; k < kNumProtKeys; ++k) {
+        if (keyHolder_[k] == kNullDomain)
+            continue;
+        if (best == kInvalidKey || keyStamp_[k] < keyStamp_[best])
+            best = k;
+    }
+    panic_if(best == kInvalidKey,
+             "victimKey() called with no key holders");
+    return best;
+}
+
+Cycles
+LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
+{
+    Cycles cycles = 0;
+
+    ProtKey key = keyAlloc_.alloc();
+    std::uint64_t patched_pages = 0;
+
+    if (key == kInvalidKey) {
+        // Evict the LRU key holder: pkey_mprotect() strips the key
+        // from every page of the victim domain.
+        ++evictions;
+        const ProtKey victim = victimKey();
+        const DomainId victim_domain = keyHolder_[victim];
+        DomainState &vst = domains_.at(victim_domain);
+        vst.key = kInvalidKey;
+        keyHolder_[victim] = kNullDomain;
+
+        patched_pages += vst.size / 4096;
+        // The kernel's PTE rewrites invalidate stale translations of
+        // both ranges on every core.
+        ++shootdowns;
+        const Cycles inval =
+            params_.tlbInvalidationCycles * params_.numCores;
+        cycles += inval;
+        cycTlbInvalidation += static_cast<double>(inval);
+        if (tlb_) {
+            tlb_->flushRange(vst.base, vst.size);
+            tlb_->flushRange(st.base, st.size);
+        }
+        key = victim;
+    }
+
+    // Trap + pkey_mprotect syscall path, with per-PTE pkey rewrites
+    // proportional to the *victim* domain size — the cost that makes
+    // libmpk unscalable (constants calibrated per DESIGN.md §6; the
+    // incoming domain's pages keep their lazily cached pkey).
+    cycles += params_.libmpkSyscallCycles;
+    cycSoftware += static_cast<double>(params_.libmpkSyscallCycles);
+
+    ptePatches += static_cast<double>(patched_pages);
+    const Cycles patch_cycles =
+        params_.libmpkPtePatchCycles * patched_pages;
+    cycles += patch_cycles;
+    cycSoftware += static_cast<double>(patch_cycles);
+
+    st.key = key;
+    keyHolder_[key] = domain;
+    touchKey(key);
+    ++keyRemaps;
+    // The handler restores the thread's recorded permission for the
+    // incoming domain into PKRU.
+    auto perm_it = st.perms.find(tid);
+    pkrus_.forThread(tid).setPerm(
+        key, perm_it == st.perms.end() ? Perm::None : perm_it->second);
+    return cycles;
+}
+
+CheckResult
+LibMpkScheme::checkAccess(const AccessContext &ctx)
+{
+    const ProtKey key = ctx.entry->key;
+    if (key == kNullKey)
+        return {};
+    touchKey(key);
+    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    CheckResult res = judge(ctx, domain_perm, 0);
+    if (!res.allowed)
+        ++protectionFaults;
+    return res;
+}
+
+Cycles
+LibMpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    perm = permNormalizeHw(perm);
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    Cycles cycles = params_.wrpkruCycles;
+
+    // libmpk's user-level bookkeeping (domain hash lookup) runs on
+    // every mpk_begin/end call.
+    cycles += params_.libmpkFastPathCycles;
+    cycSoftware += static_cast<double>(params_.libmpkFastPathCycles);
+
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return cycles;
+    DomainState &st = it->second;
+    st.perms[tid] = perm;
+
+    // Granting access to an unmapped domain triggers the slow path.
+    if (st.key == kInvalidKey && perm != Perm::None)
+        cycles += mapDomain(tid, st, domain);
+
+    if (st.key != kInvalidKey) {
+        pkrus_.forThread(tid).setPerm(st.key, perm);
+        touchKey(st.key);
+    }
+    return cycles;
+}
+
+Cycles
+LibMpkScheme::attach(ThreadId, DomainId domain, Addr base, Addr size,
+                     Perm)
+{
+    panic_if(domains_.count(domain), "domain %u attached twice", domain);
+    DomainState st;
+    st.base = base;
+    st.size = size;
+    domains_[domain] = st;
+    return 0;
+}
+
+Cycles
+LibMpkScheme::detach(ThreadId, DomainId domain)
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return 0;
+    DomainState &st = it->second;
+    if (st.key != kInvalidKey) {
+        keyHolder_[st.key] = kNullDomain;
+        keyAlloc_.free(st.key);
+        if (tlb_)
+            tlb_->flushRange(st.base, st.size);
+    }
+    domains_.erase(it);
+    return 0;
+}
+
+Cycles
+LibMpkScheme::contextSwitch(ThreadId, ThreadId)
+{
+    // PKRU save/restore is part of normal thread state.
+    return 0;
+}
+
+Perm
+LibMpkScheme::effectivePerm(ThreadId tid, DomainId domain) const
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return Perm::ReadWrite;
+    const DomainState &st = it->second;
+    if (st.key != kInvalidKey)
+        return pkrus_.forThread(tid).permFor(st.key);
+    auto p = st.perms.find(tid);
+    return p == st.perms.end() ? Perm::None : p->second;
+}
+
+ProtKey
+LibMpkScheme::keyOf(DomainId domain) const
+{
+    auto it = domains_.find(domain);
+    return it == domains_.end() ? kInvalidKey : it->second.key;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A cost model of **libmpk** (Park et al., USENIX ATC'19), the
+ * software MPK virtualization the paper compares against.
+ *
+ * Functionally libmpk behaves like the hardware MPK virtualization —
+ * a 16-entry key cache over many domains with LRU eviction — but an
+ * eviction runs in software: a trap/syscall, `pkey_mprotect()` PTE
+ * rewrites across *every page* of both the victim and the incoming
+ * domain, a TLB shootdown and a PKRU write. Eviction cost therefore
+ * scales with domain size, the scaling the paper's Figure 6/7 exposes.
+ */
+
+#ifndef PMODV_ARCH_LIBMPK_HH
+#define PMODV_ARCH_LIBMPK_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "arch/pkru.hh"
+#include "arch/scheme.hh"
+
+namespace pmodv::arch
+{
+
+/** libmpk software MPK virtualization. */
+class LibMpkScheme : public ProtectionScheme
+{
+  public:
+    LibMpkScheme(stats::Group *parent, const ProtParams &params,
+                 const tlb::AddressSpace &space);
+
+    void setTlb(tlb::TlbHierarchy *tlb) override;
+
+    CheckResult checkAccess(const AccessContext &ctx) override;
+    Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
+    Cycles attach(ThreadId tid, DomainId domain, Addr base, Addr size,
+                  Perm max_perm) override;
+    Cycles detach(ThreadId tid, DomainId domain) override;
+    Cycles contextSwitch(ThreadId from, ThreadId to) override;
+    Perm effectivePerm(ThreadId tid, DomainId domain) const override;
+
+    /** The key currently backing @p domain (kInvalidKey if none). */
+    ProtKey keyOf(DomainId domain) const;
+
+    stats::Scalar evictions;
+    stats::Scalar ptePatches;
+
+  private:
+    class FillPolicy : public tlb::TlbFillPolicy
+    {
+      public:
+        explicit FillPolicy(LibMpkScheme &owner) : owner_(owner) {}
+        Cycles fill(ThreadId tid, Addr va, const tlb::Region *region,
+                    tlb::TlbEntry &entry) override;
+
+      private:
+        LibMpkScheme &owner_;
+    };
+
+    struct DomainState
+    {
+        ProtKey key = kInvalidKey;
+        Addr base = 0;
+        Addr size = 0;
+        std::unordered_map<ThreadId, Perm> perms;
+    };
+
+    /** Map @p domain onto a key, evicting if necessary. */
+    Cycles mapDomain(ThreadId tid, DomainState &st, DomainId domain);
+
+    void touchKey(ProtKey key) { keyStamp_[key] = ++keyClock_; }
+    ProtKey victimKey() const;
+
+    std::unique_ptr<FillPolicy> fillPolicyStorage_;
+    std::unordered_map<DomainId, DomainState> domains_;
+    KeyAllocator keyAlloc_;
+    PkruFile pkrus_;
+    std::array<DomainId, kNumProtKeys> keyHolder_{};
+    std::array<std::uint64_t, kNumProtKeys> keyStamp_{};
+    std::uint64_t keyClock_ = 0;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_LIBMPK_HH

@@ -1,0 +1,123 @@
+#include "arch/mpk.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+MpkScheme::MpkScheme(stats::Group *parent, const ProtParams &params,
+                     const tlb::AddressSpace &space)
+    : ProtectionScheme(parent, "mpk", params, space),
+      keyExhausted(this, "key_exhausted",
+                   "attaches that found no free protection key"),
+      fillPolicy_(*this)
+{
+}
+
+void
+MpkScheme::setTlb(tlb::TlbHierarchy *tlb)
+{
+    ProtectionScheme::setTlb(tlb);
+    if (tlb_)
+        tlb_->setFillPolicy(&fillPolicy_);
+}
+
+Cycles
+MpkScheme::FillPolicy::fill(ThreadId, Addr, const tlb::Region *region,
+                            tlb::TlbEntry &entry)
+{
+    // The pkey field of the PTE, as written by pkey_mprotect().
+    entry.key = region ? owner_.keyOf(region->domain) : kNullKey;
+    if (entry.key == kInvalidKey)
+        entry.key = kNullKey;
+    return 0;
+}
+
+CheckResult
+MpkScheme::checkAccess(const AccessContext &ctx)
+{
+    const ProtKey key = ctx.entry->key;
+    if (key == kNullKey)
+        return {}; // Domainless access: page permission only.
+    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    CheckResult res = judge(ctx, domain_perm, 0);
+    if (!res.allowed)
+        ++protectionFaults;
+    return res;
+}
+
+Cycles
+MpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    perm = permNormalizeHw(perm);
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    auto it = domainKey_.find(domain);
+    if (it != domainKey_.end() && it->second != kNullKey)
+        pkrus_.forThread(tid).setPerm(it->second, perm);
+    // A domainless PMO (exhausted keys) still executes the WRPKRU.
+    return params_.wrpkruCycles;
+}
+
+Cycles
+MpkScheme::wrpkruRaw(ThreadId tid, ProtKey key, Perm perm)
+{
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    pkrus_.forThread(tid).setPerm(key, perm);
+    return params_.wrpkruCycles;
+}
+
+Cycles
+MpkScheme::attach(ThreadId, DomainId domain, Addr, Addr, Perm)
+{
+    ProtKey key = keyAlloc_.alloc();
+    if (key == kInvalidKey) {
+        // pkey_alloc() returned ENOSPC: the PMO stays domainless.
+        ++keyExhausted;
+        key = kNullKey;
+    }
+    domainKey_[domain] = key;
+    return 0;
+}
+
+Cycles
+MpkScheme::detach(ThreadId, DomainId domain)
+{
+    auto it = domainKey_.find(domain);
+    if (it == domainKey_.end())
+        return 0;
+    if (it->second != kNullKey) {
+        keyAlloc_.free(it->second);
+        if (tlb_)
+            tlb_->flushKey(it->second);
+    }
+    domainKey_.erase(it);
+    return 0;
+}
+
+Cycles
+MpkScheme::contextSwitch(ThreadId, ThreadId)
+{
+    // PKRU is part of the XSAVE state; per-thread registers are
+    // already modelled, so the switch costs nothing extra here.
+    return 0;
+}
+
+Perm
+MpkScheme::effectivePerm(ThreadId tid, DomainId domain) const
+{
+    auto it = domainKey_.find(domain);
+    if (it == domainKey_.end() || it->second == kNullKey)
+        return Perm::ReadWrite; // Domainless: page permission governs.
+    return pkrus_.forThread(tid).permFor(it->second);
+}
+
+ProtKey
+MpkScheme::keyOf(DomainId domain) const
+{
+    auto it = domainKey_.find(domain);
+    return it == domainKey_.end() ? kInvalidKey : it->second;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,326 @@
+#include "arch/mpk_virt.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+MpkVirtScheme::MpkVirtScheme(stats::Group *parent,
+                             const ProtParams &params,
+                             const tlb::AddressSpace &space)
+    : ProtectionScheme(parent, "mpk_virt", params, space),
+      dttWalks(this, "dtt_walks", "DTT walks on DTTLB misses"),
+      dttlbWritebacks(this, "dttlb_writebacks",
+                      "dirty DTTLB entries written back to the DTT"),
+      contextSwitches(this, "context_switches",
+                      "context switches processed")
+{
+    dttlb_ = std::make_unique<Dttlb>(this, params_.dttlbEntries);
+    keyHolder_.fill(kNullDomain);
+    keyStamp_.fill(0);
+}
+
+void
+MpkVirtScheme::setTlb(tlb::TlbHierarchy *tlb)
+{
+    ProtectionScheme::setTlb(tlb);
+    if (tlb_) {
+        fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
+        tlb_->setFillPolicy(fillPolicyStorage_.get());
+    }
+}
+
+Perm
+MpkVirtScheme::permOf(const DttInfo &info, ThreadId tid) const
+{
+    auto it = info.perms.find(tid);
+    return it == info.perms.end() ? Perm::None : it->second;
+}
+
+void
+MpkVirtScheme::touchKey(ProtKey key)
+{
+    keyStamp_[key] = ++keyClock_;
+}
+
+ProtKey
+MpkVirtScheme::victimKey() const
+{
+    ProtKey best = kInvalidKey;
+    for (ProtKey k = 1; k < kNumProtKeys; ++k) {
+        if (keyHolder_[k] == kNullDomain)
+            continue;
+        if (best == kInvalidKey || keyStamp_[k] < keyStamp_[best])
+            best = k;
+    }
+    panic_if(best == kInvalidKey,
+             "victimKey() called with no key holders");
+    return best;
+}
+
+void
+MpkVirtScheme::bindKey(ThreadId tid, DttInfo &info, ProtKey key)
+{
+    info.key = key;
+    keyHolder_[key] = info.domain;
+    touchKey(key);
+    // PKRU of the running thread reflects the new domain immediately;
+    // other threads reconstruct on their next context switch in.
+    pkrus_.forThread(tid).setPerm(key, permOf(info, tid));
+    ++keyRemaps;
+}
+
+Cycles
+MpkVirtScheme::cacheInDttlb(const DttInfo &info)
+{
+    DttlbEntry entry;
+    entry.used = true;
+    entry.base = info.base;
+    entry.size = info.size;
+    entry.domain = info.domain;
+    entry.key = info.key == kInvalidKey ? kNullKey : info.key;
+    entry.valid = info.key != kInvalidKey;
+    entry.dirty = true;
+
+    DttlbEntry evicted;
+    bool had_eviction = false;
+    dttlb_->insert(entry, evicted, had_eviction);
+
+    Cycles cycles = params_.dttlbEntryOpCycles;
+    cycEntryChange += static_cast<double>(params_.dttlbEntryOpCycles);
+    if (had_eviction && evicted.dirty) {
+        // Lazy DTT update: the dirty mapping is written back now.
+        ++dttlbWritebacks;
+        cycles += params_.dttlbEntryOpCycles;
+        cycEntryChange += static_cast<double>(params_.dttlbEntryOpCycles);
+    }
+    return cycles;
+}
+
+Cycles
+MpkVirtScheme::resolveKey(ThreadId tid, DttInfo &info)
+{
+    Cycles cycles = 0;
+
+    if (info.key != kInvalidKey) {
+        touchKey(info.key);
+        return cycles;
+    }
+
+    // Check the free-key structure.
+    cycles += params_.freeKeyCheckCycles;
+    ProtKey key = keyAlloc_.alloc();
+    if (key == kInvalidKey) {
+        // No free key: reassign the LRU victim's key.
+        const ProtKey victim = victimKey();
+        const DomainId victim_domain = keyHolder_[victim];
+        auto vit = domains_.find(victim_domain);
+        panic_if(vit == domains_.end(),
+                 "victim domain %u has no DTT payload", victim_domain);
+        DttInfo &vinfo = *vit->second;
+
+        // Unmap the victim: DTT payload updated, DTTLB entry marked
+        // invalid + dirty.
+        vinfo.key = kInvalidKey;
+        keyHolder_[victim] = kNullDomain;
+        if (DttlbEntry *ve = dttlb_->findDomain(victim_domain)) {
+            ve->valid = false;
+            ve->key = kNullKey;
+            ve->dirty = true;
+        }
+        cycles += params_.dttlbEntryOpCycles;
+        cycEntryChange += static_cast<double>(params_.dttlbEntryOpCycles);
+
+        // Ranged TLB shootdown of the victim's pages on every core,
+        // so no stale VA->key mapping survives.
+        ++shootdowns;
+        const Cycles inval = params_.tlbInvalidationCycles *
+                             params_.numCores;
+        cycles += inval;
+        cycTlbInvalidation += static_cast<double>(inval);
+        if (tlb_)
+            tlb_->flushRange(vinfo.base, vinfo.size);
+
+        key = victim;
+    }
+
+    bindKey(tid, info, key);
+    cycles += params_.pkruUpdateCycles;
+    cycEntryChange += static_cast<double>(params_.pkruUpdateCycles);
+    return cycles;
+}
+
+Cycles
+MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
+                                const tlb::Region *region,
+                                tlb::TlbEntry &entry)
+{
+    if (!region || region->domain == kNullDomain) {
+        entry.key = kNullKey;
+        return 0;
+    }
+
+    MpkVirtScheme &s = owner_;
+    Cycles cycles = 0;
+
+    DttInfo *info = nullptr;
+    if (DttlbEntry *hit = s.dttlb_->lookupVa(va)) {
+        // DTTLB hit: its 1-cycle CAM lookup overlaps the page walk,
+        // so no extra latency is charged (DESIGN.md §5).
+        auto it = s.domains_.find(hit->domain);
+        panic_if(it == s.domains_.end(), "DTTLB caches unknown domain");
+        info = it->second.get();
+    } else {
+        // DTTLB miss: walk the DTT (Table II: 30 cycles).
+        ++s.dttWalks;
+        cycles += s.params_.dttWalkCycles;
+        s.cycTableMiss += static_cast<double>(s.params_.dttWalkCycles);
+        auto walk = s.dtt_.walk(va);
+        panic_if(!walk.found,
+                 "mapped PMO region missing from the DTT");
+        info = walk.payload;
+    }
+
+    cycles += s.resolveKey(tid, *info);
+    cycles += s.cacheInDttlb(*info);
+
+    entry.key = info->key == kInvalidKey ? kNullKey : info->key;
+    return cycles;
+}
+
+CheckResult
+MpkVirtScheme::checkAccess(const AccessContext &ctx)
+{
+    const ProtKey key = ctx.entry->key;
+    if (key == kNullKey)
+        return {};
+    touchKey(key);
+    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    CheckResult res = judge(ctx, domain_perm, 0);
+    if (!res.allowed)
+        ++protectionFaults;
+    return res;
+}
+
+Cycles
+MpkVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    perm = permNormalizeHw(perm);
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    Cycles cycles = params_.wrpkruCycles;
+
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return cycles; // SETPERM on an unattached domain: no-op.
+
+    DttInfo &info = *it->second;
+    info.perms[tid] = perm;
+
+    // The DTTLB entry (if cached) is invalidated so the next fill
+    // re-reads the DTT, and a key-holding domain is reflected in PKRU
+    // immediately (or TLB-hit accesses would use stale permission).
+    // Both micro-ops complete within SETPERM's own 27-cycle latency —
+    // this is what makes the single-PMO case perform *identically* to
+    // stock MPK (paper §VI-A).
+    dttlb_->invalidateDomain(domain);
+    if (info.key != kInvalidKey)
+        pkrus_.forThread(tid).setPerm(info.key, perm);
+    return cycles;
+}
+
+Cycles
+MpkVirtScheme::attach(ThreadId, DomainId domain, Addr base, Addr size,
+                      Perm)
+{
+    panic_if(domains_.count(domain), "domain %u attached twice", domain);
+    auto info = std::make_shared<DttInfo>();
+    info->domain = domain;
+    info->base = base;
+    info->size = size;
+    domains_[domain] = info;
+    dtt_.insert(base, size, domain, info);
+    return 0;
+}
+
+Cycles
+MpkVirtScheme::detach(ThreadId, DomainId domain)
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return 0;
+    DttInfo &info = *it->second;
+    if (info.key != kInvalidKey) {
+        keyHolder_[info.key] = kNullDomain;
+        keyAlloc_.free(info.key);
+        if (tlb_)
+            tlb_->flushRange(info.base, info.size);
+    }
+    dttlb_->invalidateDomain(domain);
+    dtt_.remove(domain);
+    domains_.erase(it);
+    return 0;
+}
+
+Cycles
+MpkVirtScheme::contextSwitch(ThreadId, ThreadId to)
+{
+    ++contextSwitches;
+    currentThread_ = to;
+    Cycles cycles = 0;
+
+    // Dirty DTTLB entries are written back to the DTT, then the
+    // (thread-specific) DTTLB is flushed.
+    std::vector<DttlbEntry> dirty;
+    dttlb_->flushAll(dirty);
+    for (const DttlbEntry &e : dirty) {
+        (void)e; // DTT payloads are kept in sync eagerly; charge only.
+        ++dttlbWritebacks;
+        cycles += params_.contextSwitchWritebackCycles;
+        cycEntryChange +=
+            static_cast<double>(params_.contextSwitchWritebackCycles);
+    }
+
+    // Reconstruct the incoming thread's PKRU from the DTT: for every
+    // key-holding domain, load the domain's permission for `to`.
+    Pkru &pkru = pkrus_.forThread(to);
+    for (ProtKey k = 1; k < kNumProtKeys; ++k) {
+        if (keyHolder_[k] == kNullDomain)
+            continue;
+        auto it = domains_.find(keyHolder_[k]);
+        if (it != domains_.end())
+            pkru.setPerm(k, permOf(*it->second, to));
+    }
+    return cycles;
+}
+
+Perm
+MpkVirtScheme::effectivePerm(ThreadId tid, DomainId domain) const
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return Perm::ReadWrite; // Not a domain: page permission rules.
+    return permOf(*it->second, tid);
+}
+
+DomainId
+MpkVirtScheme::domainOfKey(ProtKey key) const
+{
+    return key < kNumProtKeys ? keyHolder_[key] : kNullDomain;
+}
+
+ProtKey
+MpkVirtScheme::keyOf(DomainId domain) const
+{
+    auto it = domains_.find(domain);
+    return it == domains_.end() ? kInvalidKey : it->second->key;
+}
+
+std::uint64_t
+MpkVirtScheme::dttMemoryBytes() const
+{
+    // Each radix node is 512 slots x 8 bytes, as in a page table.
+    return dtt_.nodeCount() * kRadixFanout * 8;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The paper's first proposed design: **hardware MPK virtualization**.
+ *
+ * MPK is kept intact (PKRU, pkey-stamped TLB entries); a Domain
+ * Translation Table (DTT, an OS-managed radix tree over VA) records
+ * for every attached PMO its domain id, the key it currently maps to
+ * and the per-thread domain permissions. A 16-entry DTTLB caches DTT
+ * entries. On a TLB miss to a domain with no key, a free key is
+ * claimed — or an LRU victim domain's key is reassigned, which costs
+ * a PKRU update and a ranged TLB shootdown of the victim's pages.
+ */
+
+#ifndef PMODV_ARCH_MPK_VIRT_HH
+#define PMODV_ARCH_MPK_VIRT_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/dttlb.hh"
+#include "arch/pkru.hh"
+#include "arch/radix.hh"
+#include "arch/scheme.hh"
+
+namespace pmodv::arch
+{
+
+/** Per-domain payload stored in DTT PMO-root entries. */
+struct DttInfo
+{
+    /** Key the domain currently maps to (kInvalidKey when unmapped). */
+    ProtKey key = kInvalidKey;
+    /** Per-thread domain permission (absent threads have Perm::None). */
+    std::unordered_map<ThreadId, Perm> perms;
+    /** Cached region bounds for shootdowns. */
+    Addr base = 0;
+    Addr size = 0;
+    DomainId domain = kNullDomain;
+};
+
+/** Hardware MPK virtualization. */
+class MpkVirtScheme : public ProtectionScheme
+{
+  public:
+    MpkVirtScheme(stats::Group *parent, const ProtParams &params,
+                  const tlb::AddressSpace &space);
+
+    void setTlb(tlb::TlbHierarchy *tlb) override;
+
+    CheckResult checkAccess(const AccessContext &ctx) override;
+    Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
+    Cycles attach(ThreadId tid, DomainId domain, Addr base, Addr size,
+                  Perm max_perm) override;
+    Cycles detach(ThreadId tid, DomainId domain) override;
+    Cycles contextSwitch(ThreadId from, ThreadId to) override;
+    Perm effectivePerm(ThreadId tid, DomainId domain) const override;
+
+    /** The domain currently holding @p key (kNullDomain if free). */
+    DomainId domainOfKey(ProtKey key) const;
+
+    /** The key currently held by @p domain (kInvalidKey if none). */
+    ProtKey keyOf(DomainId domain) const;
+
+    const Pkru &pkru(ThreadId tid) const { return pkrus_.forThread(tid); }
+    Dttlb &dttlb() { return *dttlb_; }
+    const VaRadixTree<DttInfo> &dtt() const { return dtt_; }
+
+    /** DTT memory footprint in bytes (Table VIII model). */
+    std::uint64_t dttMemoryBytes() const;
+
+    stats::Scalar dttWalks;
+    stats::Scalar dttlbWritebacks;
+    stats::Scalar contextSwitches;
+
+  private:
+    class FillPolicy : public tlb::TlbFillPolicy
+    {
+      public:
+        explicit FillPolicy(MpkVirtScheme &owner) : owner_(owner) {}
+        Cycles fill(ThreadId tid, Addr va, const tlb::Region *region,
+                    tlb::TlbEntry &entry) override;
+
+      private:
+        MpkVirtScheme &owner_;
+    };
+
+    /**
+     * Resolve the key for @p info on a TLB-miss fill, remapping if
+     * needed. Returns the extra cycles spent.
+     */
+    Cycles resolveKey(ThreadId tid, DttInfo &info);
+
+    /** Assign @p key to @p info, updating DTT/DTTLB/PKRU/recency. */
+    void bindKey(ThreadId tid, DttInfo &info, ProtKey key);
+
+    /** Pick the LRU victim among current key holders. */
+    ProtKey victimKey() const;
+
+    /** Mark @p key most recently used. */
+    void touchKey(ProtKey key);
+
+    /** Install/update the DTTLB entry for @p info; returns cycles. */
+    Cycles cacheInDttlb(const DttInfo &info);
+
+    Perm permOf(const DttInfo &info, ThreadId tid) const;
+
+    std::unique_ptr<FillPolicy> fillPolicyStorage_;
+    VaRadixTree<DttInfo> dtt_;
+    /** Owning index of all DTT payloads by domain. */
+    std::unordered_map<DomainId, std::shared_ptr<DttInfo>> domains_;
+    std::unique_ptr<Dttlb> dttlb_;
+    KeyAllocator keyAlloc_;
+    PkruFile pkrus_;
+    std::array<DomainId, kNumProtKeys> keyHolder_{};
+    /** LRU stamps for victim selection among key holders. */
+    std::array<std::uint64_t, kNumProtKeys> keyStamp_{};
+    std::uint64_t keyClock_ = 0;
+    ThreadId currentThread_ = 0;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_MPK_VIRT_HH

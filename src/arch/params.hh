@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cost and sizing parameters of every protection mechanism, mirroring
+ * the paper's Table II plus the libmpk cost-model constants
+ * documented in DESIGN.md §5/§6.
+ */
+
+#ifndef PMODV_ARCH_PARAMS_HH
+#define PMODV_ARCH_PARAMS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace pmodv::arch
+{
+
+/** Which protection scheme a pipeline models. */
+enum class SchemeKind
+{
+    NoProtection,  ///< Unprotected baseline.
+    Lowerbound,    ///< Ideal: only WRPKRU/SETPERM instruction cost.
+    Mpk,           ///< Stock Intel MPK (max 16 keys, no virtualization).
+    LibMpk,        ///< Software MPK virtualization (libmpk, ATC'19).
+    MpkVirt,       ///< Proposed HW MPK virtualization (DTT + DTTLB).
+    DomainVirt,    ///< Proposed HW domain virtualization (DRT/PT/PTLB).
+};
+
+/** Short lowercase name used in reports and CLIs. */
+const char *schemeName(SchemeKind kind);
+
+/** Parse a scheme name; fatal() on unknown names. */
+SchemeKind schemeFromName(const std::string &name);
+
+/** Tunable costs/sizes for all schemes (Table II defaults). */
+struct ProtParams
+{
+    // --- common / stock MPK ---
+    Cycles wrpkruCycles = 27;  ///< WRPKRU / SETPERM instruction cost.
+
+    // --- hardware MPK virtualization ---
+    unsigned dttlbEntries = 16;
+    Cycles dttlbHitCycles = 1;
+    Cycles dttlbEntryOpCycles = 1; ///< Add/remove/modify an entry.
+    Cycles dttWalkCycles = 30;     ///< DTTLB miss: walk the DTT.
+    Cycles freeKeyCheckCycles = 1;
+    Cycles pkruUpdateCycles = 1;
+    Cycles tlbInvalidationCycles = 286; ///< Ranged shootdown, per core.
+    unsigned numCores = 1; ///< Cores receiving each shootdown.
+
+    // --- hardware domain virtualization ---
+    unsigned ptlbEntries = 16;
+    Cycles ptlbAccessCycles = 1;  ///< Added to every domain access.
+    Cycles ptlbMissCycles = 30;   ///< Includes the PT lookup.
+    Cycles ptlbEntryOpCycles = 1;
+
+    // --- context switches ---
+    /** Per dirty entry written back to DTT/PT on a context switch. */
+    Cycles contextSwitchWritebackCycles = 1;
+
+    // --- libmpk software virtualization (DESIGN.md §6) ---
+    /** Trap into the kernel + syscall path per pkey_mprotect pair. */
+    Cycles libmpkSyscallCycles = 900;
+    /** Rewriting the pkey field of one PTE (per 4 KB page). */
+    Cycles libmpkPtePatchCycles = 1;
+    /** User-level bookkeeping on the libmpk fast path (hash lookup). */
+    Cycles libmpkFastPathCycles = 12;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_PARAMS_HH

@@ -1,0 +1,96 @@
+#include "arch/pkru.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+void
+Pkru::reset()
+{
+    // Key 0: AD=0, WD=0 (open). Keys 1..15: AD=1, WD=1 (inaccessible).
+    value_ = 0xfffffffcu;
+}
+
+Perm
+Pkru::permFor(ProtKey key) const
+{
+    panic_if(key >= kNumProtKeys, "PKRU key %u out of range", key);
+    const bool ad = value_ & (1u << (2 * key));
+    const bool wd = value_ & (1u << (2 * key + 1));
+    if (ad)
+        return Perm::None;
+    return wd ? Perm::Read : Perm::ReadWrite;
+}
+
+void
+Pkru::setPerm(ProtKey key, Perm perm)
+{
+    panic_if(key >= kNumProtKeys, "PKRU key %u out of range", key);
+    bool ad = false, wd = false;
+    switch (perm) {
+      case Perm::None:
+        ad = true;
+        wd = true;
+        break;
+      case Perm::Read:
+        wd = true;
+        break;
+      case Perm::Write:
+        // MPK cannot express write-without-read; grant RW, the
+        // strictest expressible superset containing W.
+        break;
+      case Perm::ReadWrite:
+        break;
+    }
+    const std::uint32_t mask = 0x3u << (2 * key);
+    std::uint32_t v = value_ & ~mask;
+    if (ad)
+        v |= 1u << (2 * key);
+    if (wd)
+        v |= 1u << (2 * key + 1);
+    value_ = v;
+}
+
+ProtKey
+KeyAllocator::alloc()
+{
+    for (ProtKey k = 1; k < kNumProtKeys; ++k) {
+        const std::uint16_t bit = 1u << k;
+        if (!(taken_ & bit)) {
+            taken_ |= bit;
+            return k;
+        }
+    }
+    return kInvalidKey;
+}
+
+bool
+KeyAllocator::free(ProtKey key)
+{
+    if (key == 0 || key >= kNumProtKeys)
+        return false;
+    const std::uint16_t bit = 1u << key;
+    if (!(taken_ & bit))
+        return false;
+    taken_ &= ~bit;
+    return true;
+}
+
+bool
+KeyAllocator::isAllocated(ProtKey key) const
+{
+    if (key == 0 || key >= kNumProtKeys)
+        return false;
+    return taken_ & (1u << key);
+}
+
+unsigned
+KeyAllocator::allocatedCount() const
+{
+    return static_cast<unsigned>(std::popcount(taken_));
+}
+
+} // namespace pmodv::arch

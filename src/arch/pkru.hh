@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The MPK register-level substrate: per-thread PKRU register state
+ * (2 bits per protection key: access-disable and write-disable, as in
+ * the Intel SDM) and the kernel-side protection-key allocator.
+ */
+
+#ifndef PMODV_ARCH_PKRU_HH
+#define PMODV_ARCH_PKRU_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace pmodv::arch
+{
+
+/**
+ * One thread's PKRU register. Bit 2k is AD (access disable) and bit
+ * 2k+1 is WD (write disable) for key k, exactly the architectural
+ * layout, so raw() round-trips with WRPKRU/RDPKRU semantics.
+ */
+class Pkru
+{
+  public:
+    /** Reset state: key 0 fully open, all other keys inaccessible. */
+    Pkru() { reset(); }
+
+    /** Restore the reset state. */
+    void reset();
+
+    /** Read the architectural 32-bit register value (RDPKRU). */
+    std::uint32_t raw() const { return value_; }
+
+    /** Write the architectural 32-bit register value (WRPKRU). */
+    void setRaw(std::uint32_t v) { value_ = v; }
+
+    /** Permission the register grants for @p key. */
+    Perm permFor(ProtKey key) const;
+
+    /** Set the permission bits of one key (pkey_set). */
+    void setPerm(ProtKey key, Perm perm);
+
+    bool operator==(const Pkru &) const = default;
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+/**
+ * Kernel protection-key allocator (pkey_alloc / pkey_free). Key 0 is
+ * reserved as the default/domainless key and never handed out.
+ */
+class KeyAllocator
+{
+  public:
+    KeyAllocator() = default;
+
+    /**
+     * Allocate an unused key; returns kInvalidKey when all 15
+     * allocatable keys are taken (the ENOSPC case the paper
+     * highlights).
+     */
+    ProtKey alloc();
+
+    /** Free a previously allocated key; false if it was not taken. */
+    bool free(ProtKey key);
+
+    /** True when @p key is currently allocated. */
+    bool isAllocated(ProtKey key) const;
+
+    /** Number of keys currently allocated (excluding key 0). */
+    unsigned allocatedCount() const;
+
+    /** Number of keys still available. */
+    unsigned freeCount() const
+    {
+        return (kNumProtKeys - 1) - allocatedCount();
+    }
+
+  private:
+    /** Bitmap over keys 1..15; bit set = allocated. */
+    std::uint16_t taken_ = 0;
+};
+
+/**
+ * Per-thread PKRU file: the OS view that saves/restores PKRU across
+ * context switches. Lazily creates a reset-state register per thread.
+ */
+class PkruFile
+{
+  public:
+    Pkru &forThread(ThreadId tid) { return regs_[tid]; }
+
+    const Pkru &
+    forThread(ThreadId tid) const
+    {
+        static const Pkru reset_state;
+        auto it = regs_.find(tid);
+        return it == regs_.end() ? reset_state : it->second;
+    }
+
+  private:
+    mutable std::unordered_map<ThreadId, Pkru> regs_;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_PKRU_HH

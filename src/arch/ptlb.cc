@@ -1,0 +1,102 @@
+#include "arch/ptlb.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+Ptlb::Ptlb(stats::Group *parent, unsigned entries)
+    : stats::Group(parent, "ptlb"),
+      hits(this, "hits", "domain lookups that matched"),
+      misses(this, "misses", "domain lookups that missed"),
+      evictions(this, "evictions", "slots evicted by capacity"),
+      slots_(entries), plru_(entries)
+{
+    fatal_if(entries == 0, "PTLB needs at least one entry");
+}
+
+PtlbEntry *
+Ptlb::lookup(DomainId domain)
+{
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].used && slots_[i].domain == domain) {
+            ++hits;
+            plru_.touch(i);
+            return &slots_[i];
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+const PtlbEntry *
+Ptlb::probe(DomainId domain) const
+{
+    for (const auto &slot : slots_) {
+        if (slot.used && slot.domain == domain)
+            return &slot;
+    }
+    return nullptr;
+}
+
+PtlbEntry &
+Ptlb::insert(const PtlbEntry &entry, PtlbEntry &evicted,
+             bool &had_eviction)
+{
+    had_eviction = false;
+    unsigned slot = static_cast<unsigned>(slots_.size());
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].used && slots_[i].domain == entry.domain) {
+            slot = i;
+            break;
+        }
+        if (slot == slots_.size() && !slots_[i].used)
+            slot = i;
+    }
+    if (slot == slots_.size()) {
+        slot = plru_.victim();
+        evicted = slots_[slot];
+        had_eviction = true;
+        ++evictions;
+    }
+    slots_[slot] = entry;
+    slots_[slot].used = true;
+    plru_.touch(slot);
+    return slots_[slot];
+}
+
+bool
+Ptlb::invalidate(DomainId domain)
+{
+    for (auto &slot : slots_) {
+        if (slot.used && slot.domain == domain) {
+            slot = PtlbEntry{};
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Ptlb::flushAll(std::vector<PtlbEntry> &dirty_out)
+{
+    for (auto &slot : slots_) {
+        if (slot.used && slot.dirty)
+            dirty_out.push_back(slot);
+        slot = PtlbEntry{};
+    }
+    plru_.reset();
+}
+
+unsigned
+Ptlb::usedCount() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots_) {
+        if (slot.used)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Permission Table Lookaside Buffer (PTLB) of the hardware
+ * domain-virtualization design: a small (16-entry) buffer caching the
+ * current thread's domain permissions out of the OS-managed
+ * Permission Table. Entries are {10-bit domain tag, 2-bit permission,
+ * dirty bit}; dirty entries are written back on eviction and on
+ * context switches.
+ */
+
+#ifndef PMODV_ARCH_PTLB_HH
+#define PMODV_ARCH_PTLB_HH
+
+#include <vector>
+
+#include "common/plru.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace pmodv::arch
+{
+
+/** One PTLB entry. */
+struct PtlbEntry
+{
+    bool used = false;
+    DomainId domain = kNullDomain;
+    Perm perm = Perm::None;
+    bool dirty = false;
+};
+
+/** The PTLB (fully associative, tree-PLRU replacement). */
+class Ptlb : public stats::Group
+{
+  public:
+    Ptlb(stats::Group *parent, unsigned entries);
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /** Lookup by domain; touches replacement state and stats. */
+    PtlbEntry *lookup(DomainId domain);
+
+    /** Probe without side effects. */
+    const PtlbEntry *probe(DomainId domain) const;
+
+    /**
+     * Install an entry (evicting pseudo-LRU when full). An evicted
+     * occupied slot is copied to @p evicted with @p had_eviction set.
+     */
+    PtlbEntry &insert(const PtlbEntry &entry, PtlbEntry &evicted,
+                      bool &had_eviction);
+
+    /** Drop the entry of @p domain (detach); false when absent. */
+    bool invalidate(DomainId domain);
+
+    /** Flush all entries, appending dirty ones to @p dirty_out. */
+    void flushAll(std::vector<PtlbEntry> &dirty_out);
+
+    unsigned usedCount() const;
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar evictions;
+
+  private:
+    std::vector<PtlbEntry> slots_;
+    TreePlru plru_;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_PTLB_HH

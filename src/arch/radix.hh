@@ -1,0 +1,254 @@
+/**
+ * @file
+ * A page-table-shaped radix tree over virtual addresses, used for
+ * both OS-managed structures the paper introduces:
+ *
+ *  - the Domain Translation Table (DTT) of the MPK-virtualization
+ *    design (payload: current key + per-thread permissions), and
+ *  - the Domain Range Table (DRT) of the domain-virtualization design
+ *    (payload: none, only the domain id).
+ *
+ * The tree has four levels matching x86-64 paging (PML4/PDPT/PD/PT:
+ * 512 GB / 1 GB / 2 MB / 4 KB slots). A slot is either empty, a
+ * *directory entry* (next-level bit = 1) pointing to a child node, or
+ * a *PMO root entry* (next-level bit = 0) holding the domain id and a
+ * shared payload. A PMO whose VA reservation spans several aligned
+ * slots installs one root entry per slot, all sharing one payload.
+ */
+
+#ifndef PMODV_ARCH_RADIX_HH
+#define PMODV_ARCH_RADIX_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pmodv::arch
+{
+
+/** Number of slots per radix node (9 VA bits). */
+inline constexpr unsigned kRadixFanout = 512;
+
+/** Number of levels (PML4 -> PT). */
+inline constexpr unsigned kRadixLevels = 4;
+
+/** log2 of the byte span of one slot at each level (0 = PML4). */
+constexpr unsigned
+radixSlotShift(unsigned level)
+{
+    // level 0: 39 (512 GB), 1: 30 (1 GB), 2: 21 (2 MB), 3: 12 (4 KB).
+    return 39 - 9 * level;
+}
+
+/** Slot index of @p va at @p level. */
+constexpr unsigned
+radixSlotIndex(Addr va, unsigned level)
+{
+    return static_cast<unsigned>((va >> radixSlotShift(level)) & 0x1ff);
+}
+
+/**
+ * The VA-indexed radix tree. @tparam Payload per-domain data stored
+ * in PMO root entries (may be empty for the DRT).
+ */
+template <typename Payload>
+class VaRadixTree
+{
+  public:
+    /** Result of walking the tree for a VA. */
+    struct WalkResult
+    {
+        bool found = false;
+        DomainId domain = kNullDomain;
+        Payload *payload = nullptr;
+        /** Levels visited, including the one holding the root entry. */
+        unsigned depth = 0;
+    };
+
+    VaRadixTree() : root_(std::make_unique<Node>()) {}
+
+    /**
+     * Install root entries covering [base, base+size) for @p domain.
+     * The range must be 4 KB aligned; it is greedily decomposed into
+     * the largest aligned slots. All entries share @p payload.
+     */
+    void
+    insert(Addr base, Addr size, DomainId domain,
+           std::shared_ptr<Payload> payload)
+    {
+        panic_if(domain == kNullDomain,
+                 "cannot insert the NULL domain into a radix tree");
+        panic_if(!isAligned(base, 4096) || !isAligned(size, 4096),
+                 "radix insert range must be 4KB aligned");
+        panic_if(size == 0, "radix insert of empty range");
+        Addr va = base;
+        const Addr end = base + size;
+        while (va < end) {
+            unsigned level = kRadixLevels - 1;
+            // Use the largest slot that is aligned and fits.
+            for (unsigned l = 1; l < kRadixLevels; ++l) {
+                const Addr span = Addr{1} << radixSlotShift(l);
+                if (isAligned(va, span) && va + span <= end) {
+                    level = l;
+                    break;
+                }
+            }
+            installRoot(va, level, domain, payload);
+            va += Addr{1} << radixSlotShift(level);
+        }
+    }
+
+    /** Walk the tree for @p va (the hardware walker's algorithm). */
+    WalkResult
+    walk(Addr va) const
+    {
+        WalkResult res;
+        const Node *node = root_.get();
+        for (unsigned level = 0; level < kRadixLevels; ++level) {
+            ++res.depth;
+            const Slot &slot = node->slots[radixSlotIndex(va, level)];
+            if (!slot.valid)
+                return res;
+            if (!slot.nextLevel) {
+                res.found = true;
+                res.domain = slot.domain;
+                res.payload = slot.payload.get();
+                return res;
+            }
+            node = slot.child.get();
+        }
+        return res;
+    }
+
+    /**
+     * Remove every root entry of @p domain; returns the number of
+     * entries removed. Empty directory nodes are pruned.
+     */
+    unsigned
+    remove(DomainId domain)
+    {
+        return removeRec(*root_, domain);
+    }
+
+    /** Number of allocated nodes (for the memory-usage model). */
+    std::uint64_t
+    nodeCount() const
+    {
+        return countRec(*root_);
+    }
+
+    /** Total root entries currently installed. */
+    std::uint64_t
+    rootEntryCount() const
+    {
+        return rootsRec(*root_);
+    }
+
+  private:
+    struct Node;
+
+    struct Slot
+    {
+        bool valid = false;
+        bool nextLevel = false; ///< 1 = directory, 0 = PMO root entry.
+        DomainId domain = kNullDomain;
+        std::shared_ptr<Payload> payload;
+        std::unique_ptr<Node> child;
+    };
+
+    struct Node
+    {
+        std::array<Slot, kRadixFanout> slots;
+    };
+
+    void
+    installRoot(Addr va, unsigned level, DomainId domain,
+                std::shared_ptr<Payload> payload)
+    {
+        Node *node = root_.get();
+        for (unsigned l = 0; l < level; ++l) {
+            Slot &slot = node->slots[radixSlotIndex(va, l)];
+            if (!slot.valid) {
+                slot.valid = true;
+                slot.nextLevel = true;
+                slot.child = std::make_unique<Node>();
+            }
+            panic_if(!slot.nextLevel,
+                     "radix insert collides with an existing root entry");
+            node = slot.child.get();
+        }
+        Slot &slot = node->slots[radixSlotIndex(va, level)];
+        panic_if(slot.valid, "radix insert over an occupied slot");
+        slot.valid = true;
+        slot.nextLevel = false;
+        slot.domain = domain;
+        slot.payload = std::move(payload);
+    }
+
+    unsigned
+    removeRec(Node &node, DomainId domain)
+    {
+        unsigned removed = 0;
+        for (Slot &slot : node.slots) {
+            if (!slot.valid)
+                continue;
+            if (!slot.nextLevel) {
+                if (slot.domain == domain) {
+                    slot = Slot{};
+                    ++removed;
+                }
+            } else {
+                removed += removeRec(*slot.child, domain);
+                if (isEmpty(*slot.child))
+                    slot = Slot{};
+            }
+        }
+        return removed;
+    }
+
+    static bool
+    isEmpty(const Node &node)
+    {
+        for (const Slot &slot : node.slots) {
+            if (slot.valid)
+                return false;
+        }
+        return true;
+    }
+
+    std::uint64_t
+    countRec(const Node &node) const
+    {
+        std::uint64_t n = 1;
+        for (const Slot &slot : node.slots) {
+            if (slot.valid && slot.nextLevel)
+                n += countRec(*slot.child);
+        }
+        return n;
+    }
+
+    std::uint64_t
+    rootsRec(const Node &node) const
+    {
+        std::uint64_t n = 0;
+        for (const Slot &slot : node.slots) {
+            if (!slot.valid)
+                continue;
+            if (slot.nextLevel)
+                n += rootsRec(*slot.child);
+            else
+                ++n;
+        }
+        return n;
+    }
+
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_RADIX_HH

@@ -1,0 +1,96 @@
+#include "arch/scheme.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::arch
+{
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::NoProtection:
+        return "none";
+      case SchemeKind::Lowerbound:
+        return "lowerbound";
+      case SchemeKind::Mpk:
+        return "mpk";
+      case SchemeKind::LibMpk:
+        return "libmpk";
+      case SchemeKind::MpkVirt:
+        return "mpk_virt";
+      case SchemeKind::DomainVirt:
+        return "domain_virt";
+    }
+    return "unknown";
+}
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    if (name == "none")
+        return SchemeKind::NoProtection;
+    if (name == "lowerbound")
+        return SchemeKind::Lowerbound;
+    if (name == "mpk")
+        return SchemeKind::Mpk;
+    if (name == "libmpk")
+        return SchemeKind::LibMpk;
+    if (name == "mpk_virt")
+        return SchemeKind::MpkVirt;
+    if (name == "domain_virt")
+        return SchemeKind::DomainVirt;
+    fatal("unknown protection scheme '%s'", name.c_str());
+}
+
+ProtectionScheme::ProtectionScheme(stats::Group *parent, std::string name,
+                                   const ProtParams &params,
+                                   const tlb::AddressSpace &space)
+    : stats::Group(parent, name),
+      cycPermissionChange(this, "cyc_permission_change",
+                          "cycles in SETPERM/WRPKRU instructions"),
+      cycEntryChange(this, "cyc_entry_change",
+                     "cycles adding/removing/modifying buffer entries"),
+      cycTableMiss(this, "cyc_table_miss",
+                   "cycles in DTT walks / PT lookups"),
+      cycTlbInvalidation(this, "cyc_tlb_invalidation",
+                         "direct cycles in TLB shootdowns"),
+      cycAccessLatency(this, "cyc_access_latency",
+                       "per-access lookup cycles (PTLB)"),
+      cycSoftware(this, "cyc_software",
+                  "software path cycles (syscalls, PTE rewrites)"),
+      permChanges(this, "perm_changes", "SETPERM/WRPKRU executed"),
+      keyRemaps(this, "key_remaps", "domain-to-key (re)assignments"),
+      shootdowns(this, "shootdowns", "ranged TLB invalidations issued"),
+      protectionFaults(this, "protection_faults", "accesses denied"),
+      params_(params), space_(space), label_(std::move(name))
+{
+}
+
+Cycles
+ProtectionScheme::wrpkruRaw(ThreadId, ProtKey, Perm)
+{
+    ++permChanges;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    return params_.wrpkruCycles;
+}
+
+CheckResult
+ProtectionScheme::judge(const AccessContext &ctx, Perm domain_perm,
+                        Cycles extra) const
+{
+    CheckResult res;
+    res.extraCycles = extra;
+    const Perm need = permForAccess(ctx.type);
+    const Perm page = ctx.entry ? ctx.entry->pagePerm : Perm::ReadWrite;
+    // The strictest of page and domain permission governs.
+    const Perm effective = permIntersect(page, domain_perm);
+    if (!permAllows(effective, need)) {
+        res.allowed = false;
+        res.fault = permAllows(page, need) ? FaultKind::DomainPermission
+                                           : FaultKind::PagePermission;
+    }
+    return res;
+}
+
+} // namespace pmodv::arch

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The ProtectionScheme interface: the contract every evaluated
+ * mechanism (no-protection, lowerbound, stock MPK, libmpk, HW MPK
+ * virtualization, HW domain virtualization) implements.
+ *
+ * A scheme is both *functional* (it decides whether each access is
+ * legal, maintaining real PKRU/DTT/DTTLB/PT/PTLB state) and *timing*
+ * (it reports the extra cycles its structures consumed, bucketed into
+ * the overhead categories of the paper's Table VII).
+ */
+
+#ifndef PMODV_ARCH_SCHEME_HH
+#define PMODV_ARCH_SCHEME_HH
+
+#include <string>
+
+#include "arch/params.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+#include "tlb/hierarchy.hh"
+
+namespace pmodv::arch
+{
+
+/** Why an access was denied. */
+enum class FaultKind : std::uint8_t
+{
+    None = 0,
+    PagePermission,   ///< Page-level permission insufficient.
+    DomainPermission, ///< Thread lacks domain permission.
+    NotAttached,      ///< VA belongs to no attached PMO mapping.
+};
+
+/** Outcome of a per-access protection check. */
+struct CheckResult
+{
+    bool allowed = true;
+    Cycles extraCycles = 0;
+    FaultKind fault = FaultKind::None;
+};
+
+/** The context of one memory access being checked. */
+struct AccessContext
+{
+    ThreadId tid = 0;
+    Addr va = 0;
+    AccessType type = AccessType::Read;
+    /** The translation the access resolved to (never null). */
+    const tlb::TlbEntry *entry = nullptr;
+};
+
+/**
+ * Base class of all protection schemes.
+ *
+ * Lifecycle: the System constructs the scheme with the shared
+ * AddressSpace; then hands it the TLB hierarchy via setTlb() (needed
+ * for shootdowns and for installing the scheme's fill policy).
+ */
+class ProtectionScheme : public stats::Group
+{
+  public:
+    ProtectionScheme(stats::Group *parent, std::string name,
+                     const ProtParams &params,
+                     const tlb::AddressSpace &space);
+    ~ProtectionScheme() override = default;
+
+    /** Scheme display name. */
+    const std::string &schemeLabel() const { return label_; }
+
+    const ProtParams &params() const { return params_; }
+
+    /**
+     * Connect the data TLB (not owned). The default implementation
+     * installs no fill policy; schemes that stamp keys/domains into
+     * TLB entries override and call tlb->setFillPolicy().
+     */
+    virtual void setTlb(tlb::TlbHierarchy *tlb) { tlb_ = tlb; }
+
+    /**
+     * Check one memory access against the domain permissions. Page
+     * permission is checked here too (strictest-of-both rule).
+     */
+    virtual CheckResult checkAccess(const AccessContext &ctx) = 0;
+
+    /**
+     * Execute SETPERM (or the scheme's equivalent): set thread
+     * @p tid's permission for @p domain. Returns the cycles consumed.
+     */
+    virtual Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) = 0;
+
+    /**
+     * Execute a raw WRPKRU (legacy MPK PKRU programming). Key-based
+     * schemes override to actually update PKRU state; the default
+     * charges the instruction cost only.
+     */
+    virtual Cycles wrpkruRaw(ThreadId tid, ProtKey key, Perm perm);
+
+    /**
+     * Attach notification: domain @p domain was mapped at
+     * [base, base+size) (already present in the AddressSpace).
+     * Returns cycles charged to the attach syscall path.
+     */
+    virtual Cycles attach(ThreadId tid, DomainId domain, Addr base,
+                          Addr size, Perm max_perm) = 0;
+
+    /** Detach notification. */
+    virtual Cycles detach(ThreadId tid, DomainId domain) = 0;
+
+    /** The core context-switched from @p from to @p to. */
+    virtual Cycles contextSwitch(ThreadId from, ThreadId to) = 0;
+
+    /**
+     * Query the *effective* permission thread @p tid currently holds
+     * for @p domain (functional oracle used by tests and the PMO
+     * runtime).
+     */
+    virtual Perm effectivePerm(ThreadId tid, DomainId domain) const = 0;
+
+    // ---- Table VII overhead buckets (cycles) ----
+    stats::Scalar cycPermissionChange; ///< SETPERM/WRPKRU instructions.
+    stats::Scalar cycEntryChange;      ///< DTTLB/PTLB entry operations.
+    stats::Scalar cycTableMiss;        ///< DTT walks / PT lookups.
+    stats::Scalar cycTlbInvalidation;  ///< Shootdown costs (direct).
+    stats::Scalar cycAccessLatency;    ///< Per-access adders (PTLB).
+    stats::Scalar cycSoftware;         ///< Syscall/PTE-rewrite (libmpk).
+
+    // ---- event counters ----
+    stats::Scalar permChanges;     ///< SETPERM/WRPKRU executed.
+    stats::Scalar keyRemaps;       ///< Domain->key (re)assignments.
+    stats::Scalar shootdowns;      ///< Ranged TLB invalidations issued.
+    stats::Scalar protectionFaults; ///< Accesses denied.
+
+  protected:
+    /** Helper: combine page and domain permission, build the result. */
+    CheckResult judge(const AccessContext &ctx, Perm domain_perm,
+                      Cycles extra) const;
+
+    ProtParams params_;
+    const tlb::AddressSpace &space_;
+    tlb::TlbHierarchy *tlb_ = nullptr;
+
+  private:
+    std::string label_;
+};
+
+/** The unprotected baseline: every access allowed, zero cost. */
+class NoProtectionScheme : public ProtectionScheme
+{
+  public:
+    NoProtectionScheme(stats::Group *parent, const ProtParams &params,
+                       const tlb::AddressSpace &space)
+        : ProtectionScheme(parent, "none", params, space)
+    {
+    }
+
+    CheckResult
+    checkAccess(const AccessContext &) override
+    {
+        return {};
+    }
+
+    Cycles setPerm(ThreadId, DomainId, Perm) override { return 0; }
+    Cycles attach(ThreadId, DomainId, Addr, Addr, Perm) override
+    {
+        return 0;
+    }
+    Cycles detach(ThreadId, DomainId) override { return 0; }
+    Cycles contextSwitch(ThreadId, ThreadId) override { return 0; }
+
+    Perm
+    effectivePerm(ThreadId, DomainId) const override
+    {
+        return Perm::ReadWrite;
+    }
+};
+
+/**
+ * The ideal lowerbound: permission-change instructions cost their
+ * WRPKRU latency but protection structures are free and every access
+ * is (correctly, by construction of the workloads) allowed.
+ */
+class LowerboundScheme : public ProtectionScheme
+{
+  public:
+    LowerboundScheme(stats::Group *parent, const ProtParams &params,
+                     const tlb::AddressSpace &space)
+        : ProtectionScheme(parent, "lowerbound", params, space)
+    {
+    }
+
+    CheckResult
+    checkAccess(const AccessContext &) override
+    {
+        return {};
+    }
+
+    Cycles
+    setPerm(ThreadId, DomainId, Perm) override
+    {
+        ++permChanges;
+        cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+        return params_.wrpkruCycles;
+    }
+
+    Cycles attach(ThreadId, DomainId, Addr, Addr, Perm) override
+    {
+        return 0;
+    }
+    Cycles detach(ThreadId, DomainId) override { return 0; }
+    Cycles contextSwitch(ThreadId, ThreadId) override { return 0; }
+
+    Perm
+    effectivePerm(ThreadId, DomainId) const override
+    {
+        return Perm::ReadWrite;
+    }
+};
+
+} // namespace pmodv::arch
+
+#endif // PMODV_ARCH_SCHEME_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small bit-manipulation and alignment helpers used across the
+ * simulator (address masking, power-of-two arithmetic).
+ */
+
+#ifndef PMODV_COMMON_BITUTIL_HH
+#define PMODV_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pmodv
+{
+
+/** True when @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True when @p v is a multiple of @p align (a power of two). */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    const std::uint64_t mask =
+        hi >= 63 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (hi + 1)) - 1);
+    return (v & mask) >> lo;
+}
+
+/** The page-aligned base of the 4KB page containing @p a. */
+constexpr Addr
+pageBase(Addr a, PageSize s = PageSize::Size4K)
+{
+    return alignDown(a, pageBytes(s));
+}
+
+/** The virtual page number of @p a for the given page size. */
+constexpr Addr
+pageNumber(Addr a, PageSize s = PageSize::Size4K)
+{
+    return a >> pageShift(s);
+}
+
+} // namespace pmodv
+
+#endif // PMODV_COMMON_BITUTIL_HH

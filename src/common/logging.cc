@@ -1,0 +1,102 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace pmodv
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+bool
+logQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+bool
+setLogQuiet(bool quiet)
+{
+    return quietFlag.exchange(quiet, std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+void
+logMessage(const char *tag, const char *file, int line,
+           const std::string &msg)
+{
+    if (file) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", tag, msg.c_str(), file,
+                     line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
+    std::fflush(stderr);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    logMessage("panic", file, line, msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    logMessage("fatal", file, line, msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const char *fmt, ...)
+{
+    if (logQuiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    logMessage("warn", file, line, msg);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (logQuiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    logMessage("info", nullptr, 0, msg);
+}
+
+} // namespace detail
+} // namespace pmodv

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * gem5-style logging and error-reporting helpers.
+ *
+ * panic()  — an internal invariant was violated (a pmodv bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config);
+ *            exits with an error code.
+ * warn()   — something is modelled approximately; execution continues.
+ * inform() — a status message with no negative connotation.
+ */
+
+#ifndef PMODV_COMMON_LOGGING_HH
+#define PMODV_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pmodv
+{
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Print a tagged message to stderr; used by all logging macros. */
+void logMessage(const char *tag, const char *file, int line,
+                const std::string &msg);
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *file, int line, const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+} // namespace detail
+
+/** True after setQuiet(true); suppresses warn()/inform() output. */
+bool logQuiet();
+
+/** Suppress (or re-enable) warn()/inform() output; returns old value. */
+bool setLogQuiet(bool quiet);
+
+} // namespace pmodv
+
+#define panic(...) \
+    ::pmodv::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define fatal(...) \
+    ::pmodv::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define warn(...) \
+    ::pmodv::detail::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define inform(...) \
+    ::pmodv::detail::informImpl(__VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            fatal(__VA_ARGS__);                                        \
+    } while (0)
+
+#endif // PMODV_COMMON_LOGGING_HH

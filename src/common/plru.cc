@@ -1,0 +1,97 @@
+#include "common/plru.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv
+{
+
+TreePlru::TreePlru(unsigned num_ways) : numWays_(num_ways)
+{
+    panic_if(num_ways == 0, "TreePlru needs at least one way");
+    treeWays_ = 1u << ceilLog2(num_ways);
+    bits_.assign(treeWays_ > 1 ? treeWays_ - 1 : 1, false);
+}
+
+void
+TreePlru::touch(unsigned way)
+{
+    panic_if(way >= numWays_, "TreePlru::touch way %u out of range", way);
+    if (treeWays_ == 1)
+        return;
+    // Walk from the root to the leaf, flipping each internal bit to
+    // point away from the touched way.
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned span = treeWays_;
+    while (span > 1) {
+        const unsigned half = span / 2;
+        const bool right = way >= lo + half;
+        // bit false => victim path goes left; point away from 'way'.
+        bits_[node] = !right;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo += half;
+        span = half;
+    }
+}
+
+unsigned
+TreePlru::victim() const
+{
+    if (treeWays_ == 1)
+        return 0;
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned span = treeWays_;
+    while (span > 1) {
+        const unsigned half = span / 2;
+        const bool right = bits_[node];
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo += half;
+        span = half;
+    }
+    // With non-power-of-two way counts the tree may land on a
+    // nonexistent way; fold it back into range.
+    return lo % numWays_;
+}
+
+void
+TreePlru::reset()
+{
+    bits_.assign(bits_.size(), false);
+}
+
+TrueLru::TrueLru(unsigned num_ways) : numWays_(num_ways)
+{
+    panic_if(num_ways == 0, "TrueLru needs at least one way");
+    stamps_.assign(num_ways, 0);
+}
+
+void
+TrueLru::touch(unsigned way)
+{
+    panic_if(way >= numWays_, "TrueLru::touch way %u out of range", way);
+    stamps_[way] = ++clock_;
+}
+
+unsigned
+TrueLru::victim() const
+{
+    unsigned best = 0;
+    for (unsigned w = 1; w < numWays_; ++w) {
+        if (stamps_[w] < stamps_[best])
+            best = w;
+    }
+    return best;
+}
+
+void
+TrueLru::reset()
+{
+    stamps_.assign(numWays_, 0);
+    clock_ = 0;
+}
+
+} // namespace pmodv

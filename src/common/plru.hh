@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tree pseudo-LRU replacement state, as used by the DTTLB and PTLB in
+ * the paper ("Pseudo LRU in our implementation") and by the cache and
+ * TLB models.
+ */
+
+#ifndef PMODV_COMMON_PLRU_HH
+#define PMODV_COMMON_PLRU_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pmodv
+{
+
+/**
+ * Tree-based pseudo-LRU over a fixed number of ways.
+ *
+ * Maintains ways-1 internal tree bits. touch() marks a way most
+ * recently used; victim() follows the tree bits to the approximate
+ * least-recently-used way. For non-power-of-two way counts the tree
+ * is built over the next power of two and out-of-range victims are
+ * redirected.
+ */
+class TreePlru
+{
+  public:
+    explicit TreePlru(unsigned num_ways);
+
+    /** Number of ways this tracker covers. */
+    unsigned numWays() const { return numWays_; }
+
+    /** Mark @p way as most-recently-used. */
+    void touch(unsigned way);
+
+    /** Return the pseudo-least-recently-used way. */
+    unsigned victim() const;
+
+    /** Reset all history (all ways equally old). */
+    void reset();
+
+  private:
+    unsigned numWays_;
+    unsigned treeWays_; ///< numWays_ rounded up to a power of two.
+    std::vector<bool> bits_;
+};
+
+/**
+ * True-LRU tracker over a fixed number of ways, used where exact
+ * recency matters (and as a test oracle for TreePlru's behaviour on
+ * adversarial patterns).
+ */
+class TrueLru
+{
+  public:
+    explicit TrueLru(unsigned num_ways);
+
+    unsigned numWays() const { return numWays_; }
+
+    /** Mark @p way as most-recently-used. */
+    void touch(unsigned way);
+
+    /** Return the exact least-recently-used way. */
+    unsigned victim() const;
+
+    /** Reset all history to initial order. */
+    void reset();
+
+  private:
+    unsigned numWays_;
+    /** stamps_[w] = logical time of last touch of way w. */
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace pmodv
+
+#endif // PMODV_COMMON_PLRU_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic random-number utilities. Every stochastic choice in
+ * workload generation flows through an explicitly seeded Rng so a
+ * given (workload, seed) pair always produces the identical trace.
+ */
+
+#ifndef PMODV_COMMON_RNG_HH
+#define PMODV_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace pmodv
+{
+
+/**
+ * A thin deterministic wrapper around std::mt19937_64 with the
+ * convenience draws workloads need.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    next(std::uint64_t bound)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(
+            0, bound - 1)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo,
+                                                            hi)(engine_);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t raw() { return engine_(); }
+
+    /**
+     * A Zipf-like skewed draw in [0, n): power-law inverse-CDF
+     * approximation used by the YCSB-style workloads. Larger theta
+     * (0..1) concentrates mass near rank 0; theta = 0 degenerates to
+     * uniform.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double theta)
+    {
+        if (theta <= 0.0)
+            return next(n);
+        const double u = real();
+        // u^(1/(1-theta)) maps uniform mass onto low ranks; at
+        // theta = 0.9 roughly 50% of draws land in the first 0.1%.
+        const double x =
+            static_cast<double>(n) * std::pow(u, 1.0 / (1.0 - theta));
+        auto idx = static_cast<std::uint64_t>(x);
+        return idx >= n ? n - 1 : idx;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace pmodv
+
+#endif // PMODV_COMMON_RNG_HH

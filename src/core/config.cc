@@ -1,0 +1,43 @@
+#include "core/config.hh"
+
+namespace pmodv::core
+{
+
+void
+printConfig(std::ostream &os, const SimConfig &c)
+{
+    os << "Processor              " << c.freqGhz << " GHz, "
+       << c.issueWidth
+       << "-way issue out-of-order abstraction (overlap factor "
+       << c.memOverlap << ")\n";
+    os << "Cache                  L1D " << c.memory.l1.sizeBytes / 1024
+       << "KB " << c.memory.l1.assoc << "-way, "
+       << c.memory.l1.hitLatency << " cycle; L2 "
+       << c.memory.l2.sizeBytes / 1024 << "KB " << c.memory.l2.assoc
+       << "-way, " << c.memory.l2.hitLatency << " cycles\n";
+    os << "Memory                 DRAM " << c.memory.memory.dramLatency
+       << " cycles; NVM " << c.memory.memory.nvmLatency << " cycles\n";
+    os << "TLB                    L1 " << c.tlb.l1.entries << "-entry "
+       << c.tlb.l1.assoc << "-way; L2 " << c.tlb.l2.entries << "-entry "
+       << c.tlb.l2.assoc << "-way (" << c.tlb.l2.accessLatency
+       << " cycles); walk " << c.tlb.walkLatency << " cycles\n";
+    os << "MPK                    WRPKRU/SETPERM " << c.prot.wrpkruCycles
+       << " cycles\n";
+    os << "MPK Virtualization     DTTLB " << c.prot.dttlbEntries
+       << " entries; DTTLB miss " << c.prot.dttWalkCycles
+       << " cycles; entry ops " << c.prot.dttlbEntryOpCycles
+       << " cycle; PKRU update " << c.prot.pkruUpdateCycles
+       << " cycle; TLB invalidation " << c.prot.tlbInvalidationCycles
+       << " cycles\n";
+    os << "Domain Virtualization  PTLB " << c.prot.ptlbEntries
+       << " entries; access " << c.prot.ptlbAccessCycles
+       << " cycle; miss " << c.prot.ptlbMissCycles
+       << " cycles; entry ops " << c.prot.ptlbEntryOpCycles
+       << " cycle\n";
+    os << "libmpk model           syscall " << c.prot.libmpkSyscallCycles
+       << " cycles; PTE patch " << c.prot.libmpkPtePatchCycles
+       << " cycles/page; fast path " << c.prot.libmpkFastPathCycles
+       << " cycles\n";
+}
+
+} // namespace pmodv::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The full simulation configuration — the paper's Table II in code.
+ * One SimConfig describes a complete replay pipeline (core, caches,
+ * TLBs, memory, protection scheme).
+ */
+
+#ifndef PMODV_CORE_CONFIG_HH
+#define PMODV_CORE_CONFIG_HH
+
+#include <ostream>
+#include <string>
+
+#include "arch/params.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/hierarchy.hh"
+
+namespace pmodv::core
+{
+
+/** Complete pipeline configuration. */
+struct SimConfig
+{
+    /** Core clock in GHz (Table II: 2.2 GHz). */
+    double freqGhz = 2.2;
+
+    /** Issue width of the out-of-order core abstraction (4-way). */
+    unsigned issueWidth = 4;
+
+    /**
+     * Fraction of above-L1 memory latency hidden by out-of-order
+     * overlap (128-entry ROB abstraction). Applied identically to
+     * every scheme, so relative overheads are insensitive to it.
+     */
+    double memOverlap = 0.75;
+
+    tlb::TlbHierarchyParams tlb{};
+    mem::HierarchyParams memory{};
+    arch::ProtParams prot{};
+
+    /** Cycles for @p seconds of wall-clock at the configured clock. */
+    double
+    cyclesPerSecond() const
+    {
+        return freqGhz * 1e9;
+    }
+
+    /** Seconds represented by @p cycles at the configured clock. */
+    double
+    secondsFor(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / cyclesPerSecond();
+    }
+};
+
+/** Print the configuration in the layout of the paper's Table II. */
+void printConfig(std::ostream &os, const SimConfig &config);
+
+} // namespace pmodv::core
+
+#endif // PMODV_CORE_CONFIG_HH

@@ -1,0 +1,68 @@
+#include "core/replay.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::core
+{
+
+MultiReplay::MultiReplay(const SimConfig &config,
+                         const std::vector<arch::SchemeKind> &schemes)
+{
+    fanout_.addSink(&counter_);
+    for (arch::SchemeKind kind : schemes) {
+        systems_.push_back(std::make_unique<System>(config, kind));
+        fanout_.addSink(systems_.back().get());
+    }
+}
+
+void
+MultiReplay::replay(const std::vector<trace::TraceRecord> &records)
+{
+    for (const auto &rec : records)
+        fanout_.put(rec);
+    fanout_.finish();
+}
+
+System &
+MultiReplay::system(arch::SchemeKind kind)
+{
+    for (auto &sys : systems_) {
+        if (sys->schemeKind() == kind)
+            return *sys;
+    }
+    panic("no system for scheme '%s' in this replay",
+          arch::schemeName(kind));
+}
+
+const System &
+MultiReplay::system(arch::SchemeKind kind) const
+{
+    for (const auto &sys : systems_) {
+        if (sys->schemeKind() == kind)
+            return *sys;
+    }
+    panic("no system for scheme '%s' in this replay",
+          arch::schemeName(kind));
+}
+
+std::vector<System *>
+MultiReplay::systems()
+{
+    std::vector<System *> out;
+    out.reserve(systems_.size());
+    for (auto &sys : systems_)
+        out.push_back(sys.get());
+    return out;
+}
+
+double
+MultiReplay::overheadOver(arch::SchemeKind kind,
+                          arch::SchemeKind baseline) const
+{
+    const double base =
+        static_cast<double>(system(baseline).totalCycles());
+    const double val = static_cast<double>(system(kind).totalCycles());
+    return base == 0 ? 0.0 : (val - base) / base;
+}
+
+} // namespace pmodv::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Multi-scheme replay: fan one trace out to several Systems (one per
+ * protection scheme) in a single pass, and compute the relative
+ * overheads the paper reports.
+ */
+
+#ifndef PMODV_CORE_REPLAY_HH
+#define PMODV_CORE_REPLAY_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace pmodv::core
+{
+
+/** Replays one trace under many schemes simultaneously. */
+class MultiReplay
+{
+  public:
+    MultiReplay(const SimConfig &config,
+                const std::vector<arch::SchemeKind> &schemes);
+
+    /** The sink to feed trace records into (fan-out to all systems). */
+    trace::TraceSink &sink() { return fanout_; }
+
+    /** Also counts records/switches while fanning out. */
+    const trace::CountingSink &counter() const { return counter_; }
+
+    /** Replay a buffered trace through every system. */
+    void replay(const std::vector<trace::TraceRecord> &records);
+
+    System &system(arch::SchemeKind kind);
+    const System &system(arch::SchemeKind kind) const;
+
+    std::vector<System *> systems();
+
+    /**
+     * Execution-time overhead of @p kind relative to @p baseline,
+     * as a fraction (0.04 = 4 % slower).
+     */
+    double overheadOver(arch::SchemeKind kind,
+                        arch::SchemeKind baseline) const;
+
+  private:
+    std::vector<std::unique_ptr<System>> systems_;
+    trace::CountingSink counter_;
+    trace::FanoutSink fanout_;
+};
+
+} // namespace pmodv::core
+
+#endif // PMODV_CORE_REPLAY_HH

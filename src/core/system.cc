@@ -1,0 +1,145 @@
+#include "core/system.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pmodv::core
+{
+
+System::System(const SimConfig &config, arch::SchemeKind scheme,
+               std::string name)
+    : stats::Group(nullptr,
+                   name.empty() ? std::string(arch::schemeName(scheme))
+                                : std::move(name)),
+      cycles(this, "cycles", "total simulated cycles"),
+      instructions(this, "instructions", "dynamic instructions replayed"),
+      memAccesses(this, "mem_accesses", "loads + stores replayed"),
+      pmoAccesses(this, "pmo_accesses", "loads + stores to PMO memory"),
+      operations(this, "operations", "workload operations completed"),
+      deniedAccesses(this, "denied_accesses",
+                     "accesses denied by protection"),
+      opCycles(this, "op_cycles", "cycles per workload operation"),
+      ipc(this, "ipc", "instructions per cycle",
+          [this]() {
+              return cycles.value() == 0
+                         ? 0.0
+                         : instructions.value() / cycles.value();
+          }),
+      config_(config), schemeKind_(scheme)
+{
+    tlb_ = std::make_unique<tlb::TlbHierarchy>(this, config_.tlb,
+                                               space_);
+    caches_ = std::make_unique<mem::CacheHierarchy>(this,
+                                                    config_.memory);
+    scheme_ = arch::makeScheme(scheme, this, config_.prot, space_);
+    scheme_->setTlb(tlb_.get());
+}
+
+System::~System() = default;
+
+void
+System::doAccess(const trace::TraceRecord &rec)
+{
+    const auto type = rec.type == trace::RecordType::Load
+                          ? AccessType::Read
+                          : AccessType::Write;
+    ++memAccesses;
+    instructions += 1;
+    if (rec.isPmoAccess())
+        ++pmoAccesses;
+
+    // 1. Translate (TLB hierarchy; protection fill runs inside).
+    auto xlate = tlb_->translate(rec.tid, rec.addr);
+
+    // 2. Domain permission check (parallel with the tag check on a
+    //    real machine; serialized costs surface via extraCycles).
+    arch::AccessContext ctx;
+    ctx.tid = rec.tid;
+    ctx.va = rec.addr;
+    ctx.type = type;
+    ctx.entry = xlate.entry;
+    auto check = scheme_->checkAccess(ctx);
+    if (!check.allowed)
+        ++deniedAccesses;
+
+    // 3. Data access. Denied accesses raise an exception instead of
+    //    touching the cache; workloads are well behaved, so model the
+    //    fault as a fixed pipeline-flush cost.
+    Cycles mem_latency = config_.memory.l1.hitLatency;
+    if (check.allowed) {
+        const MemClass cls = rec.isPmoAccess() ? MemClass::Nvm
+                                               : xlate.entry->memClass;
+        mem_latency = caches_->access(rec.addr, type, cls).latency;
+    }
+
+    // The OoO core hides part of the above-L1 latency; protection
+    // extras (walks, remaps, shootdowns, PTLB lookups) serialize.
+    const double visible =
+        1.0 + (1.0 - config_.memOverlap) *
+                  static_cast<double>(xlate.latency + mem_latency - 1);
+    addCycles(static_cast<Cycles>(std::llround(visible)) +
+              xlate.fillExtra + check.extraCycles);
+}
+
+void
+System::put(const trace::TraceRecord &rec)
+{
+    using trace::RecordType;
+    switch (rec.type) {
+      case RecordType::InstBlock: {
+        instructions += static_cast<double>(rec.aux);
+        const Cycles c = (rec.aux + config_.issueWidth - 1) /
+                         config_.issueWidth;
+        addCycles(c);
+        break;
+      }
+      case RecordType::Load:
+      case RecordType::Store:
+        doAccess(rec);
+        break;
+      case RecordType::SetPerm:
+        instructions += 1;
+        addCycles(scheme_->setPerm(rec.tid, rec.aux, rec.perm()));
+        break;
+      case RecordType::Wrpkru:
+        instructions += 1;
+        addCycles(scheme_->wrpkruRaw(
+            rec.tid, static_cast<ProtKey>(rec.aux), rec.perm()));
+        break;
+      case RecordType::Attach: {
+        tlb::Region region;
+        region.base = rec.addr;
+        region.size = rec.value;
+        region.domain = rec.aux;
+        region.pagePerm = rec.perm();
+        region.memClass = MemClass::Nvm;
+        region.pageSize = rec.pageSize();
+        space_.map(region);
+        addCycles(scheme_->attach(rec.tid, rec.aux, rec.addr, rec.value,
+                                  rec.perm()));
+        break;
+      }
+      case RecordType::Detach:
+        addCycles(scheme_->detach(rec.tid, rec.aux));
+        space_.unmapDomain(rec.aux);
+        break;
+      case RecordType::ThreadSwitch:
+        addCycles(scheme_->contextSwitch(currentThread_, rec.aux));
+        currentThread_ = rec.aux;
+        break;
+      case RecordType::OpBegin:
+        opStart_ = cycleCount_;
+        opInFlight_ = true;
+        break;
+      case RecordType::OpEnd:
+        ++operations;
+        if (opInFlight_) {
+            opCycles.sample(cycleCount_ - opStart_);
+            opInFlight_ = false;
+        }
+        break;
+    }
+}
+
+} // namespace pmodv::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The replay pipeline: one System owns a complete simulated machine
+ * (address space, TLBs, caches, memory, protection scheme) and
+ * consumes a trace, accumulating cycles. It is a TraceSink, so one
+ * captured trace can be fanned out to several Systems — one per
+ * scheme — in a single pass, the way the paper replays one Pin trace
+ * under every mechanism.
+ */
+
+#ifndef PMODV_CORE_SYSTEM_HH
+#define PMODV_CORE_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "arch/factory.hh"
+#include "core/config.hh"
+#include "mem/hierarchy.hh"
+#include "stats/stats.hh"
+#include "tlb/hierarchy.hh"
+#include "trace/sinks.hh"
+
+namespace pmodv::core
+{
+
+/** A full machine replaying a trace under one protection scheme. */
+class System : public stats::Group, public trace::TraceSink
+{
+  public:
+    /**
+     * Build a pipeline. @p name becomes the stats prefix; @p scheme
+     * selects the protection mechanism.
+     */
+    System(const SimConfig &config, arch::SchemeKind scheme,
+           std::string name = "");
+    ~System() override;
+
+    // -- TraceSink --
+    void put(const trace::TraceRecord &rec) override;
+    void finish() override {}
+
+    /** Total cycles accumulated so far. */
+    Cycles totalCycles() const { return cycleCount_; }
+
+    /** Simulated seconds at the configured clock. */
+    double seconds() const { return config_.secondsFor(cycleCount_); }
+
+    const SimConfig &config() const { return config_; }
+    arch::SchemeKind schemeKind() const { return schemeKind_; }
+    arch::ProtectionScheme &scheme() { return *scheme_; }
+    const arch::ProtectionScheme &scheme() const { return *scheme_; }
+    tlb::TlbHierarchy &tlbs() { return *tlb_; }
+    mem::CacheHierarchy &caches() { return *caches_; }
+    tlb::AddressSpace &addressSpace() { return space_; }
+
+    // Replay statistics.
+    stats::Scalar cycles;
+    stats::Scalar instructions;
+    stats::Scalar memAccesses;
+    stats::Scalar pmoAccesses;
+    stats::Scalar operations;
+    stats::Scalar deniedAccesses;
+    stats::Formula ipc;
+    /** Cycles per workload operation (OpBegin..OpEnd), log2 buckets. */
+    stats::Histogram opCycles;
+
+  private:
+    void doAccess(const trace::TraceRecord &rec);
+    void addCycles(Cycles c)
+    {
+        cycleCount_ += c;
+        cycles += static_cast<double>(c);
+    }
+
+    SimConfig config_;
+    arch::SchemeKind schemeKind_;
+    tlb::AddressSpace space_;
+    std::unique_ptr<tlb::TlbHierarchy> tlb_;
+    std::unique_ptr<mem::CacheHierarchy> caches_;
+    std::unique_ptr<arch::ProtectionScheme> scheme_;
+    Cycles cycleCount_ = 0;
+    ThreadId currentThread_ = 0;
+    /** Cycle count at the most recent OpBegin (op in flight if set). */
+    Cycles opStart_ = 0;
+    bool opInFlight_ = false;
+};
+
+} // namespace pmodv::core
+
+#endif // PMODV_CORE_SYSTEM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The area/memory overhead model behind the paper's Table VIII:
+ * hardware buffer sizes (DTTLB/PTLB), new registers, TLB entry
+ * extension, and per-process software table footprints (DTT, DRT,
+ * PT) for a given domain/thread scale.
+ */
+
+#ifndef PMODV_EXP_AREA_HH
+#define PMODV_EXP_AREA_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "arch/params.hh"
+
+namespace pmodv::exp
+{
+
+/** Inputs to the area model. */
+struct AreaInputs
+{
+    arch::ProtParams prot{};
+    unsigned numDomains = 1024;
+    unsigned numThreads = 1024;
+    unsigned tlbEntries = 64 + 1536;
+};
+
+/** Table VIII numbers for one design. */
+struct AreaSummary
+{
+    unsigned newRegistersPerCore = 0;
+    std::uint64_t bufferBits = 0;   ///< DTTLB / PTLB storage.
+    std::uint64_t tlbExtensionBits = 0; ///< Extra bits across the TLB.
+    std::uint64_t tableBytesPerProcess = 0; ///< DTT or DRT+PT memory.
+};
+
+/** Bits in one DTTLB entry (36b VA tag + 32b domain + key + flags). */
+std::uint64_t dttlbEntryBits();
+
+/** Bits in one PTLB entry (10b domain + 2b perm). */
+std::uint64_t ptlbEntryBits();
+
+/** Area summary of the hardware MPK-virtualization design. */
+AreaSummary mpkVirtArea(const AreaInputs &in);
+
+/** Area summary of the hardware domain-virtualization design. */
+AreaSummary domainVirtArea(const AreaInputs &in);
+
+/** Print both summaries in the layout of Table VIII. */
+void printAreaTable(std::ostream &os, const AreaInputs &in);
+
+} // namespace pmodv::exp
+
+#endif // PMODV_EXP_AREA_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment drivers behind the bench binaries: each function
+ * generates the relevant workload trace once and replays it under
+ * every scheme the experiment needs, returning the numbers the
+ * paper's tables/figures report.
+ */
+
+#ifndef PMODV_EXP_EXPERIMENTS_HH
+#define PMODV_EXP_EXPERIMENTS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/replay.hh"
+#include "workloads/micro/micro.hh"
+#include "workloads/whisper/whisper.hh"
+
+namespace pmodv::exp
+{
+
+/** One WHISPER benchmark's Table V row. */
+struct WhisperRow
+{
+    std::string benchmark;
+    double switchesPerSec = 0;
+    double overheadMpkPct = 0;
+    double overheadMpkVirtPct = 0;
+    double overheadDomainVirtPct = 0;
+};
+
+/** Run one WHISPER benchmark under {none, mpk, mpk_virt, domain_virt}. */
+WhisperRow runWhisper(const std::string &name,
+                      const workloads::WhisperParams &wparams,
+                      const core::SimConfig &config);
+
+/** Table VII-style overhead breakdown (percent over lowerbound). */
+struct Breakdown
+{
+    double permissionChangePct = 0;
+    double entryChangesPct = 0;
+    double tableMissPct = 0;     ///< DTT misses / PTLB misses row.
+    double tlbInvalidationPct = 0; ///< Incl. induced TLB misses (MPK virt).
+    double accessLatencyPct = 0; ///< Domain virt only.
+    double totalPct = 0;
+};
+
+/** One (benchmark, pmo-count) sweep point. */
+struct MicroPoint
+{
+    std::string benchmark;
+    unsigned numPmos = 0;
+    double switchesPerSec = 0;
+    double lowerboundOverheadPct = 0; ///< Over the unprotected baseline.
+    /** Overhead over lowerbound, percent, per scheme. */
+    std::map<arch::SchemeKind, double> overheadPct;
+    /** Breakdown per proposed scheme. */
+    std::map<arch::SchemeKind, Breakdown> breakdown;
+    /** Eviction/shootdown counts per scheme (diagnostics). */
+    std::map<arch::SchemeKind, double> keyRemaps;
+};
+
+/**
+ * Run one microbenchmark at one PMO count under the given schemes
+ * (the baseline and lowerbound pipelines are always added).
+ */
+MicroPoint runMicroPoint(const std::string &bench,
+                         const workloads::MicroParams &mparams,
+                         const core::SimConfig &config,
+                         const std::vector<arch::SchemeKind> &schemes);
+
+/** log2 of an overhead percentage, the paper's Figure 6 y-axis. */
+double log2Pct(double pct);
+
+} // namespace pmodv::exp
+
+#endif // PMODV_EXP_EXPERIMENTS_HH

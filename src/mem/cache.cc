@@ -1,0 +1,139 @@
+#include "mem/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv::mem
+{
+
+Cache::Cache(stats::Group *parent, const CacheParams &params)
+    : stats::Group(parent, params.name),
+      hits(this, "hits", "accesses that hit"),
+      misses(this, "misses", "accesses that missed"),
+      writebacks(this, "writebacks", "dirty lines evicted"),
+      invalidations(this, "invalidations", "lines invalidated"),
+      missRate(this, "miss_rate", "misses / accesses",
+               [this]() {
+                   const double total = hits.value() + misses.value();
+                   return total == 0 ? 0.0 : misses.value() / total;
+               }),
+      params_(params)
+{
+    fatal_if(!isPowerOfTwo(params_.lineBytes),
+             "cache '%s': line size must be a power of two",
+             params_.name.c_str());
+    fatal_if(params_.assoc == 0, "cache '%s': associativity must be > 0",
+             params_.name.c_str());
+    const std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    fatal_if(lines < params_.assoc || lines % params_.assoc != 0,
+             "cache '%s': size/assoc/line geometry is inconsistent",
+             params_.name.c_str());
+    numSets_ = static_cast<unsigned>(lines / params_.assoc);
+    fatal_if(!isPowerOfTwo(numSets_),
+             "cache '%s': set count must be a power of two",
+             params_.name.c_str());
+    lineShift_ = floorLog2(params_.lineBytes);
+
+    sets_.resize(numSets_);
+    for (auto &set : sets_) {
+        set.ways.resize(params_.assoc);
+        if (params_.repl == ReplPolicy::Lru)
+            set.lru = std::make_unique<TrueLru>(params_.assoc);
+        else
+            set.plru = std::make_unique<TreePlru>(params_.assoc);
+    }
+}
+
+unsigned
+Cache::victimWay(Set &set) const
+{
+    // Prefer an invalid way before consulting the replacement state.
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!set.ways[w].valid)
+            return w;
+    }
+    return set.lru ? set.lru->victim() : set.plru->victim();
+}
+
+void
+Cache::touchWay(Set &set, unsigned way)
+{
+    if (set.lru)
+        set.lru->touch(way);
+    else
+        set.plru->touch(way);
+}
+
+CacheResult
+Cache::access(Addr addr, AccessType type)
+{
+    Set &set = sets_[setIndex(addr)];
+    const Addr tag = lineTag(addr);
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = set.ways[w];
+        if (line.valid && line.tag == tag) {
+            ++hits;
+            if (type == AccessType::Write)
+                line.dirty = true;
+            touchWay(set, w);
+            return {true, false};
+        }
+    }
+
+    ++misses;
+    const unsigned victim = victimWay(set);
+    Line &line = set.ways[victim];
+    const bool wb = line.valid && line.dirty;
+    if (wb)
+        ++writebacks;
+    line.valid = true;
+    line.dirty = (type == AccessType::Write);
+    line.tag = tag;
+    touchWay(set, victim);
+    return {false, wb};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Set &set = sets_[setIndex(addr)];
+    const Addr tag = lineTag(addr);
+    for (const Line &line : set.ways) {
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets_) {
+        for (Line &line : set.ways) {
+            if (line.valid) {
+                line.valid = false;
+                line.dirty = false;
+                ++invalidations;
+            }
+        }
+    }
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Set &set = sets_[setIndex(addr)];
+    const Addr tag = lineTag(addr);
+    for (Line &line : set.ways) {
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+            ++invalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pmodv::mem

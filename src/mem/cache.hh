@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A set-associative cache tag model with LRU / tree-PLRU replacement,
+ * write-back write-allocate policy and full statistics. Only tags are
+ * tracked (no data): the timing core needs hit/miss outcomes and the
+ * paper's fixed per-level latencies.
+ */
+
+#ifndef PMODV_MEM_CACHE_HH
+#define PMODV_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/plru.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace pmodv::mem
+{
+
+/** Replacement policies the cache model supports. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,      ///< True least-recently-used.
+    TreePlru, ///< Tree pseudo-LRU.
+};
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+    Cycles hitLatency = 1;
+    ReplPolicy repl = ReplPolicy::Lru;
+};
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool writeback = false; ///< A dirty line was evicted by the fill.
+};
+
+/**
+ * One level of set-associative cache. Thread-safe only for
+ * single-threaded replay (each replay pipeline owns its own caches).
+ */
+class Cache : public stats::Group
+{
+  public:
+    Cache(stats::Group *parent, const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+
+    /**
+     * Access the line containing @p addr. Misses allocate; stores mark
+     * the line dirty.
+     */
+    CacheResult access(Addr addr, AccessType type);
+
+    /** True when the line containing @p addr is present. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate every line (counts into stats). */
+    void invalidateAll();
+
+    /** Invalidate the line containing @p addr if present. */
+    bool invalidate(Addr addr);
+
+    // Stats (public so formulas above can reference them).
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar writebacks;
+    stats::Scalar invalidations;
+    stats::Formula missRate;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+        std::unique_ptr<TrueLru> lru;
+        std::unique_ptr<TreePlru> plru;
+    };
+
+    Addr lineTag(Addr addr) const { return addr >> lineShift_; }
+    std::size_t setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & (numSets_ - 1);
+    }
+
+    unsigned victimWay(Set &set) const;
+    void touchWay(Set &set, unsigned way);
+
+    CacheParams params_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<Set> sets_;
+};
+
+} // namespace pmodv::mem
+
+#endif // PMODV_MEM_CACHE_HH

@@ -1,0 +1,89 @@
+#include "pmo/api.hh"
+
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+
+Pool *
+PmoApi::poolCreate(const std::string &name, std::size_t size,
+                   PoolMode mode)
+{
+    runtime_.ns().create(name, size, runtime_.uid(), mode);
+    const Attached &att = runtime_.attach(name, Perm::ReadWrite);
+    return att.pool;
+}
+
+Pool *
+PmoApi::poolOpen(const std::string &name, Perm mode,
+                 std::uint64_t attach_key)
+{
+    const Attached &att = runtime_.attach(name, mode, attach_key);
+    return att.pool;
+}
+
+void
+PmoApi::poolClose(Pool *pool)
+{
+    if (!pool)
+        throw PmoError("poolClose(nullptr)");
+    const Attached *att = runtime_.findPool(pool->id());
+    if (!att)
+        throw NamespaceError("poolClose of a pool that is not open");
+    runtime_.detach(att->domain);
+}
+
+Oid
+PmoApi::poolRoot(Pool *pool, std::size_t size)
+{
+    if (!pool)
+        throw PmoError("poolRoot(nullptr)");
+    return pool->root(size);
+}
+
+Oid
+PmoApi::pmalloc(Pool *pool, std::size_t size)
+{
+    if (!pool)
+        throw PmoError("pmalloc(nullptr)");
+    return pool->pmalloc(size);
+}
+
+void
+PmoApi::pfree(Oid oid)
+{
+    const Attached *att = runtime_.findPool(oid.pool);
+    if (!att)
+        throw NamespaceError("pfree on a pool that is not open");
+    att->pool->pfree(oid);
+}
+
+void *
+PmoApi::oidDirect(Oid oid)
+{
+    return runtime_.direct(oid);
+}
+
+void
+PmoApi::setPerm(ThreadId tid, Pool *pool, Perm perm)
+{
+    if (!pool)
+        throw PmoError("setPerm(nullptr)");
+    const Attached *att = runtime_.findPool(pool->id());
+    if (!att)
+        throw NamespaceError("setPerm on a pool that is not open");
+    runtime_.setPerm(tid, att->domain, perm);
+}
+
+DomainId
+PmoApi::domainOf(Pool *pool) const
+{
+    if (!pool)
+        throw PmoError("domainOf(nullptr)");
+    const Attached *att = runtime_.findPool(pool->id());
+    if (!att)
+        throw NamespaceError("domainOf on a pool that is not open");
+    return att->domain;
+}
+
+} // namespace pmodv::pmo

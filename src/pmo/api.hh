@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The pool API of the paper's Table I, as a thin veneer over
+ * Namespace + Runtime:
+ *
+ *   pool_create(name, size, mode) -> poolCreate()
+ *   pool_open(name, mode)         -> poolOpen()
+ *   pool_close(p)                 -> poolClose()
+ *   pool_root(p, size)            -> poolRoot()
+ *   pmalloc(p, size)              -> pmalloc()
+ *   pfree(oid)                    -> pfree()
+ *   oid_direct(oid)               -> oidDirect()
+ *
+ * plus the paper's SETPERM as setPerm(). One PmoApi instance stands
+ * for one process using PMOs.
+ */
+
+#ifndef PMODV_PMO_API_HH
+#define PMODV_PMO_API_HH
+
+#include "pmo/runtime.hh"
+#include "pmo/txn.hh"
+
+namespace pmodv::pmo
+{
+
+/** Process-level facade over the PMO stack. */
+class PmoApi
+{
+  public:
+    PmoApi(Namespace &ns, Uid uid, ProcId proc) : runtime_(ns, uid, proc)
+    {
+    }
+
+    /**
+     * Create a pool and attach it read/write. The running process is
+     * the owner (pool_create of Table I).
+     */
+    Pool *poolCreate(const std::string &name, std::size_t size,
+                     PoolMode mode = {});
+
+    /**
+     * Reopen an existing pool; permissions are checked (pool_open).
+     * @p mode is the requested page permission.
+     */
+    Pool *poolOpen(const std::string &name, Perm mode,
+                   std::uint64_t attach_key = 0);
+
+    /** Close (detach) a pool (pool_close). */
+    void poolClose(Pool *pool);
+
+    /** Return/allocate the root object (pool_root). */
+    Oid poolRoot(Pool *pool, std::size_t size);
+
+    /** Allocate persistent data in @p pool (pmalloc). */
+    Oid pmalloc(Pool *pool, std::size_t size);
+
+    /** Free persistent data (pfree). */
+    void pfree(Oid oid);
+
+    /** Translate an OID to a virtual address (oid_direct). */
+    void *oidDirect(Oid oid);
+
+    /** The paper's SETPERM for the calling thread. */
+    void setPerm(ThreadId tid, Pool *pool, Perm perm);
+
+    /** Begin a durable transaction on @p pool. */
+    Transaction transaction(Pool *pool) { return Transaction(*pool); }
+
+    /** The underlying runtime (tracing, checked accesses). */
+    Runtime &runtime() { return runtime_; }
+
+    /** The domain id of an open pool. */
+    DomainId domainOf(Pool *pool) const;
+
+  private:
+    Runtime runtime_;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_API_HH

@@ -1,0 +1,117 @@
+#include "pmo/arena.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+
+PersistentArena::PersistentArena(std::size_t size)
+    : volatile_(size, 0), persistent_(size, 0)
+{
+}
+
+void
+PersistentArena::checkRange(std::size_t off, std::size_t len) const
+{
+    if (off + len > volatile_.size() || off + len < off) {
+        throw PmoError("arena access out of range: off=" +
+                       std::to_string(off) + " len=" +
+                       std::to_string(len) + " size=" +
+                       std::to_string(volatile_.size()));
+    }
+}
+
+void
+PersistentArena::read(std::size_t off, void *out, std::size_t len) const
+{
+    checkRange(off, len);
+    std::memcpy(out, volatile_.data() + off, len);
+}
+
+void
+PersistentArena::write(std::size_t off, const void *in, std::size_t len)
+{
+    checkRange(off, len);
+    std::memcpy(volatile_.data() + off, in, len);
+}
+
+std::size_t
+PersistentArena::writeback(std::size_t off, std::size_t len)
+{
+    checkRange(off, len);
+    if (len == 0)
+        return 0;
+    const std::size_t first = off / kPersistLine;
+    const std::size_t last = (off + len - 1) / kPersistLine;
+    for (std::size_t line = first; line <= last; ++line) {
+        const std::size_t base = line * kPersistLine;
+        const std::size_t n =
+            std::min(kPersistLine, volatile_.size() - base);
+        std::memcpy(persistent_.data() + base, volatile_.data() + base,
+                    n);
+    }
+    const std::size_t lines = last - first + 1;
+    writebacks_ += lines;
+    return lines;
+}
+
+void
+PersistentArena::writebackAll()
+{
+    writeback(0, volatile_.size());
+}
+
+void
+PersistentArena::crash()
+{
+    volatile_ = persistent_;
+}
+
+void
+PersistentArena::saveTo(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw PmoError("cannot open '" + tmp + "' for writing");
+    const std::uint64_t size = persistent_.size();
+    bool ok = std::fwrite(&size, sizeof(size), 1, f) == 1;
+    ok = ok && (size == 0 ||
+                std::fwrite(persistent_.data(), 1, size, f) == size);
+    ok = ok && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw PmoError("short write saving arena to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw PmoError("cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+PersistentArena
+PersistentArena::loadFrom(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw PmoError("cannot open arena file '" + path + "'");
+    std::uint64_t size = 0;
+    if (std::fread(&size, sizeof(size), 1, f) != 1) {
+        std::fclose(f);
+        throw PmoError("short read of arena header in '" + path + "'");
+    }
+    PersistentArena arena(size);
+    if (size != 0 &&
+        std::fread(arena.persistent_.data(), 1, size, f) != size) {
+        std::fclose(f);
+        throw PmoError("short read of arena body in '" + path + "'");
+    }
+    std::fclose(f);
+    arena.volatile_ = arena.persistent_;
+    return arena;
+}
+
+} // namespace pmodv::pmo

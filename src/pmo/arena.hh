@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The persistent-memory media model backing every pool.
+ *
+ * A PersistentArena keeps two byte images:
+ *
+ *  - the *volatile* image — what loads and stores see (CPU caches +
+ *    memory-side buffers), and
+ *  - the *persistent* image — what survives a crash (the NVM media).
+ *
+ * writeback() models CLWB of a cache line: it copies the line from
+ * the volatile to the persistent image. crash() discards all
+ * un-written-back volatile state, exactly what a power loss does.
+ * The persistent image can be saved to / loaded from a file, which is
+ * how pools survive process lifetime (our stand-in for DAX-mapped
+ * Optane media).
+ */
+
+#ifndef PMODV_PMO_ARENA_HH
+#define PMODV_PMO_ARENA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmodv::pmo
+{
+
+/** Cache-line granularity of persistence operations. */
+inline constexpr std::size_t kPersistLine = 64;
+
+/** Two-image persistent memory arena. */
+class PersistentArena
+{
+  public:
+    /** Create an arena of @p size zeroed bytes. */
+    explicit PersistentArena(std::size_t size);
+
+    std::size_t size() const { return volatile_.size(); }
+
+    /** Volatile (load/store) view. */
+    std::uint8_t *data() { return volatile_.data(); }
+    const std::uint8_t *data() const { return volatile_.data(); }
+
+    /** The crash-durable view (tests and recovery inspect this). */
+    const std::uint8_t *persistentData() const
+    {
+        return persistent_.data();
+    }
+
+    /** Read @p len bytes at @p off from the volatile image. */
+    void read(std::size_t off, void *out, std::size_t len) const;
+
+    /** Write @p len bytes at @p off into the volatile image. */
+    void write(std::size_t off, const void *in, std::size_t len);
+
+    /**
+     * CLWB the lines covering [off, off+len): copy them to the
+     * persistent image. Returns the number of lines written back.
+     */
+    std::size_t writeback(std::size_t off, std::size_t len);
+
+    /** writeback() the entire arena. */
+    void writebackAll();
+
+    /**
+     * Simulate a power failure: the volatile image is replaced by the
+     * persistent image (all non-persisted stores are lost).
+     */
+    void crash();
+
+    /** True when the two images are byte-identical. */
+    bool isClean() const { return volatile_ == persistent_; }
+
+    /** Save the persistent image to @p path (atomic rename). */
+    void saveTo(const std::string &path) const;
+
+    /** Load both images from @p path; throws on I/O failure. */
+    static PersistentArena loadFrom(const std::string &path);
+
+    /** Lines written back so far (persistence-traffic statistic). */
+    std::uint64_t writebackCount() const { return writebacks_; }
+
+  private:
+    void checkRange(std::size_t off, std::size_t len) const;
+
+    std::vector<std::uint8_t> volatile_;
+    std::vector<std::uint8_t> persistent_;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_ARENA_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exception types thrown by the PMO library.
+ */
+
+#ifndef PMODV_PMO_ERRORS_HH
+#define PMODV_PMO_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace pmodv::pmo
+{
+
+/** Base class of all PMO library errors. */
+class PmoError : public std::runtime_error
+{
+  public:
+    explicit PmoError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** An access violated the domain/page protection policy. */
+class ProtectionFault : public PmoError
+{
+  public:
+    explicit ProtectionFault(const std::string &what) : PmoError(what) {}
+};
+
+/** Namespace-level failure (missing pool, permission, bad key). */
+class NamespaceError : public PmoError
+{
+  public:
+    explicit NamespaceError(const std::string &what) : PmoError(what) {}
+};
+
+/** Persistent heap exhaustion or invalid free. */
+class AllocError : public PmoError
+{
+  public:
+    explicit AllocError(const std::string &what) : PmoError(what) {}
+};
+
+/** Transaction misuse (nested begin, commit without begin, ...). */
+class TxnError : public PmoError
+{
+  public:
+    explicit TxnError(const std::string &what) : PmoError(what) {}
+};
+
+/** Pool media corruption (bad magic, bad geometry). */
+class CorruptPoolError : public PmoError
+{
+  public:
+    explicit CorruptPoolError(const std::string &what) : PmoError(what)
+    {
+    }
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_ERRORS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The persistent object identifier: a 64-bit value split into a
+ * 32-bit pool id and a 32-bit offset inside the pool (Figure 1 of the
+ * paper, following PMDK-style pool pointers). OIDs are position
+ * independent — they survive a pool being attached at a different
+ * virtual address in a later session (relocatability).
+ */
+
+#ifndef PMODV_PMO_OID_HH
+#define PMODV_PMO_OID_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace pmodv::pmo
+{
+
+/** Pool identifier (unique per namespace). */
+using PoolId = std::uint32_t;
+
+/** A position-independent pointer to persistent data. */
+struct Oid
+{
+    PoolId pool = 0;
+    std::uint32_t offset = 0;
+
+    /** Pack into the 64-bit on-media representation. */
+    constexpr std::uint64_t
+    raw() const
+    {
+        return (static_cast<std::uint64_t>(pool) << 32) | offset;
+    }
+
+    /** Unpack from the 64-bit on-media representation. */
+    static constexpr Oid
+    fromRaw(std::uint64_t v)
+    {
+        return Oid{static_cast<PoolId>(v >> 32),
+                   static_cast<std::uint32_t>(v)};
+    }
+
+    constexpr bool isNull() const { return pool == 0 && offset == 0; }
+
+    constexpr bool operator==(const Oid &) const = default;
+};
+
+/** The null OID. */
+inline constexpr Oid kNullOid{};
+
+} // namespace pmodv::pmo
+
+template <>
+struct std::hash<pmodv::pmo::Oid>
+{
+    std::size_t
+    operator()(const pmodv::pmo::Oid &oid) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(oid.raw());
+    }
+};
+
+#endif // PMODV_PMO_OID_HH

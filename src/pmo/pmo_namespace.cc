@@ -1,0 +1,293 @@
+#include "pmo/pmo_namespace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "pmo/errors.hh"
+
+namespace fs = std::filesystem;
+
+namespace pmodv::pmo
+{
+
+Namespace::Namespace(std::string dir) : dir_(std::move(dir))
+{
+    if (!dir_.empty()) {
+        fs::create_directories(dir_);
+        loadManifest();
+    }
+}
+
+Namespace::~Namespace()
+{
+    if (!dir_.empty()) {
+        try {
+            sync();
+        } catch (const std::exception &e) {
+            warn("namespace sync failed on shutdown: %s", e.what());
+        }
+    }
+}
+
+std::string
+Namespace::poolPath(const std::string &name) const
+{
+    return dir_ + "/" + name + ".pool";
+}
+
+std::string
+Namespace::manifestPath() const
+{
+    return dir_ + "/manifest";
+}
+
+void
+Namespace::saveManifest() const
+{
+    if (dir_.empty())
+        return;
+    std::ostringstream out;
+    out << "pmodv-manifest 1\n";
+    out << "next_id " << nextId_ << "\n";
+    for (const auto &[name, entry] : entries_) {
+        const PoolMeta &m = entry.meta;
+        out << "pool " << m.name << " " << m.id << " " << m.size << " "
+            << m.owner << " " << (m.mode.ownerRead ? 1 : 0)
+            << (m.mode.ownerWrite ? 1 : 0) << (m.mode.otherRead ? 1 : 0)
+            << (m.mode.otherWrite ? 1 : 0) << " " << m.attachKey << "\n";
+    }
+    std::ofstream f(manifestPath(), std::ios::trunc);
+    if (!f)
+        throw NamespaceError("cannot write manifest");
+    f << out.str();
+}
+
+void
+Namespace::loadManifest()
+{
+    std::ifstream f(manifestPath());
+    if (!f)
+        return; // Fresh namespace.
+    std::string tag;
+    int version = 0;
+    f >> tag >> version;
+    if (tag != "pmodv-manifest" || version != 1)
+        throw NamespaceError("bad manifest header");
+    std::string key;
+    while (f >> key) {
+        if (key == "next_id") {
+            f >> nextId_;
+        } else if (key == "pool") {
+            PoolMeta m;
+            std::string bits;
+            f >> m.name >> m.id >> m.size >> m.owner >> bits >>
+                m.attachKey;
+            if (bits.size() != 4)
+                throw NamespaceError("bad mode bits in manifest");
+            m.mode.ownerRead = bits[0] == '1';
+            m.mode.ownerWrite = bits[1] == '1';
+            m.mode.otherRead = bits[2] == '1';
+            m.mode.otherWrite = bits[3] == '1';
+            Entry entry;
+            entry.meta = m;
+            entries_.emplace(m.name, std::move(entry));
+        } else {
+            throw NamespaceError("unknown manifest record '" + key + "'");
+        }
+    }
+}
+
+Namespace::Entry &
+Namespace::lookup(const std::string &name)
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw NamespaceError("no such pool '" + name + "'");
+    return it->second;
+}
+
+const Namespace::Entry &
+Namespace::lookup(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw NamespaceError("no such pool '" + name + "'");
+    return it->second;
+}
+
+void
+Namespace::ensureLoaded(Entry &entry)
+{
+    if (entry.pool)
+        return;
+    if (dir_.empty())
+        throw NamespaceError("pool '" + entry.meta.name +
+                             "' has no media (in-memory namespace)");
+    entry.pool = Pool::loadFrom(poolPath(entry.meta.name));
+}
+
+Pool &
+Namespace::create(const std::string &name, std::size_t size, Uid owner,
+                  PoolMode mode, std::uint64_t attach_key)
+{
+    if (name.empty() || name.find('/') != std::string::npos)
+        throw NamespaceError("invalid pool name '" + name + "'");
+    if (entries_.count(name))
+        throw NamespaceError("pool '" + name + "' already exists");
+
+    Entry entry;
+    entry.meta.name = name;
+    entry.meta.id = nextId_++;
+    entry.meta.size = size;
+    entry.meta.owner = owner;
+    entry.meta.mode = mode;
+    entry.meta.attachKey = attach_key;
+    entry.pool = Pool::create(entry.meta.id, size);
+
+    auto [it, inserted] = entries_.emplace(name, std::move(entry));
+    panic_if(!inserted, "entry insert failed after existence check");
+    if (!dir_.empty()) {
+        it->second.pool->saveTo(poolPath(name));
+        saveManifest();
+    }
+    return *it->second.pool;
+}
+
+Pool &
+Namespace::attach(const std::string &name, Perm requested, Uid uid,
+                  ProcId proc, std::uint64_t attach_key)
+{
+    Entry &entry = lookup(name);
+    const PoolMeta &m = entry.meta;
+
+    const Perm granted = m.mode.permFor(uid, m.owner);
+    if (!permAllows(granted, requested)) {
+        throw NamespaceError("user " + std::to_string(uid) +
+                             " lacks permission on pool '" + name + "'");
+    }
+    if (m.attachKey != 0 && attach_key != m.attachKey)
+        throw NamespaceError("wrong attach key for pool '" + name + "'");
+
+    // Sharing policy: many readers, or a single writer.
+    const bool want_write = permCanWrite(requested);
+    for (const Attachment &a : entry.attachments) {
+        if (a.proc == proc) {
+            throw NamespaceError("process already attached to '" + name +
+                                 "'");
+        }
+        if (want_write || permCanWrite(a.perm)) {
+            throw NamespaceError(
+                "sharing conflict on pool '" + name +
+                "': writers must be exclusive");
+        }
+    }
+
+    ensureLoaded(entry);
+    entry.attachments.push_back({proc, requested});
+    return *entry.pool;
+}
+
+void
+Namespace::detach(const std::string &name, ProcId proc)
+{
+    Entry &entry = lookup(name);
+    auto it = std::find_if(entry.attachments.begin(),
+                           entry.attachments.end(),
+                           [proc](const Attachment &a) {
+                               return a.proc == proc;
+                           });
+    if (it == entry.attachments.end())
+        throw NamespaceError("process not attached to '" + name + "'");
+    entry.attachments.erase(it);
+    if (!dir_.empty() && entry.pool)
+        entry.pool->saveTo(poolPath(name));
+}
+
+unsigned
+Namespace::detachAll(ProcId proc)
+{
+    unsigned n = 0;
+    for (auto &[name, entry] : entries_) {
+        auto it = std::remove_if(entry.attachments.begin(),
+                                 entry.attachments.end(),
+                                 [proc](const Attachment &a) {
+                                     return a.proc == proc;
+                                 });
+        if (it != entry.attachments.end()) {
+            entry.attachments.erase(it, entry.attachments.end());
+            ++n;
+            if (!dir_.empty() && entry.pool)
+                entry.pool->saveTo(poolPath(name));
+        }
+    }
+    return n;
+}
+
+void
+Namespace::destroy(const std::string &name, Uid uid)
+{
+    Entry &entry = lookup(name);
+    if (entry.meta.owner != uid)
+        throw NamespaceError("only the owner may destroy '" + name + "'");
+    if (!entry.attachments.empty())
+        throw NamespaceError("pool '" + name + "' is still attached");
+    if (!dir_.empty())
+        std::remove(poolPath(name).c_str());
+    entries_.erase(name);
+    if (!dir_.empty())
+        saveManifest();
+}
+
+const PoolMeta &
+Namespace::meta(const std::string &name) const
+{
+    return lookup(name).meta;
+}
+
+bool
+Namespace::exists(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+std::vector<Attachment>
+Namespace::attachments(const std::string &name) const
+{
+    return lookup(name).attachments;
+}
+
+std::vector<PoolMeta>
+Namespace::list() const
+{
+    std::vector<PoolMeta> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(entry.meta);
+    return out;
+}
+
+Pool &
+Namespace::pool(const std::string &name)
+{
+    Entry &entry = lookup(name);
+    ensureLoaded(entry);
+    return *entry.pool;
+}
+
+void
+Namespace::sync()
+{
+    if (dir_.empty())
+        return;
+    for (auto &[name, entry] : entries_) {
+        if (entry.pool)
+            entry.pool->saveTo(poolPath(name));
+    }
+    saveManifest();
+}
+
+} // namespace pmodv::pmo

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The OS role of PMO management: a namespace of named pools with
+ * file-like ownership, permission bits, optional attach keys, and an
+ * inter-process sharing policy (many readers or one writer). This is
+ * the substrate the paper assumes ("a PMO may be managed by the OS
+ * similar to a file") — the attach/detach system calls land here.
+ *
+ * Pools may be purely in-memory (tests) or backed by a directory,
+ * where each pool persists as `<dir>/<name>.pool` plus a manifest,
+ * giving PMOs life beyond the process.
+ */
+
+#ifndef PMODV_PMO_NAMESPACE_HH
+#define PMODV_PMO_NAMESPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmo/pool.hh"
+
+namespace pmodv::pmo
+{
+
+/** A user id owning pools. */
+using Uid = std::uint32_t;
+
+/** A process id for the sharing policy. */
+using ProcId = std::uint32_t;
+
+/** File-like permission bits on a pool. */
+struct PoolMode
+{
+    bool ownerRead = true;
+    bool ownerWrite = true;
+    bool otherRead = false;
+    bool otherWrite = false;
+
+    /** Permission @p uid gets on a pool owned by @p owner. */
+    Perm
+    permFor(Uid uid, Uid owner) const
+    {
+        const bool r = uid == owner ? ownerRead : otherRead;
+        const bool w = uid == owner ? ownerWrite : otherWrite;
+        return static_cast<Perm>((r ? 1 : 0) | (w ? 2 : 0));
+    }
+};
+
+/** Catalog entry for one named pool. */
+struct PoolMeta
+{
+    std::string name;
+    PoolId id = 0;
+    std::uint64_t size = 0;
+    Uid owner = 0;
+    PoolMode mode{};
+    /** Optional attach key; 0 = none required. */
+    std::uint64_t attachKey = 0;
+};
+
+/** One granted attachment (the sharing-policy ledger). */
+struct Attachment
+{
+    ProcId proc = 0;
+    Perm perm = Perm::Read;
+};
+
+/** The PMO namespace. */
+class Namespace
+{
+  public:
+    /**
+     * @p dir empty = in-memory only; otherwise pool images and the
+     * manifest persist under @p dir (created if missing).
+     */
+    explicit Namespace(std::string dir = "");
+    ~Namespace();
+
+    Namespace(const Namespace &) = delete;
+    Namespace &operator=(const Namespace &) = delete;
+
+    /**
+     * Create a pool (Table I pool_create). The calling user becomes
+     * the owner. Throws NamespaceError on duplicate names.
+     */
+    Pool &create(const std::string &name, std::size_t size, Uid owner,
+                 PoolMode mode = {}, std::uint64_t attach_key = 0);
+
+    /**
+     * Open an attachment to a pool (the attach syscall's namespace
+     * half). Enforces ownership/mode, the attach key, and the sharing
+     * policy: any number of readers, or exactly one writer.
+     */
+    Pool &attach(const std::string &name, Perm requested, Uid uid,
+                 ProcId proc, std::uint64_t attach_key = 0);
+
+    /** Release an attachment (detach syscall). */
+    void detach(const std::string &name, ProcId proc);
+
+    /** Detach everything @p proc holds (process exit / kill). */
+    unsigned detachAll(ProcId proc);
+
+    /**
+     * Destroy a pool permanently. Only the owner may; fails while
+     * attachments exist.
+     */
+    void destroy(const std::string &name, Uid uid);
+
+    /** Look up catalog metadata; throws when absent. */
+    const PoolMeta &meta(const std::string &name) const;
+
+    /** True when the namespace knows @p name. */
+    bool exists(const std::string &name) const;
+
+    /** Current attachments of a pool (tests / tooling). */
+    std::vector<Attachment> attachments(const std::string &name) const;
+
+    /** All catalog entries, name-ordered. */
+    std::vector<PoolMeta> list() const;
+
+    /** Direct pool access by name (must be loaded/created). */
+    Pool &pool(const std::string &name);
+
+    /** Flush every loaded pool image + manifest to the directory. */
+    void sync();
+
+  private:
+    struct Entry
+    {
+        PoolMeta meta;
+        std::unique_ptr<Pool> pool; ///< Loaded lazily.
+        std::vector<Attachment> attachments;
+    };
+
+    Entry &lookup(const std::string &name);
+    const Entry &lookup(const std::string &name) const;
+    void ensureLoaded(Entry &entry);
+    std::string poolPath(const std::string &name) const;
+    std::string manifestPath() const;
+    void saveManifest() const;
+    void loadManifest();
+
+    std::string dir_;
+    std::map<std::string, Entry> entries_;
+    PoolId nextId_ = 1;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_NAMESPACE_HH

@@ -1,0 +1,375 @@
+#include "pmo/pool.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/bitutil.hh"
+
+namespace pmodv::pmo
+{
+
+namespace
+{
+
+/** Allocation granularity of the persistent heap. */
+constexpr std::size_t kHeapAlign = 16;
+
+/** Smallest payload worth splitting a block for. */
+constexpr std::size_t kMinSplitPayload = 32;
+
+constexpr std::size_t kDefaultLogCapacity = 256 * 1024;
+
+} // namespace
+
+PoolHeader
+Pool::header() const
+{
+    PoolHeader hdr;
+    arena_.read(0, &hdr, sizeof(hdr));
+    return hdr;
+}
+
+void
+Pool::setHeader(const PoolHeader &hdr)
+{
+    arena_.write(0, &hdr, sizeof(hdr));
+    arena_.writeback(0, sizeof(hdr));
+}
+
+BlockHeader
+Pool::blockAt(std::uint64_t off) const
+{
+    BlockHeader blk;
+    arena_.read(off, &blk, sizeof(blk));
+    return blk;
+}
+
+void
+Pool::setBlockAt(std::uint64_t off, const BlockHeader &blk)
+{
+    arena_.write(off, &blk, sizeof(blk));
+    arena_.writeback(off, sizeof(blk));
+}
+
+std::unique_ptr<Pool>
+Pool::create(PoolId id, std::size_t size, std::size_t log_capacity)
+{
+    if (log_capacity == 0) {
+        log_capacity =
+            std::min<std::size_t>(kDefaultLogCapacity, size / 8);
+    }
+    const std::size_t min_size = sizeof(PoolHeader) + log_capacity +
+                                 sizeof(BlockHeader) + kHeapAlign;
+    if (size < min_size)
+        throw PmoError("pool size too small for header+log+heap");
+
+    auto pool = std::unique_ptr<Pool>(new Pool(PersistentArena(size)));
+
+    PoolHeader hdr;
+    hdr.magic = kPoolMagic;
+    hdr.version = kPoolVersion;
+    hdr.poolId = id;
+    hdr.poolSize = size;
+    hdr.logStart = alignUp(sizeof(PoolHeader), kPersistLine);
+    hdr.logCapacity = log_capacity;
+    hdr.heapStart = alignUp(hdr.logStart + log_capacity, kPersistLine);
+
+    // One big free block spanning the whole heap.
+    BlockHeader blk;
+    blk.size = size - hdr.heapStart - sizeof(BlockHeader);
+    blk.nextFree = 0;
+    blk.allocated = 0;
+    blk.canary = kBlockCanary;
+    hdr.freeListHead = hdr.heapStart;
+
+    pool->setHeader(hdr);
+    pool->setBlockAt(hdr.heapStart, blk);
+    return pool;
+}
+
+std::unique_ptr<Pool>
+Pool::adopt(PersistentArena arena)
+{
+    auto pool = std::unique_ptr<Pool>(new Pool(std::move(arena)));
+    PoolHeader hdr = pool->header();
+    if (hdr.magic != kPoolMagic)
+        throw CorruptPoolError("bad pool magic");
+    if (hdr.version != kPoolVersion)
+        throw CorruptPoolError("unsupported pool version");
+    if (hdr.poolSize != pool->arena_.size())
+        throw CorruptPoolError("pool size does not match media size");
+    return pool;
+}
+
+std::unique_ptr<Pool>
+Pool::loadFrom(const std::string &path)
+{
+    return adopt(PersistentArena::loadFrom(path));
+}
+
+void
+Pool::saveTo(const std::string &path)
+{
+    arena_.saveTo(path);
+}
+
+Oid
+Pool::pmalloc(std::size_t size)
+{
+    if (size == 0)
+        throw AllocError("pmalloc of zero bytes");
+    const std::size_t want = alignUp(size, kHeapAlign);
+
+    PoolHeader hdr = header();
+    std::uint64_t prev = 0;
+    std::uint64_t cur = hdr.freeListHead;
+    while (cur != 0) {
+        BlockHeader blk = blockAt(cur);
+        if (blk.canary != kBlockCanary)
+            throw CorruptPoolError("free-list block canary mismatch");
+        if (!blk.allocated && blk.size >= want) {
+            std::uint64_t next = blk.nextFree;
+            // Split if the remainder can hold a useful block.
+            if (blk.size >=
+                want + sizeof(BlockHeader) + kMinSplitPayload) {
+                const std::uint64_t rest_off =
+                    cur + sizeof(BlockHeader) + want;
+                BlockHeader rest;
+                rest.size = blk.size - want - sizeof(BlockHeader);
+                rest.nextFree = next;
+                rest.allocated = 0;
+                rest.canary = kBlockCanary;
+                setBlockAt(rest_off, rest);
+                next = rest_off;
+                blk.size = want;
+            }
+            blk.allocated = 1;
+            blk.nextFree = 0;
+            setBlockAt(cur, blk);
+
+            if (prev == 0) {
+                hdr.freeListHead = next;
+            } else {
+                BlockHeader pblk = blockAt(prev);
+                pblk.nextFree = next;
+                setBlockAt(prev, pblk);
+            }
+            hdr.allocatedBytes += blk.size;
+            hdr.allocatedBlocks += 1;
+            setHeader(hdr);
+            return Oid{hdr.poolId, static_cast<std::uint32_t>(
+                                       cur + sizeof(BlockHeader))};
+        }
+        prev = cur;
+        cur = blk.nextFree;
+    }
+    throw AllocError("pool " + std::to_string(hdr.poolId) +
+                     " heap exhausted (asked for " +
+                     std::to_string(size) + " bytes)");
+}
+
+void
+Pool::pfree(Oid oid)
+{
+    PoolHeader hdr = header();
+    if (oid.pool != hdr.poolId)
+        throw AllocError("pfree of an OID from another pool");
+    if (oid.offset < hdr.heapStart + sizeof(BlockHeader) ||
+        oid.offset >= hdr.poolSize) {
+        throw AllocError("pfree of an OID outside the heap");
+    }
+    const std::uint64_t blk_off = headerOfPayload(oid.offset);
+    BlockHeader blk = blockAt(blk_off);
+    if (blk.canary != kBlockCanary)
+        throw AllocError("pfree of a non-block OID (canary mismatch)");
+    if (!blk.allocated)
+        throw AllocError("double pfree");
+
+    const std::uint64_t freed_payload = blk.size;
+    blk.allocated = 0;
+
+    // Insert into the free list sorted by offset, coalescing with
+    // adjacent free neighbours.
+    std::uint64_t prev = 0;
+    std::uint64_t cur = hdr.freeListHead;
+    while (cur != 0 && cur < blk_off) {
+        prev = cur;
+        cur = blockAt(cur).nextFree;
+    }
+
+    // Coalesce forward with `cur` if contiguous.
+    if (cur != 0 && blk_off + sizeof(BlockHeader) + blk.size == cur) {
+        const BlockHeader nblk = blockAt(cur);
+        blk.size += sizeof(BlockHeader) + nblk.size;
+        blk.nextFree = nblk.nextFree;
+    } else {
+        blk.nextFree = cur;
+    }
+
+    bool merged_backward = false;
+    if (prev != 0) {
+        BlockHeader pblk = blockAt(prev);
+        if (prev + sizeof(BlockHeader) + pblk.size == blk_off) {
+            // Coalesce backward into `prev`.
+            pblk.size += sizeof(BlockHeader) + blk.size;
+            pblk.nextFree = blk.nextFree;
+            setBlockAt(prev, pblk);
+            merged_backward = true;
+        } else {
+            pblk.nextFree = blk_off;
+            setBlockAt(prev, pblk);
+        }
+    } else {
+        hdr.freeListHead = blk_off;
+    }
+    if (!merged_backward)
+        setBlockAt(blk_off, blk);
+
+    hdr.allocatedBytes -=
+        std::min<std::uint64_t>(hdr.allocatedBytes, freed_payload);
+    hdr.allocatedBlocks -= 1;
+    setHeader(hdr);
+}
+
+std::size_t
+Pool::blockSize(Oid oid) const
+{
+    const BlockHeader blk = blockAt(headerOfPayload(oid.offset));
+    if (blk.canary != kBlockCanary)
+        throw AllocError("blockSize of a non-block OID");
+    return blk.size;
+}
+
+Oid
+Pool::root(std::size_t size)
+{
+    PoolHeader hdr = header();
+    if (hdr.rootOffset != 0) {
+        return Oid{hdr.poolId,
+                   static_cast<std::uint32_t>(hdr.rootOffset)};
+    }
+    const Oid oid = pmalloc(size);
+    std::vector<std::uint8_t> zero(size, 0);
+    write(oid, zero.data(), size);
+    persist(oid, size);
+    hdr = header();
+    hdr.rootOffset = oid.offset;
+    hdr.rootSize = size;
+    setHeader(hdr);
+    return oid;
+}
+
+void *
+Pool::direct(Oid oid)
+{
+    if (oid.isNull())
+        throw PmoError("direct() on the null OID");
+    if (oid.offset >= arena_.size())
+        throw PmoError("direct() OID offset out of range");
+    return arena_.data() + oid.offset;
+}
+
+const void *
+Pool::direct(Oid oid) const
+{
+    if (oid.isNull())
+        throw PmoError("direct() on the null OID");
+    if (oid.offset >= arena_.size())
+        throw PmoError("direct() OID offset out of range");
+    return arena_.data() + oid.offset;
+}
+
+void
+Pool::read(Oid oid, void *out, std::size_t len) const
+{
+    arena_.read(oid.offset, out, len);
+}
+
+void
+Pool::write(Oid oid, const void *in, std::size_t len)
+{
+    arena_.write(oid.offset, in, len);
+}
+
+void
+Pool::persist(Oid oid, std::size_t len)
+{
+    arena_.writeback(oid.offset, len);
+}
+
+void
+Pool::forEachAllocated(
+    const std::function<void(Oid, std::size_t)> &fn) const
+{
+    const PoolHeader hdr = header();
+    std::uint64_t off = hdr.heapStart;
+    while (off + sizeof(BlockHeader) <= hdr.poolSize) {
+        const BlockHeader blk = blockAt(off);
+        if (blk.canary != kBlockCanary)
+            throw CorruptPoolError("heap walk hit a bad canary");
+        if (blk.allocated) {
+            fn(Oid{hdr.poolId, static_cast<std::uint32_t>(
+                                   off + sizeof(BlockHeader))},
+               blk.size);
+        }
+        off += sizeof(BlockHeader) + blk.size;
+    }
+}
+
+std::size_t
+Pool::freeBlockCount() const
+{
+    std::size_t n = 0;
+    std::uint64_t cur = header().freeListHead;
+    while (cur != 0) {
+        ++n;
+        cur = blockAt(cur).nextFree;
+    }
+    return n;
+}
+
+void
+Pool::check() const
+{
+    const PoolHeader hdr = header();
+    if (hdr.magic != kPoolMagic)
+        throw CorruptPoolError("bad magic");
+    if (hdr.poolSize != arena_.size())
+        throw CorruptPoolError("size mismatch");
+    if (hdr.heapStart >= hdr.poolSize)
+        throw CorruptPoolError("heap start beyond pool end");
+
+    // Heap must tile exactly; canaries must hold.
+    std::uint64_t off = hdr.heapStart;
+    std::uint64_t live_bytes = 0, live_blocks = 0;
+    while (off + sizeof(BlockHeader) <= hdr.poolSize) {
+        const BlockHeader blk = blockAt(off);
+        if (blk.canary != kBlockCanary)
+            throw CorruptPoolError("block canary mismatch in heap walk");
+        if (blk.allocated) {
+            live_bytes += blk.size;
+            ++live_blocks;
+        }
+        off += sizeof(BlockHeader) + blk.size;
+    }
+    if (live_bytes != hdr.allocatedBytes ||
+        live_blocks != hdr.allocatedBlocks) {
+        throw CorruptPoolError("allocator accounting mismatch");
+    }
+
+    // Free list must be sorted, non-allocated, within bounds.
+    std::uint64_t cur = hdr.freeListHead;
+    std::uint64_t last = 0;
+    while (cur != 0) {
+        if (cur <= last)
+            throw CorruptPoolError("free list not sorted");
+        const BlockHeader blk = blockAt(cur);
+        if (blk.allocated)
+            throw CorruptPoolError("allocated block on the free list");
+        last = cur;
+        cur = blk.nextFree;
+    }
+}
+
+} // namespace pmodv::pmo

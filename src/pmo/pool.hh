@@ -1,0 +1,186 @@
+/**
+ * @file
+ * A pool: the concrete PMO implementation (per the paper's §II-C, a
+ * pool is "a specific implementation of a PMO"). A pool is a
+ * self-contained persistent arena holding:
+ *
+ *   - a header (magic, id, geometry, root object, allocator state),
+ *   - a transaction redo-log region, and
+ *   - a persistent heap managed by a first-fit free-list allocator
+ *     whose metadata lives *inside* the pool (offsets, not pointers),
+ *     so the pool is relocatable and survives process lifetime.
+ */
+
+#ifndef PMODV_PMO_POOL_HH
+#define PMODV_PMO_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pmo/arena.hh"
+#include "pmo/errors.hh"
+#include "pmo/oid.hh"
+
+namespace pmodv::pmo
+{
+
+/** On-media pool header (fixed layout, lives at offset 0). */
+struct PoolHeader
+{
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    PoolId poolId = 0;
+    std::uint64_t poolSize = 0;
+    std::uint64_t rootOffset = 0; ///< 0 = no root object yet.
+    std::uint64_t rootSize = 0;
+    std::uint64_t logStart = 0;
+    std::uint64_t logCapacity = 0;
+    std::uint64_t heapStart = 0;
+    std::uint64_t freeListHead = 0; ///< Offset of first free block.
+    std::uint64_t allocatedBytes = 0;
+    std::uint64_t allocatedBlocks = 0;
+};
+
+/** Per-block heap metadata preceding every heap block's payload. */
+struct BlockHeader
+{
+    std::uint64_t size = 0;     ///< Payload bytes.
+    std::uint64_t nextFree = 0; ///< Next free block (free blocks only).
+    std::uint32_t allocated = 0;
+    std::uint32_t canary = 0;   ///< Integrity check.
+};
+
+/** Expected value of BlockHeader::canary. */
+inline constexpr std::uint32_t kBlockCanary = 0xb10cb10c;
+
+/** Pool file magic. */
+inline constexpr std::uint64_t kPoolMagic = 0x504d4f4456313233ull;
+
+/** Pool format version. */
+inline constexpr std::uint32_t kPoolVersion = 1;
+
+/** A pool of persistent objects. */
+class Pool
+{
+  public:
+    /**
+     * Create a fresh pool of @p size bytes with identifier @p id.
+     * @p log_capacity bytes are reserved for the transaction log
+     * (0 = pick a default).
+     */
+    static std::unique_ptr<Pool> create(PoolId id, std::size_t size,
+                                        std::size_t log_capacity = 0);
+
+    /** Adopt an existing arena, validating its header. */
+    static std::unique_ptr<Pool> adopt(PersistentArena arena);
+
+    /** Reload a pool from its backing file. */
+    static std::unique_ptr<Pool> loadFrom(const std::string &path);
+
+    PoolId id() const { return header().poolId; }
+    std::size_t size() const { return arena_.size(); }
+
+    /** Bytes currently allocated to live objects. */
+    std::uint64_t allocatedBytes() const
+    {
+        return header().allocatedBytes;
+    }
+
+    /** Number of live heap blocks. */
+    std::uint64_t allocatedBlocks() const
+    {
+        return header().allocatedBlocks;
+    }
+
+    /**
+     * Allocate @p size payload bytes; returns the OID of the first
+     * byte. Throws AllocError when the heap is exhausted.
+     */
+    Oid pmalloc(std::size_t size);
+
+    /** Free a block previously returned by pmalloc(). */
+    void pfree(Oid oid);
+
+    /**
+     * Return the pool's root object, allocating it (zeroed) with
+     * @p size bytes on first use. The root is the programmer-designed
+     * directory of the pool's contents.
+     */
+    Oid root(std::size_t size);
+
+    /** True when a root object exists. */
+    bool hasRoot() const { return header().rootOffset != 0; }
+
+    /**
+     * Translate an OID to a raw pointer into the volatile image
+     * (oid_direct of Table I). Bounds-checked.
+     */
+    void *direct(Oid oid);
+    const void *direct(Oid oid) const;
+
+    /** Typed convenience over direct(). */
+    template <typename T>
+    T *
+    as(Oid oid)
+    {
+        return static_cast<T *>(direct(oid));
+    }
+
+    /** Read @p len bytes of object data. */
+    void read(Oid oid, void *out, std::size_t len) const;
+
+    /** Write @p len bytes of object data (volatile image). */
+    void write(Oid oid, const void *in, std::size_t len);
+
+    /** CLWB the bytes of [oid, oid+len) to the persistent image. */
+    void persist(Oid oid, std::size_t len);
+
+    /** Payload size of the block containing @p oid's first byte. */
+    std::size_t blockSize(Oid oid) const;
+
+    /** Walk every allocated block (integrity checks, tests). */
+    void forEachAllocated(
+        const std::function<void(Oid, std::size_t)> &fn) const;
+
+    /** Count of free-list blocks (tests). */
+    std::size_t freeBlockCount() const;
+
+    /**
+     * Validate pool invariants (header geometry, block canaries,
+     * free-list sanity); throws CorruptPoolError on failure.
+     */
+    void check() const;
+
+    /** The raw media (crash injection / recovery / persistence). */
+    PersistentArena &arena() { return arena_; }
+    const PersistentArena &arena() const { return arena_; }
+
+    /** Log region bounds (used by the transaction layer). */
+    std::uint64_t logStart() const { return header().logStart; }
+    std::uint64_t logCapacity() const { return header().logCapacity; }
+
+    /** Persist the pool image to @p path. */
+    void saveTo(const std::string &path);
+
+  private:
+    explicit Pool(PersistentArena arena) : arena_(std::move(arena)) {}
+
+    PoolHeader header() const;
+    void setHeader(const PoolHeader &hdr);
+    BlockHeader blockAt(std::uint64_t off) const;
+    void setBlockAt(std::uint64_t off, const BlockHeader &blk);
+
+    /** Offset of the block header owning payload offset @p off. */
+    std::uint64_t headerOfPayload(std::uint64_t off) const
+    {
+        return off - sizeof(BlockHeader);
+    }
+
+    PersistentArena arena_;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_POOL_HH

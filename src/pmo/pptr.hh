@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Typed persistent pointers: a thin, type-safe layer over the 32+32
+ * bit ObjectID of the paper's Figure 1. A POid<T> is still position
+ * independent (it stores only the raw OID), but reads/writes go
+ * through typed helpers, and TypedPool/TypedRuntime helpers keep
+ * persistent data structures free of manual sizeof/offset arithmetic.
+ */
+
+#ifndef PMODV_PMO_PPTR_HH
+#define PMODV_PMO_PPTR_HH
+
+#include <type_traits>
+
+#include "pmo/pool.hh"
+#include "pmo/runtime.hh"
+
+namespace pmodv::pmo
+{
+
+/** A typed, position-independent pointer to a T inside a pool. */
+template <typename T>
+struct POid
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "persistent objects must be trivially copyable");
+
+    Oid oid{};
+
+    constexpr POid() = default;
+    constexpr explicit POid(Oid o) : oid(o) {}
+
+    constexpr bool isNull() const { return oid.isNull(); }
+    constexpr std::uint64_t raw() const { return oid.raw(); }
+
+    static constexpr POid
+    fromRaw(std::uint64_t v)
+    {
+        return POid(Oid::fromRaw(v));
+    }
+
+    /** A typed pointer to a member at byte offset @p off. */
+    template <typename M>
+    constexpr POid<M>
+    member(std::uint32_t off) const
+    {
+        return POid<M>(Oid{oid.pool, oid.offset + off});
+    }
+
+    constexpr bool operator==(const POid &) const = default;
+};
+
+/** Allocate and zero-initialize a T in @p pool. */
+template <typename T>
+POid<T>
+pnew(Pool &pool)
+{
+    const Oid oid = pool.pmalloc(sizeof(T));
+    const T zero{};
+    pool.write(oid, &zero, sizeof(T));
+    return POid<T>(oid);
+}
+
+/** Allocate a T in @p pool initialized from @p value. */
+template <typename T>
+POid<T>
+pnew(Pool &pool, const T &value)
+{
+    const Oid oid = pool.pmalloc(sizeof(T));
+    pool.write(oid, &value, sizeof(T));
+    return POid<T>(oid);
+}
+
+/** Free a typed allocation. */
+template <typename T>
+void
+pdelete(Pool &pool, POid<T> ptr)
+{
+    pool.pfree(ptr.oid);
+}
+
+/** Unchecked typed load straight from the pool media. */
+template <typename T>
+T
+pget(const Pool &pool, POid<T> ptr)
+{
+    T value;
+    pool.read(ptr.oid, &value, sizeof(T));
+    return value;
+}
+
+/** Unchecked typed store straight to the pool media. */
+template <typename T>
+void
+pset(Pool &pool, POid<T> ptr, const T &value)
+{
+    pool.write(ptr.oid, &value, sizeof(T));
+}
+
+/** Checked (permission-enforcing, traced) typed load. */
+template <typename T>
+T
+pget(Runtime &rt, ThreadId tid, POid<T> ptr)
+{
+    return rt.readValue<T>(tid, ptr.oid);
+}
+
+/** Checked (permission-enforcing, traced) typed store. */
+template <typename T>
+void
+pset(Runtime &rt, ThreadId tid, POid<T> ptr, const T &value)
+{
+    rt.writeValue(tid, ptr.oid, value);
+}
+
+/** The pool's root object, typed. */
+template <typename T>
+POid<T>
+proot(Pool &pool)
+{
+    return POid<T>(pool.root(sizeof(T)));
+}
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_PPTR_HH

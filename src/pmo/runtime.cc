@@ -1,0 +1,253 @@
+#include "pmo/runtime.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+
+namespace
+{
+
+/** First simulated VA handed to attachments. */
+constexpr Addr kVaStart = Addr{1} << 32;
+
+/** Alignment of attachment bases (2 MB, a page-table level). */
+constexpr Addr kVaAlign = Addr{1} << 21;
+
+/** Unmapped guard gap between attachments. */
+constexpr Addr kVaGap = Addr{1} << 21;
+
+} // namespace
+
+Runtime::Runtime(Namespace &ns, Uid uid, ProcId proc)
+    : ns_(ns), uid_(uid), proc_(proc), nextVa_(kVaStart)
+{
+}
+
+Runtime::~Runtime()
+{
+    // Process exit: the OS detaches everything we still hold.
+    for (const auto &[domain, att] : attached_) {
+        try {
+            ns_.detach(att.name, proc_);
+        } catch (const std::exception &e) {
+            warn("detach of '%s' on runtime teardown failed: %s",
+                 att.name.c_str(), e.what());
+        }
+    }
+}
+
+const Attached &
+Runtime::attach(const std::string &name, Perm perm,
+                std::uint64_t attach_key)
+{
+    Pool &pool = ns_.attach(name, perm, uid_, proc_, attach_key);
+
+    Attached att;
+    att.name = name;
+    att.poolId = pool.id();
+    att.domain = pool.id(); // The PMO id is the domain id (paper §IV-A).
+    att.pagePerm = perm;
+    att.pool = &pool;
+    att.vaSize = alignUp(pool.size(), 4096);
+    att.vaBase = nextVa_;
+    nextVa_ = alignUp(nextVa_ + att.vaSize + kVaGap, kVaAlign);
+
+    auto [it, inserted] = attached_.emplace(att.domain, att);
+    if (!inserted) {
+        ns_.detach(name, proc_);
+        throw NamespaceError("domain " + std::to_string(att.domain) +
+                             " is already attached");
+    }
+    poolToDomain_[att.poolId] = att.domain;
+
+    emit(trace::TraceRecord::attach(0, att.domain, att.vaBase,
+                                    att.vaSize, perm));
+    return it->second;
+}
+
+void
+Runtime::detach(DomainId domain)
+{
+    auto it = attached_.find(domain);
+    if (it == attached_.end())
+        throw NamespaceError("detach of an unattached domain");
+    emit(trace::TraceRecord::detach(0, domain));
+    ns_.detach(it->second.name, proc_);
+    poolToDomain_.erase(it->second.poolId);
+    attached_.erase(it);
+    // Drop every thread's permission for the vanished domain.
+    for (auto p = threadPerms_.begin(); p != threadPerms_.end();) {
+        if (p->first.second == domain)
+            p = threadPerms_.erase(p);
+        else
+            ++p;
+    }
+}
+
+std::vector<const Attached *>
+Runtime::attachments() const
+{
+    std::vector<const Attached *> out;
+    out.reserve(attached_.size());
+    for (const auto &[domain, att] : attached_)
+        out.push_back(&att);
+    return out;
+}
+
+const Attached &
+Runtime::find(DomainId domain) const
+{
+    auto it = attached_.find(domain);
+    if (it == attached_.end()) {
+        throw NamespaceError("domain " + std::to_string(domain) +
+                             " is not attached");
+    }
+    return it->second;
+}
+
+const Attached *
+Runtime::findPool(PoolId pool_id) const
+{
+    auto it = poolToDomain_.find(pool_id);
+    return it == poolToDomain_.end() ? nullptr : &find(it->second);
+}
+
+void
+Runtime::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    if (perm == Perm::None)
+        threadPerms_.erase({tid, domain});
+    else
+        threadPerms_[{tid, domain}] = perm;
+    emit(trace::TraceRecord::setPerm(static_cast<std::uint16_t>(tid),
+                                     domain, perm));
+}
+
+Perm
+Runtime::threadPerm(ThreadId tid, DomainId domain) const
+{
+    auto it = threadPerms_.find({tid, domain});
+    return it == threadPerms_.end() ? Perm::None : it->second;
+}
+
+const Attached &
+Runtime::checkedLookup(ThreadId tid, Oid oid, AccessType type,
+                       std::size_t len)
+{
+    auto dit = poolToDomain_.find(oid.pool);
+    if (dit == poolToDomain_.end()) {
+        throw ProtectionFault("access to pool " +
+                              std::to_string(oid.pool) +
+                              " which is not attached");
+    }
+    const Attached &att = attached_.at(dit->second);
+
+    const Perm need = permForAccess(type);
+    const Perm effective =
+        permIntersect(att.pagePerm, threadPerm(tid, att.domain));
+    if (!permAllows(effective, need)) {
+        throw ProtectionFault(
+            "thread " + std::to_string(tid) + " denied " +
+            (type == AccessType::Read ? std::string("read")
+                                      : std::string("write")) +
+            " on domain " + std::to_string(att.domain) +
+            " (page=" + permToString(att.pagePerm) +
+            " domain=" + permToString(threadPerm(tid, att.domain)) +
+            ")");
+    }
+    if (oid.offset + len > att.pool->size())
+        throw PmoError("access beyond the end of the pool");
+    return att;
+}
+
+void
+Runtime::read(ThreadId tid, Oid oid, void *out, std::size_t len)
+{
+    const Attached &att = checkedLookup(tid, oid, AccessType::Read, len);
+    att.pool->read(oid, out, len);
+    emit(trace::TraceRecord::load(static_cast<std::uint16_t>(tid),
+                                  att.vaBase + oid.offset,
+                                  static_cast<std::uint32_t>(len),
+                                  true));
+}
+
+void
+Runtime::write(ThreadId tid, Oid oid, const void *in, std::size_t len)
+{
+    const Attached &att =
+        checkedLookup(tid, oid, AccessType::Write, len);
+    att.pool->write(oid, in, len);
+    emit(trace::TraceRecord::store(static_cast<std::uint16_t>(tid),
+                                   att.vaBase + oid.offset,
+                                   static_cast<std::uint32_t>(len),
+                                   true));
+}
+
+void *
+Runtime::direct(Oid oid)
+{
+    auto it = poolToDomain_.find(oid.pool);
+    if (it == poolToDomain_.end()) {
+        throw NamespaceError("oid_direct on pool " +
+                             std::to_string(oid.pool) +
+                             " which is not attached");
+    }
+    return attached_.at(it->second).pool->direct(oid);
+}
+
+Addr
+Runtime::vaOf(Oid oid) const
+{
+    auto it = poolToDomain_.find(oid.pool);
+    if (it == poolToDomain_.end())
+        throw NamespaceError("vaOf on an unattached pool");
+    return attached_.at(it->second).vaBase + oid.offset;
+}
+
+void
+Runtime::compute(ThreadId tid, std::uint32_t count)
+{
+    if (count == 0)
+        return;
+    emit(trace::TraceRecord::instBlock(static_cast<std::uint16_t>(tid),
+                                       count));
+}
+
+void
+Runtime::switchThread(ThreadId tid)
+{
+    emit(trace::TraceRecord::threadSwitch(
+        static_cast<std::uint16_t>(tid)));
+}
+
+void
+Runtime::volatileAccess(ThreadId tid, Addr va, bool is_write,
+                        std::uint32_t size)
+{
+    if (is_write) {
+        emit(trace::TraceRecord::store(static_cast<std::uint16_t>(tid),
+                                       va, size, false));
+    } else {
+        emit(trace::TraceRecord::load(static_cast<std::uint16_t>(tid),
+                                      va, size, false));
+    }
+}
+
+void
+Runtime::opBegin(ThreadId tid, std::uint32_t kind)
+{
+    emit(trace::TraceRecord::opBegin(static_cast<std::uint16_t>(tid),
+                                     kind));
+}
+
+void
+Runtime::opEnd(ThreadId tid, std::uint32_t kind)
+{
+    emit(trace::TraceRecord::opEnd(static_cast<std::uint16_t>(tid),
+                                   kind));
+}
+
+} // namespace pmodv::pmo

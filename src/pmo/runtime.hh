@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The process-side PMO runtime: the software emulation platform for
+ * the paper's proposed hardware. It
+ *
+ *  - performs attach/detach against the Namespace, assigning each
+ *    attached PMO a protection-domain id (= its pool id) and a
+ *    simulated virtual-address range;
+ *  - implements SETPERM per thread and *enforces* the paper's access
+ *    rule on every runtime access: page permission AND attached AND
+ *    thread domain permission, throwing ProtectionFault otherwise;
+ *  - optionally captures everything (attach, setperm, loads, stores,
+ *    instruction blocks, thread switches) as a trace, which is how
+ *    the workloads feed the timing simulator.
+ */
+
+#ifndef PMODV_PMO_RUNTIME_HH
+#define PMODV_PMO_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "pmo/pmo_namespace.hh"
+#include "pmo/pool.hh"
+#include "trace/sinks.hh"
+
+namespace pmodv::pmo
+{
+
+/** One attached PMO as seen by the process. */
+struct Attached
+{
+    std::string name;
+    PoolId poolId = 0;
+    DomainId domain = kNullDomain; ///< Equals the pool id.
+    Addr vaBase = 0;               ///< Simulated VA of offset 0.
+    Addr vaSize = 0;               ///< 4 KB-rounded mapping size.
+    Perm pagePerm = Perm::Read;    ///< Process-level page permission.
+    Pool *pool = nullptr;
+};
+
+/** The per-process PMO runtime. */
+class Runtime
+{
+  public:
+    /**
+     * @p ns must outlive the runtime. @p uid/@p proc identify the
+     * calling user and process to the namespace.
+     */
+    Runtime(Namespace &ns, Uid uid, ProcId proc);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Install a trace sink (nullptr disables capture). */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+
+    /**
+     * Attach a PMO with the given intended page permission. Returns
+     * the attachment record (domain id, VA base, pool). Emits an
+     * Attach trace record.
+     */
+    const Attached &attach(const std::string &name, Perm perm,
+                           std::uint64_t attach_key = 0);
+
+    /** Detach by domain id; emits a Detach trace record. */
+    void detach(DomainId domain);
+
+    /** All current attachments. */
+    std::vector<const Attached *> attachments() const;
+
+    /** The attachment of @p domain; throws when not attached. */
+    const Attached &find(DomainId domain) const;
+
+    /** The attachment owning @p pool_id; nullptr when none. */
+    const Attached *findPool(PoolId pool_id) const;
+
+    /**
+     * SETPERM: set thread @p tid's permission for @p domain. Emits a
+     * SetPerm trace record. Applies even to not-yet-attached domains
+     * (the record replays against schemes which may ignore it).
+     */
+    void setPerm(ThreadId tid, DomainId domain, Perm perm);
+
+    /** Thread @p tid's current permission for @p domain. */
+    Perm threadPerm(ThreadId tid, DomainId domain) const;
+
+    /**
+     * Checked persistent read: enforces the spatio-temporal policy,
+     * emits a Load record, copies @p len bytes.
+     */
+    void read(ThreadId tid, Oid oid, void *out, std::size_t len);
+
+    /** Checked persistent write (Store record). */
+    void write(ThreadId tid, Oid oid, const void *in, std::size_t len);
+
+    /** Typed checked read. */
+    template <typename T>
+    T
+    readValue(ThreadId tid, Oid oid)
+    {
+        T value;
+        read(tid, oid, &value, sizeof(T));
+        return value;
+    }
+
+    /** Typed checked write. */
+    template <typename T>
+    void
+    writeValue(ThreadId tid, Oid oid, const T &value)
+    {
+        write(tid, oid, &value, sizeof(T));
+    }
+
+    /**
+     * oid_direct(): translate an OID of an attached pool to a raw
+     * pointer. Unchecked by design (Table I's escape hatch).
+     */
+    void *direct(Oid oid);
+
+    /** Simulated VA of @p oid inside its attachment. */
+    Addr vaOf(Oid oid) const;
+
+    /** Record @p count non-memory instructions in the trace. */
+    void compute(ThreadId tid, std::uint32_t count);
+
+    /** Record a core context switch to @p tid. */
+    void switchThread(ThreadId tid);
+
+    /** Record a volatile (non-PMO, DRAM) access in the trace. */
+    void volatileAccess(ThreadId tid, Addr va, bool is_write,
+                        std::uint32_t size = 8);
+
+    /** Record the begin/end of a logical operation. */
+    void opBegin(ThreadId tid, std::uint32_t kind = 0);
+    void opEnd(ThreadId tid, std::uint32_t kind = 0);
+
+    Namespace &ns() { return ns_; }
+    Uid uid() const { return uid_; }
+    ProcId proc() const { return proc_; }
+
+  private:
+    void emit(const trace::TraceRecord &rec)
+    {
+        if (sink_)
+            sink_->put(rec);
+    }
+
+    const Attached &checkedLookup(ThreadId tid, Oid oid,
+                                  AccessType type, std::size_t len);
+
+    Namespace &ns_;
+    Uid uid_;
+    ProcId proc_;
+    trace::TraceSink *sink_ = nullptr;
+
+    std::unordered_map<DomainId, Attached> attached_;
+    std::unordered_map<PoolId, DomainId> poolToDomain_;
+    /** (tid, domain) -> permission; absent = Perm::None. */
+    std::map<std::pair<ThreadId, DomainId>, Perm> threadPerms_;
+    Addr nextVa_;
+};
+
+/**
+ * RAII permission window: grants @p perm on construction, restores
+ * Perm::None on destruction — the enable/disable pair the paper
+ * inserts around every operation.
+ */
+class PermGuard
+{
+  public:
+    PermGuard(Runtime &rt, ThreadId tid, DomainId domain, Perm perm)
+        : rt_(rt), tid_(tid), domain_(domain)
+    {
+        rt_.setPerm(tid_, domain_, perm);
+    }
+
+    ~PermGuard() { rt_.setPerm(tid_, domain_, Perm::None); }
+
+    PermGuard(const PermGuard &) = delete;
+    PermGuard &operator=(const PermGuard &) = delete;
+
+  private:
+    Runtime &rt_;
+    ThreadId tid_;
+    DomainId domain_;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_RUNTIME_HH

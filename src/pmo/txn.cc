@@ -1,0 +1,157 @@
+#include "pmo/txn.hh"
+
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+
+namespace
+{
+constexpr std::size_t kEntryAlign = 8;
+} // namespace
+
+TxnLogHeader
+Transaction::readHeader(const Pool &pool)
+{
+    TxnLogHeader hdr;
+    pool.arena().read(pool.logStart(), &hdr, sizeof(hdr));
+    return hdr;
+}
+
+void
+Transaction::writeHeader(Pool &pool, const TxnLogHeader &hdr)
+{
+    pool.arena().write(pool.logStart(), &hdr, sizeof(hdr));
+    pool.arena().writeback(pool.logStart(), sizeof(hdr));
+}
+
+void
+Transaction::begin()
+{
+    TxnLogHeader hdr = readHeader(pool_);
+    if (hdr.state == kTxnActive)
+        throw TxnError("transaction already active on this pool");
+    hdr.state = kTxnActive;
+    hdr.numEntries = 0;
+    hdr.usedBytes = sizeof(TxnLogHeader);
+    writeHeader(pool_, hdr);
+}
+
+bool
+Transaction::active() const
+{
+    return readHeader(pool_).state == kTxnActive;
+}
+
+std::uint32_t
+Transaction::entryCount() const
+{
+    return readHeader(pool_).numEntries;
+}
+
+void
+Transaction::write(Oid oid, const void *data, std::size_t len)
+{
+    TxnLogHeader hdr = readHeader(pool_);
+    if (hdr.state != kTxnActive)
+        throw TxnError("write outside an active transaction");
+    if (oid.pool != pool_.id())
+        throw TxnError("transactional write to a foreign pool");
+    if (len == 0)
+        return;
+
+    const std::uint64_t entry_bytes =
+        alignUp(sizeof(TxnLogEntry) + len, kEntryAlign);
+    const std::uint64_t log_off = pool_.logStart() + hdr.usedBytes;
+    if (hdr.usedBytes + entry_bytes > pool_.logCapacity()) {
+        throw TxnError("transaction log full (capacity " +
+                       std::to_string(pool_.logCapacity()) + " bytes)");
+    }
+
+    // 1. Durably append the undo record (old contents).
+    TxnLogEntry entry;
+    entry.offset = oid.offset;
+    entry.length = static_cast<std::uint32_t>(len);
+    entry.canary = kTxnCanary;
+    std::vector<std::uint8_t> old(len);
+    pool_.arena().read(oid.offset, old.data(), len);
+    pool_.arena().write(log_off, &entry, sizeof(entry));
+    pool_.arena().write(log_off + sizeof(entry), old.data(), len);
+    pool_.arena().writeback(log_off, sizeof(entry) + len);
+
+    // 2. Durably publish the record (header update orders after it).
+    hdr.numEntries += 1;
+    hdr.usedBytes += entry_bytes;
+    writeHeader(pool_, hdr);
+
+    // 3. In-place durable update.
+    pool_.arena().write(oid.offset, data, len);
+    pool_.arena().writeback(oid.offset, len);
+}
+
+void
+Transaction::commit()
+{
+    TxnLogHeader hdr = readHeader(pool_);
+    if (hdr.state != kTxnActive)
+        throw TxnError("commit without an active transaction");
+    hdr.state = kTxnIdle;
+    hdr.numEntries = 0;
+    hdr.usedBytes = sizeof(TxnLogHeader);
+    writeHeader(pool_, hdr);
+}
+
+void
+Transaction::rollback(Pool &pool)
+{
+    TxnLogHeader hdr = readHeader(pool);
+
+    // Collect record offsets, then undo newest-first.
+    std::vector<std::uint64_t> offsets;
+    std::uint64_t off = sizeof(TxnLogHeader);
+    for (std::uint32_t i = 0; i < hdr.numEntries; ++i) {
+        offsets.push_back(pool.logStart() + off);
+        TxnLogEntry entry;
+        pool.arena().read(pool.logStart() + off, &entry, sizeof(entry));
+        if (entry.canary != kTxnCanary)
+            throw CorruptPoolError("txn log canary mismatch");
+        off += alignUp(sizeof(TxnLogEntry) + entry.length, kEntryAlign);
+    }
+    for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
+        TxnLogEntry entry;
+        pool.arena().read(*it, &entry, sizeof(entry));
+        std::vector<std::uint8_t> old(entry.length);
+        pool.arena().read(*it + sizeof(entry), old.data(), entry.length);
+        pool.arena().write(entry.offset, old.data(), entry.length);
+        pool.arena().writeback(entry.offset, entry.length);
+    }
+
+    hdr.state = kTxnIdle;
+    hdr.numEntries = 0;
+    hdr.usedBytes = sizeof(TxnLogHeader);
+    writeHeader(pool, hdr);
+}
+
+void
+Transaction::abort()
+{
+    TxnLogHeader hdr = readHeader(pool_);
+    if (hdr.state != kTxnActive)
+        throw TxnError("abort without an active transaction");
+    rollback(pool_);
+}
+
+bool
+Transaction::recover(Pool &pool)
+{
+    const TxnLogHeader hdr = readHeader(pool);
+    if (hdr.state != kTxnActive)
+        return false;
+    rollback(pool);
+    return true;
+}
+
+} // namespace pmodv::pmo

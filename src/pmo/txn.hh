@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Failure-atomic durable transactions over a pool (the
+ * durable-transaction support of the pool interface the paper
+ * adopts). An undo log lives in the pool's reserved log region:
+ *
+ *   1. begin() marks the log ACTIVE (persisted);
+ *   2. each write() first appends the *old* value of the target range
+ *      to the log (persisted), then performs and persists the
+ *      in-place update;
+ *   3. commit() marks the log IDLE (persisted) — the point of no
+ *      return;
+ *   4. recover() after a crash rolls back any ACTIVE log by applying
+ *      undo records newest-first, restoring the pre-transaction
+ *      state. Recovery is idempotent: crashing during recovery and
+ *      recovering again is safe.
+ */
+
+#ifndef PMODV_PMO_TXN_HH
+#define PMODV_PMO_TXN_HH
+
+#include <cstdint>
+
+#include "pmo/pool.hh"
+
+namespace pmodv::pmo
+{
+
+/** Persistent log header at the start of the pool's log region. */
+struct TxnLogHeader
+{
+    std::uint32_t state = 0; ///< 0 = idle, 1 = active.
+    std::uint32_t numEntries = 0;
+    std::uint64_t usedBytes = 0; ///< Includes this header.
+};
+
+/** Per-record header inside the log. */
+struct TxnLogEntry
+{
+    std::uint64_t offset = 0; ///< Pool offset of the saved range.
+    std::uint32_t length = 0; ///< Bytes saved.
+    std::uint32_t canary = 0;
+};
+
+/** Expected TxnLogEntry::canary. */
+inline constexpr std::uint32_t kTxnCanary = 0x74786e21; // "txn!"
+
+/** Log states. */
+inline constexpr std::uint32_t kTxnIdle = 0;
+inline constexpr std::uint32_t kTxnActive = 1;
+
+/** A durable transaction bound to one pool. */
+class Transaction
+{
+  public:
+    explicit Transaction(Pool &pool) : pool_(pool) {}
+
+    /** Start a transaction; throws TxnError if one is active. */
+    void begin();
+
+    /** True between begin() and commit()/abort(). */
+    bool active() const;
+
+    /**
+     * Transactionally write @p len bytes at @p oid: the old bytes are
+     * undo-logged durably before the in-place durable update.
+     */
+    void write(Oid oid, const void *data, std::size_t len);
+
+    /** Typed convenience over write(). */
+    template <typename T>
+    void
+    writeValue(Oid oid, const T &value)
+    {
+        write(oid, &value, sizeof(T));
+    }
+
+    /** Commit: discard the undo log durably. */
+    void commit();
+
+    /** Abort: roll the pool back to the begin() snapshot. */
+    void abort();
+
+    /**
+     * Post-crash recovery for @p pool: roll back an interrupted
+     * transaction if the log is ACTIVE. Returns true when a rollback
+     * was performed.
+     */
+    static bool recover(Pool &pool);
+
+    /** Undo records appended so far in this transaction. */
+    std::uint32_t entryCount() const;
+
+  private:
+    static TxnLogHeader readHeader(const Pool &pool);
+    static void writeHeader(Pool &pool, const TxnLogHeader &hdr);
+    static void rollback(Pool &pool);
+
+    Pool &pool_;
+};
+
+} // namespace pmodv::pmo
+
+#endif // PMODV_PMO_TXN_HH

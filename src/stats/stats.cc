@@ -1,0 +1,217 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv::stats
+{
+
+StatBase::StatBase(Group *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    panic_if(!parent, "statistic '%s' needs a parent group",
+             name_.c_str());
+    parent->registerStat(this);
+}
+
+namespace
+{
+
+void
+printLine(std::ostream &os, const std::string &full_name, double value,
+          const std::string &desc)
+{
+    os << std::left << std::setw(48) << full_name << " " << std::setw(16)
+       << value << " # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name(), value_, desc());
+}
+
+double
+Vector::total() const
+{
+    double t = 0;
+    for (double v : values_)
+        t += v;
+    return t;
+}
+
+void
+Vector::print(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        std::string sub = i < subnames_.size() ? subnames_[i]
+                                               : std::to_string(i);
+        printLine(os, prefix + name() + "::" + sub, values_[i], desc());
+    }
+    printLine(os, prefix + name() + "::total", total(), desc());
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    ++samples_;
+    sum_ += static_cast<double>(value);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    const unsigned bucket = value == 0 ? 0 : floorLog2(value) + 1;
+    const std::size_t idx =
+        std::min<std::size_t>(bucket, buckets_.size() - 1);
+    ++buckets_[idx];
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name() + "::samples",
+              static_cast<double>(samples_), desc());
+    printLine(os, prefix + name() + "::mean", mean(), desc());
+    printLine(os, prefix + name() + "::min",
+              static_cast<double>(min()), desc());
+    printLine(os, prefix + name() + "::max",
+              static_cast<double>(max_), desc());
+}
+
+void
+Histogram::reset()
+{
+    buckets_.assign(buckets_.size(), 0);
+    samples_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name(), value(), desc());
+}
+
+Group::Group(Group *parent, std::string name)
+    : parent_(parent), name_(std::move(name))
+{
+    if (parent_)
+        parent_->registerChild(this);
+}
+
+Group::~Group()
+{
+    if (parent_)
+        parent_->unregisterChild(this);
+}
+
+std::string
+Group::fullPath() const
+{
+    if (!parent_)
+        return name_;
+    std::string parent_path = parent_->fullPath();
+    if (parent_path.empty())
+        return name_;
+    if (name_.empty())
+        return parent_path;
+    return parent_path + "." + name_;
+}
+
+void
+Group::registerStat(StatBase *stat)
+{
+    stats_.push_back(stat);
+}
+
+void
+Group::registerChild(Group *child)
+{
+    children_.push_back(child);
+}
+
+void
+Group::unregisterChild(Group *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    std::string prefix = name_.empty() ? "" : name_ + ".";
+    dumpWithPrefix(os, prefix);
+}
+
+void
+Group::dumpWithPrefix(std::ostream &os, const std::string &prefix) const
+{
+    for (const StatBase *s : stats_)
+        s->print(os, prefix);
+    for (const Group *c : children_) {
+        std::string child_prefix =
+            c->name_.empty() ? prefix : prefix + c->name_ + ".";
+        c->dumpWithPrefix(os, child_prefix);
+    }
+}
+
+void
+Group::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (Group *c : children_)
+        c->resetStats();
+}
+
+const StatBase *
+Group::findStat(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        for (const StatBase *s : stats_) {
+            if (s->name() == dotted_path)
+                return s;
+        }
+        return nullptr;
+    }
+    const std::string head = dotted_path.substr(0, dot);
+    const std::string rest = dotted_path.substr(dot + 1);
+    for (const Group *c : children_) {
+        if (c->name_ == head)
+            return c->findStat(rest);
+    }
+    return nullptr;
+}
+
+double
+Group::lookup(const std::string &dotted_path) const
+{
+    const StatBase *s = findStat(dotted_path);
+    if (!s)
+        return 0.0;
+    if (auto *sc = dynamic_cast<const Scalar *>(s))
+        return sc->value();
+    if (auto *f = dynamic_cast<const Formula *>(s))
+        return f->value();
+    if (auto *v = dynamic_cast<const Vector *>(s))
+        return v->total();
+    if (auto *h = dynamic_cast<const Histogram *>(s))
+        return static_cast<double>(h->samples());
+    return 0.0;
+}
+
+} // namespace pmodv::stats

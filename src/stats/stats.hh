@@ -1,0 +1,218 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Every timing component owns a stats::Group; individual statistics
+ * register themselves with the group at construction. Groups nest, so
+ * a whole system can be dumped with one call. Scalar, Vector,
+ * Histogram and Formula statistics are provided.
+ */
+
+#ifndef PMODV_STATS_STATS_HH
+#define PMODV_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pmodv::stats
+{
+
+class Group;
+
+/** Base class for all statistics; handles naming and registration. */
+class StatBase
+{
+  public:
+    StatBase(Group *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write "fullName value # desc" lines to @p os. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+    /** Reset the statistic to its initial value. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple accumulating counter / value. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    Scalar &operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(double v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    Scalar &
+    operator=(double v)
+    {
+        value_ = v;
+        return *this;
+    }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** A fixed-size vector of counters with per-bucket names. */
+class Vector : public StatBase
+{
+  public:
+    Vector(Group *parent, std::string name, std::string desc,
+           std::size_t size)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          values_(size, 0.0)
+    {
+    }
+
+    /** Optionally name each bucket (defaults to its index). */
+    void
+    subnames(std::vector<std::string> names)
+    {
+        subnames_ = std::move(names);
+    }
+
+    double &operator[](std::size_t i) { return values_.at(i); }
+    double at(std::size_t i) const { return values_.at(i); }
+    std::size_t size() const { return values_.size(); }
+
+    /** Sum over all buckets. */
+    double total() const;
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { values_.assign(values_.size(), 0.0); }
+
+  private:
+    std::vector<double> values_;
+    std::vector<std::string> subnames_;
+};
+
+/** A log2-bucketed histogram of sampled values. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(Group *parent, std::string name, std::string desc,
+              unsigned num_buckets = 24)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          buckets_(num_buckets, 0)
+    {
+    }
+
+    /** Record one sample of @p value. */
+    void sample(std::uint64_t value);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    std::uint64_t min() const { return samples_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/** A derived statistic evaluated lazily from a closure at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {
+    }
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics; groups nest to mirror the
+ * component hierarchy (system.cpu.dtlb...).
+ */
+class Group
+{
+  public:
+    /** Create a group under @p parent (nullptr for a root group). */
+    explicit Group(Group *parent = nullptr, std::string name = "");
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Full dotted path from the root group. */
+    std::string fullPath() const;
+
+    /** Dump this group and all children to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all statistics in this group and children. */
+    void resetStats();
+
+    /** Look up a scalar value by dotted relative path; 0 if absent. */
+    double lookup(const std::string &dotted_path) const;
+
+    // Registration hooks used by StatBase / child Groups.
+    void registerStat(StatBase *stat);
+    void registerChild(Group *child);
+    void unregisterChild(Group *child);
+
+  private:
+    void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
+    const StatBase *findStat(const std::string &dotted_path) const;
+
+    Group *parent_;
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace pmodv::stats
+
+#endif // PMODV_STATS_STATS_HH

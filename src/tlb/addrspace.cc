@@ -1,0 +1,97 @@
+#include "tlb/addrspace.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv::tlb
+{
+
+void
+AddressSpace::map(const Region &region)
+{
+    panic_if(region.size == 0, "cannot map an empty region");
+    const Addr page = pageBytes(region.pageSize);
+    panic_if(!isAligned(region.base, page),
+             "region base 0x%llx not aligned to its page size",
+             static_cast<unsigned long long>(region.base));
+    panic_if(!isAligned(region.size, page),
+             "region size 0x%llx not a multiple of its page size",
+             static_cast<unsigned long long>(region.size));
+
+    // Overlap check against neighbours.
+    auto next = regions_.lower_bound(region.base);
+    if (next != regions_.end()) {
+        panic_if(region.end() > next->second.base,
+                 "region overlaps an existing mapping");
+    }
+    if (next != regions_.begin()) {
+        auto prev = std::prev(next);
+        panic_if(prev->second.end() > region.base,
+                 "region overlaps an existing mapping");
+    }
+    regions_.emplace(region.base, region);
+}
+
+bool
+AddressSpace::unmap(Addr base)
+{
+    return regions_.erase(base) > 0;
+}
+
+unsigned
+AddressSpace::unmapDomain(DomainId domain)
+{
+    unsigned n = 0;
+    for (auto it = regions_.begin(); it != regions_.end();) {
+        if (it->second.domain == domain) {
+            it = regions_.erase(it);
+            ++n;
+        } else {
+            ++it;
+        }
+    }
+    return n;
+}
+
+const Region *
+AddressSpace::find(Addr addr) const
+{
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+const Region *
+AddressSpace::findDomain(DomainId domain) const
+{
+    for (const auto &[base, region] : regions_) {
+        if (region.domain == domain)
+            return &region;
+    }
+    return nullptr;
+}
+
+std::vector<Region>
+AddressSpace::regions() const
+{
+    std::vector<Region> out;
+    out.reserve(regions_.size());
+    for (const auto &[base, region] : regions_)
+        out.push_back(region);
+    return out;
+}
+
+std::uint64_t
+AddressSpace::domainPages(DomainId domain) const
+{
+    std::uint64_t pages = 0;
+    for (const auto &[base, region] : regions_) {
+        if (region.domain == domain)
+            pages += region.size / pageBytes(region.pageSize);
+    }
+    return pages;
+}
+
+} // namespace pmodv::tlb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Process address-space metadata: which VA ranges are mapped, with
+ * what page permission, which protection domain (PMO id) they belong
+ * to, and whether they are DRAM or NVM backed.
+ *
+ * This is the simulator's stand-in for the OS page table contents the
+ * MMU would consult on a page walk: attach() creates a region exactly
+ * the way the paper's attach system call does (aligned, contiguous VA
+ * range sized to a page-table level).
+ */
+
+#ifndef PMODV_TLB_ADDRSPACE_HH
+#define PMODV_TLB_ADDRSPACE_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmodv::tlb
+{
+
+/** Metadata of one mapped VA region. */
+struct Region
+{
+    Addr base = 0;
+    Addr size = 0;
+    DomainId domain = kNullDomain;
+    Perm pagePerm = Perm::ReadWrite; ///< Process-level page permission.
+    MemClass memClass = MemClass::Dram;
+    PageSize pageSize = PageSize::Size4K;
+
+    bool contains(Addr a) const { return a >= base && a < base + size; }
+    Addr end() const { return base + size; }
+};
+
+/**
+ * The per-process address-space map. Regions never overlap; lookups
+ * are O(log n).
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * Map a region. The VA range must be aligned to and sized as a
+     * multiple of the region's page size and must not overlap an
+     * existing region; panics otherwise (the attach syscall enforces
+     * this before calling in).
+     */
+    void map(const Region &region);
+
+    /** Unmap the region based at @p base; false when absent. */
+    bool unmap(Addr base);
+
+    /** Unmap every region belonging to @p domain; returns count. */
+    unsigned unmapDomain(DomainId domain);
+
+    /** The region containing @p addr, or nullptr when unmapped. */
+    const Region *find(Addr addr) const;
+
+    /** The region of @p domain (first match), or nullptr. */
+    const Region *findDomain(DomainId domain) const;
+
+    /** All regions, ordered by base address. */
+    std::vector<Region> regions() const;
+
+    std::size_t numRegions() const { return regions_.size(); }
+
+    /**
+     * Number of page-size pages in the region of @p domain (0 when
+     * the domain has no region). Used by the libmpk cost model.
+     */
+    std::uint64_t domainPages(DomainId domain) const;
+
+  private:
+    /** Keyed by region base address. */
+    std::map<Addr, Region> regions_;
+};
+
+} // namespace pmodv::tlb
+
+#endif // PMODV_TLB_ADDRSPACE_HH

@@ -1,0 +1,159 @@
+#include "tlb/tlb.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv::tlb
+{
+
+Tlb::Tlb(stats::Group *parent, const TlbParams &params)
+    : stats::Group(parent, params.name),
+      hits(this, "hits", "translations that hit"),
+      misses(this, "misses", "translations that missed"),
+      flushedEntries(this, "flushed_entries",
+                     "entries dropped by invalidations"),
+      missRate(this, "miss_rate", "misses / lookups",
+               [this]() {
+                   const double total = hits.value() + misses.value();
+                   return total == 0 ? 0.0 : misses.value() / total;
+               }),
+      params_(params)
+{
+    fatal_if(params_.assoc == 0, "tlb '%s': associativity must be > 0",
+             params_.name.c_str());
+    fatal_if(params_.entries % params_.assoc != 0,
+             "tlb '%s': entries must divide evenly into ways",
+             params_.name.c_str());
+    numSets_ = params_.entries / params_.assoc;
+    fatal_if(!isPowerOfTwo(numSets_),
+             "tlb '%s': set count must be a power of two",
+             params_.name.c_str());
+    sets_.resize(numSets_);
+    for (auto &set : sets_) {
+        set.ways.resize(params_.assoc);
+        set.plru = std::make_unique<TreePlru>(params_.assoc);
+    }
+}
+
+TlbEntry *
+Tlb::lookup(Addr va)
+{
+    // Pages of different sizes index differently; try each supported
+    // size (smallest first — by far the common case).
+    for (PageSize ps :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        const Addr vpn = va >> pageShift(ps);
+        Set &set = sets_[setIndexFor(vpn)];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            TlbEntry &e = set.ways[w];
+            if (e.valid && e.pageSize == ps && e.vpn == vpn) {
+                ++hits;
+                set.plru->touch(w);
+                return &e;
+            }
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+const TlbEntry *
+Tlb::probe(Addr va) const
+{
+    for (PageSize ps :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        const Addr vpn = va >> pageShift(ps);
+        const Set &set = sets_[setIndexFor(vpn)];
+        for (const TlbEntry &e : set.ways) {
+            if (e.valid && e.pageSize == ps && e.vpn == vpn)
+                return &e;
+        }
+    }
+    return nullptr;
+}
+
+TlbEntry &
+Tlb::insert(const TlbEntry &entry)
+{
+    Set &set = sets_[setIndexFor(entry.vpn)];
+    // Reuse an existing entry for the same page, else an invalid way,
+    // else the pseudo-LRU victim.
+    unsigned victim = params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        TlbEntry &e = set.ways[w];
+        if (e.valid && e.vpn == entry.vpn &&
+            e.pageSize == entry.pageSize) {
+            victim = w;
+            break;
+        }
+        if (victim == params_.assoc && !e.valid)
+            victim = w;
+    }
+    if (victim == params_.assoc)
+        victim = set.plru->victim();
+    set.ways[victim] = entry;
+    set.ways[victim].valid = true;
+    set.plru->touch(victim);
+    return set.ways[victim];
+}
+
+template <typename Pred>
+unsigned
+Tlb::flushIf(Pred pred)
+{
+    unsigned n = 0;
+    for (auto &set : sets_) {
+        for (TlbEntry &e : set.ways) {
+            if (e.valid && pred(e)) {
+                e.valid = false;
+                ++n;
+            }
+        }
+    }
+    flushedEntries += n;
+    return n;
+}
+
+unsigned
+Tlb::flushAll()
+{
+    return flushIf([](const TlbEntry &) { return true; });
+}
+
+unsigned
+Tlb::flushRange(Addr base, Addr size)
+{
+    return flushIf([base, size](const TlbEntry &e) {
+        const Addr page = pageBytes(e.pageSize);
+        const Addr va = e.vpn << pageShift(e.pageSize);
+        return va + page > base && va < base + size;
+    });
+}
+
+unsigned
+Tlb::flushKey(ProtKey key)
+{
+    return flushIf([key](const TlbEntry &e) { return e.key == key; });
+}
+
+unsigned
+Tlb::flushDomain(DomainId domain)
+{
+    return flushIf(
+        [domain](const TlbEntry &e) { return e.domain == domain; });
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &set : sets_) {
+        for (const TlbEntry &e : set.ways) {
+            if (e.valid)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace pmodv::tlb

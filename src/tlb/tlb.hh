@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A set-associative TLB model. Entries carry, besides the usual
+ * translation metadata, the 4-bit MPK protection key (MPK and MPK
+ * virtualization schemes) or the 10-bit domain id (domain
+ * virtualization scheme) — the distinguishing state the two designs
+ * keep per TLB entry.
+ */
+
+#ifndef PMODV_TLB_TLB_HH
+#define PMODV_TLB_TLB_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/plru.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace pmodv::tlb
+{
+
+/** One TLB entry. */
+struct TlbEntry
+{
+    bool valid = false;
+    Addr vpn = 0; ///< Virtual page number (va >> pageShift).
+    PageSize pageSize = PageSize::Size4K;
+    Perm pagePerm = Perm::ReadWrite;
+    MemClass memClass = MemClass::Dram;
+    /** MPK protection key cached with the translation (kNullKey when
+     *  the page is domainless). */
+    ProtKey key = kNullKey;
+    /** Domain id cached with the translation (domain-virtualization
+     *  design only; kNullDomain otherwise). */
+    DomainId domain = kNullDomain;
+};
+
+/** Static configuration of one TLB level. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    unsigned entries = 64;
+    unsigned assoc = 4;
+    /** Cycles added to the translation when this level must be read
+     *  (the L1 lookup is folded into the load pipeline → 0). */
+    Cycles accessLatency = 0;
+};
+
+/** One level of set-associative TLB. */
+class Tlb : public stats::Group
+{
+  public:
+    Tlb(stats::Group *parent, const TlbParams &params);
+
+    const TlbParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+
+    /**
+     * Look up the translation of @p va; nullptr on miss. Hit updates
+     * replacement state and statistics. The returned pointer stays
+     * valid until the next insert/flush.
+     */
+    TlbEntry *lookup(Addr va);
+
+    /** Probe without touching stats or replacement state. */
+    const TlbEntry *probe(Addr va) const;
+
+    /**
+     * Insert @p entry (evicting pseudo-LRU within the set if full).
+     * Returns a reference to the installed entry.
+     */
+    TlbEntry &insert(const TlbEntry &entry);
+
+    /** Invalidate everything; returns the number of valid entries. */
+    unsigned flushAll();
+
+    /** Invalidate translations inside [base, base+size). */
+    unsigned flushRange(Addr base, Addr size);
+
+    /** Invalidate translations carrying protection key @p key. */
+    unsigned flushKey(ProtKey key);
+
+    /** Invalidate translations carrying domain @p domain. */
+    unsigned flushDomain(DomainId domain);
+
+    /** Number of currently valid entries (O(entries)). */
+    unsigned validCount() const;
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar flushedEntries;
+    stats::Formula missRate;
+
+  private:
+    struct Set
+    {
+        std::vector<TlbEntry> ways;
+        std::unique_ptr<TreePlru> plru;
+    };
+
+    std::size_t setIndexFor(Addr vpn) const
+    {
+        return vpn & (numSets_ - 1);
+    }
+
+    template <typename Pred>
+    unsigned flushIf(Pred pred);
+
+    TlbParams params_;
+    unsigned numSets_;
+    std::vector<Set> sets_;
+};
+
+} // namespace pmodv::tlb
+
+#endif // PMODV_TLB_TLB_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The dynamic trace record format.
+ *
+ * Workloads execute on the PMO library and emit a stream of
+ * TraceRecords — the equivalent of the paper's Pin-captured traces.
+ * The timing core replays this stream against each protection scheme.
+ */
+
+#ifndef PMODV_TRACE_RECORD_HH
+#define PMODV_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pmodv::trace
+{
+
+/** Kinds of events a trace may contain. */
+enum class RecordType : std::uint8_t
+{
+    /** A block of @c aux non-memory instructions. */
+    InstBlock = 0,
+    /** A data load from @c addr (size in @c aux). */
+    Load = 1,
+    /** A data store to @c addr (size in @c aux). */
+    Store = 2,
+    /**
+     * A SETPERM permission change: domain @c aux set to the Perm in
+     * the record flags for the issuing thread. Serializing
+     * (full fence), costs the WRPKRU latency.
+     */
+    SetPerm = 3,
+    /**
+     * A legacy MPK WRPKRU write of the whole PKRU. @c aux holds the
+     * protection key, flags the permission. Used by single-PMO runs
+     * that model stock MPK usage.
+     */
+    Wrpkru = 4,
+    /**
+     * Attach system call: PMO/domain @c aux mapped at VA base
+     * @c addr, byte size @c value; flags carry the requested Perm.
+     */
+    Attach = 5,
+    /** Detach system call for domain @c aux. */
+    Detach = 6,
+    /** The core context-switches to thread @c aux. */
+    ThreadSwitch = 7,
+    /** Start of a logical workload operation (for per-op stats). */
+    OpBegin = 8,
+    /** End of a logical workload operation. */
+    OpEnd = 9,
+};
+
+/** Flag bit: the access targets PMO (NVM-backed) memory. */
+inline constexpr std::uint8_t kFlagPmo = 0x01;
+
+/** Encode a Perm value into record flags (bits 1..2). */
+constexpr std::uint8_t
+encodePermFlags(Perm p)
+{
+    return static_cast<std::uint8_t>(static_cast<std::uint8_t>(p) << 1);
+}
+
+/** Decode a Perm value from record flags. */
+constexpr Perm
+decodePermFlags(std::uint8_t flags)
+{
+    return static_cast<Perm>((flags >> 1) & 0x3);
+}
+
+/** Encode a PageSize into record flags (bits 3..4, attach records). */
+constexpr std::uint8_t
+encodePageSizeFlags(PageSize ps)
+{
+    return static_cast<std::uint8_t>(static_cast<std::uint8_t>(ps)
+                                     << 3);
+}
+
+/** Decode a PageSize from record flags. */
+constexpr PageSize
+decodePageSizeFlags(std::uint8_t flags)
+{
+    return static_cast<PageSize>((flags >> 3) & 0x3);
+}
+
+/**
+ * One dynamic trace event. 24 bytes, trivially copyable, suitable for
+ * bulk binary I/O.
+ */
+struct TraceRecord
+{
+    RecordType type = RecordType::InstBlock;
+    std::uint8_t flags = 0;
+    std::uint16_t tid = 0;  ///< Issuing software thread.
+    std::uint32_t aux = 0;  ///< Type-specific payload (count/domain/...).
+    std::uint64_t addr = 0; ///< Virtual address where applicable.
+    std::uint64_t value = 0; ///< Extra payload (sizes etc.).
+
+    /** Build an instruction-block record. */
+    static TraceRecord
+    instBlock(std::uint16_t tid, std::uint32_t count)
+    {
+        return {RecordType::InstBlock, 0, tid, count, 0, 0};
+    }
+
+    /** Build a load record. */
+    static TraceRecord
+    load(std::uint16_t tid, Addr addr, std::uint32_t size, bool pmo)
+    {
+        return {RecordType::Load,
+                static_cast<std::uint8_t>(pmo ? kFlagPmo : 0), tid, size,
+                addr, 0};
+    }
+
+    /** Build a store record. */
+    static TraceRecord
+    store(std::uint16_t tid, Addr addr, std::uint32_t size, bool pmo)
+    {
+        return {RecordType::Store,
+                static_cast<std::uint8_t>(pmo ? kFlagPmo : 0), tid, size,
+                addr, 0};
+    }
+
+    /** Build a SETPERM record. */
+    static TraceRecord
+    setPerm(std::uint16_t tid, DomainId domain, Perm perm)
+    {
+        return {RecordType::SetPerm, encodePermFlags(perm), tid, domain,
+                0, 0};
+    }
+
+    /** Build a WRPKRU record. */
+    static TraceRecord
+    wrpkru(std::uint16_t tid, ProtKey key, Perm perm)
+    {
+        return {RecordType::Wrpkru, encodePermFlags(perm), tid, key, 0,
+                0};
+    }
+
+    /** Build an attach record (mapping granularity defaults to 4KB). */
+    static TraceRecord
+    attach(std::uint16_t tid, DomainId domain, Addr va_base, Addr size,
+           Perm perm, PageSize page_size = PageSize::Size4K)
+    {
+        return {RecordType::Attach,
+                static_cast<std::uint8_t>(encodePermFlags(perm) |
+                                          encodePageSizeFlags(page_size)),
+                tid, domain, va_base, size};
+    }
+
+    /** Build a detach record. */
+    static TraceRecord
+    detach(std::uint16_t tid, DomainId domain)
+    {
+        return {RecordType::Detach, 0, tid, domain, 0, 0};
+    }
+
+    /** Build a thread (context) switch record. */
+    static TraceRecord
+    threadSwitch(std::uint16_t new_tid)
+    {
+        return {RecordType::ThreadSwitch, 0, new_tid, new_tid, 0, 0};
+    }
+
+    /** Build an operation-begin marker. */
+    static TraceRecord
+    opBegin(std::uint16_t tid, std::uint32_t op_kind = 0)
+    {
+        return {RecordType::OpBegin, 0, tid, op_kind, 0, 0};
+    }
+
+    /** Build an operation-end marker. */
+    static TraceRecord
+    opEnd(std::uint16_t tid, std::uint32_t op_kind = 0)
+    {
+        return {RecordType::OpEnd, 0, tid, op_kind, 0, 0};
+    }
+
+    bool isMemAccess() const
+    {
+        return type == RecordType::Load || type == RecordType::Store;
+    }
+
+    bool isPmoAccess() const
+    {
+        return isMemAccess() && (flags & kFlagPmo);
+    }
+
+    Perm perm() const { return decodePermFlags(flags); }
+
+    PageSize pageSize() const { return decodePageSizeFlags(flags); }
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+static_assert(sizeof(TraceRecord) == 24, "TraceRecord must stay 24 bytes");
+
+/** Short human-readable name of a record type. */
+std::string recordTypeName(RecordType t);
+
+/** One-line textual rendering of a record (debugging/tests). */
+std::string toString(const TraceRecord &rec);
+
+} // namespace pmodv::trace
+
+#endif // PMODV_TRACE_RECORD_HH

@@ -1,0 +1,31 @@
+#include "trace/sinks.hh"
+
+namespace pmodv::trace
+{
+
+void
+CountingSink::put(const TraceRecord &rec)
+{
+    ++counts_[static_cast<std::size_t>(rec.type)];
+    if (rec.type == RecordType::InstBlock)
+        instBlockInsts_ += rec.aux;
+    if (rec.isPmoAccess())
+        ++pmoAccesses_;
+}
+
+std::uint64_t
+CountingSink::totalInstructions() const
+{
+    return instBlockInsts_ + memAccesses() + permissionSwitches();
+}
+
+void
+CountingSink::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    instBlockInsts_ = 0;
+    pmoAccesses_ = 0;
+}
+
+} // namespace pmodv::trace

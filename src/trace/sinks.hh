@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Trace sinks: consumers of TraceRecord streams. Workload generators
+ * push records into a TraceSink; sinks include in-memory buffers,
+ * fan-out to several replay pipelines, and counting sinks for trace
+ * statistics (switch rates, access mixes).
+ */
+
+#ifndef PMODV_TRACE_SINKS_HH
+#define PMODV_TRACE_SINKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace pmodv::trace
+{
+
+/** Abstract consumer of a trace stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one record. */
+    virtual void put(const TraceRecord &rec) = 0;
+
+    /** Signal end-of-trace. */
+    virtual void finish() {}
+};
+
+/** A sink that discards everything (for dry runs). */
+class NullSink : public TraceSink
+{
+  public:
+    void put(const TraceRecord &) override {}
+};
+
+/** Buffers the whole trace in memory for repeated replay. */
+class VectorSink : public TraceSink
+{
+  public:
+    void put(const TraceRecord &rec) override { records_.push_back(rec); }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::vector<TraceRecord> take() { return std::move(records_); }
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Replicates each record to several downstream sinks. */
+class FanoutSink : public TraceSink
+{
+  public:
+    /** Register a downstream sink (not owned). */
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+
+    void
+    put(const TraceRecord &rec) override
+    {
+        for (TraceSink *s : sinks_)
+            s->put(rec);
+    }
+
+    void
+    finish() override
+    {
+        for (TraceSink *s : sinks_)
+            s->finish();
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/**
+ * Accumulates summary statistics of a trace: counts per record type,
+ * instruction totals and permission-switch counts. Used to report the
+ * "switches/sec" columns of Tables V/VI.
+ */
+class CountingSink : public TraceSink
+{
+  public:
+    void put(const TraceRecord &rec) override;
+
+    std::uint64_t count(RecordType t) const
+    {
+        return counts_[static_cast<std::size_t>(t)];
+    }
+
+    /** Total dynamic instructions: blocks + mem accesses + switches. */
+    std::uint64_t totalInstructions() const;
+
+    /** Total load+store records. */
+    std::uint64_t memAccesses() const
+    {
+        return count(RecordType::Load) + count(RecordType::Store);
+    }
+
+    /** Load+store records targeting PMO memory. */
+    std::uint64_t pmoAccesses() const { return pmoAccesses_; }
+
+    /** SETPERM + WRPKRU records (the paper's "switches"). */
+    std::uint64_t permissionSwitches() const
+    {
+        return count(RecordType::SetPerm) + count(RecordType::Wrpkru);
+    }
+
+    /** Completed workload operations (OpEnd markers). */
+    std::uint64_t operations() const { return count(RecordType::OpEnd); }
+
+    void reset();
+
+  private:
+    std::uint64_t counts_[10] = {};
+    std::uint64_t instBlockInsts_ = 0;
+    std::uint64_t pmoAccesses_ = 0;
+};
+
+/**
+ * Forwards records while also counting them; convenient for wrapping
+ * a replay pipeline with trace statistics.
+ */
+class TeeCountingSink : public CountingSink
+{
+  public:
+    explicit TeeCountingSink(TraceSink *downstream)
+        : downstream_(downstream)
+    {
+    }
+
+    void
+    put(const TraceRecord &rec) override
+    {
+        CountingSink::put(rec);
+        if (downstream_)
+            downstream_->put(rec);
+    }
+
+    void
+    finish() override
+    {
+        if (downstream_)
+            downstream_->finish();
+    }
+
+  private:
+    TraceSink *downstream_;
+};
+
+} // namespace pmodv::trace
+
+#endif // PMODV_TRACE_SINKS_HH

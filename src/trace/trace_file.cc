@@ -1,0 +1,117 @@
+#include "trace/trace_file.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::trace
+{
+
+namespace
+{
+
+struct FileHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+static_assert(sizeof(FileHeader) == 16, "trace header must stay 16 bytes");
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open trace file '%s' for writing",
+             path.c_str());
+    FileHeader hdr{kTraceMagic, kTraceVersion, 0};
+    fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1,
+             "cannot write trace header to '%s'", path.c_str());
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceFileWriter::put(const TraceRecord &rec)
+{
+    panic_if(finished_, "put() after finish() on trace writer");
+    fatal_if(std::fwrite(&rec, sizeof(rec), 1, file_) != 1,
+             "short write to trace file");
+    ++count_;
+}
+
+void
+TraceFileWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    FileHeader hdr{kTraceMagic, kTraceVersion, count_};
+    std::fseek(file_, 0, SEEK_SET);
+    fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1,
+             "cannot patch trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    FileHeader hdr{};
+    fatal_if(std::fread(&hdr, sizeof(hdr), 1, file_) != 1,
+             "cannot read trace header from '%s'", path.c_str());
+    fatal_if(hdr.magic != kTraceMagic,
+             "'%s' is not a pmodv trace file (bad magic)", path.c_str());
+    fatal_if(hdr.version != kTraceVersion,
+             "trace file '%s' has unsupported version %u", path.c_str(),
+             hdr.version);
+    count_ = hdr.count;
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::next(TraceRecord &rec)
+{
+    if (readSoFar_ >= count_)
+        return false;
+    if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
+        return false;
+    ++readSoFar_;
+    return true;
+}
+
+std::uint64_t
+TraceFileReader::pump(TraceSink &sink)
+{
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.put(rec);
+        ++n;
+    }
+    sink.finish();
+    return n;
+}
+
+std::vector<TraceRecord>
+TraceFileReader::readAll()
+{
+    std::vector<TraceRecord> out;
+    out.reserve(count_ - readSoFar_);
+    TraceRecord rec;
+    while (next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace pmodv::trace

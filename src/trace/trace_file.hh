@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Binary trace file I/O. Traces can be captured once (expensive
+ * workload execution) and replayed many times (one per scheme sweep
+ * point), mirroring the paper's Pin-capture/Sniper-replay split.
+ *
+ * Format: 16-byte header {magic, version, record count} followed by
+ * packed TraceRecords.
+ */
+
+#ifndef PMODV_TRACE_TRACE_FILE_HH
+#define PMODV_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/sinks.hh"
+
+namespace pmodv::trace
+{
+
+/** Magic number identifying a pmodv trace file. */
+inline constexpr std::uint32_t kTraceMagic = 0x564f4d50; // "PMOV"
+
+/** Current trace format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** A TraceSink that streams records to a binary file. */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void put(const TraceRecord &rec) override;
+
+    /** Patch the header record count and close the file. */
+    void finish() override;
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    bool finished_ = false;
+};
+
+/** Reads a binary trace file and pumps it into a sink. */
+class TraceFileReader
+{
+  public:
+    /** Open @p path; fatal() on failure or bad header. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader();
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /** Number of records the header claims. */
+    std::uint64_t recordCount() const { return count_; }
+
+    /** Read the next record into @p rec; false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    /** Stream every remaining record into @p sink (calls finish()). */
+    std::uint64_t pump(TraceSink &sink);
+
+    /** Read the whole remaining trace into a vector. */
+    std::vector<TraceRecord> readAll();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t readSoFar_ = 0;
+};
+
+} // namespace pmodv::trace
+
+#endif // PMODV_TRACE_TRACE_FILE_HH

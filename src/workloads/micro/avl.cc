@@ -1,0 +1,307 @@
+/**
+ * @file
+ * AVL tree microbenchmark. Node layout inside the PMO (96 bytes):
+ * traversal metadata packed into the first cache line (key @0,
+ * left @8, right @16, height @24), the 64-byte value at @32.
+ */
+
+#include "workloads/micro/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pmodv::workloads
+{
+
+namespace
+{
+constexpr Addr kNodeBytes = 96;
+constexpr Addr kOffKey = 0;
+constexpr Addr kOffLeft = 8;
+constexpr Addr kOffRight = 16;
+constexpr Addr kOffHeight = 24;
+constexpr Addr kOffValue = 32; ///< 64-byte value spills to line 1.
+/** Non-memory instructions modelled per node visit. */
+constexpr std::uint32_t kInstsPerVisit = 10;
+/** Per-operation fixed bookkeeping instructions. */
+constexpr std::uint32_t kInstsPerOp = 40;
+/** Probability a new node is placed in its parent's PMO. */
+constexpr double kParentAffinity = 0.75;
+} // namespace
+
+struct AvlWorkload::Node
+{
+    std::uint64_t key = 0;
+    Addr va = 0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    int height = 1;
+};
+
+struct AvlWorkload::Tree
+{
+    std::unique_ptr<Node> root;
+    std::size_t count = 0;
+    std::vector<std::uint64_t> keys; ///< For random victim selection.
+};
+
+namespace detail_avl
+{
+
+int
+heightOf(const AvlWorkload::Node *n)
+{
+    return n ? n->height : 0;
+}
+
+void
+updateHeight(TraceCtx &ctx, AvlWorkload::Node *n)
+{
+    // Read both child heights, store the new height.
+    if (n->left)
+        ctx.load(n->left->va + kOffHeight);
+    if (n->right)
+        ctx.load(n->right->va + kOffHeight);
+    n->height =
+        1 + std::max(heightOf(n->left.get()), heightOf(n->right.get()));
+    ctx.store(n->va + kOffHeight);
+}
+
+int
+balanceOf(const AvlWorkload::Node *n)
+{
+    return heightOf(n->left.get()) - heightOf(n->right.get());
+}
+
+std::unique_ptr<AvlWorkload::Node>
+rotateRight(TraceCtx &ctx, std::unique_ptr<AvlWorkload::Node> y)
+{
+    auto x = std::move(y->left);
+    // Pointer surgery: two pointer stores plus height maintenance.
+    ctx.load(x->va + kOffRight);
+    y->left = std::move(x->right);
+    ctx.store(y->va + kOffLeft);
+    updateHeight(ctx, y.get());
+    x->right = std::move(y);
+    ctx.store(x->va + kOffRight);
+    updateHeight(ctx, x.get());
+    return x;
+}
+
+std::unique_ptr<AvlWorkload::Node>
+rotateLeft(TraceCtx &ctx, std::unique_ptr<AvlWorkload::Node> x)
+{
+    auto y = std::move(x->right);
+    ctx.load(y->va + kOffLeft);
+    x->right = std::move(y->left);
+    ctx.store(x->va + kOffRight);
+    updateHeight(ctx, x.get());
+    y->left = std::move(x);
+    ctx.store(y->va + kOffLeft);
+    updateHeight(ctx, y.get());
+    return y;
+}
+
+std::unique_ptr<AvlWorkload::Node>
+rebalance(TraceCtx &ctx, std::unique_ptr<AvlWorkload::Node> n)
+{
+    updateHeight(ctx, n.get());
+    const int balance = balanceOf(n.get());
+    if (balance > 1) {
+        if (balanceOf(n->left.get()) < 0)
+            n->left = rotateLeft(ctx, std::move(n->left));
+        return rotateRight(ctx, std::move(n));
+    }
+    if (balance < -1) {
+        if (balanceOf(n->right.get()) > 0)
+            n->right = rotateRight(ctx, std::move(n->right));
+        return rotateLeft(ctx, std::move(n));
+    }
+    return n;
+}
+
+std::unique_ptr<AvlWorkload::Node>
+insertRec(TraceCtx &ctx, SyntheticSpace &space, unsigned primary,
+          Addr parent_va, std::unique_ptr<AvlWorkload::Node> n,
+          std::uint64_t key, bool &inserted)
+{
+    if (!n) {
+        auto fresh = std::make_unique<AvlWorkload::Node>();
+        fresh->key = key;
+        // Allocators co-locate children with their parents about half
+        // the time; the rest land in the operation's primary PMO.
+        SyntheticPmo &pmo =
+            (parent_va != 0 && ctx.rng().chance(kParentAffinity))
+                ? space.owner(parent_va)
+                : space.pmo(primary);
+        fresh->va = pmo.alloc(kNodeBytes);
+        // Initialize the new node: key, 64-byte value, links, height.
+        ctx.store(fresh->va + kOffKey);
+        ctx.store(fresh->va + kOffValue, 64);
+        ctx.store(fresh->va + kOffLeft);
+        ctx.store(fresh->va + kOffRight);
+        ctx.store(fresh->va + kOffHeight);
+        inserted = true;
+        return fresh;
+    }
+    // Visit: read the key, then the relevant child pointer.
+    ctx.load(n->va + kOffKey);
+    ctx.compute(kInstsPerVisit);
+    if (key < n->key) {
+        ctx.load(n->va + kOffLeft);
+        n->left = insertRec(ctx, space, primary, n->va,
+                            std::move(n->left), key, inserted);
+        if (inserted)
+            ctx.store(n->va + kOffLeft);
+    } else if (key > n->key) {
+        ctx.load(n->va + kOffRight);
+        n->right = insertRec(ctx, space, primary, n->va,
+                             std::move(n->right), key, inserted);
+        if (inserted)
+            ctx.store(n->va + kOffRight);
+    } else {
+        // Duplicate: overwrite the value in place.
+        ctx.store(n->va + kOffValue, 64);
+        return n;
+    }
+    return inserted ? rebalance(ctx, std::move(n)) : std::move(n);
+}
+
+std::unique_ptr<AvlWorkload::Node>
+removeRec(TraceCtx &ctx, SyntheticSpace &space,
+          std::unique_ptr<AvlWorkload::Node> n, std::uint64_t key,
+          bool &removed)
+{
+    if (!n)
+        return n;
+    ctx.load(n->va + kOffKey);
+    ctx.compute(kInstsPerVisit);
+    if (key < n->key) {
+        ctx.load(n->va + kOffLeft);
+        n->left =
+            removeRec(ctx, space, std::move(n->left), key, removed);
+        if (removed)
+            ctx.store(n->va + kOffLeft);
+    } else if (key > n->key) {
+        ctx.load(n->va + kOffRight);
+        n->right =
+            removeRec(ctx, space, std::move(n->right), key, removed);
+        if (removed)
+            ctx.store(n->va + kOffRight);
+    } else {
+        removed = true;
+        if (!n->left || !n->right) {
+            space.owner(n->va).free(n->va, kNodeBytes);
+            auto child =
+                std::move(n->left ? n->left : n->right);
+            return child;
+        }
+        // Two children: splice in the in-order successor.
+        AvlWorkload::Node *succ = n->right.get();
+        ctx.load(succ->va + kOffLeft);
+        while (succ->left) {
+            succ = succ->left.get();
+            ctx.load(succ->va + kOffLeft);
+        }
+        n->key = succ->key;
+        ctx.load(succ->va + kOffKey);
+        ctx.store(n->va + kOffKey);
+        ctx.load(succ->va + kOffValue, 64);
+        ctx.store(n->va + kOffValue, 64);
+        bool dummy = false;
+        n->right =
+            removeRec(ctx, space, std::move(n->right), succ->key, dummy);
+        ctx.store(n->va + kOffRight);
+    }
+    return removed ? rebalance(ctx, std::move(n)) : std::move(n);
+}
+
+int
+checkRec(const AvlWorkload::Node *n, std::uint64_t lo, std::uint64_t hi)
+{
+    if (!n)
+        return 0;
+    panic_if(n->key < lo || n->key > hi, "AVL ordering violated");
+    const int lh = checkRec(n->left.get(), lo,
+                            n->key == 0 ? 0 : n->key - 1);
+    const int rh = checkRec(n->right.get(), n->key + 1, hi);
+    panic_if(lh - rh > 1 || rh - lh > 1, "AVL balance violated");
+    panic_if(n->height != 1 + std::max(lh, rh), "AVL height stale");
+    return 1 + std::max(lh, rh);
+}
+
+} // namespace detail_avl
+
+AvlWorkload::AvlWorkload(const MicroParams &params) : MicroWorkload(params)
+{
+}
+
+AvlWorkload::~AvlWorkload() = default;
+
+void
+AvlWorkload::insertOne(TraceCtx &ctx, SyntheticSpace &space,
+                       unsigned primary, std::uint64_t key)
+{
+    Tree &tree = *tree_;
+    bool inserted = false;
+    tree.root = detail_avl::insertRec(ctx, space, primary, 0,
+                                      std::move(tree.root), key,
+                                      inserted);
+    if (inserted) {
+        ++tree.count;
+        tree.keys.push_back(key);
+    }
+}
+
+void
+AvlWorkload::deleteOne(TraceCtx &ctx, SyntheticSpace &space)
+{
+    Tree &tree = *tree_;
+    if (tree.keys.empty())
+        return;
+    const std::size_t pick = ctx.rng().next(tree.keys.size());
+    const std::uint64_t key = tree.keys[pick];
+    tree.keys[pick] = tree.keys.back();
+    tree.keys.pop_back();
+    bool removed = false;
+    tree.root = detail_avl::removeRec(ctx, space, std::move(tree.root),
+                                      key, removed);
+    if (removed)
+        --tree.count;
+}
+
+void
+AvlWorkload::setup(TraceCtx &ctx, SyntheticSpace &space)
+{
+    tree_ = std::make_unique<Tree>();
+    for (unsigned i = 0; i < params_.initialNodes; ++i) {
+        const unsigned pmo =
+            static_cast<unsigned>(ctx.rng().next(space.numPmos()));
+        insertOne(ctx, space, pmo, ctx.rng().raw());
+    }
+}
+
+void
+AvlWorkload::op(TraceCtx &ctx, SyntheticSpace &space, unsigned primary)
+{
+    ctx.compute(kInstsPerOp);
+    if (ctx.rng().chance(params_.insertRatio))
+        insertOne(ctx, space, primary, ctx.rng().raw());
+    else
+        deleteOne(ctx, space);
+}
+
+void
+AvlWorkload::checkInvariants() const
+{
+    detail_avl::checkRec(tree_->root.get(), 0, ~std::uint64_t{0});
+}
+
+std::size_t
+AvlWorkload::nodeCount() const
+{
+    return tree_->count;
+}
+
+} // namespace pmodv::workloads

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Doubly-linked-list microbenchmark. Operations traverse from the
+ * head to a random position (bounded) then insert or delete there.
+ * Nodes are allocated and freed in random order, so successive list
+ * neighbours live on different pages — the poor spatial locality the
+ * paper points to for the linked list's steep curves.
+ *
+ * Node layout (96 B): key @0, value @8 (64 B), prev @72, next @80.
+ */
+
+#include "workloads/micro/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pmodv::workloads
+{
+
+namespace
+{
+constexpr Addr kNodeBytes = 96;
+constexpr Addr kOffKey = 0;
+constexpr Addr kOffValue = 8;
+constexpr Addr kOffPrev = 72;
+constexpr Addr kOffNext = 80;
+/** Traversal bound per operation. */
+constexpr unsigned kMaxTraverse = 192;
+constexpr std::uint32_t kInstsPerHop = 8;
+constexpr std::uint32_t kInstsPerOp = 30;
+/** Probability a new node is placed in its predecessor's PMO. */
+constexpr double kNeighbourAffinity = 0.75;
+} // namespace
+
+struct LinkedListWorkload::Node
+{
+    std::uint64_t key = 0;
+    Addr va = 0;
+    Node *prev = nullptr;
+    Node *next = nullptr;
+    std::size_t indexPos = 0; ///< Slot in List::index (swap-pop).
+};
+
+struct LinkedListWorkload::List
+{
+    Node *head = nullptr;
+    Node *tail = nullptr;
+    std::size_t count = 0;
+    /** All live nodes, for picking random traversal starting points
+     *  ("every operation randomly selects a node ... to operate on"). */
+    std::vector<Node *> index;
+
+    ~List()
+    {
+        Node *n = head;
+        while (n) {
+            Node *next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+};
+
+namespace detail_ll
+{
+
+using Node = LinkedListWorkload::Node;
+using List = LinkedListWorkload::List;
+
+/** Walk @p hops nodes from @p start, emitting the pointer chases. */
+Node *
+walk(TraceCtx &ctx, Node *start, unsigned hops)
+{
+    Node *cur = start;
+    for (unsigned i = 0; cur && cur->next && i < hops; ++i) {
+        ctx.load(cur->va + kOffKey);
+        ctx.load(cur->va + kOffNext);
+        ctx.compute(kInstsPerHop);
+        cur = cur->next;
+    }
+    if (cur) {
+        ctx.load(cur->va + kOffKey);
+        ctx.load(cur->va + kOffNext);
+    }
+    return cur;
+}
+
+/** Insert a fresh node before @p at (nullptr = at the tail). */
+void
+insertBefore(TraceCtx &ctx, SyntheticSpace &space, unsigned primary,
+             List &list, Node *at, std::uint64_t key)
+{
+    Node *n = new Node;
+    n->key = key;
+    Node *neighbour = at ? at->prev : list.tail;
+    SyntheticPmo &pmo =
+        (neighbour && ctx.rng().chance(kNeighbourAffinity))
+            ? space.owner(neighbour->va)
+            : space.pmo(primary);
+    n->va = pmo.alloc(kNodeBytes);
+    n->indexPos = list.index.size();
+    list.index.push_back(n);
+    ctx.store(n->va + kOffKey);
+    ctx.store(n->va + kOffValue, 64);
+
+    n->next = at;
+    n->prev = at ? at->prev : list.tail;
+    ctx.store(n->va + kOffNext);
+    ctx.store(n->va + kOffPrev);
+    if (n->prev) {
+        n->prev->next = n;
+        ctx.store(n->prev->va + kOffNext);
+    } else {
+        list.head = n;
+    }
+    if (at) {
+        at->prev = n;
+        ctx.store(at->va + kOffPrev);
+    } else {
+        list.tail = n;
+    }
+    ++list.count;
+}
+
+/** Unlink and free @p n. */
+void
+remove(TraceCtx &ctx, SyntheticSpace &space, List &list, Node *n)
+{
+    ctx.load(n->va + kOffPrev);
+    ctx.load(n->va + kOffNext);
+    if (n->prev) {
+        n->prev->next = n->next;
+        ctx.store(n->prev->va + kOffNext);
+    } else {
+        list.head = n->next;
+    }
+    if (n->next) {
+        n->next->prev = n->prev;
+        ctx.store(n->next->va + kOffPrev);
+    } else {
+        list.tail = n->prev;
+    }
+    space.owner(n->va).free(n->va, kNodeBytes);
+    list.index[n->indexPos] = list.index.back();
+    list.index[n->indexPos]->indexPos = n->indexPos;
+    list.index.pop_back();
+    delete n;
+    --list.count;
+}
+
+} // namespace detail_ll
+
+LinkedListWorkload::LinkedListWorkload(const MicroParams &params)
+    : MicroWorkload(params)
+{
+}
+
+LinkedListWorkload::~LinkedListWorkload() = default;
+
+void
+LinkedListWorkload::setup(TraceCtx &ctx, SyntheticSpace &space)
+{
+    list_ = std::make_unique<List>();
+    List &list = *list_;
+    for (unsigned i = 0; i < params_.initialNodes; ++i) {
+        const unsigned pmo =
+            static_cast<unsigned>(ctx.rng().next(space.numPmos()));
+        Node *at = list.index.empty()
+                       ? nullptr
+                       : list.index[ctx.rng().next(list.index.size())];
+        detail_ll::insertBefore(ctx, space, pmo, list, at,
+                                ctx.rng().raw());
+    }
+}
+
+void
+LinkedListWorkload::op(TraceCtx &ctx, SyntheticSpace &space,
+                       unsigned primary)
+{
+    ctx.compute(kInstsPerOp);
+    List &list = *list_;
+    const bool insert =
+        ctx.rng().chance(params_.insertRatio) || list.count == 0;
+
+    // Jump to a random node, then chase next pointers a bounded
+    // number of hops; operate where the walk ends.
+    Node *start = list.index.empty()
+                      ? nullptr
+                      : list.index[ctx.rng().next(list.index.size())];
+    const unsigned hops =
+        static_cast<unsigned>(ctx.rng().next(kMaxTraverse));
+    Node *at = start ? detail_ll::walk(ctx, start, hops) : nullptr;
+    if (insert) {
+        detail_ll::insertBefore(ctx, space, primary, list, at,
+                                ctx.rng().raw());
+    } else if (at) {
+        detail_ll::remove(ctx, space, list, at);
+    }
+}
+
+void
+LinkedListWorkload::checkInvariants() const
+{
+    const List &list = *list_;
+    std::size_t n = 0;
+    const Node *prev = nullptr;
+    for (const Node *cur = list.head; cur; cur = cur->next) {
+        panic_if(cur->prev != prev, "linked list prev pointer broken");
+        prev = cur;
+        ++n;
+    }
+    panic_if(prev != list.tail, "linked list tail pointer broken");
+    panic_if(n != list.count, "linked list count mismatch");
+    panic_if(list.index.size() != list.count,
+             "linked list node index out of sync");
+    for (std::size_t i = 0; i < list.index.size(); ++i) {
+        panic_if(list.index[i]->indexPos != i,
+                 "linked list index position stale");
+    }
+}
+
+std::size_t
+LinkedListWorkload::nodeCount() const
+{
+    return list_->count;
+}
+
+} // namespace pmodv::workloads

@@ -1,0 +1,66 @@
+#include "workloads/micro/micro.hh"
+
+#include "common/logging.hh"
+#include "workloads/micro/workloads.hh"
+
+namespace pmodv::workloads
+{
+
+void
+MicroWorkload::run(TraceCtx &ctx)
+{
+    SyntheticSpace space(ctx, params_.numPmos, params_.pmoBytes,
+                         Perm::ReadWrite, params_.pageSize);
+
+    // Every domain gets read/write permission up front: operations
+    // update pointers in whichever PMOs the structure's neighbouring
+    // nodes live in. The per-operation SETPERM pair below reproduces
+    // the paper's permission-switch pattern (2 switches/op) on the
+    // operation's primary PMO.
+    for (unsigned i = 0; i < params_.numPmos; ++i)
+        ctx.setPerm(space.pmo(i).domain(), Perm::ReadWrite);
+
+    // Build the initial structure (unmeasured).
+    ctx.setMuted(true);
+    setup(ctx, space);
+    ctx.setMuted(false);
+
+    for (std::uint64_t i = 0; i < params_.numOps; ++i) {
+        const unsigned primary =
+            static_cast<unsigned>(ctx.rng().next(params_.numPmos));
+        const DomainId domain = space.pmo(primary).domain();
+        ctx.opBegin();
+        ctx.setPerm(domain, Perm::ReadWrite);
+        op(ctx, space, primary);
+        ctx.setPerm(domain, Perm::ReadWrite);
+        ctx.opEnd();
+    }
+    ctx.sink().finish();
+}
+
+std::unique_ptr<MicroWorkload>
+makeMicro(const std::string &name, const MicroParams &params)
+{
+    if (name == "avl")
+        return std::make_unique<AvlWorkload>(params);
+    if (name == "rbt")
+        return std::make_unique<RbtWorkload>(params);
+    if (name == "bt")
+        return std::make_unique<BtreeWorkload>(params);
+    if (name == "ll")
+        return std::make_unique<LinkedListWorkload>(params);
+    if (name == "ss")
+        return std::make_unique<StringSwapWorkload>(params);
+    fatal("unknown microbenchmark '%s' (want avl/rbt/bt/ll/ss)",
+          name.c_str());
+}
+
+const std::vector<std::string> &
+microNames()
+{
+    static const std::vector<std::string> names{"avl", "rbt", "bt", "ll",
+                                                "ss"};
+    return names;
+}
+
+} // namespace pmodv::workloads

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The multi-PMO microbenchmark suite of the paper's Table IV: AVL
+ * tree, red-black tree, B+ tree, linked list and string swap.
+ *
+ * Following the paper's setup, each benchmark maintains ONE data
+ * structure whose nodes are scattered across N PMOs (default
+ * 1024 x 8 MB): "the main data structures contain nodes in different
+ * PMOs". Successive node visits therefore land in different
+ * protection domains, which is what stresses the DTTLB/PTLB at high
+ * PMO counts. Every operation picks a primary PMO (the allocation
+ * target) and runs inside a SETPERM enable/disable pair on it —
+ * exactly two permission switches per operation, matching the
+ * switch-rate column of Table VI.
+ *
+ * The data structures are fully implemented (host-side semantics with
+ * per-node simulated addresses), so structural invariants are
+ * testable, and every field touch is emitted into the trace.
+ */
+
+#ifndef PMODV_WORKLOADS_MICRO_MICRO_HH
+#define PMODV_WORKLOADS_MICRO_MICRO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/trace_ctx.hh"
+
+namespace pmodv::workloads
+{
+
+/** Configuration of one micro-benchmark run. */
+struct MicroParams
+{
+    unsigned numPmos = 1024;
+    Addr pmoBytes = Addr{8} << 20; ///< 8 MB per PMO.
+    std::uint64_t numOps = 1'000'000;
+    unsigned initialNodes = 1024; ///< Structure size before timing.
+    double insertRatio = 0.9;     ///< Rest are deletes (or swaps).
+    std::uint64_t seed = 42;
+    /** Mapping granularity of the attach syscall (paper §IV-A:
+     *  4KB / 2MB / 1GB page-table levels). */
+    PageSize pageSize = PageSize::Size4K;
+};
+
+/** Base class of the five microbenchmarks. */
+class MicroWorkload
+{
+  public:
+    explicit MicroWorkload(const MicroParams &params) : params_(params)
+    {
+    }
+    virtual ~MicroWorkload() = default;
+
+    /** Benchmark short name (matches Table IV abbreviations). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Build the initial structure (nodes spread over all PMOs). Runs
+     * muted — the paper measures operations, not setup.
+     */
+    virtual void setup(TraceCtx &ctx, SyntheticSpace &space) = 0;
+
+    /**
+     * Execute one timed operation; @p primary is the PMO index new
+     * nodes must be allocated from (its write window is open).
+     */
+    virtual void op(TraceCtx &ctx, SyntheticSpace &space,
+                    unsigned primary) = 0;
+
+    /** Structure-specific invariant check (tests); default no-op. */
+    virtual void checkInvariants() const {}
+
+    const MicroParams &params() const { return params_; }
+
+    /**
+     * Generate the full trace: attach all PMOs, grant read/write
+     * permission on every domain (cross-PMO pointer updates are part
+     * of every operation), build the initial structure, then run
+     * numOps operations, each bracketed by the paper's per-operation
+     * SETPERM pair on its primary PMO.
+     */
+    void run(TraceCtx &ctx);
+
+  protected:
+    MicroParams params_;
+};
+
+/** Instantiate a microbenchmark by name (avl, rbt, bt, ll, ss). */
+std::unique_ptr<MicroWorkload> makeMicro(const std::string &name,
+                                         const MicroParams &params);
+
+/** The five benchmark names in Table IV order. */
+const std::vector<std::string> &microNames();
+
+} // namespace pmodv::workloads
+
+#endif // PMODV_WORKLOADS_MICRO_MICRO_HH

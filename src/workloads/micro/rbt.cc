@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Red-black tree microbenchmark (CLRS-style with a nil sentinel and
+ * parent pointers). Node layout inside the PMO (96 bytes):
+ * traversal metadata packed into the first cache line (key @0,
+ * left @8, right @16, parent @24, color @32), 56-byte value at @40.
+ */
+
+#include "workloads/micro/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::workloads
+{
+
+namespace
+{
+constexpr Addr kNodeBytes = 96;
+constexpr Addr kOffKey = 0;
+constexpr Addr kOffLeft = 8;
+constexpr Addr kOffRight = 16;
+constexpr Addr kOffParent = 24;
+constexpr Addr kOffColor = 32;
+constexpr Addr kOffValue = 40; ///< 56-byte value spills to line 1.
+constexpr std::uint32_t kInstsPerVisit = 12;
+constexpr std::uint32_t kInstsPerOp = 50;
+/** Probability a new node is placed in its parent's PMO. */
+constexpr double kParentAffinity = 0.75;
+} // namespace
+
+struct RbtWorkload::Node
+{
+    std::uint64_t key = 0;
+    Addr va = 0;
+    Node *left = nullptr;
+    Node *right = nullptr;
+    Node *parent = nullptr;
+    bool red = false;
+};
+
+struct RbtWorkload::Tree
+{
+    Node nil; ///< Sentinel: black, self-referential.
+    Node *root = nullptr;
+    std::size_t count = 0;
+    std::vector<std::uint64_t> keys;
+
+    Tree()
+    {
+        nil.red = false;
+        nil.left = nil.right = nil.parent = &nil;
+        root = &nil;
+    }
+
+    ~Tree() { destroy(root); }
+
+    void
+    destroy(Node *n)
+    {
+        if (n == &nil)
+            return;
+        destroy(n->left);
+        destroy(n->right);
+        delete n;
+    }
+};
+
+namespace detail_rbt
+{
+
+using Node = RbtWorkload::Node;
+using Tree = RbtWorkload::Tree;
+
+/**
+ * Guarded trace emission: the nil sentinel has va == 0 and exists
+ * only in the host-side representation — it never generates PMO
+ * traffic.
+ */
+inline void
+ld(TraceCtx &ctx, const Node *n, Addr off)
+{
+    if (n->va)
+        ctx.load(n->va + off);
+}
+
+inline void
+st(TraceCtx &ctx, const Node *n, Addr off, std::uint32_t size = 8)
+{
+    if (n->va)
+        ctx.store(n->va + off, size);
+}
+
+void
+rotateLeft(TraceCtx &ctx, Tree &t, Node *x)
+{
+    Node *y = x->right;
+    ld(ctx, x, kOffRight);
+    x->right = y->left;
+    st(ctx, x, kOffRight);
+    if (y->left != &t.nil) {
+        y->left->parent = x;
+        st(ctx, y->left, kOffParent);
+    }
+    y->parent = x->parent;
+    st(ctx, y, kOffParent);
+    if (x->parent == &t.nil) {
+        t.root = y;
+    } else if (x == x->parent->left) {
+        x->parent->left = y;
+        st(ctx, x->parent, kOffLeft);
+    } else {
+        x->parent->right = y;
+        st(ctx, x->parent, kOffRight);
+    }
+    y->left = x;
+    st(ctx, y, kOffLeft);
+    x->parent = y;
+    st(ctx, x, kOffParent);
+}
+
+void
+rotateRight(TraceCtx &ctx, Tree &t, Node *y)
+{
+    Node *x = y->left;
+    ld(ctx, y, kOffLeft);
+    y->left = x->right;
+    st(ctx, y, kOffLeft);
+    if (x->right != &t.nil) {
+        x->right->parent = y;
+        st(ctx, x->right, kOffParent);
+    }
+    x->parent = y->parent;
+    st(ctx, x, kOffParent);
+    if (y->parent == &t.nil) {
+        t.root = x;
+    } else if (y == y->parent->right) {
+        y->parent->right = x;
+        st(ctx, y->parent, kOffRight);
+    } else {
+        y->parent->left = x;
+        st(ctx, y->parent, kOffLeft);
+    }
+    x->right = y;
+    st(ctx, x, kOffRight);
+    y->parent = x;
+    st(ctx, y, kOffParent);
+}
+
+void
+insertFixup(TraceCtx &ctx, Tree &t, Node *z)
+{
+    while (z->parent->red) {
+        ld(ctx, z->parent, kOffColor);
+        Node *gp = z->parent->parent;
+        ld(ctx, gp, kOffLeft);
+        if (z->parent == gp->left) {
+            Node *uncle = gp->right;
+            ld(ctx, uncle, kOffColor);
+            if (uncle->red) {
+                z->parent->red = false;
+                st(ctx, z->parent, kOffColor);
+                uncle->red = false;
+                st(ctx, uncle, kOffColor);
+                gp->red = true;
+                st(ctx, gp, kOffColor);
+                z = gp;
+            } else {
+                if (z == z->parent->right) {
+                    z = z->parent;
+                    rotateLeft(ctx, t, z);
+                }
+                z->parent->red = false;
+                st(ctx, z->parent, kOffColor);
+                gp->red = true;
+                st(ctx, gp, kOffColor);
+                rotateRight(ctx, t, gp);
+            }
+        } else {
+            Node *uncle = gp->left;
+            ld(ctx, uncle, kOffColor);
+            if (uncle->red) {
+                z->parent->red = false;
+                st(ctx, z->parent, kOffColor);
+                uncle->red = false;
+                st(ctx, uncle, kOffColor);
+                gp->red = true;
+                st(ctx, gp, kOffColor);
+                z = gp;
+            } else {
+                if (z == z->parent->left) {
+                    z = z->parent;
+                    rotateRight(ctx, t, z);
+                }
+                z->parent->red = false;
+                st(ctx, z->parent, kOffColor);
+                gp->red = true;
+                st(ctx, gp, kOffColor);
+                rotateLeft(ctx, t, gp);
+            }
+        }
+    }
+    if (t.root->red) {
+        t.root->red = false;
+        st(ctx, t.root, kOffColor);
+    }
+}
+
+bool
+insert(TraceCtx &ctx, SyntheticSpace &space, unsigned primary, Tree &t,
+       std::uint64_t key)
+{
+    Node *parent = &t.nil;
+    Node *cur = t.root;
+    while (cur != &t.nil) {
+        ld(ctx, cur, kOffKey);
+        ctx.compute(kInstsPerVisit);
+        parent = cur;
+        if (key < cur->key) {
+            ld(ctx, cur, kOffLeft);
+            cur = cur->left;
+        } else if (key > cur->key) {
+            ld(ctx, cur, kOffRight);
+            cur = cur->right;
+        } else {
+            st(ctx, cur, kOffValue, 56);
+            return false;
+        }
+    }
+    Node *z = new Node;
+    z->key = key;
+    SyntheticPmo &pmo =
+        (parent != &t.nil && ctx.rng().chance(kParentAffinity))
+            ? space.owner(parent->va)
+            : space.pmo(primary);
+    z->va = pmo.alloc(kNodeBytes);
+    z->left = z->right = &t.nil;
+    z->parent = parent;
+    z->red = true;
+    st(ctx, z, kOffKey);
+    st(ctx, z, kOffValue, 56);
+    st(ctx, z, kOffLeft);
+    st(ctx, z, kOffRight);
+    st(ctx, z, kOffParent);
+    st(ctx, z, kOffColor);
+    if (parent == &t.nil) {
+        t.root = z;
+    } else if (key < parent->key) {
+        parent->left = z;
+        st(ctx, parent, kOffLeft);
+    } else {
+        parent->right = z;
+        st(ctx, parent, kOffRight);
+    }
+    insertFixup(ctx, t, z);
+    return true;
+}
+
+void
+transplant(TraceCtx &ctx, Tree &t, Node *u, Node *v)
+{
+    if (u->parent == &t.nil) {
+        t.root = v;
+    } else if (u == u->parent->left) {
+        u->parent->left = v;
+        st(ctx, u->parent, kOffLeft);
+    } else {
+        u->parent->right = v;
+        st(ctx, u->parent, kOffRight);
+    }
+    v->parent = u->parent;
+    if (v != &t.nil)
+        st(ctx, v, kOffParent);
+}
+
+void
+deleteFixup(TraceCtx &ctx, Tree &t, Node *x)
+{
+    while (x != t.root && !x->red) {
+        if (x == x->parent->left) {
+            Node *w = x->parent->right;
+            ld(ctx, w, kOffColor);
+            if (w->red) {
+                w->red = false;
+                st(ctx, w, kOffColor);
+                x->parent->red = true;
+                st(ctx, x->parent, kOffColor);
+                rotateLeft(ctx, t, x->parent);
+                w = x->parent->right;
+            }
+            if (!w->left->red && !w->right->red) {
+                w->red = true;
+                if (w != &t.nil)
+                    st(ctx, w, kOffColor);
+                x = x->parent;
+            } else {
+                if (!w->right->red) {
+                    w->left->red = false;
+                    st(ctx, w->left, kOffColor);
+                    w->red = true;
+                    st(ctx, w, kOffColor);
+                    rotateRight(ctx, t, w);
+                    w = x->parent->right;
+                }
+                w->red = x->parent->red;
+                if (w != &t.nil)
+                    st(ctx, w, kOffColor);
+                x->parent->red = false;
+                st(ctx, x->parent, kOffColor);
+                w->right->red = false;
+                if (w->right != &t.nil)
+                    st(ctx, w->right, kOffColor);
+                rotateLeft(ctx, t, x->parent);
+                x = t.root;
+            }
+        } else {
+            Node *w = x->parent->left;
+            ld(ctx, w, kOffColor);
+            if (w->red) {
+                w->red = false;
+                st(ctx, w, kOffColor);
+                x->parent->red = true;
+                st(ctx, x->parent, kOffColor);
+                rotateRight(ctx, t, x->parent);
+                w = x->parent->left;
+            }
+            if (!w->right->red && !w->left->red) {
+                w->red = true;
+                if (w != &t.nil)
+                    st(ctx, w, kOffColor);
+                x = x->parent;
+            } else {
+                if (!w->left->red) {
+                    w->right->red = false;
+                    st(ctx, w->right, kOffColor);
+                    w->red = true;
+                    st(ctx, w, kOffColor);
+                    rotateLeft(ctx, t, w);
+                    w = x->parent->left;
+                }
+                w->red = x->parent->red;
+                if (w != &t.nil)
+                    st(ctx, w, kOffColor);
+                x->parent->red = false;
+                st(ctx, x->parent, kOffColor);
+                w->left->red = false;
+                if (w->left != &t.nil)
+                    st(ctx, w->left, kOffColor);
+                rotateRight(ctx, t, x->parent);
+                x = t.root;
+            }
+        }
+    }
+    x->red = false;
+    if (x != &t.nil)
+        st(ctx, x, kOffColor);
+}
+
+bool
+remove(TraceCtx &ctx, SyntheticSpace &space, Tree &t, std::uint64_t key)
+{
+    Node *z = t.root;
+    while (z != &t.nil) {
+        ld(ctx, z, kOffKey);
+        ctx.compute(kInstsPerVisit);
+        if (key < z->key) {
+            ld(ctx, z, kOffLeft);
+            z = z->left;
+        } else if (key > z->key) {
+            ld(ctx, z, kOffRight);
+            z = z->right;
+        } else {
+            break;
+        }
+    }
+    if (z == &t.nil)
+        return false;
+
+    Node *y = z;
+    bool y_was_red = y->red;
+    Node *x = nullptr;
+    if (z->left == &t.nil) {
+        x = z->right;
+        transplant(ctx, t, z, z->right);
+    } else if (z->right == &t.nil) {
+        x = z->left;
+        transplant(ctx, t, z, z->left);
+    } else {
+        y = z->right;
+        ld(ctx, y, kOffLeft);
+        while (y->left != &t.nil) {
+            y = y->left;
+            ld(ctx, y, kOffLeft);
+        }
+        y_was_red = y->red;
+        x = y->right;
+        if (y->parent == z) {
+            x->parent = y;
+        } else {
+            transplant(ctx, t, y, y->right);
+            y->right = z->right;
+            st(ctx, y, kOffRight);
+            y->right->parent = y;
+            st(ctx, y->right, kOffParent);
+        }
+        transplant(ctx, t, z, y);
+        y->left = z->left;
+        st(ctx, y, kOffLeft);
+        y->left->parent = y;
+        st(ctx, y->left, kOffParent);
+        y->red = z->red;
+        st(ctx, y, kOffColor);
+    }
+    space.owner(z->va).free(z->va, kNodeBytes);
+    delete z;
+    if (!y_was_red)
+        deleteFixup(ctx, t, x);
+    return true;
+}
+
+/** Returns black height; panics on violated invariants. */
+int
+checkRec(const Tree &t, const Node *n, std::uint64_t lo,
+         std::uint64_t hi)
+{
+    if (n == &t.nil)
+        return 1;
+    panic_if(n->key < lo || n->key > hi, "RBT ordering violated");
+    if (n->red) {
+        panic_if(n->left->red || n->right->red,
+                 "RBT red-red violation");
+    }
+    const int lbh = checkRec(t, n->left, lo,
+                             n->key == 0 ? 0 : n->key - 1);
+    const int rbh = checkRec(t, n->right, n->key + 1, hi);
+    panic_if(lbh != rbh, "RBT black-height violated");
+    return lbh + (n->red ? 0 : 1);
+}
+
+} // namespace detail_rbt
+
+RbtWorkload::RbtWorkload(const MicroParams &params) : MicroWorkload(params)
+{
+}
+
+RbtWorkload::~RbtWorkload() = default;
+
+void
+RbtWorkload::setup(TraceCtx &ctx, SyntheticSpace &space)
+{
+    tree_ = std::make_unique<Tree>();
+    Tree &t = *tree_;
+    for (unsigned i = 0; i < params_.initialNodes; ++i) {
+        const unsigned pmo =
+            static_cast<unsigned>(ctx.rng().next(space.numPmos()));
+        const std::uint64_t key = ctx.rng().raw();
+        if (detail_rbt::insert(ctx, space, pmo, t, key)) {
+            ++t.count;
+            t.keys.push_back(key);
+        }
+    }
+}
+
+void
+RbtWorkload::op(TraceCtx &ctx, SyntheticSpace &space, unsigned primary)
+{
+    ctx.compute(kInstsPerOp);
+    Tree &t = *tree_;
+    if (ctx.rng().chance(params_.insertRatio) || t.keys.empty()) {
+        const std::uint64_t key = ctx.rng().raw();
+        if (detail_rbt::insert(ctx, space, primary, t, key)) {
+            ++t.count;
+            t.keys.push_back(key);
+        }
+    } else {
+        const std::size_t pick = ctx.rng().next(t.keys.size());
+        const std::uint64_t key = t.keys[pick];
+        t.keys[pick] = t.keys.back();
+        t.keys.pop_back();
+        if (detail_rbt::remove(ctx, space, t, key))
+            --t.count;
+    }
+}
+
+void
+RbtWorkload::checkInvariants() const
+{
+    const Tree &t = *tree_;
+    panic_if(t.root->red, "RBT root must be black");
+    detail_rbt::checkRec(t, t.root, 0, ~std::uint64_t{0});
+}
+
+std::size_t
+RbtWorkload::nodeCount() const
+{
+    return tree_->count;
+}
+
+} // namespace pmodv::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Concrete microbenchmark declarations. Each benchmark keeps ONE real
+ * host-side data structure whose nodes are scattered across all PMOs
+ * (so invariants are testable and successive node visits cross
+ * protection domains); every field touch emits a trace record.
+ */
+
+#ifndef PMODV_WORKLOADS_MICRO_WORKLOADS_HH
+#define PMODV_WORKLOADS_MICRO_WORKLOADS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/micro/micro.hh"
+
+namespace pmodv::workloads
+{
+
+/** AVL tree: insert/delete of 64-byte-value nodes (Table IV). */
+class AvlWorkload : public MicroWorkload
+{
+  public:
+    explicit AvlWorkload(const MicroParams &params);
+    ~AvlWorkload() override;
+
+    std::string name() const override { return "avl"; }
+    void setup(TraceCtx &ctx, SyntheticSpace &space) override;
+    void op(TraceCtx &ctx, SyntheticSpace &space,
+            unsigned primary) override;
+    void checkInvariants() const override;
+
+    /** Live node count (tests). */
+    std::size_t nodeCount() const;
+
+    struct Node;
+    struct Tree;
+
+  private:
+    void insertOne(TraceCtx &ctx, SyntheticSpace &space,
+                   unsigned primary, std::uint64_t key);
+    void deleteOne(TraceCtx &ctx, SyntheticSpace &space);
+
+    std::unique_ptr<Tree> tree_;
+};
+
+/** Red-black tree: insert/delete of 64-byte-value nodes. */
+class RbtWorkload : public MicroWorkload
+{
+  public:
+    explicit RbtWorkload(const MicroParams &params);
+    ~RbtWorkload() override;
+
+    std::string name() const override { return "rbt"; }
+    void setup(TraceCtx &ctx, SyntheticSpace &space) override;
+    void op(TraceCtx &ctx, SyntheticSpace &space,
+            unsigned primary) override;
+    void checkInvariants() const override;
+
+    std::size_t nodeCount() const;
+
+    struct Node;
+    struct Tree;
+
+  private:
+    std::unique_ptr<Tree> tree_;
+};
+
+/** B+ tree: 4096-byte nodes with up to 126 values + 2 pointers. */
+class BtreeWorkload : public MicroWorkload
+{
+  public:
+    explicit BtreeWorkload(const MicroParams &params);
+    ~BtreeWorkload() override;
+
+    std::string name() const override { return "bt"; }
+    void setup(TraceCtx &ctx, SyntheticSpace &space) override;
+    void op(TraceCtx &ctx, SyntheticSpace &space,
+            unsigned primary) override;
+    void checkInvariants() const override;
+
+    std::size_t keyCount() const;
+
+    struct Node;
+    struct Tree;
+
+  private:
+    void insertOne(TraceCtx &ctx, SyntheticSpace &space,
+                   unsigned primary, std::uint64_t key);
+
+    std::unique_ptr<Tree> tree_;
+};
+
+/** Doubly linked list: positional insert/delete with traversal. */
+class LinkedListWorkload : public MicroWorkload
+{
+  public:
+    explicit LinkedListWorkload(const MicroParams &params);
+    ~LinkedListWorkload() override;
+
+    std::string name() const override { return "ll"; }
+    void setup(TraceCtx &ctx, SyntheticSpace &space) override;
+    void op(TraceCtx &ctx, SyntheticSpace &space,
+            unsigned primary) override;
+    void checkInvariants() const override;
+
+    std::size_t nodeCount() const;
+
+    struct Node;
+    struct List;
+
+  private:
+    std::unique_ptr<List> list_;
+};
+
+/** String swap: random swaps in a PMO-spanning 64-byte-string array. */
+class StringSwapWorkload : public MicroWorkload
+{
+  public:
+    explicit StringSwapWorkload(const MicroParams &params);
+    ~StringSwapWorkload() override;
+
+    std::string name() const override { return "ss"; }
+    void setup(TraceCtx &ctx, SyntheticSpace &space) override;
+    void op(TraceCtx &ctx, SyntheticSpace &space,
+            unsigned primary) override;
+    void checkInvariants() const override;
+
+    /** Current permutation of the string array (tests). */
+    const std::vector<std::uint32_t> &permutation() const;
+
+    struct Array;
+
+  private:
+    std::unique_ptr<Array> array_;
+};
+
+} // namespace pmodv::workloads
+
+#endif // PMODV_WORKLOADS_MICRO_WORKLOADS_HH

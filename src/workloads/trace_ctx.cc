@@ -1,0 +1,84 @@
+#include "workloads/trace_ctx.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace pmodv::workloads
+{
+
+Addr
+SyntheticPmo::alloc(Addr size)
+{
+    size = alignUp(size, 16);
+    // First-fit from the free list.
+    for (std::size_t i = 0; i < freeList_.size(); ++i) {
+        if (freeList_[i].second >= size) {
+            const Addr off = freeList_[i].first;
+            if (freeList_[i].second == size) {
+                freeList_[i] = freeList_.back();
+                freeList_.pop_back();
+            } else {
+                freeList_[i].first += size;
+                freeList_[i].second -= size;
+            }
+            reclaimedBytes_ -= size;
+            return vaBase_ + off;
+        }
+    }
+    panic_if(bump_ + size > bytes_,
+             "synthetic PMO %u exhausted (%llu of %llu bytes)", domain_,
+             static_cast<unsigned long long>(bump_),
+             static_cast<unsigned long long>(bytes_));
+    const Addr off = bump_;
+    bump_ += size;
+    return vaBase_ + off;
+}
+
+void
+SyntheticPmo::free(Addr va, Addr size)
+{
+    size = alignUp(size, 16);
+    panic_if(va < vaBase_ || va + size > vaBase_ + bytes_,
+             "synthetic free outside the PMO");
+    freeList_.emplace_back(va - vaBase_, size);
+    reclaimedBytes_ += size;
+}
+
+SyntheticSpace::SyntheticSpace(TraceCtx &ctx, unsigned num_pmos,
+                               Addr bytes, Perm page_perm,
+                               PageSize page_size)
+{
+    // PMOs sit at well-separated VA bases aligned to (at least) 2MB,
+    // so any supported mapping granularity works.
+    const Addr align =
+        std::max<Addr>(Addr{1} << 21, pageBytes(page_size));
+    stride_ = alignUp(bytes + align, align);
+    start_ = alignUp(Addr{1} << 33, align);
+    pmos_.reserve(num_pmos);
+    for (unsigned i = 0; i < num_pmos; ++i) {
+        const DomainId domain = i + 1;
+        const Addr base = start_ + stride_ * i;
+        pmos_.emplace_back(domain, base, bytes);
+        ctx.attach(domain, base, alignUp(bytes, pageBytes(page_size)),
+                   page_perm, page_size);
+    }
+}
+
+SyntheticPmo &
+SyntheticSpace::owner(Addr va)
+{
+    panic_if(va < start_, "VA 0x%llx below every synthetic PMO",
+             static_cast<unsigned long long>(va));
+    const Addr idx = (va - start_) / stride_;
+    panic_if(idx >= pmos_.size(), "VA 0x%llx beyond every synthetic PMO",
+             static_cast<unsigned long long>(va));
+    SyntheticPmo &pmo = pmos_[static_cast<std::size_t>(idx)];
+    panic_if(va < pmo.vaBase() || va >= pmo.vaBase() + pmo.bytes(),
+             "VA 0x%llx falls in an inter-PMO gap",
+             static_cast<unsigned long long>(va));
+    return pmo;
+}
+
+} // namespace pmodv::workloads

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Trace-generation context for workloads.
+ *
+ * TraceCtx bundles the trace sink, the deterministic RNG and emission
+ * helpers. SyntheticPmo/SyntheticSpace provide a lightweight PMO
+ * address model for the large multi-PMO sweeps (1024 x 8 MB pools):
+ * they allocate *simulated addresses* out of each PMO's VA range
+ * without materializing 8 GB of pool media — the timing simulator
+ * only consumes addresses, exactly as the paper's Pin traces did.
+ * (The WHISPER workloads, by contrast, run on the real PMO library.)
+ */
+
+#ifndef PMODV_WORKLOADS_TRACE_CTX_HH
+#define PMODV_WORKLOADS_TRACE_CTX_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/sinks.hh"
+
+namespace pmodv::workloads
+{
+
+/** Emission helpers shared by all workload generators. */
+class TraceCtx
+{
+  public:
+    TraceCtx(trace::TraceSink &sink, std::uint64_t seed)
+        : sink_(sink), rng_(seed)
+    {
+    }
+
+    Rng &rng() { return rng_; }
+    trace::TraceSink &sink() { return sink_; }
+
+    ThreadId tid() const { return tid_; }
+
+    /** Switch the generating thread (emits a ThreadSwitch record). */
+    void
+    setThread(ThreadId tid)
+    {
+        if (tid == tid_)
+            return;
+        tid_ = tid;
+        sink_.put(trace::TraceRecord::threadSwitch(
+            static_cast<std::uint16_t>(tid)));
+    }
+
+    /**
+     * Mute data-access emission (setup phases build structures
+     * without polluting the measured trace). Control records
+     * (attach/setperm/thread switch) are never muted.
+     */
+    void setMuted(bool muted) { muted_ = muted; }
+    bool muted() const { return muted_; }
+
+    void
+    load(Addr va, std::uint32_t size = 8, bool pmo = true)
+    {
+        if (muted_)
+            return;
+        sink_.put(trace::TraceRecord::load(
+            static_cast<std::uint16_t>(tid_), va, size, pmo));
+    }
+
+    void
+    store(Addr va, std::uint32_t size = 8, bool pmo = true)
+    {
+        if (muted_)
+            return;
+        sink_.put(trace::TraceRecord::store(
+            static_cast<std::uint16_t>(tid_), va, size, pmo));
+    }
+
+    void
+    setPerm(DomainId domain, Perm perm)
+    {
+        sink_.put(trace::TraceRecord::setPerm(
+            static_cast<std::uint16_t>(tid_), domain, perm));
+    }
+
+    void
+    compute(std::uint32_t insts)
+    {
+        if (insts && !muted_)
+            sink_.put(trace::TraceRecord::instBlock(
+                static_cast<std::uint16_t>(tid_), insts));
+    }
+
+    void
+    attach(DomainId domain, Addr base, Addr size, Perm perm,
+           PageSize page_size = PageSize::Size4K)
+    {
+        sink_.put(trace::TraceRecord::attach(
+            static_cast<std::uint16_t>(tid_), domain, base, size, perm,
+            page_size));
+    }
+
+    void
+    detach(DomainId domain)
+    {
+        sink_.put(trace::TraceRecord::detach(
+            static_cast<std::uint16_t>(tid_), domain));
+    }
+
+    void
+    opBegin(std::uint32_t kind = 0)
+    {
+        sink_.put(trace::TraceRecord::opBegin(
+            static_cast<std::uint16_t>(tid_), kind));
+    }
+
+    void
+    opEnd(std::uint32_t kind = 0)
+    {
+        sink_.put(trace::TraceRecord::opEnd(
+            static_cast<std::uint16_t>(tid_), kind));
+    }
+
+    /** A volatile (DRAM) scratch access at a stable per-thread VA. */
+    void
+    scratch(std::uint32_t slot, bool write)
+    {
+        const Addr va = kScratchBase + tid_ * kScratchStride + slot * 64;
+        if (write)
+            store(va, 8, false);
+        else
+            load(va, 8, false);
+    }
+
+  private:
+    static constexpr Addr kScratchBase = Addr{1} << 20;
+    static constexpr Addr kScratchStride = Addr{1} << 16;
+
+    trace::TraceSink &sink_;
+    Rng rng_;
+    ThreadId tid_ = 0;
+    bool muted_ = false;
+};
+
+/** A synthetic PMO: a VA range with a node allocator. */
+class SyntheticPmo
+{
+  public:
+    SyntheticPmo(DomainId domain, Addr va_base, Addr bytes)
+        : domain_(domain), vaBase_(va_base), bytes_(bytes)
+    {
+    }
+
+    DomainId domain() const { return domain_; }
+    Addr vaBase() const { return vaBase_; }
+    Addr bytes() const { return bytes_; }
+
+    /** Allocate @p size bytes; returns the simulated VA. */
+    Addr alloc(Addr size);
+
+    /** Return a previously allocated block to the free list. */
+    void free(Addr va, Addr size);
+
+    Addr bytesUsed() const { return bump_ - reclaimedBytes_; }
+
+  private:
+    DomainId domain_;
+    Addr vaBase_;
+    Addr bytes_;
+    Addr bump_ = 0;
+    Addr reclaimedBytes_ = 0;
+    /** Size-keyed free lists of offsets. */
+    std::vector<std::pair<Addr, Addr>> freeList_; // {offset, size}
+};
+
+/** The collection of synthetic PMOs a multi-PMO workload uses. */
+class SyntheticSpace
+{
+  public:
+    /**
+     * Create @p num_pmos PMOs of @p bytes each, assign domains
+     * 1..num_pmos and disjoint VA ranges, and emit Attach records
+     * into @p ctx (page permission = requested @p page_perm; mapped
+     * at @p page_size granularity — the paper's attach syscall maps
+     * PMOs at a page-table-level granularity of 4KB/2MB/1GB).
+     */
+    SyntheticSpace(TraceCtx &ctx, unsigned num_pmos, Addr bytes,
+                   Perm page_perm = Perm::ReadWrite,
+                   PageSize page_size = PageSize::Size4K);
+
+    unsigned numPmos() const
+    {
+        return static_cast<unsigned>(pmos_.size());
+    }
+
+    SyntheticPmo &pmo(unsigned idx) { return pmos_[idx]; }
+
+    /** The PMO whose VA range contains @p va; panics if none. */
+    SyntheticPmo &owner(Addr va);
+
+  private:
+    std::vector<SyntheticPmo> pmos_;
+    Addr start_ = 0;
+    Addr stride_ = 0;
+};
+
+} // namespace pmodv::workloads
+
+#endif // PMODV_WORKLOADS_TRACE_CTX_HH

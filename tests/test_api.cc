@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Table I pool API facade, exercised the way the
+ * paper's code snippets use it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmo/api.hh"
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+constexpr std::size_t kSize = 256 * 1024;
+
+class ApiTest : public ::testing::Test
+{
+  protected:
+    ApiTest() : api_(ns_, 1000, 1) {}
+
+    Namespace ns_;
+    PmoApi api_;
+};
+
+TEST_F(ApiTest, PoolCreateOpensReadWrite)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    ASSERT_NE(pool, nullptr);
+    EXPECT_TRUE(ns_.exists("kv"));
+    // The creating process is attached RW but holds no thread perms
+    // yet (SETPERM comes separately).
+    EXPECT_EQ(api_.runtime().threadPerm(0, api_.domainOf(pool)),
+              Perm::None);
+}
+
+TEST_F(ApiTest, PoolRootIsStable)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid root1 = api_.poolRoot(pool, 128);
+    const Oid root2 = api_.poolRoot(pool, 64);
+    EXPECT_EQ(root1, root2);
+    EXPECT_FALSE(root1.isNull());
+}
+
+TEST_F(ApiTest, PmallocPfreeOidDirect)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid oid = api_.pmalloc(pool, 64);
+    auto *p = static_cast<std::uint64_t *>(api_.oidDirect(oid));
+    *p = 99;
+    EXPECT_EQ(*pool->as<std::uint64_t>(oid), 99u);
+    api_.pfree(oid);
+    EXPECT_EQ(pool->allocatedBlocks(), 0u);
+}
+
+TEST_F(ApiTest, SetPermGatesCheckedAccess)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid oid = api_.pmalloc(pool, 64);
+    Runtime &rt = api_.runtime();
+    std::uint64_t v = 5;
+    EXPECT_THROW(rt.write(0, oid, &v, 8), ProtectionFault);
+    api_.setPerm(0, pool, Perm::ReadWrite);
+    EXPECT_NO_THROW(rt.write(0, oid, &v, 8));
+    api_.setPerm(0, pool, Perm::None);
+    EXPECT_THROW(rt.read(0, oid, &v, 8), ProtectionFault);
+}
+
+TEST_F(ApiTest, PoolOpenChecksPermissions)
+{
+    // Owner-private pool: another user cannot open it at all.
+    api_.poolCreate("mine", kSize);
+    PmoApi other(ns_, 2000, 2);
+    EXPECT_THROW(other.poolOpen("mine", Perm::Read), NamespaceError);
+}
+
+TEST_F(ApiTest, CloseThenReopen)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid oid = api_.pmalloc(pool, 64);
+    api_.runtime().setPerm(0, api_.domainOf(pool), Perm::ReadWrite);
+    api_.runtime().writeValue<std::uint64_t>(0, oid, 31337);
+    api_.poolClose(pool);
+
+    Pool *again = api_.poolOpen("kv", Perm::Read);
+    ASSERT_NE(again, nullptr);
+    api_.setPerm(0, again, Perm::Read);
+    EXPECT_EQ(api_.runtime().readValue<std::uint64_t>(0, oid), 31337u);
+    // The mapping is read-only now: writes fail despite RW perms.
+    api_.setPerm(0, again, Perm::ReadWrite);
+    std::uint64_t v = 1;
+    EXPECT_THROW(api_.runtime().write(0, oid, &v, 8), ProtectionFault);
+}
+
+TEST_F(ApiTest, TransactionOverApi)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid oid = api_.pmalloc(pool, 64);
+    Transaction txn = api_.transaction(pool);
+    txn.begin();
+    txn.writeValue<std::uint64_t>(oid, 1);
+    txn.commit();
+    pool->arena().crash();
+    std::uint64_t out = 0;
+    pool->read(oid, &out, 8);
+    EXPECT_EQ(out, 1u);
+}
+
+TEST_F(ApiTest, NullPointerArgumentsRejected)
+{
+    EXPECT_THROW(api_.poolClose(nullptr), PmoError);
+    EXPECT_THROW(api_.poolRoot(nullptr, 8), PmoError);
+    EXPECT_THROW(api_.pmalloc(nullptr, 8), PmoError);
+    EXPECT_THROW(api_.setPerm(0, nullptr, Perm::Read), PmoError);
+    EXPECT_THROW(api_.domainOf(nullptr), PmoError);
+}
+
+TEST_F(ApiTest, OperationsOnUnopenedPoolsRejected)
+{
+    Pool *pool = api_.poolCreate("kv", kSize);
+    const Oid oid = api_.pmalloc(pool, 64);
+    api_.poolClose(pool);
+    EXPECT_THROW(api_.pfree(oid), NamespaceError);
+    EXPECT_THROW(api_.oidDirect(oid), NamespaceError);
+    EXPECT_THROW(api_.poolClose(pool), NamespaceError);
+}
+
+TEST_F(ApiTest, TwoProcessesShareThroughNamespace)
+{
+    PoolMode mode;
+    mode.otherRead = true;
+    ns_.create("shared", kSize, 1000, mode);
+
+    PmoApi bob(ns_, 2000, 11);
+    Pool *opened = bob.poolOpen("shared", Perm::Read);
+    EXPECT_NE(opened, nullptr);
+    // Bob may not open it for writing (mode) and the second reader is
+    // a different process id, so it coexists.
+    EXPECT_THROW(bob.poolOpen("shared", Perm::ReadWrite),
+                 NamespaceError);
+    PmoApi carol(ns_, 3000, 12);
+    EXPECT_NE(carol.poolOpen("shared", Perm::Read), nullptr);
+}
+
+} // namespace
+} // namespace pmodv::pmo

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the Table VIII area/memory overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/area.hh"
+
+namespace pmodv::exp
+{
+namespace
+{
+
+TEST(Area, DttlbEntryIs76Bits)
+{
+    // Paper: 16 entries x 76 bits = 152 bytes.
+    EXPECT_EQ(dttlbEntryBits(), 76u);
+    AreaInputs in;
+    EXPECT_EQ(mpkVirtArea(in).bufferBits, 16u * 76u);
+    EXPECT_EQ(mpkVirtArea(in).bufferBits / 8, 152u);
+}
+
+TEST(Area, PtlbEntryIs12Bits)
+{
+    // Paper: 16 entries x 12 bits = 24 bytes.
+    EXPECT_EQ(ptlbEntryBits(), 12u);
+    AreaInputs in;
+    EXPECT_EQ(domainVirtArea(in).bufferBits / 8, 24u);
+}
+
+TEST(Area, RegistersPerCore)
+{
+    AreaInputs in;
+    EXPECT_EQ(mpkVirtArea(in).newRegistersPerCore, 1u);
+    EXPECT_EQ(domainVirtArea(in).newRegistersPerCore, 2u);
+}
+
+TEST(Area, DttIs256KbAtPaperScale)
+{
+    AreaInputs in; // 1024 domains x 1024 threads.
+    EXPECT_EQ(mpkVirtArea(in).tableBytesPerProcess, 256u * 1024u);
+}
+
+TEST(Area, DomainVirtTablesAre256KbPlus16Kb)
+{
+    AreaInputs in;
+    EXPECT_EQ(domainVirtArea(in).tableBytesPerProcess,
+              256u * 1024u + 16u * 1024u);
+}
+
+TEST(Area, TlbExtensionOnlyForDomainVirt)
+{
+    AreaInputs in;
+    EXPECT_EQ(mpkVirtArea(in).tlbExtensionBits, 0u);
+    // 6 extra bits per TLB entry across 1600 entries.
+    EXPECT_EQ(domainVirtArea(in).tlbExtensionBits, 1600u * 6u);
+}
+
+TEST(Area, BuffersStayTiny)
+{
+    // Paper: "their sizes are negligible (both less than 0.2KB)".
+    AreaInputs in;
+    EXPECT_LT(mpkVirtArea(in).bufferBits / 8, 205u);
+    EXPECT_LT(domainVirtArea(in).bufferBits / 8, 205u);
+}
+
+TEST(Area, ScalesWithInputs)
+{
+    AreaInputs small;
+    small.numDomains = 64;
+    small.numThreads = 8;
+    AreaInputs big;
+    EXPECT_LT(mpkVirtArea(small).tableBytesPerProcess,
+              mpkVirtArea(big).tableBytesPerProcess);
+}
+
+TEST(Area, PrintedTableMentionsKeyNumbers)
+{
+    std::ostringstream os;
+    printAreaTable(os, AreaInputs{});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("152"), std::string::npos); // DTTLB bytes.
+    EXPECT_NE(text.find("24"), std::string::npos);  // PTLB bytes.
+    EXPECT_NE(text.find("256"), std::string::npos); // Table KB.
+    EXPECT_NE(text.find("DTT"), std::string::npos);
+    EXPECT_NE(text.find("PTLB"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmodv::exp

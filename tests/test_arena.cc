@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the two-image persistent-memory arena: crash
+ * semantics, writeback granularity and file persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "pmo/arena.hh"
+#include "pmo/errors.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+TEST(Arena, ReadWriteRoundTrip)
+{
+    PersistentArena arena(4096);
+    const char msg[] = "hello persistent world";
+    arena.write(100, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    arena.read(100, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(Arena, OutOfRangeThrows)
+{
+    PersistentArena arena(128);
+    char buf[16];
+    EXPECT_THROW(arena.read(120, buf, 16), PmoError);
+    EXPECT_THROW(arena.write(128, buf, 1), PmoError);
+    EXPECT_NO_THROW(arena.read(112, buf, 16));
+}
+
+TEST(Arena, CrashLosesUnpersistedStores)
+{
+    PersistentArena arena(4096);
+    const std::uint64_t value = 0xdeadbeef;
+    arena.write(64, &value, sizeof(value));
+    arena.crash();
+    std::uint64_t out = 1;
+    arena.read(64, &out, sizeof(out));
+    EXPECT_EQ(out, 0u); // Store was never written back.
+}
+
+TEST(Arena, WritebackSurvivesCrash)
+{
+    PersistentArena arena(4096);
+    const std::uint64_t value = 0xdeadbeef;
+    arena.write(64, &value, sizeof(value));
+    arena.writeback(64, sizeof(value));
+    arena.crash();
+    std::uint64_t out = 0;
+    arena.read(64, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+}
+
+TEST(Arena, WritebackIsLineGranular)
+{
+    PersistentArena arena(4096);
+    const std::uint64_t a = 1, b = 2;
+    arena.write(0, &a, sizeof(a));    // Line 0.
+    arena.write(64, &b, sizeof(b));   // Line 1.
+    arena.writeback(0, 8);            // Only line 0.
+    arena.crash();
+    std::uint64_t out_a = 0, out_b = 0;
+    arena.read(0, &out_a, 8);
+    arena.read(64, &out_b, 8);
+    EXPECT_EQ(out_a, 1u);
+    EXPECT_EQ(out_b, 0u);
+}
+
+TEST(Arena, WritebackSpanningLines)
+{
+    PersistentArena arena(4096);
+    std::vector<std::uint8_t> data(200, 0xab);
+    arena.write(60, data.data(), data.size()); // Lines 0..4.
+    EXPECT_EQ(arena.writeback(60, data.size()), 5u);
+    arena.crash();
+    std::vector<std::uint8_t> out(200);
+    arena.read(60, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(Arena, WritebackCountAccumulates)
+{
+    PersistentArena arena(4096);
+    EXPECT_EQ(arena.writebackCount(), 0u);
+    arena.writeback(0, 64);
+    arena.writeback(0, 128);
+    EXPECT_EQ(arena.writebackCount(), 3u);
+}
+
+TEST(Arena, IsCleanTracksDivergence)
+{
+    PersistentArena arena(256);
+    EXPECT_TRUE(arena.isClean());
+    const int v = 5;
+    arena.write(0, &v, sizeof(v));
+    EXPECT_FALSE(arena.isClean());
+    arena.writebackAll();
+    EXPECT_TRUE(arena.isClean());
+}
+
+TEST(Arena, ZeroLengthWritebackIsNoop)
+{
+    PersistentArena arena(256);
+    EXPECT_EQ(arena.writeback(10, 0), 0u);
+}
+
+class ArenaFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("pmodv_arena_" + std::to_string(::getpid()) + ".img"))
+                    .string();
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::string path_;
+};
+
+TEST_F(ArenaFileTest, SaveLoadRoundTrip)
+{
+    PersistentArena arena(1024);
+    const char msg[] = "durable";
+    arena.write(10, msg, sizeof(msg));
+    arena.writebackAll();
+    arena.saveTo(path_);
+
+    PersistentArena loaded = PersistentArena::loadFrom(path_);
+    EXPECT_EQ(loaded.size(), 1024u);
+    char out[sizeof(msg)] = {};
+    loaded.read(10, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+    EXPECT_TRUE(loaded.isClean());
+}
+
+TEST_F(ArenaFileTest, SaveCapturesOnlyPersistentImage)
+{
+    PersistentArena arena(1024);
+    const std::uint64_t persisted = 7, lost = 9;
+    arena.write(0, &persisted, 8);
+    arena.writeback(0, 8);
+    arena.write(128, &lost, 8); // Never written back.
+    arena.saveTo(path_);
+
+    PersistentArena loaded = PersistentArena::loadFrom(path_);
+    std::uint64_t a = 0, b = 1;
+    loaded.read(0, &a, 8);
+    loaded.read(128, &b, 8);
+    EXPECT_EQ(a, 7u);
+    EXPECT_EQ(b, 0u);
+}
+
+TEST_F(ArenaFileTest, LoadMissingFileThrows)
+{
+    EXPECT_THROW(PersistentArena::loadFrom(path_ + ".nope"), PmoError);
+}
+
+} // namespace
+} // namespace pmodv::pmo

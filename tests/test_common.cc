@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, permission
+ * algebra, pseudo-LRU trackers and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/plru.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(BitUtil, Alignment)
+{
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_TRUE(isAligned(8192, 4096));
+    EXPECT_FALSE(isAligned(8191, 4096));
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 63, 0), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, PageHelpers)
+{
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), std::uint64_t{1} << 21);
+    EXPECT_EQ(pageBytes(PageSize::Size1G), std::uint64_t{1} << 30);
+    EXPECT_EQ(pageBase(0x12345), 0x12000u);
+    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+}
+
+TEST(Perm, Algebra)
+{
+    EXPECT_EQ(permIntersect(Perm::ReadWrite, Perm::Read), Perm::Read);
+    EXPECT_EQ(permIntersect(Perm::Read, Perm::Write), Perm::None);
+    EXPECT_EQ(permUnion(Perm::Read, Perm::Write), Perm::ReadWrite);
+    EXPECT_TRUE(permAllows(Perm::ReadWrite, Perm::Read));
+    EXPECT_TRUE(permAllows(Perm::ReadWrite, Perm::Write));
+    EXPECT_FALSE(permAllows(Perm::Read, Perm::Write));
+    EXPECT_FALSE(permAllows(Perm::None, Perm::Read));
+    EXPECT_TRUE(permAllows(Perm::Read, Perm::None));
+}
+
+TEST(Perm, AccessMapping)
+{
+    EXPECT_EQ(permForAccess(AccessType::Read), Perm::Read);
+    EXPECT_EQ(permForAccess(AccessType::Write), Perm::Write);
+    EXPECT_TRUE(permCanRead(Perm::ReadWrite));
+    EXPECT_FALSE(permCanWrite(Perm::Read));
+}
+
+TEST(Perm, Strings)
+{
+    EXPECT_EQ(permToString(Perm::None), "-");
+    EXPECT_EQ(permToString(Perm::Read), "R");
+    EXPECT_EQ(permToString(Perm::Write), "W");
+    EXPECT_EQ(permToString(Perm::ReadWrite), "RW");
+}
+
+TEST(TreePlru, SingleWay)
+{
+    TreePlru plru(1);
+    EXPECT_EQ(plru.victim(), 0u);
+    plru.touch(0);
+    EXPECT_EQ(plru.victim(), 0u);
+}
+
+TEST(TreePlru, VictimNeverMostRecent)
+{
+    for (unsigned ways : {2u, 4u, 8u, 16u}) {
+        TreePlru plru(ways);
+        Rng rng(7);
+        for (int i = 0; i < 1000; ++i) {
+            const unsigned w = static_cast<unsigned>(rng.next(ways));
+            plru.touch(w);
+            EXPECT_NE(plru.victim(), w)
+                << "ways=" << ways << " iter=" << i;
+        }
+    }
+}
+
+TEST(TreePlru, RoundRobinTouchCyclesVictims)
+{
+    TreePlru plru(4);
+    // Touch 0..3 in order; victim should then be 0 (oldest path).
+    for (unsigned w = 0; w < 4; ++w)
+        plru.touch(w);
+    EXPECT_EQ(plru.victim(), 0u);
+}
+
+TEST(TreePlru, ResetForgetsHistory)
+{
+    TreePlru plru(8);
+    for (unsigned w = 0; w < 8; ++w)
+        plru.touch(w);
+    plru.reset();
+    EXPECT_EQ(plru.victim(), 0u);
+}
+
+TEST(TrueLru, ExactOrder)
+{
+    TrueLru lru(4);
+    lru.touch(2);
+    lru.touch(0);
+    lru.touch(3);
+    lru.touch(1);
+    EXPECT_EQ(lru.victim(), 2u);
+    lru.touch(2);
+    EXPECT_EQ(lru.victim(), 0u);
+}
+
+TEST(TrueLru, Reset)
+{
+    TrueLru lru(3);
+    lru.touch(1);
+    lru.touch(2);
+    lru.reset();
+    EXPECT_EQ(lru.victim(), 0u);
+}
+
+/** Tree-PLRU must agree with exact LRU on strict sequential sweeps. */
+TEST(TreePlru, MatchesTrueLruOnSequentialSweep)
+{
+    TreePlru plru(8);
+    TrueLru lru(8);
+    for (int round = 0; round < 5; ++round) {
+        for (unsigned w = 0; w < 8; ++w) {
+            plru.touch(w);
+            lru.touch(w);
+        }
+        EXPECT_EQ(plru.victim(), lru.victim());
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.raw() == b.raw();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextInBounds)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfSkew)
+{
+    Rng rng(77);
+    // With heavy skew, the first decile should dominate.
+    std::uint64_t low = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        if (rng.zipf(1000, 0.9) < 100)
+            ++low;
+    }
+    EXPECT_GT(low, draws / 4);
+    // Uniform degenerate case stays in range.
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.zipf(50, 0.0), 50u);
+}
+
+TEST(Logging, QuietFlagRoundTrip)
+{
+    const bool old = setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    warn("this warning should be suppressed");
+    inform("this info should be suppressed");
+    setLogQuiet(old);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic %d", 42), "panic");
+}
+
+} // namespace
+} // namespace pmodv

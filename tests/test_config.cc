@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for SimConfig defaults (the paper's Table II) and the config
+ * printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.hh"
+
+namespace pmodv::core
+{
+namespace
+{
+
+TEST(SimConfig, TableIIDefaults)
+{
+    SimConfig c;
+    EXPECT_DOUBLE_EQ(c.freqGhz, 2.2);
+    EXPECT_EQ(c.issueWidth, 4u);
+
+    EXPECT_EQ(c.memory.l1.sizeBytes, 32u * 1024u);
+    EXPECT_EQ(c.memory.l1.assoc, 8u);
+    EXPECT_EQ(c.memory.l1.hitLatency, 1u);
+    EXPECT_EQ(c.memory.l2.sizeBytes, 1024u * 1024u);
+    EXPECT_EQ(c.memory.l2.assoc, 16u);
+    EXPECT_EQ(c.memory.l2.hitLatency, 8u);
+    EXPECT_EQ(c.memory.memory.dramLatency, 120u);
+    EXPECT_EQ(c.memory.memory.nvmLatency, 360u);
+
+    EXPECT_EQ(c.tlb.l1.entries, 64u);
+    EXPECT_EQ(c.tlb.l1.assoc, 4u);
+    EXPECT_EQ(c.tlb.l2.entries, 1536u);
+    EXPECT_EQ(c.tlb.l2.assoc, 6u);
+    EXPECT_EQ(c.tlb.l2.accessLatency, 4u);
+    EXPECT_EQ(c.tlb.walkLatency, 30u);
+
+    EXPECT_EQ(c.prot.wrpkruCycles, 27u);
+    EXPECT_EQ(c.prot.dttlbEntries, 16u);
+    EXPECT_EQ(c.prot.dttWalkCycles, 30u);
+    EXPECT_EQ(c.prot.tlbInvalidationCycles, 286u);
+    EXPECT_EQ(c.prot.ptlbEntries, 16u);
+    EXPECT_EQ(c.prot.ptlbAccessCycles, 1u);
+    EXPECT_EQ(c.prot.ptlbMissCycles, 30u);
+}
+
+TEST(SimConfig, TimeConversions)
+{
+    SimConfig c;
+    EXPECT_DOUBLE_EQ(c.cyclesPerSecond(), 2.2e9);
+    EXPECT_DOUBLE_EQ(c.secondsFor(2'200'000'000ull), 1.0);
+    EXPECT_DOUBLE_EQ(c.secondsFor(0), 0.0);
+}
+
+TEST(SimConfig, NvmIsTripleDram)
+{
+    SimConfig c;
+    EXPECT_EQ(c.memory.memory.nvmLatency,
+              3 * c.memory.memory.dramLatency);
+}
+
+TEST(SimConfig, PrintMentionsEveryBlock)
+{
+    std::ostringstream os;
+    printConfig(os, SimConfig{});
+    const std::string text = os.str();
+    for (const char *needle :
+         {"2.2 GHz", "L1D 32KB", "L2 1024KB", "DRAM 120", "NVM 360",
+          "64-entry", "1536-entry", "WRPKRU/SETPERM 27", "DTTLB 16",
+          "PTLB 16", "286", "libmpk"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(SimConfig, OverlapFactorBounds)
+{
+    SimConfig c;
+    EXPECT_GE(c.memOverlap, 0.0);
+    EXPECT_LT(c.memOverlap, 1.0);
+}
+
+} // namespace
+} // namespace pmodv::core

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the hardware domain-virtualization design: PTLB
+ * behaviour, DRT-filled TLB domain ids, PTLB-resident SETPERM, lazy
+ * PT write-back, and shootdown-free context switches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/domain_virt.hh"
+#include "arch/ptlb.hh"
+#include "scheme_test_util.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+using arch::DomainVirtScheme;
+using arch::Ptlb;
+using arch::PtlbEntry;
+using arch::SchemeKind;
+using test::pmoBase;
+using test::SchemeHarness;
+
+constexpr Addr kSize = Addr{1} << 20;
+
+// ---------------------------------------------------------------
+// PTLB unit tests.
+// ---------------------------------------------------------------
+
+PtlbEntry
+makeEntry(DomainId domain, Perm perm, bool dirty = false)
+{
+    PtlbEntry e;
+    e.used = true;
+    e.domain = domain;
+    e.perm = perm;
+    e.dirty = dirty;
+    return e;
+}
+
+TEST(Ptlb, LookupAndStats)
+{
+    stats::Group root(nullptr, "");
+    Ptlb ptlb(&root, 4);
+    PtlbEntry evicted;
+    bool had = false;
+    ptlb.insert(makeEntry(3, Perm::Read), evicted, had);
+    EXPECT_NE(ptlb.lookup(3), nullptr);
+    EXPECT_EQ(ptlb.lookup(4), nullptr);
+    EXPECT_DOUBLE_EQ(ptlb.hits.value(), 1.0);
+    EXPECT_DOUBLE_EQ(ptlb.misses.value(), 1.0);
+}
+
+TEST(Ptlb, EvictionReturnsVictim)
+{
+    stats::Group root(nullptr, "");
+    Ptlb ptlb(&root, 2);
+    PtlbEntry evicted;
+    bool had = false;
+    ptlb.insert(makeEntry(1, Perm::Read, true), evicted, had);
+    ptlb.insert(makeEntry(2, Perm::ReadWrite), evicted, had);
+    EXPECT_FALSE(had);
+    ptlb.lookup(2); // Make domain 1 the victim.
+    ptlb.insert(makeEntry(3, Perm::Read), evicted, had);
+    EXPECT_TRUE(had);
+    EXPECT_EQ(evicted.domain, 1u);
+    EXPECT_TRUE(evicted.dirty);
+}
+
+TEST(Ptlb, FlushCollectsOnlyDirty)
+{
+    stats::Group root(nullptr, "");
+    Ptlb ptlb(&root, 4);
+    PtlbEntry evicted;
+    bool had = false;
+    ptlb.insert(makeEntry(1, Perm::Read, true), evicted, had);
+    ptlb.insert(makeEntry(2, Perm::Read, false), evicted, had);
+    std::vector<PtlbEntry> dirty;
+    ptlb.flushAll(dirty);
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0].domain, 1u);
+    EXPECT_EQ(ptlb.usedCount(), 0u);
+}
+
+TEST(Ptlb, InvalidateSingleDomain)
+{
+    stats::Group root(nullptr, "");
+    Ptlb ptlb(&root, 4);
+    PtlbEntry evicted;
+    bool had = false;
+    ptlb.insert(makeEntry(1, Perm::Read), evicted, had);
+    EXPECT_TRUE(ptlb.invalidate(1));
+    EXPECT_FALSE(ptlb.invalidate(1));
+}
+
+// ---------------------------------------------------------------
+// Full-scheme tests.
+// ---------------------------------------------------------------
+
+TEST(DomainVirt, TlbEntriesCarryDomainIds)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    h.attach(7, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 7, Perm::Read);
+    h.canRead(0, pmoBase(0));
+    const auto *entry = h.tlbs().l1().probe(pmoBase(0));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->domain, 7u);
+    EXPECT_EQ(entry->key, kNullKey); // No keys in this design.
+}
+
+TEST(DomainVirt, Figure2Scenarios)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    h.attach(1, pmoBase(0), kSize);
+    const Addr a = pmoBase(0) + 0x10;
+
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_TRUE(h.canRead(0, a));
+    EXPECT_FALSE(h.canWrite(0, a));
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, a));
+    h.scheme().setPerm(0, 1, Perm::None);
+    EXPECT_FALSE(h.canRead(0, a));
+
+    // Spatial isolation across a context switch.
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.scheme().contextSwitch(0, 2);
+    EXPECT_FALSE(h.canRead(2, a));
+    h.scheme().contextSwitch(2, 0);
+    EXPECT_TRUE(h.canWrite(0, a));
+}
+
+TEST(DomainVirt, ScalesFarBeyond16Domains)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    for (unsigned i = 0; i < 100; ++i) {
+        h.attach(i + 1, pmoBase(i), kSize);
+        h.scheme().setPerm(0, i + 1,
+                           i % 2 ? Perm::ReadWrite : Perm::Read);
+    }
+    // Spot-check: even-indexed domains are read-only, odd read-write,
+    // and crucially there are NO shootdowns anywhere.
+    EXPECT_TRUE(h.canRead(0, pmoBase(10)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(10)));
+    EXPECT_TRUE(h.canWrite(0, pmoBase(11)));
+    EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 0.0);
+    EXPECT_DOUBLE_EQ(virt.keyRemaps.value(), 0.0);
+}
+
+TEST(DomainVirt, PtlbAccessLatencyCharged)
+{
+    arch::ProtParams params;
+    params.ptlbAccessCycles = 1;
+    SchemeHarness h(SchemeKind::DomainVirt, params);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    // First access: PTLB hit (SETPERM installed the entry): 1 cycle.
+    auto res = h.access(0, pmoBase(0), AccessType::Write);
+    EXPECT_TRUE(res.allowed);
+    EXPECT_EQ(res.extraCycles, 1u);
+}
+
+TEST(DomainVirt, PtlbMissChargesPtLookup)
+{
+    arch::ProtParams params;
+    params.ptlbEntries = 2;
+    params.ptlbMissCycles = 30;
+    SchemeHarness h(SchemeKind::DomainVirt, params);
+    for (unsigned i = 0; i < 4; ++i) {
+        h.attach(i + 1, pmoBase(i), kSize);
+        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+    }
+    // Domains 1/2 were evicted from the 2-entry PTLB by 3/4; touching
+    // domain 1 misses and pays the PT lookup.
+    auto res = h.access(0, pmoBase(0), AccessType::Write);
+    EXPECT_TRUE(res.allowed); // Dirty value was written back to PT.
+    EXPECT_GE(res.extraCycles, 30u);
+}
+
+TEST(DomainVirt, LazyPtWriteBackOnEviction)
+{
+    arch::ProtParams params;
+    params.ptlbEntries = 2;
+    SchemeHarness h(SchemeKind::DomainVirt, params);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    // SETPERM completes in the PTLB; the PT still has no entry.
+    EXPECT_EQ(virt.pt().get(1, 0), Perm::None);
+    // Force eviction of domain 1's dirty entry.
+    h.attach(2, pmoBase(1), kSize);
+    h.attach(3, pmoBase(2), kSize);
+    h.scheme().setPerm(0, 2, Perm::Read);
+    h.scheme().setPerm(0, 3, Perm::Read);
+    EXPECT_EQ(virt.pt().get(1, 0), Perm::ReadWrite);
+    EXPECT_GE(virt.ptlbWritebacks.value(), 1.0);
+}
+
+TEST(DomainVirt, ContextSwitchKeepsTlbFlushesPtlb)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.canWrite(0, pmoBase(0));
+    ASSERT_NE(h.tlbs().l1().probe(pmoBase(0)), nullptr);
+
+    h.scheme().contextSwitch(0, 5);
+    // The TLB entry (with its domain id) survives the switch — the
+    // design's key advantage.
+    EXPECT_NE(h.tlbs().l1().probe(pmoBase(0)), nullptr);
+    EXPECT_EQ(virt.ptlb().usedCount(), 0u);
+    // And thread 5 has no permission despite the warm TLB.
+    EXPECT_FALSE(h.canRead(5, pmoBase(0)));
+}
+
+TEST(DomainVirt, ContextSwitchWritesBackOutgoingPerms)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite); // Dirty in PTLB.
+    h.scheme().contextSwitch(0, 5);
+    EXPECT_EQ(virt.pt().get(1, 0), Perm::ReadWrite);
+    // Thread 0's permission survives the round trip.
+    h.scheme().contextSwitch(5, 0);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+}
+
+TEST(DomainVirt, DetachDropsEverything)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.canWrite(0, pmoBase(0));
+    h.detach(1);
+    EXPECT_EQ(h.tlbs().l1().probe(pmoBase(0)), nullptr);
+    EXPECT_EQ(virt.drt().rootEntryCount(), 0u);
+    EXPECT_EQ(virt.pt().numDomains(), 0u);
+}
+
+TEST(DomainVirt, DomainlessBypassesPtlb)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto res = h.access(0, 0x9000, AccessType::Write);
+    EXPECT_TRUE(res.allowed);
+    EXPECT_EQ(res.extraCycles, 0u);
+}
+
+TEST(DomainVirt, EffectivePermReadsFreshPtlbValue)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::Read);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::ReadWrite);
+    EXPECT_EQ(h.scheme().effectivePerm(3, 1), Perm::None);
+}
+
+TEST(DomainVirt, DrtMemoryModel)
+{
+    SchemeHarness h(SchemeKind::DomainVirt);
+    auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
+    const auto before = virt.drtMemoryBytes();
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_GT(virt.drtMemoryBytes(), before);
+}
+
+} // namespace
+} // namespace pmodv

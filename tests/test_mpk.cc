@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the stock MPK scheme, including the paper's
+ * Figure 2 temporal/spatial isolation scenarios and the 16-key
+ * exhaustion problem that motivates the whole work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mpk.hh"
+#include "scheme_test_util.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+using arch::SchemeKind;
+using test::pmoBase;
+using test::SchemeHarness;
+
+constexpr Addr kSize = Addr{1} << 20;
+
+TEST(Mpk, AttachAssignsDistinctKeys)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    h.attach(2, pmoBase(1), kSize);
+    auto &mpk = static_cast<arch::MpkScheme &>(h.scheme());
+    EXPECT_NE(mpk.keyOf(1), kInvalidKey);
+    EXPECT_NE(mpk.keyOf(2), kInvalidKey);
+    EXPECT_NE(mpk.keyOf(1), mpk.keyOf(2));
+}
+
+TEST(Mpk, DefaultDeniedUntilSetPerm)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    // Attach grants nothing (paper §IV-A).
+    EXPECT_FALSE(h.canRead(0, pmoBase(0)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+}
+
+/** Figure 2(a): temporal (intra-thread) isolation. */
+TEST(Mpk, Figure2TemporalIsolation)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    const Addr a = pmoBase(0) + 0x10;
+    const Addr b = pmoBase(0) + 0x2000;
+    const Addr c = pmoBase(0) + 0x3000;
+    const Addr d = pmoBase(0) + 0x4000;
+
+    h.scheme().setPerm(0, 1, Perm::Read); // +R
+    EXPECT_TRUE(h.canRead(0, a));         // ld A permitted
+    EXPECT_FALSE(h.canWrite(0, b));       // st B denied
+
+    h.scheme().setPerm(0, 1, Perm::ReadWrite); // +W
+    EXPECT_TRUE(h.canWrite(0, c));             // st C permitted
+
+    h.scheme().setPerm(0, 1, Perm::None); // -R -W
+    EXPECT_FALSE(h.canRead(0, d));        // ld D denied
+}
+
+/** Figure 2(b): spatial (inter-thread) isolation. */
+TEST(Mpk, Figure2SpatialIsolation)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    const Addr a = pmoBase(0) + 0x10;
+    const Addr b = pmoBase(0) + 0x2000;
+
+    h.scheme().setPerm(1, 1, Perm::ReadWrite); // Thread 1 only.
+    h.scheme().setPerm(2, 1, Perm::Read);      // Thread 2: read only.
+
+    EXPECT_TRUE(h.canWrite(1, a));  // Thread1 st A permitted.
+    EXPECT_TRUE(h.canRead(2, a));   // Thread2 may read...
+    EXPECT_FALSE(h.canWrite(2, b)); // ...but st B denied.
+
+    // Thread 3 never obtained permission at all.
+    EXPECT_FALSE(h.canRead(3, a));
+}
+
+TEST(Mpk, PagePermissionIsStricter)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize, Perm::Read); // Read-only mapping.
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+    // Domain allows W but the page does not: strictest wins.
+    auto res = h.access(0, pmoBase(0), AccessType::Write);
+    EXPECT_FALSE(res.allowed);
+    EXPECT_EQ(res.fault, arch::FaultKind::PagePermission);
+}
+
+TEST(Mpk, DomainlessAccessBypassesChecks)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    // Unmapped (non-PMO) VA: write allowed, no fault counted.
+    EXPECT_TRUE(h.canWrite(0, 0x1000));
+    EXPECT_DOUBLE_EQ(h.scheme().protectionFaults.value(), 0.0);
+}
+
+TEST(Mpk, KeyExhaustionLeavesPmosDomainless)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    // 15 allocatable keys; the 16th PMO goes domainless.
+    for (unsigned i = 0; i < 16; ++i)
+        h.attach(i + 1, pmoBase(i), kSize);
+    auto &mpk = static_cast<arch::MpkScheme &>(h.scheme());
+    EXPECT_DOUBLE_EQ(mpk.keyExhausted.value(), 1.0);
+    EXPECT_EQ(mpk.keyOf(16), kNullKey);
+    // The domainless PMO is unprotected — the security hole the paper
+    // highlights: accesses succeed without any SETPERM.
+    EXPECT_TRUE(h.canWrite(0, pmoBase(15)));
+    // A properly keyed PMO still requires permission.
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+}
+
+TEST(Mpk, DetachFreesKeyForReuse)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    for (unsigned i = 0; i < 15; ++i)
+        h.attach(i + 1, pmoBase(i), kSize);
+    auto &mpk = static_cast<arch::MpkScheme &>(h.scheme());
+    const ProtKey freed = mpk.keyOf(3);
+    h.detach(3);
+    EXPECT_EQ(mpk.keyOf(3), kInvalidKey);
+    h.attach(99, pmoBase(15), kSize);
+    EXPECT_EQ(mpk.keyOf(99), freed);
+    EXPECT_DOUBLE_EQ(mpk.keyExhausted.value(), 0.0);
+}
+
+TEST(Mpk, SetPermCostsWrpkru)
+{
+    arch::ProtParams params;
+    params.wrpkruCycles = 27;
+    SchemeHarness h(SchemeKind::Mpk, params);
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_EQ(h.scheme().setPerm(0, 1, Perm::Read), 27u);
+    EXPECT_DOUBLE_EQ(h.scheme().permChanges.value(), 1.0);
+    EXPECT_DOUBLE_EQ(h.scheme().cycPermissionChange.value(), 27.0);
+}
+
+TEST(Mpk, WrpkruRawSetsPkruDirectly)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    auto &mpk = static_cast<arch::MpkScheme &>(h.scheme());
+    const ProtKey key = mpk.keyOf(1);
+    mpk.wrpkruRaw(0, key, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    EXPECT_EQ(mpk.pkru(0).permFor(key), Perm::ReadWrite);
+}
+
+TEST(Mpk, EffectivePermMirrorsPkru)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::None);
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::Read);
+    EXPECT_EQ(h.scheme().effectivePerm(5, 1), Perm::None);
+}
+
+TEST(Mpk, FaultsAreCounted)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    h.canWrite(0, pmoBase(0));
+    h.canRead(0, pmoBase(0));
+    EXPECT_DOUBLE_EQ(h.scheme().protectionFaults.value(), 2.0);
+}
+
+TEST(Mpk, TlbCachedKeySurvivesAcrossAccesses)
+{
+    SchemeHarness h(SchemeKind::Mpk);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    // TLB hit path: still checked against PKRU after revocation.
+    h.scheme().setPerm(0, 1, Perm::None);
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+}
+
+} // namespace
+} // namespace pmodv

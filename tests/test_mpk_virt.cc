@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the hardware MPK-virtualization design: DTTLB
+ * behaviour, DTT-backed key remapping, shootdowns, and context-switch
+ * PKRU reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dttlb.hh"
+#include "arch/mpk_virt.hh"
+#include "scheme_test_util.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+using arch::Dttlb;
+using arch::DttlbEntry;
+using arch::MpkVirtScheme;
+using arch::SchemeKind;
+using test::pmoBase;
+using test::SchemeHarness;
+
+constexpr Addr kSize = Addr{1} << 20;
+
+// ---------------------------------------------------------------
+// DTTLB unit tests.
+// ---------------------------------------------------------------
+
+DttlbEntry
+makeEntry(DomainId domain, Addr base, Addr size, ProtKey key)
+{
+    DttlbEntry e;
+    e.used = true;
+    e.base = base;
+    e.size = size;
+    e.domain = domain;
+    e.key = key;
+    e.valid = key != kNullKey;
+    return e;
+}
+
+TEST(Dttlb, VaRangeLookup)
+{
+    stats::Group root(nullptr, "");
+    Dttlb dttlb(&root, 4);
+    DttlbEntry evicted;
+    bool had = false;
+    dttlb.insert(makeEntry(1, 0x10000, 0x4000, 2), evicted, had);
+    EXPECT_FALSE(had);
+    EXPECT_NE(dttlb.lookupVa(0x10000), nullptr);
+    EXPECT_NE(dttlb.lookupVa(0x13fff), nullptr);
+    EXPECT_EQ(dttlb.lookupVa(0x14000), nullptr);
+    EXPECT_DOUBLE_EQ(dttlb.hits.value(), 2.0);
+    EXPECT_DOUBLE_EQ(dttlb.misses.value(), 1.0);
+}
+
+TEST(Dttlb, CapacityEvictionReportsVictim)
+{
+    stats::Group root(nullptr, "");
+    Dttlb dttlb(&root, 2);
+    DttlbEntry evicted;
+    bool had = false;
+    dttlb.insert(makeEntry(1, 0x10000, 0x1000, 1), evicted, had);
+    dttlb.insert(makeEntry(2, 0x20000, 0x1000, 2), evicted, had);
+    EXPECT_FALSE(had);
+    // Touch domain 1 so domain 2 is the PLRU victim.
+    dttlb.lookupVa(0x10000);
+    dttlb.insert(makeEntry(3, 0x30000, 0x1000, 3), evicted, had);
+    EXPECT_TRUE(had);
+    EXPECT_EQ(evicted.domain, 2u);
+    EXPECT_DOUBLE_EQ(dttlb.evictions.value(), 1.0);
+}
+
+TEST(Dttlb, ReinsertSameDomainReusesSlot)
+{
+    stats::Group root(nullptr, "");
+    Dttlb dttlb(&root, 2);
+    DttlbEntry evicted;
+    bool had = false;
+    dttlb.insert(makeEntry(1, 0x10000, 0x1000, 1), evicted, had);
+    dttlb.insert(makeEntry(1, 0x10000, 0x1000, 5), evicted, had);
+    EXPECT_FALSE(had);
+    EXPECT_EQ(dttlb.usedCount(), 1u);
+    EXPECT_EQ(dttlb.findDomain(1)->key, 5u);
+}
+
+TEST(Dttlb, InvalidateDomain)
+{
+    stats::Group root(nullptr, "");
+    Dttlb dttlb(&root, 4);
+    DttlbEntry evicted;
+    bool had = false;
+    dttlb.insert(makeEntry(1, 0x10000, 0x1000, 1), evicted, had);
+    EXPECT_TRUE(dttlb.invalidateDomain(1));
+    EXPECT_FALSE(dttlb.invalidateDomain(1));
+    EXPECT_EQ(dttlb.usedCount(), 0u);
+}
+
+TEST(Dttlb, FlushCollectsDirtyEntries)
+{
+    stats::Group root(nullptr, "");
+    Dttlb dttlb(&root, 4);
+    DttlbEntry evicted;
+    bool had = false;
+    auto e1 = makeEntry(1, 0x10000, 0x1000, 1);
+    e1.dirty = true;
+    auto e2 = makeEntry(2, 0x20000, 0x1000, 2);
+    e2.dirty = false;
+    dttlb.insert(e1, evicted, had);
+    dttlb.insert(e2, evicted, had);
+    std::vector<DttlbEntry> dirty;
+    dttlb.flushAll(dirty);
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0].domain, 1u);
+    EXPECT_EQ(dttlb.usedCount(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Full-scheme tests.
+// ---------------------------------------------------------------
+
+TEST(MpkVirt, SupportsMoreThan16Domains)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    for (unsigned i = 0; i < 64; ++i)
+        h.attach(i + 1, pmoBase(i), kSize);
+    // Every one of the 64 domains is individually protectable.
+    h.scheme().setPerm(0, 40, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(39)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(40))); // Domain 41: no perm.
+}
+
+TEST(MpkVirt, FirstAccessAssignsFreeKey)
+{
+    arch::ProtParams params;
+    SchemeHarness h(SchemeKind::MpkVirt, params);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    EXPECT_NE(virt.keyOf(1), kInvalidKey);
+    EXPECT_DOUBLE_EQ(virt.keyRemaps.value(), 1.0);
+    EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 0.0); // Free key: none.
+}
+
+TEST(MpkVirt, EvictionRemapsAndShootsDown)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    // Fill all 15 keys.
+    for (unsigned i = 0; i < 15; ++i) {
+        h.attach(i + 1, pmoBase(i), kSize);
+        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+        EXPECT_TRUE(h.canWrite(0, pmoBase(i)));
+    }
+    EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 0.0);
+
+    // A 16th domain forces a victim eviction.
+    h.attach(16, pmoBase(15), kSize);
+    h.scheme().setPerm(0, 16, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(15)));
+    EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 1.0);
+
+    // The LRU victim is domain 1 (least recently touched); its key
+    // is gone and its TLB entries were range-flushed.
+    EXPECT_EQ(virt.keyOf(1), kInvalidKey);
+    EXPECT_EQ(h.tlbs().l1().probe(pmoBase(0)), nullptr);
+
+    // Accessing domain 1 again remaps it (evicting another victim).
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    EXPECT_NE(virt.keyOf(1), kInvalidKey);
+    EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 2.0);
+}
+
+TEST(MpkVirt, EvictionCostsMatchConfig)
+{
+    arch::ProtParams params;
+    params.tlbInvalidationCycles = 286;
+    params.dttWalkCycles = 30;
+    SchemeHarness h(SchemeKind::MpkVirt, params);
+    for (unsigned i = 0; i < 16; ++i) {
+        h.attach(i + 1, pmoBase(i), kSize);
+        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+    }
+    for (unsigned i = 0; i < 15; ++i)
+        h.canWrite(0, pmoBase(i));
+    // Access to the 16th domain: fill extra must include the DTT walk
+    // (DTTLB cold for this domain) and the shootdown.
+    h.canWrite(0, pmoBase(15));
+    EXPECT_GE(h.lastFillExtra, 286u + 30u);
+}
+
+TEST(MpkVirt, Figure2Scenarios)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    h.attach(1, pmoBase(0), kSize);
+    const Addr a = pmoBase(0) + 0x10;
+
+    // Temporal.
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_TRUE(h.canRead(0, a));
+    EXPECT_FALSE(h.canWrite(0, a));
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, a));
+    h.scheme().setPerm(0, 1, Perm::None);
+    EXPECT_FALSE(h.canRead(0, a));
+
+    // Spatial: permissions are per thread.
+    h.scheme().setPerm(1, 1, Perm::ReadWrite);
+    h.scheme().contextSwitch(0, 1);
+    EXPECT_TRUE(h.canWrite(1, a));
+    h.scheme().contextSwitch(1, 2);
+    EXPECT_FALSE(h.canRead(2, a));
+}
+
+TEST(MpkVirt, SetPermInvalidatesDttlbAndUpdatesPkru)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    // Key is held; revoking must take effect even on the TLB-hit path
+    // (PKRU updated alongside the DTT).
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+    EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+}
+
+TEST(MpkVirt, ContextSwitchReconstructsPkru)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.scheme().setPerm(7, 1, Perm::Read);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0))); // Maps the key for tid 0.
+
+    // Switch to thread 7: its PKRU is rebuilt from the DTT, so the
+    // still-mapped key now carries thread 7's Read-only permission.
+    h.scheme().contextSwitch(0, 7);
+    EXPECT_TRUE(h.canRead(7, pmoBase(0)));
+    EXPECT_FALSE(h.canWrite(7, pmoBase(0)));
+}
+
+TEST(MpkVirt, ContextSwitchFlushesDttlb)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.canWrite(0, pmoBase(0));
+    EXPECT_GE(virt.dttlb().usedCount(), 1u);
+    h.scheme().contextSwitch(0, 1);
+    EXPECT_EQ(virt.dttlb().usedCount(), 0u);
+    EXPECT_DOUBLE_EQ(virt.contextSwitches.value(), 1.0);
+}
+
+TEST(MpkVirt, DetachFreesKeyAndCleansState)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.canWrite(0, pmoBase(0));
+    const ProtKey key = virt.keyOf(1);
+    ASSERT_NE(key, kInvalidKey);
+    h.detach(1);
+    EXPECT_EQ(virt.keyOf(1), kInvalidKey);
+    EXPECT_EQ(virt.domainOfKey(key), kNullDomain);
+    EXPECT_EQ(virt.dtt().rootEntryCount(), 0u);
+}
+
+TEST(MpkVirt, LruVictimSelection)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    for (unsigned i = 0; i < 15; ++i) {
+        h.attach(i + 1, pmoBase(i), kSize);
+        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+        h.canWrite(0, pmoBase(i));
+    }
+    // Refresh domain 1 so domain 2 becomes LRU.
+    h.canWrite(0, pmoBase(0));
+    h.attach(99, pmoBase(20), kSize);
+    h.scheme().setPerm(0, 99, Perm::ReadWrite);
+    h.canWrite(0, pmoBase(20));
+    EXPECT_EQ(virt.keyOf(2), kInvalidKey); // Domain 2 was the victim.
+    EXPECT_NE(virt.keyOf(1), kInvalidKey);
+}
+
+TEST(MpkVirt, DomainlessAccessesUnaffected)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_TRUE(h.canWrite(0, 0x4000)); // Non-PMO VA.
+    EXPECT_EQ(h.lastFillExtra, 0u);
+}
+
+TEST(MpkVirt, DttMemoryModelGrowsWithDomains)
+{
+    SchemeHarness h(SchemeKind::MpkVirt);
+    auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
+    const auto empty = virt.dttMemoryBytes();
+    for (unsigned i = 0; i < 8; ++i)
+        h.attach(i + 1, pmoBase(i), kSize);
+    EXPECT_GT(virt.dttMemoryBytes(), empty);
+}
+
+} // namespace
+} // namespace pmodv

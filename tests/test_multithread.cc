@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Multi-threaded trace semantics at the System level: context
+ * switches, per-thread permission windows and the cost asymmetry the
+ * paper highlights — MPK virtualization flushes the DTTLB and
+ * reconstructs PKRU on a switch, domain virtualization keeps the TLB
+ * and only spills dirty PTLB entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/replay.hh"
+#include "core/system.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+using arch::SchemeKind;
+using trace::TraceRecord;
+
+constexpr Addr kBase = Addr{1} << 33;
+constexpr Addr kStride = Addr{16} << 20;
+constexpr Addr kSize = Addr{1} << 20;
+
+/**
+ * A two-thread trace: each thread owns @p domains_per_thread PMOs and
+ * round-robins over them; the core ping-pongs between the threads.
+ */
+std::vector<TraceRecord>
+pingPongTrace(unsigned rounds, unsigned accesses_per_round,
+              unsigned domains_per_thread = 1)
+{
+    std::vector<TraceRecord> t;
+    const unsigned total = 2 * domains_per_thread;
+    for (unsigned d = 1; d <= total; ++d) {
+        t.push_back(TraceRecord::attach(0, d, kBase + (d - 1) * kStride,
+                                        kSize, Perm::ReadWrite));
+    }
+    for (unsigned d = 0; d < domains_per_thread; ++d)
+        t.push_back(TraceRecord::setPerm(0, d + 1, Perm::ReadWrite));
+    t.push_back(TraceRecord::threadSwitch(1));
+    for (unsigned d = 0; d < domains_per_thread; ++d)
+        t.push_back(TraceRecord::setPerm(
+            1, domains_per_thread + d + 1, Perm::ReadWrite));
+    t.push_back(TraceRecord::threadSwitch(0));
+
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned tid = 0; tid < 2; ++tid) {
+            t.push_back(TraceRecord::threadSwitch(
+                static_cast<std::uint16_t>(tid)));
+            for (unsigned a = 0; a < accesses_per_round; ++a) {
+                const unsigned d = tid * domains_per_thread +
+                                   (r + a) % domains_per_thread;
+                t.push_back(TraceRecord::load(
+                    static_cast<std::uint16_t>(tid),
+                    kBase + d * kStride + (a * 4096) % kSize, 8,
+                    true));
+            }
+        }
+    }
+    return t;
+}
+
+class MultiThread : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(MultiThread, PingPongRunsWithoutFaults)
+{
+    core::SimConfig cfg;
+    core::System sys(cfg, GetParam());
+    for (const auto &rec : pingPongTrace(20, 8))
+        sys.put(rec);
+    EXPECT_DOUBLE_EQ(sys.deniedAccesses.value(), 0.0)
+        << arch::schemeName(GetParam());
+}
+
+TEST_P(MultiThread, CrossThreadAccessDenied)
+{
+    // Thread 0 has permission for domain 1 only; if it touches
+    // domain 2's PMO the access must be denied by every enforcing
+    // scheme.
+    core::SimConfig cfg;
+    core::System sys(cfg, GetParam());
+    for (unsigned d = 1; d <= 2; ++d) {
+        sys.put(TraceRecord::attach(0, d, kBase + (d - 1) * kStride,
+                                    kSize, Perm::ReadWrite));
+    }
+    sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    sys.put(TraceRecord::load(0, kBase, 8, true));          // OK.
+    sys.put(TraceRecord::load(0, kBase + kStride, 8, true)); // Denied.
+    EXPECT_DOUBLE_EQ(sys.deniedAccesses.value(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnforcingSchemes, MultiThread,
+    ::testing::Values(SchemeKind::Mpk, SchemeKind::LibMpk,
+                      SchemeKind::MpkVirt, SchemeKind::DomainVirt),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return std::string(arch::schemeName(info.param));
+    });
+
+TEST(MultiThread, FewDomainsFavourMpkVirt)
+{
+    // With 2 domains both hold keys forever: MPK virt never remaps
+    // and rides TLB hits, while domain virt pays PTLB refills after
+    // every context switch — the paper's small-PMO-count regime.
+    core::SimConfig cfg;
+    core::MultiReplay replay(cfg, {SchemeKind::Lowerbound,
+                                   SchemeKind::MpkVirt,
+                                   SchemeKind::DomainVirt});
+    replay.replay(pingPongTrace(200, 4, 1));
+    const auto lb =
+        replay.system(SchemeKind::Lowerbound).totalCycles();
+    const auto mpkv = replay.system(SchemeKind::MpkVirt).totalCycles();
+    const auto domv =
+        replay.system(SchemeKind::DomainVirt).totalCycles();
+    EXPECT_GE(mpkv, lb);
+    EXPECT_GT(domv, lb);
+    EXPECT_LT(mpkv, domv);
+}
+
+TEST(MultiThread, ManyDomainsFavourDomainVirt)
+{
+    // 40 domains over 15 keys: MPK virt remaps (and shoots down)
+    // constantly; domain virt stays at PTLB-miss cost — the paper's
+    // large-PMO-count regime.
+    core::SimConfig cfg;
+    core::MultiReplay replay(cfg, {SchemeKind::Lowerbound,
+                                   SchemeKind::MpkVirt,
+                                   SchemeKind::DomainVirt});
+    replay.replay(pingPongTrace(100, 20, 20));
+    const auto lb =
+        replay.system(SchemeKind::Lowerbound).totalCycles();
+    const auto mpkv = replay.system(SchemeKind::MpkVirt).totalCycles();
+    const auto domv =
+        replay.system(SchemeKind::DomainVirt).totalCycles();
+    EXPECT_GT(mpkv, lb);
+    EXPECT_GT(domv, lb);
+    EXPECT_LT(domv, mpkv);
+}
+
+TEST(MultiThread, PermissionsFollowThreadsNotCore)
+{
+    // After many switches, each thread's window is still exactly its
+    // own domain (no leakage through the shared core structures).
+    for (SchemeKind kind :
+         {SchemeKind::MpkVirt, SchemeKind::DomainVirt}) {
+        core::SimConfig cfg;
+        core::System sys(cfg, kind);
+        for (const auto &rec : pingPongTrace(50, 2))
+            sys.put(rec);
+        // Thread 1 (currently scheduled last in the ping-pong? make
+        // sure: switch to thread 1) touches thread 0's domain.
+        sys.put(TraceRecord::threadSwitch(1));
+        sys.put(TraceRecord::load(1, kBase, 8, true));
+        EXPECT_DOUBLE_EQ(sys.deniedAccesses.value(), 1.0)
+            << arch::schemeName(kind);
+    }
+}
+
+TEST(MultiThread, ContextSwitchCountsTracked)
+{
+    core::SimConfig cfg;
+    core::System sys(cfg, SchemeKind::DomainVirt);
+    for (const auto &rec : pingPongTrace(10, 2))
+        sys.put(rec);
+    // 2 setup switches + 2 per round x 10 rounds.
+    EXPECT_DOUBLE_EQ(static_cast<stats::Group &>(sys).lookup(
+                         "domain_virt.context_switches"),
+                     22.0);
+}
+
+} // namespace
+} // namespace pmodv

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the OS-side PMO namespace: naming, ownership,
+ * permission modes, attach keys, the sharing policy, and on-disk
+ * persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pmo/pmo_namespace.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+constexpr std::size_t kSize = 256 * 1024;
+constexpr Uid kAlice = 1000;
+constexpr Uid kBob = 1001;
+
+TEST(Namespace, CreateAndMeta)
+{
+    Namespace ns;
+    Pool &pool = ns.create("accounts", kSize, kAlice);
+    EXPECT_EQ(pool.size(), kSize);
+    const PoolMeta &meta = ns.meta("accounts");
+    EXPECT_EQ(meta.owner, kAlice);
+    EXPECT_EQ(meta.id, pool.id());
+    EXPECT_TRUE(ns.exists("accounts"));
+    EXPECT_FALSE(ns.exists("nope"));
+}
+
+TEST(Namespace, DuplicateAndInvalidNamesRejected)
+{
+    Namespace ns;
+    ns.create("a", kSize, kAlice);
+    EXPECT_THROW(ns.create("a", kSize, kAlice), NamespaceError);
+    EXPECT_THROW(ns.create("", kSize, kAlice), NamespaceError);
+    EXPECT_THROW(ns.create("x/y", kSize, kAlice), NamespaceError);
+}
+
+TEST(Namespace, DistinctPoolIds)
+{
+    Namespace ns;
+    const PoolId a = ns.create("a", kSize, kAlice).id();
+    const PoolId b = ns.create("b", kSize, kAlice).id();
+    EXPECT_NE(a, b);
+}
+
+TEST(Namespace, OwnerModeChecks)
+{
+    Namespace ns;
+    PoolMode mode;
+    mode.otherRead = true; // Others may read, not write.
+    ns.create("shared", kSize, kAlice, mode);
+
+    EXPECT_NO_THROW(ns.attach("shared", Perm::Read, kBob, 2));
+    ns.detach("shared", 2);
+    EXPECT_THROW(ns.attach("shared", Perm::ReadWrite, kBob, 2),
+                 NamespaceError);
+    // The owner may write.
+    EXPECT_NO_THROW(ns.attach("shared", Perm::ReadWrite, kAlice, 1));
+}
+
+TEST(Namespace, AttachKeyEnforced)
+{
+    Namespace ns;
+    ns.create("secret", kSize, kAlice, {}, 0xfeedface);
+    EXPECT_THROW(ns.attach("secret", Perm::Read, kAlice, 1),
+                 NamespaceError);
+    EXPECT_THROW(ns.attach("secret", Perm::Read, kAlice, 1, 0xbad),
+                 NamespaceError);
+    EXPECT_NO_THROW(
+        ns.attach("secret", Perm::Read, kAlice, 1, 0xfeedface));
+}
+
+TEST(Namespace, SharingPolicyManyReadersOneWriter)
+{
+    Namespace ns;
+    PoolMode mode;
+    mode.otherRead = true;
+    mode.otherWrite = true;
+    ns.create("p", kSize, kAlice, mode);
+
+    ns.attach("p", Perm::Read, kAlice, 1);
+    ns.attach("p", Perm::Read, kBob, 2); // Second reader fine.
+    EXPECT_THROW(ns.attach("p", Perm::ReadWrite, kBob, 3),
+                 NamespaceError); // Writer blocked by readers.
+    ns.detach("p", 1);
+    ns.detach("p", 2);
+    ns.attach("p", Perm::ReadWrite, kBob, 3);
+    EXPECT_THROW(ns.attach("p", Perm::Read, kAlice, 4),
+                 NamespaceError); // Reader blocked by the writer.
+    EXPECT_EQ(ns.attachments("p").size(), 1u);
+}
+
+TEST(Namespace, DoubleAttachSameProcessRejected)
+{
+    Namespace ns;
+    PoolMode mode;
+    mode.otherRead = true;
+    ns.create("p", kSize, kAlice, mode);
+    ns.attach("p", Perm::Read, kAlice, 1);
+    EXPECT_THROW(ns.attach("p", Perm::Read, kAlice, 1), NamespaceError);
+}
+
+TEST(Namespace, DetachAllOnProcessExit)
+{
+    Namespace ns;
+    PoolMode mode;
+    mode.otherRead = true;
+    ns.create("a", kSize, kAlice, mode);
+    ns.create("b", kSize, kAlice, mode);
+    ns.attach("a", Perm::Read, kAlice, 7);
+    ns.attach("b", Perm::Read, kAlice, 7);
+    EXPECT_EQ(ns.detachAll(7), 2u);
+    EXPECT_TRUE(ns.attachments("a").empty());
+}
+
+TEST(Namespace, DestroyRules)
+{
+    Namespace ns;
+    ns.create("p", kSize, kAlice);
+    ns.attach("p", Perm::Read, kAlice, 1);
+    EXPECT_THROW(ns.destroy("p", kBob), NamespaceError);   // Not owner.
+    EXPECT_THROW(ns.destroy("p", kAlice), NamespaceError); // Attached.
+    ns.detach("p", 1);
+    ns.destroy("p", kAlice);
+    EXPECT_FALSE(ns.exists("p"));
+}
+
+TEST(Namespace, ListIsSorted)
+{
+    Namespace ns;
+    ns.create("zebra", kSize, kAlice);
+    ns.create("apple", kSize, kAlice);
+    auto pools = ns.list();
+    ASSERT_EQ(pools.size(), 2u);
+    EXPECT_EQ(pools[0].name, "apple");
+    EXPECT_EQ(pools[1].name, "zebra");
+}
+
+class PersistentNamespaceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("pmodv_ns_" + std::to_string(::getpid())))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(PersistentNamespaceTest, PoolsSurviveProcessLifetime)
+{
+    Oid oid;
+    PoolId id;
+    {
+        Namespace ns(dir_);
+        Pool &pool = ns.create("durable", kSize, kAlice);
+        id = pool.id();
+        oid = pool.pmalloc(64);
+        const std::uint64_t v = 4242;
+        pool.write(oid, &v, 8);
+        pool.persist(oid, 8);
+        ns.sync();
+    } // Namespace destructor also syncs.
+    {
+        Namespace ns(dir_);
+        EXPECT_TRUE(ns.exists("durable"));
+        EXPECT_EQ(ns.meta("durable").owner, kAlice);
+        Pool &pool = ns.attach("durable", Perm::Read, kAlice, 1);
+        EXPECT_EQ(pool.id(), id);
+        std::uint64_t out = 0;
+        pool.read(oid, &out, 8);
+        EXPECT_EQ(out, 4242u);
+    }
+}
+
+TEST_F(PersistentNamespaceTest, ManifestKeepsIdsUnique)
+{
+    PoolId first;
+    {
+        Namespace ns(dir_);
+        first = ns.create("a", kSize, kAlice).id();
+    }
+    {
+        Namespace ns(dir_);
+        const PoolId second = ns.create("b", kSize, kAlice).id();
+        EXPECT_NE(second, first);
+    }
+}
+
+TEST_F(PersistentNamespaceTest, ModeAndKeySurviveReload)
+{
+    {
+        Namespace ns(dir_);
+        PoolMode mode;
+        mode.otherRead = true;
+        ns.create("locked", kSize, kAlice, mode, 0x1234);
+    }
+    {
+        Namespace ns(dir_);
+        EXPECT_THROW(ns.attach("locked", Perm::Read, kBob, 1),
+                     NamespaceError); // Wrong key.
+        EXPECT_NO_THROW(
+            ns.attach("locked", Perm::Read, kBob, 1, 0x1234));
+        EXPECT_THROW(
+            ns.attach("locked", Perm::ReadWrite, kBob, 2, 0x1234),
+            NamespaceError); // Mode still read-only for others.
+    }
+}
+
+TEST_F(PersistentNamespaceTest, DestroyRemovesMedia)
+{
+    {
+        Namespace ns(dir_);
+        ns.create("gone", kSize, kAlice);
+        ns.destroy("gone", kAlice);
+    }
+    {
+        Namespace ns(dir_);
+        EXPECT_FALSE(ns.exists("gone"));
+    }
+    EXPECT_FALSE(
+        std::filesystem::exists(dir_ + "/gone.pool"));
+}
+
+} // namespace
+} // namespace pmodv::pmo

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the PKRU register model and the key allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/pkru.hh"
+
+namespace pmodv::arch
+{
+namespace
+{
+
+TEST(Pkru, ResetState)
+{
+    Pkru pkru;
+    // Key 0 open, everything else inaccessible.
+    EXPECT_EQ(pkru.permFor(0), Perm::ReadWrite);
+    for (ProtKey k = 1; k < kNumProtKeys; ++k)
+        EXPECT_EQ(pkru.permFor(k), Perm::None);
+    EXPECT_EQ(pkru.raw(), 0xfffffffcu);
+}
+
+TEST(Pkru, SetPermRoundTrip)
+{
+    Pkru pkru;
+    pkru.setPerm(5, Perm::Read);
+    EXPECT_EQ(pkru.permFor(5), Perm::Read);
+    pkru.setPerm(5, Perm::ReadWrite);
+    EXPECT_EQ(pkru.permFor(5), Perm::ReadWrite);
+    pkru.setPerm(5, Perm::None);
+    EXPECT_EQ(pkru.permFor(5), Perm::None);
+}
+
+TEST(Pkru, WriteImpliesReadInMpk)
+{
+    // MPK has no write-without-read encoding; Perm::Write maps to the
+    // strictest expressible superset (RW).
+    Pkru pkru;
+    pkru.setPerm(3, Perm::Write);
+    EXPECT_EQ(pkru.permFor(3), Perm::ReadWrite);
+}
+
+TEST(Pkru, ArchitecturalBitLayout)
+{
+    Pkru pkru;
+    pkru.setRaw(0);
+    for (ProtKey k = 0; k < kNumProtKeys; ++k)
+        EXPECT_EQ(pkru.permFor(k), Perm::ReadWrite);
+
+    // AD bit (2k) blocks everything; WD (2k+1) blocks writes only.
+    pkru.setRaw(1u << (2 * 4)); // AD for key 4.
+    EXPECT_EQ(pkru.permFor(4), Perm::None);
+    pkru.setRaw(1u << (2 * 4 + 1)); // WD for key 4.
+    EXPECT_EQ(pkru.permFor(4), Perm::Read);
+}
+
+TEST(Pkru, SetPermLeavesOtherKeysUntouched)
+{
+    Pkru pkru;
+    pkru.setPerm(1, Perm::ReadWrite);
+    pkru.setPerm(2, Perm::Read);
+    const std::uint32_t before = pkru.raw();
+    pkru.setPerm(3, Perm::ReadWrite);
+    pkru.setPerm(3, Perm::None);
+    // Keys 1 and 2 bits unchanged.
+    const std::uint32_t mask = (0x3u << 2) | (0x3u << 4);
+    EXPECT_EQ(pkru.raw() & mask, before & mask);
+}
+
+TEST(KeyAllocator, FifteenUsableKeys)
+{
+    KeyAllocator alloc;
+    EXPECT_EQ(alloc.freeCount(), 15u);
+    std::uint16_t seen = 0;
+    for (int i = 0; i < 15; ++i) {
+        const ProtKey k = alloc.alloc();
+        ASSERT_NE(k, kInvalidKey);
+        EXPECT_NE(k, kNullKey); // Key 0 is never handed out.
+        EXPECT_LT(k, kNumProtKeys);
+        EXPECT_FALSE(seen & (1u << k)) << "duplicate key";
+        seen |= 1u << k;
+    }
+    // The 16th allocation fails: the paper's ENOSPC scenario.
+    EXPECT_EQ(alloc.alloc(), kInvalidKey);
+    EXPECT_EQ(alloc.allocatedCount(), 15u);
+}
+
+TEST(KeyAllocator, FreeAndReuse)
+{
+    KeyAllocator alloc;
+    const ProtKey k = alloc.alloc();
+    EXPECT_TRUE(alloc.isAllocated(k));
+    EXPECT_TRUE(alloc.free(k));
+    EXPECT_FALSE(alloc.isAllocated(k));
+    EXPECT_FALSE(alloc.free(k)); // Double free.
+    EXPECT_EQ(alloc.alloc(), k); // Lowest free key again.
+}
+
+TEST(KeyAllocator, RejectsReservedAndBogusKeys)
+{
+    KeyAllocator alloc;
+    EXPECT_FALSE(alloc.free(0));
+    EXPECT_FALSE(alloc.free(16));
+    EXPECT_FALSE(alloc.isAllocated(0));
+    EXPECT_FALSE(alloc.isAllocated(200));
+}
+
+TEST(PkruFile, PerThreadIsolation)
+{
+    PkruFile file;
+    file.forThread(1).setPerm(4, Perm::ReadWrite);
+    EXPECT_EQ(file.forThread(1).permFor(4), Perm::ReadWrite);
+    EXPECT_EQ(file.forThread(2).permFor(4), Perm::None);
+}
+
+TEST(PkruFile, ConstLookupOfUnknownThreadIsResetState)
+{
+    const PkruFile file;
+    EXPECT_EQ(file.forThread(99).permFor(0), Perm::ReadWrite);
+    EXPECT_EQ(file.forThread(99).permFor(7), Perm::None);
+}
+
+} // namespace
+} // namespace pmodv::arch

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the pool: geometry, persistent heap allocator
+ * (split/coalesce/free-list), root object, integrity checking, and
+ * media round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "common/rng.hh"
+#include "pmo/pool.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+constexpr std::size_t kPoolSize = 1 << 20; // 1 MB.
+
+TEST(Pool, CreateValidates)
+{
+    auto pool = Pool::create(7, kPoolSize);
+    EXPECT_EQ(pool->id(), 7u);
+    EXPECT_EQ(pool->size(), kPoolSize);
+    EXPECT_EQ(pool->allocatedBlocks(), 0u);
+    EXPECT_NO_THROW(pool->check());
+}
+
+TEST(Pool, TooSmallThrows)
+{
+    EXPECT_THROW(Pool::create(1, 64), PmoError);
+}
+
+TEST(Pool, PmallocReturnsDistinctWritableBlocks)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    const Oid a = pool->pmalloc(100);
+    const Oid b = pool->pmalloc(100);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.pool, 1u);
+    EXPECT_GE(pool->blockSize(a), 100u);
+
+    const char msg[] = "data";
+    pool->write(a, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    pool->read(a, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+    EXPECT_EQ(pool->allocatedBlocks(), 2u);
+    pool->check();
+}
+
+TEST(Pool, PmallocZeroThrows)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    EXPECT_THROW(pool->pmalloc(0), AllocError);
+}
+
+TEST(Pool, ExhaustionThrows)
+{
+    auto pool = Pool::create(1, 64 * 1024);
+    EXPECT_THROW(pool->pmalloc(1 << 20), AllocError);
+    // And the heap is still usable afterwards.
+    EXPECT_NO_THROW(pool->pmalloc(64));
+    pool->check();
+}
+
+TEST(Pool, PfreeMakesSpaceReusable)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    std::vector<Oid> oids;
+    // Exhaust the heap with 4 KB blocks.
+    try {
+        while (true)
+            oids.push_back(pool->pmalloc(4096));
+    } catch (const AllocError &) {
+    }
+    ASSERT_GT(oids.size(), 100u);
+    for (const Oid oid : oids)
+        pool->pfree(oid);
+    EXPECT_EQ(pool->allocatedBlocks(), 0u);
+    pool->check();
+    // Coalescing restored one big region: a huge block fits again.
+    EXPECT_NO_THROW(pool->pmalloc(oids.size() * 4096 / 2));
+}
+
+TEST(Pool, CoalescingMergesNeighbours)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    const Oid a = pool->pmalloc(1024);
+    const Oid b = pool->pmalloc(1024);
+    const Oid c = pool->pmalloc(1024);
+    (void)b;
+    pool->pfree(a);
+    pool->pfree(c);
+    const std::size_t before = pool->freeBlockCount();
+    pool->pfree(b); // Bridges a and c (and the wilderness after c).
+    EXPECT_LT(pool->freeBlockCount(), before);
+    pool->check();
+}
+
+TEST(Pool, DoubleFreeThrows)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    const Oid a = pool->pmalloc(64);
+    pool->pfree(a);
+    EXPECT_THROW(pool->pfree(a), AllocError);
+}
+
+TEST(Pool, ForeignAndBogusOidsRejected)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    EXPECT_THROW(pool->pfree(Oid{2, 4096}), AllocError);
+    EXPECT_THROW(pool->pfree(Oid{1, 17}), AllocError);
+}
+
+TEST(Pool, RootAllocatedOnceZeroed)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    EXPECT_FALSE(pool->hasRoot());
+    const Oid root = pool->root(256);
+    EXPECT_TRUE(pool->hasRoot());
+    std::uint8_t buf[256];
+    pool->read(root, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0u);
+    // Second call returns the same OID, ignoring the size.
+    EXPECT_EQ(pool->root(999), root);
+}
+
+TEST(Pool, DirectPointerMatchesReadback)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    const Oid a = pool->pmalloc(64);
+    auto *p = pool->as<std::uint64_t>(a);
+    *p = 0x1234567890abcdefull;
+    std::uint64_t out = 0;
+    pool->read(a, &out, 8);
+    EXPECT_EQ(out, 0x1234567890abcdefull);
+    EXPECT_THROW(pool->direct(kNullOid), PmoError);
+}
+
+TEST(Pool, ForEachAllocatedVisitsExactlyLiveBlocks)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    std::set<std::uint32_t> live;
+    for (int i = 0; i < 10; ++i)
+        live.insert(pool->pmalloc(128).offset);
+    const Oid dead = pool->pmalloc(128);
+    pool->pfree(dead);
+
+    std::set<std::uint32_t> seen;
+    pool->forEachAllocated([&](Oid oid, std::size_t size) {
+        EXPECT_GE(size, 128u);
+        seen.insert(oid.offset);
+    });
+    EXPECT_EQ(seen, live);
+}
+
+TEST(Pool, AdoptRejectsCorruptMedia)
+{
+    PersistentArena garbage(kPoolSize);
+    EXPECT_THROW(Pool::adopt(std::move(garbage)), CorruptPoolError);
+}
+
+TEST(Pool, PersistedHeapSurvivesReload)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("pmodv_pool_" + std::to_string(::getpid()) + ".pool"))
+            .string();
+    Oid oid;
+    {
+        auto pool = Pool::create(3, kPoolSize);
+        oid = pool->pmalloc(64);
+        const std::uint64_t v = 42;
+        pool->write(oid, &v, 8);
+        pool->persist(oid, 8);
+        pool->saveTo(path);
+    }
+    {
+        auto pool = Pool::loadFrom(path);
+        EXPECT_EQ(pool->id(), 3u);
+        std::uint64_t out = 0;
+        pool->read(oid, &out, 8);
+        EXPECT_EQ(out, 42u);
+        EXPECT_EQ(pool->allocatedBlocks(), 1u);
+        pool->check();
+        // The allocator state is live: allocate and free more.
+        const Oid more = pool->pmalloc(128);
+        pool->pfree(more);
+        pool->pfree(oid);
+        pool->check();
+    }
+    std::filesystem::remove(path);
+}
+
+/** Property test: random alloc/free sequences keep invariants. */
+class PoolFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PoolFuzz, RandomAllocFreeKeepsInvariants)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    Rng rng(GetParam());
+    std::vector<std::pair<Oid, std::uint8_t>> live;
+    for (int step = 0; step < 600; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const std::size_t size = 16 + rng.next(512);
+            try {
+                const Oid oid = pool->pmalloc(size);
+                // Stamp the block with a pattern to detect overlap.
+                const auto tag = static_cast<std::uint8_t>(
+                    rng.next(255) + 1);
+                std::vector<std::uint8_t> data(size, tag);
+                pool->write(oid, data.data(), size);
+                live.emplace_back(oid, tag);
+            } catch (const AllocError &) {
+                // Exhausted: free something below.
+            }
+        } else {
+            const std::size_t pick = rng.next(live.size());
+            auto [oid, tag] = live[pick];
+            // The pattern must be intact (no overlapping blocks).
+            std::uint8_t head = 0;
+            pool->read(oid, &head, 1);
+            ASSERT_EQ(head, tag);
+            pool->pfree(oid);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        if (step % 100 == 0)
+            pool->check();
+    }
+    pool->check();
+    EXPECT_EQ(pool->allocatedBlocks(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+} // namespace
+} // namespace pmodv::pmo

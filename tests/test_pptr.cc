@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the typed persistent-pointer layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmo/errors.hh"
+#include "pmo/pmo_namespace.hh"
+#include "pmo/pptr.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+struct Record
+{
+    std::uint64_t key = 0;
+    std::uint64_t nextRaw = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t pad = 0;
+};
+
+constexpr std::size_t kPoolSize = 256 * 1024;
+
+TEST(Pptr, NewGetSetRoundTrip)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> p = pnew(*pool, Record{42, 0, 7, 0});
+    const Record r = pget(*pool, p);
+    EXPECT_EQ(r.key, 42u);
+    EXPECT_EQ(r.flags, 7u);
+
+    pset(*pool, p, Record{43, 0, 0, 0});
+    EXPECT_EQ(pget(*pool, p).key, 43u);
+    pdelete(*pool, p);
+}
+
+TEST(Pptr, ZeroInitializedByDefault)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> p = pnew<Record>(*pool);
+    const Record r = pget(*pool, p);
+    EXPECT_EQ(r.key, 0u);
+    EXPECT_EQ(r.nextRaw, 0u);
+}
+
+TEST(Pptr, RawRoundTripIsPositionIndependent)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> p = pnew<Record>(*pool);
+    const std::uint64_t raw = p.raw();
+    POid<Record> q = POid<Record>::fromRaw(raw);
+    EXPECT_EQ(p, q);
+    EXPECT_FALSE(p.isNull());
+    EXPECT_TRUE(POid<Record>{}.isNull());
+}
+
+TEST(Pptr, TypedLinkedListViaRawLinks)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> head{};
+    for (std::uint64_t k = 1; k <= 5; ++k) {
+        Record r;
+        r.key = k;
+        r.nextRaw = head.raw();
+        head = pnew(*pool, r);
+    }
+    std::uint64_t sum = 0;
+    for (POid<Record> cur = head; !cur.isNull();
+         cur = POid<Record>::fromRaw(pget(*pool, cur).nextRaw)) {
+        sum += pget(*pool, cur).key;
+    }
+    EXPECT_EQ(sum, 15u);
+}
+
+TEST(Pptr, MemberPointer)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> p = pnew(*pool, Record{9, 0, 0, 0});
+    auto key_ptr = p.member<std::uint64_t>(offsetof(Record, key));
+    EXPECT_EQ(pget(*pool, key_ptr), 9u);
+    pset(*pool, key_ptr, std::uint64_t{11});
+    EXPECT_EQ(pget(*pool, p).key, 11u);
+}
+
+TEST(Pptr, TypedRoot)
+{
+    auto pool = Pool::create(1, kPoolSize);
+    POid<Record> root = proot<Record>(*pool);
+    EXPECT_EQ(proot<Record>(*pool), root); // Stable.
+    EXPECT_EQ(pget(*pool, root).key, 0u);  // Zeroed.
+}
+
+TEST(Pptr, CheckedAccessEnforcesPermissions)
+{
+    Namespace ns;
+    ns.create("p", kPoolSize, 1000);
+    Runtime rt(ns, 1000, 1);
+    const Attached &att = rt.attach("p", Perm::ReadWrite);
+    POid<Record> p = pnew(*att.pool, Record{1, 0, 0, 0});
+
+    EXPECT_THROW(pget(rt, 0, p), ProtectionFault);
+    rt.setPerm(0, att.domain, Perm::Read);
+    EXPECT_EQ(pget(rt, 0, p).key, 1u);
+    EXPECT_THROW(pset(rt, 0, p, Record{2, 0, 0, 0}), ProtectionFault);
+    rt.setPerm(0, att.domain, Perm::ReadWrite);
+    pset(rt, 0, p, Record{2, 0, 0, 0});
+    EXPECT_EQ(pget(rt, 0, p).key, 2u);
+}
+
+} // namespace
+} // namespace pmodv::pmo

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the VA radix tree underlying the DTT and DRT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/radix.hh"
+
+namespace pmodv::arch
+{
+namespace
+{
+
+struct Payload
+{
+    int tag = 0;
+};
+
+using Tree = VaRadixTree<Payload>;
+
+TEST(Radix, SlotGeometry)
+{
+    EXPECT_EQ(radixSlotShift(0), 39u); // 512 GB
+    EXPECT_EQ(radixSlotShift(1), 30u); // 1 GB
+    EXPECT_EQ(radixSlotShift(2), 21u); // 2 MB
+    EXPECT_EQ(radixSlotShift(3), 12u); // 4 KB
+    EXPECT_EQ(radixSlotIndex(Addr{5} << 30, 1), 5u);
+    EXPECT_EQ(radixSlotIndex(Addr{513} << 30, 1), 1u);
+}
+
+TEST(Radix, EmptyWalkMisses)
+{
+    Tree tree;
+    auto res = tree.walk(0x1234000);
+    EXPECT_FALSE(res.found);
+    EXPECT_EQ(res.domain, kNullDomain);
+}
+
+TEST(Radix, SinglePageInsert)
+{
+    Tree tree;
+    auto info = std::make_shared<Payload>();
+    info->tag = 7;
+    tree.insert(0x1000, 0x1000, 3, info);
+    auto res = tree.walk(0x1abc);
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(res.domain, 3u);
+    EXPECT_EQ(res.payload->tag, 7);
+    EXPECT_EQ(res.depth, kRadixLevels);
+    EXPECT_FALSE(tree.walk(0x2000).found);
+    EXPECT_FALSE(tree.walk(0x0).found);
+}
+
+TEST(Radix, GreedyDecompositionOf8MbRegion)
+{
+    Tree tree;
+    // 8MB at a 2MB-aligned base decomposes into 4 x 2MB root entries.
+    const Addr base = Addr{1} << 33;
+    tree.insert(base, Addr{8} << 20, 5, std::make_shared<Payload>());
+    EXPECT_EQ(tree.rootEntryCount(), 4u);
+    // Every page in the range resolves; depth stops at the 2MB level.
+    for (Addr off = 0; off < (Addr{8} << 20); off += Addr{1} << 21) {
+        auto res = tree.walk(base + off + 123);
+        ASSERT_TRUE(res.found);
+        EXPECT_EQ(res.domain, 5u);
+        EXPECT_EQ(res.depth, 3u);
+    }
+    EXPECT_FALSE(tree.walk(base + (Addr{8} << 20)).found);
+}
+
+TEST(Radix, MixedGranularityDecomposition)
+{
+    Tree tree;
+    // 2MB + 8KB: one 2MB slot + two 4KB slots.
+    const Addr base = Addr{1} << 31;
+    tree.insert(base, (Addr{1} << 21) + 0x2000, 9,
+                std::make_shared<Payload>());
+    EXPECT_EQ(tree.rootEntryCount(), 3u);
+    EXPECT_TRUE(tree.walk(base).found);
+    EXPECT_TRUE(tree.walk(base + (Addr{1} << 21)).found);
+    EXPECT_TRUE(tree.walk(base + (Addr{1} << 21) + 0x1000).found);
+    EXPECT_FALSE(tree.walk(base + (Addr{1} << 21) + 0x2000).found);
+}
+
+TEST(Radix, GigabyteRegionUsesOneEntry)
+{
+    Tree tree;
+    tree.insert(Addr{4} << 30, Addr{1} << 30, 2,
+                std::make_shared<Payload>());
+    EXPECT_EQ(tree.rootEntryCount(), 1u);
+    auto res = tree.walk((Addr{4} << 30) + (Addr{500} << 20));
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(res.depth, 2u); // PMO root entry at the 1GB level.
+}
+
+TEST(Radix, SharedPayloadAcrossSlots)
+{
+    Tree tree;
+    auto info = std::make_shared<Payload>();
+    tree.insert(Addr{1} << 33, Addr{4} << 21, 5, info);
+    auto a = tree.walk(Addr{1} << 33);
+    auto b = tree.walk((Addr{1} << 33) + (Addr{3} << 21));
+    EXPECT_EQ(a.payload, b.payload);
+    a.payload->tag = 42;
+    EXPECT_EQ(b.payload->tag, 42);
+}
+
+TEST(Radix, RemoveDomainPrunesNodes)
+{
+    Tree tree;
+    tree.insert(Addr{1} << 33, Addr{8} << 20, 5,
+                std::make_shared<Payload>());
+    tree.insert(Addr{2} << 33, Addr{8} << 20, 6,
+                std::make_shared<Payload>());
+    const auto nodes_before = tree.nodeCount();
+    EXPECT_EQ(tree.remove(5), 4u);
+    EXPECT_FALSE(tree.walk(Addr{1} << 33).found);
+    EXPECT_TRUE(tree.walk(Addr{2} << 33).found);
+    EXPECT_LT(tree.nodeCount(), nodes_before);
+    EXPECT_EQ(tree.remove(5), 0u); // Idempotent.
+}
+
+TEST(Radix, ManyDomains)
+{
+    Tree tree;
+    const unsigned n = 256;
+    for (unsigned i = 0; i < n; ++i) {
+        tree.insert((Addr{1} << 33) + Addr{i} * (Addr{16} << 20),
+                    Addr{8} << 20, i + 1, std::make_shared<Payload>());
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        auto res = tree.walk((Addr{1} << 33) +
+                             Addr{i} * (Addr{16} << 20) + 0x5000);
+        ASSERT_TRUE(res.found);
+        EXPECT_EQ(res.domain, i + 1);
+    }
+}
+
+TEST(RadixDeathTest, RejectsNullDomain)
+{
+    Tree tree;
+    EXPECT_DEATH(
+        tree.insert(0x1000, 0x1000, kNullDomain,
+                    std::make_shared<Payload>()),
+        "NULL domain");
+}
+
+TEST(RadixDeathTest, RejectsDoubleInsert)
+{
+    Tree tree;
+    tree.insert(0x1000, 0x1000, 1, std::make_shared<Payload>());
+    EXPECT_DEATH(
+        tree.insert(0x1000, 0x1000, 2, std::make_shared<Payload>()),
+        "occupied");
+}
+
+TEST(RadixDeathTest, RejectsMisalignedRange)
+{
+    Tree tree;
+    EXPECT_DEATH(
+        tree.insert(0x1001, 0x1000, 1, std::make_shared<Payload>()),
+        "aligned");
+}
+
+} // namespace
+} // namespace pmodv::arch

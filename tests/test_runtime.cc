@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the process-side PMO runtime: attach/detach, the
+ * software-enforced spatio-temporal access policy (the paper's
+ * Figure 2 at library level), oid_direct, and trace capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmo/errors.hh"
+#include "pmo/runtime.hh"
+#include "trace/sinks.hh"
+
+namespace pmodv::pmo
+{
+namespace
+{
+
+constexpr std::size_t kSize = 256 * 1024;
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeTest() : rt_(ns_, 1000, 1)
+    {
+        PoolMode mode;
+        mode.otherRead = true;
+        ns_.create("pmo1", kSize, 1000, mode);
+        ns_.create("pmo2", kSize, 1000, mode);
+    }
+
+    Namespace ns_;
+    Runtime rt_;
+};
+
+TEST_F(RuntimeTest, AttachAssignsDomainAndVa)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    EXPECT_EQ(att.domain, att.poolId);
+    EXPECT_NE(att.vaBase, 0u);
+    EXPECT_GE(att.vaSize, kSize);
+    EXPECT_EQ(rt_.attachments().size(), 1u);
+
+    const Attached &att2 = rt_.attach("pmo2", Perm::ReadWrite);
+    EXPECT_NE(att2.domain, att.domain);
+    // Disjoint VA ranges.
+    EXPECT_TRUE(att2.vaBase >= att.vaBase + att.vaSize ||
+                att.vaBase >= att2.vaBase + att2.vaSize);
+}
+
+TEST_F(RuntimeTest, AccessDeniedWithoutSetPerm)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid oid = att.pool->pmalloc(64);
+    std::uint64_t v = 0;
+    EXPECT_THROW(rt_.read(0, oid, &v, 8), ProtectionFault);
+    EXPECT_THROW(rt_.write(0, oid, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, Figure2TemporalIsolation)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+
+    rt_.setPerm(0, att.domain, Perm::Read); // +R
+    std::uint64_t v = 7;
+    EXPECT_NO_THROW(rt_.read(0, a, &v, 8));          // ld A ok
+    EXPECT_THROW(rt_.write(0, a, &v, 8), ProtectionFault); // st denied
+
+    rt_.setPerm(0, att.domain, Perm::ReadWrite); // +W
+    EXPECT_NO_THROW(rt_.write(0, a, &v, 8));     // st ok
+
+    rt_.setPerm(0, att.domain, Perm::None); // -R -W
+    EXPECT_THROW(rt_.read(0, a, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, Figure2SpatialIsolation)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    rt_.setPerm(1, att.domain, Perm::ReadWrite);
+    rt_.setPerm(2, att.domain, Perm::Read);
+
+    std::uint64_t v = 9;
+    EXPECT_NO_THROW(rt_.write(1, a, &v, 8));
+    EXPECT_NO_THROW(rt_.read(2, a, &v, 8));
+    EXPECT_THROW(rt_.write(2, a, &v, 8), ProtectionFault);
+    EXPECT_THROW(rt_.read(3, a, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, PagePermCapsThreadPerm)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::Read);
+    const Oid a = att.pool->pmalloc(64);
+    rt_.setPerm(0, att.domain, Perm::ReadWrite);
+    std::uint64_t v = 0;
+    EXPECT_NO_THROW(rt_.read(0, a, &v, 8));
+    EXPECT_THROW(rt_.write(0, a, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, UnattachedPoolAccessFaults)
+{
+    std::uint64_t v;
+    EXPECT_THROW(rt_.read(0, Oid{42, 4096}, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, ReadWriteRoundTripThroughChecks)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    rt_.setPerm(0, att.domain, Perm::ReadWrite);
+    rt_.writeValue<std::uint64_t>(0, a, 0xabcdef);
+    EXPECT_EQ(rt_.readValue<std::uint64_t>(0, a), 0xabcdefu);
+}
+
+TEST_F(RuntimeTest, OutOfBoundsAccessThrows)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    rt_.setPerm(0, att.domain, Perm::ReadWrite);
+    std::uint64_t v;
+    EXPECT_THROW(
+        rt_.read(0, Oid{att.poolId, static_cast<std::uint32_t>(kSize)},
+                 &v, 8),
+        PmoError);
+}
+
+TEST_F(RuntimeTest, DirectBypassesPermsButNotAttachment)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    // oid_direct works without any SETPERM (Table I escape hatch).
+    EXPECT_NE(rt_.direct(a), nullptr);
+    EXPECT_THROW(rt_.direct(Oid{42, 4096}), NamespaceError);
+}
+
+TEST_F(RuntimeTest, VaOfMatchesAttachGeometry)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    EXPECT_EQ(rt_.vaOf(a), att.vaBase + a.offset);
+}
+
+TEST_F(RuntimeTest, DetachRevokesEverything)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    const DomainId domain = att.domain;
+    rt_.setPerm(0, domain, Perm::ReadWrite);
+    rt_.detach(domain);
+    std::uint64_t v;
+    EXPECT_THROW(rt_.read(0, a, &v, 8), ProtectionFault);
+    EXPECT_THROW(rt_.detach(domain), NamespaceError);
+    // Re-attach: permissions were wiped, not remembered.
+    const Attached &again = rt_.attach("pmo1", Perm::ReadWrite);
+    EXPECT_EQ(rt_.threadPerm(0, again.domain), Perm::None);
+}
+
+TEST_F(RuntimeTest, PermGuardRestoresNone)
+{
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    {
+        PermGuard guard(rt_, 0, att.domain, Perm::ReadWrite);
+        std::uint64_t v = 3;
+        EXPECT_NO_THROW(rt_.write(0, a, &v, 8));
+    }
+    std::uint64_t v;
+    EXPECT_THROW(rt_.read(0, a, &v, 8), ProtectionFault);
+}
+
+TEST_F(RuntimeTest, TraceCaptureEmitsExpectedRecords)
+{
+    trace::VectorSink sink;
+    rt_.setTraceSink(&sink);
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    rt_.setPerm(0, att.domain, Perm::ReadWrite);
+    std::uint64_t v = 1;
+    rt_.write(0, a, &v, 8);
+    rt_.read(0, a, &v, 8);
+    rt_.compute(0, 100);
+    rt_.opBegin(0);
+    rt_.opEnd(0);
+    rt_.switchThread(2);
+    rt_.detach(att.domain);
+
+    const auto &recs = sink.records();
+    ASSERT_EQ(recs.size(), 9u);
+    using trace::RecordType;
+    EXPECT_EQ(recs[0].type, RecordType::Attach);
+    EXPECT_EQ(recs[0].aux, att.domain);
+    EXPECT_EQ(recs[1].type, RecordType::SetPerm);
+    EXPECT_EQ(recs[2].type, RecordType::Store);
+    EXPECT_EQ(recs[2].addr, att.vaBase + a.offset);
+    EXPECT_TRUE(recs[2].isPmoAccess());
+    EXPECT_EQ(recs[3].type, RecordType::Load);
+    EXPECT_EQ(recs[4].type, RecordType::InstBlock);
+    EXPECT_EQ(recs[5].type, RecordType::OpBegin);
+    EXPECT_EQ(recs[6].type, RecordType::OpEnd);
+    EXPECT_EQ(recs[7].type, RecordType::ThreadSwitch);
+    EXPECT_EQ(recs[8].type, RecordType::Detach);
+}
+
+TEST_F(RuntimeTest, DeniedAccessesEmitNoTraceRecords)
+{
+    trace::VectorSink sink;
+    const Attached &att = rt_.attach("pmo1", Perm::ReadWrite);
+    const Oid a = att.pool->pmalloc(64);
+    rt_.setTraceSink(&sink);
+    std::uint64_t v;
+    EXPECT_THROW(rt_.read(0, a, &v, 8), ProtectionFault);
+    EXPECT_TRUE(sink.records().empty());
+}
+
+TEST_F(RuntimeTest, RelocatabilityAcrossAttachCycles)
+{
+    // OIDs are position independent: detach/re-attach maps the pool
+    // at a different simulated VA, yet the same OID still reaches the
+    // same bytes (Figure 1 / §II-C of the paper).
+    const Attached &first = rt_.attach("pmo1", Perm::ReadWrite);
+    const Addr first_va = first.vaBase;
+    const Oid oid = first.pool->pmalloc(64);
+    rt_.setPerm(0, first.domain, Perm::ReadWrite);
+    rt_.writeValue<std::uint64_t>(0, oid, 777);
+    rt_.detach(first.domain);
+
+    rt_.attach("pmo2", Perm::Read); // Consumes the next VA slot.
+    const Attached &second = rt_.attach("pmo1", Perm::ReadWrite);
+    EXPECT_NE(second.vaBase, first_va);
+    rt_.setPerm(0, second.domain, Perm::Read);
+    EXPECT_EQ(rt_.readValue<std::uint64_t>(0, oid), 777u);
+    EXPECT_EQ(rt_.vaOf(oid), second.vaBase + oid.offset);
+}
+
+TEST_F(RuntimeTest, RuntimeTeardownDetachesFromNamespace)
+{
+    {
+        Runtime other(ns_, 1000, 2);
+        other.attach("pmo2", Perm::Read);
+        EXPECT_EQ(ns_.attachments("pmo2").size(), 1u);
+    }
+    EXPECT_TRUE(ns_.attachments("pmo2").empty());
+}
+
+} // namespace
+} // namespace pmodv::pmo

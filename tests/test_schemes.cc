@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Parameterized property tests run against EVERY protection-capable
+ * scheme: the paper's three access-legality requirements must hold
+ * identically for stock MPK, libmpk, HW MPK virtualization and HW
+ * domain virtualization (the timing differs; the security semantics
+ * may not).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "scheme_test_util.hh"
+
+namespace pmodv
+{
+namespace
+{
+
+using arch::SchemeKind;
+using test::pmoBase;
+using test::SchemeHarness;
+
+constexpr Addr kSize = Addr{1} << 20;
+
+class EnforcingScheme : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(EnforcingScheme, AttachGrantsNothing)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_FALSE(h.canRead(0, pmoBase(0)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+}
+
+TEST_P(EnforcingScheme, GrantRevokeCycle)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    for (int round = 0; round < 3; ++round) {
+        h.scheme().setPerm(0, 1, Perm::ReadWrite);
+        EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+        EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+        h.scheme().setPerm(0, 1, Perm::None);
+        EXPECT_FALSE(h.canRead(0, pmoBase(0)));
+        EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+    }
+}
+
+TEST_P(EnforcingScheme, ReadOnlyGrantBlocksWrites)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::Read);
+    EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+    auto res = h.access(0, pmoBase(0), AccessType::Write);
+    EXPECT_FALSE(res.allowed);
+    EXPECT_EQ(res.fault, arch::FaultKind::DomainPermission);
+}
+
+TEST_P(EnforcingScheme, PagePermIntersectsDomainPerm)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize, Perm::Read);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(0)));
+}
+
+TEST_P(EnforcingScheme, PermissionsArePerThread)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(3, 1, Perm::ReadWrite);
+    h.scheme().contextSwitch(0, 3);
+    EXPECT_TRUE(h.canWrite(3, pmoBase(0)));
+    h.scheme().contextSwitch(3, 4);
+    EXPECT_FALSE(h.canRead(4, pmoBase(0)));
+}
+
+TEST_P(EnforcingScheme, WholeRangeIsCovered)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    h.scheme().setPerm(0, 1, Perm::Read);
+    // First, middle and last page of the PMO all enforce.
+    for (Addr off : {Addr{0}, kSize / 2, kSize - 8}) {
+        EXPECT_TRUE(h.canRead(0, pmoBase(0) + off)) << off;
+        EXPECT_FALSE(h.canWrite(0, pmoBase(0) + off)) << off;
+    }
+    // One byte past the PMO is not covered by the domain.
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0) + kSize));
+}
+
+TEST_P(EnforcingScheme, TwoDomainsIndependent)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    h.attach(2, pmoBase(1), kSize);
+    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.scheme().setPerm(0, 2, Perm::Read);
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    EXPECT_FALSE(h.canWrite(0, pmoBase(1)));
+    EXPECT_TRUE(h.canRead(0, pmoBase(1)));
+    // The paper's key-sharing hazard cannot happen: revoking one
+    // domain leaves the other untouched.
+    h.scheme().setPerm(0, 1, Perm::None);
+    EXPECT_FALSE(h.canRead(0, pmoBase(0)));
+    EXPECT_TRUE(h.canRead(0, pmoBase(1)));
+}
+
+TEST_P(EnforcingScheme, SetPermReturnsNonZeroCost)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_GE(h.scheme().setPerm(0, 1, Perm::ReadWrite), 27u);
+}
+
+TEST_P(EnforcingScheme, RandomizedOracleAgreement)
+{
+    // Drive a random sequence of setPerm/access/context-switch events
+    // and compare every access against a trivial oracle map.
+    SchemeHarness h(GetParam());
+    const unsigned num_domains = 8;
+    for (unsigned i = 0; i < num_domains; ++i)
+        h.attach(i + 1, pmoBase(i), kSize);
+
+    std::map<std::pair<ThreadId, DomainId>, Perm> oracle;
+    Rng rng(2024);
+    ThreadId current = 0;
+    for (int step = 0; step < 2000; ++step) {
+        const DomainId d =
+            static_cast<DomainId>(rng.next(num_domains) + 1);
+        switch (rng.next(4)) {
+          case 0: { // setPerm for the current thread.
+            const Perm p = static_cast<Perm>(rng.next(4));
+            h.scheme().setPerm(current, d, p);
+            // Hardware 2-bit encodings cannot express write-only;
+            // the schemes widen it to read-write (permNormalizeHw).
+            oracle[{current, d}] = permNormalizeHw(p);
+            break;
+          }
+          case 1: { // Context switch.
+            const ThreadId next = static_cast<ThreadId>(rng.next(3));
+            h.scheme().contextSwitch(current, next);
+            current = next;
+            break;
+          }
+          default: { // Access.
+            const bool write = rng.chance(0.5);
+            const Addr va = pmoBase(d - 1) + rng.next(kSize - 8);
+            auto it = oracle.find({current, d});
+            const Perm have =
+                it == oracle.end() ? Perm::None : it->second;
+            const bool expect =
+                permAllows(have, write ? Perm::Write : Perm::Read);
+            const bool got = write ? h.canWrite(current, va)
+                                   : h.canRead(current, va);
+            ASSERT_EQ(got, expect)
+                << "step " << step << " tid " << current << " domain "
+                << d << " write " << write << " have "
+                << permToString(have);
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EnforcingScheme,
+    ::testing::Values(SchemeKind::Mpk, SchemeKind::LibMpk,
+                      SchemeKind::MpkVirt, SchemeKind::DomainVirt),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return std::string(arch::schemeName(info.param));
+    });
+
+// The pass-through schemes allow everything by design.
+class PassThroughScheme : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(PassThroughScheme, EverythingAllowed)
+{
+    SchemeHarness h(GetParam());
+    h.attach(1, pmoBase(0), kSize);
+    EXPECT_TRUE(h.canRead(0, pmoBase(0)));
+    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::ReadWrite);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, PassThroughScheme,
+    ::testing::Values(SchemeKind::NoProtection, SchemeKind::Lowerbound),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return std::string(arch::schemeName(info.param));
+    });
+
+TEST(SchemeNames, RoundTrip)
+{
+    for (SchemeKind k :
+         {SchemeKind::NoProtection, SchemeKind::Lowerbound,
+          SchemeKind::Mpk, SchemeKind::LibMpk, SchemeKind::MpkVirt,
+          SchemeKind::DomainVirt}) {
+        EXPECT_EQ(arch::schemeFromName(arch::schemeName(k)), k);
+    }
+}
+
+TEST(SchemeNamesDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(arch::schemeFromName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // namespace
+} // namespace pmodv

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace pmodv::stats
+{
+namespace
+{
+
+TEST(Scalar, Accumulates)
+{
+    Group root(nullptr, "root");
+    Scalar s(&root, "count", "a counter");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s = 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Vector, BucketsAndTotal)
+{
+    Group root(nullptr, "root");
+    Vector v(&root, "vec", "a vector", 3);
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 3;
+    EXPECT_DOUBLE_EQ(v.total(), 6.0);
+    EXPECT_DOUBLE_EQ(v.at(1), 2.0);
+    EXPECT_EQ(v.size(), 3u);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Vector, OutOfRangeThrows)
+{
+    Group root(nullptr, "root");
+    Vector v(&root, "vec", "a vector", 2);
+    EXPECT_THROW(v[5] = 1, std::out_of_range);
+}
+
+TEST(Histogram, MomentsAndBuckets)
+{
+    Group root(nullptr, "root");
+    Histogram h(&root, "hist", "a histogram");
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(1024);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1024u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 2 + 1024) / 4.0);
+    EXPECT_EQ(h.bucket(0), 1u); // value 0
+    EXPECT_EQ(h.bucket(1), 1u); // value 1
+    EXPECT_EQ(h.bucket(2), 1u); // value 2
+    EXPECT_EQ(h.bucket(11), 1u); // value 1024 -> log2+1
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Formula, LazyEvaluation)
+{
+    Group root(nullptr, "root");
+    Scalar a(&root, "a", "");
+    Scalar b(&root, "b", "");
+    Formula ratio(&root, "ratio", "a/b", [&]() {
+        return b.value() == 0 ? 0.0 : a.value() / b.value();
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    a = 6;
+    b = 3;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+}
+
+TEST(Group, NestedDumpContainsAllPaths)
+{
+    Group root(nullptr, "sys");
+    Group child(&root, "cpu");
+    Scalar top(&root, "cycles", "top level");
+    Scalar inner(&child, "insts", "inner");
+    top = 10;
+    inner = 20;
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sys.cycles"), std::string::npos);
+    EXPECT_NE(text.find("sys.cpu.insts"), std::string::npos);
+}
+
+TEST(Group, LookupByDottedPath)
+{
+    Group root(nullptr, "");
+    Group cpu(&root, "cpu");
+    Group tlb(&cpu, "tlb");
+    Scalar misses(&tlb, "misses", "");
+    misses = 42;
+    EXPECT_DOUBLE_EQ(root.lookup("cpu.tlb.misses"), 42.0);
+    EXPECT_DOUBLE_EQ(cpu.lookup("tlb.misses"), 42.0);
+    EXPECT_DOUBLE_EQ(root.lookup("cpu.tlb.nonexistent"), 0.0);
+    EXPECT_DOUBLE_EQ(root.lookup("bogus.path"), 0.0);
+}
+
+TEST(Group, LookupVectorAndHistogram)
+{
+    Group root(nullptr, "");
+    Vector v(&root, "vec", "", 2);
+    v[0] = 3;
+    v[1] = 4;
+    Histogram h(&root, "hist", "");
+    h.sample(1);
+    h.sample(2);
+    EXPECT_DOUBLE_EQ(root.lookup("vec"), 7.0);
+    EXPECT_DOUBLE_EQ(root.lookup("hist"), 2.0);
+}
+
+TEST(Group, ResetRecurses)
+{
+    Group root(nullptr, "");
+    Group child(&root, "c");
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a = 1;
+    b = 2;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Group, FullPath)
+{
+    Group root(nullptr, "sys");
+    Group a(&root, "a");
+    Group b(&a, "b");
+    EXPECT_EQ(b.fullPath(), "sys.a.b");
+}
+
+TEST(Group, ChildDestructionUnregisters)
+{
+    Group root(nullptr, "");
+    {
+        Group child(&root, "ephemeral");
+        Scalar s(&child, "x", "");
+        s = 1;
+    }
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_EQ(os.str().find("ephemeral"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmodv::stats

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the replay System and MultiReplay: exact cycle
+ * accounting for known record sequences, record semantics, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/replay.hh"
+#include "core/system.hh"
+
+namespace pmodv::core
+{
+namespace
+{
+
+using arch::SchemeKind;
+using trace::TraceRecord;
+
+constexpr Addr kBase = Addr{1} << 33;
+constexpr Addr kSize = Addr{1} << 20;
+
+SimConfig
+testConfig()
+{
+    SimConfig cfg;
+    return cfg;
+}
+
+/** Expected visible cycles for one access given total memory/tlb
+ *  latency beyond the 1-cycle L1 hit. */
+Cycles
+visible(const SimConfig &cfg, Cycles tlb_lat, Cycles mem_lat)
+{
+    const double v = 1.0 + (1.0 - cfg.memOverlap) *
+                               static_cast<double>(tlb_lat + mem_lat - 1);
+    return static_cast<Cycles>(std::llround(v));
+}
+
+TEST(System, InstBlockCycles)
+{
+    System sys(testConfig(), SchemeKind::NoProtection);
+    sys.put(TraceRecord::instBlock(0, 8)); // 8 insts / 4-wide = 2.
+    EXPECT_EQ(sys.totalCycles(), 2u);
+    sys.put(TraceRecord::instBlock(0, 9)); // ceil(9/4) = 3.
+    EXPECT_EQ(sys.totalCycles(), 5u);
+    EXPECT_DOUBLE_EQ(sys.instructions.value(), 17.0);
+}
+
+TEST(System, ColdPmoLoadLatency)
+{
+    SimConfig cfg = testConfig();
+    System sys(cfg, SchemeKind::NoProtection);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::load(0, kBase, 8, true));
+    // Cold: TLB walk (4+30) + L1 miss, L2 miss, NVM (1+8+360).
+    const Cycles expect = visible(cfg, 34, 1 + 8 + 360);
+    EXPECT_EQ(sys.totalCycles(), expect);
+    EXPECT_DOUBLE_EQ(sys.pmoAccesses.value(), 1.0);
+}
+
+TEST(System, WarmLoadIsOneCycle)
+{
+    SimConfig cfg = testConfig();
+    System sys(cfg, SchemeKind::NoProtection);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::load(0, kBase, 8, true));
+    const Cycles after_cold = sys.totalCycles();
+    sys.put(TraceRecord::load(0, kBase, 8, true));
+    EXPECT_EQ(sys.totalCycles(), after_cold + 1);
+}
+
+TEST(System, NonPmoLoadUsesDram)
+{
+    SimConfig cfg = testConfig();
+    System a(cfg, SchemeKind::NoProtection);
+    System b(cfg, SchemeKind::NoProtection);
+    a.put(TraceRecord::load(0, 0x5000, 8, false)); // DRAM.
+    b.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    const Cycles before = b.totalCycles();
+    b.put(TraceRecord::load(0, kBase, 8, true)); // NVM.
+    EXPECT_LT(a.totalCycles(), b.totalCycles() - before);
+}
+
+TEST(System, SetPermCostsByScheme)
+{
+    SimConfig cfg = testConfig();
+    System none(cfg, SchemeKind::NoProtection);
+    System lower(cfg, SchemeKind::Lowerbound);
+    const auto rec = TraceRecord::setPerm(0, 1, Perm::ReadWrite);
+    none.put(rec);
+    lower.put(rec);
+    EXPECT_EQ(none.totalCycles(), 0u);
+    EXPECT_EQ(lower.totalCycles(), cfg.prot.wrpkruCycles);
+}
+
+TEST(System, OpMarkersCountOperations)
+{
+    System sys(testConfig(), SchemeKind::NoProtection);
+    sys.put(TraceRecord::opBegin(0));
+    sys.put(TraceRecord::opEnd(0));
+    sys.put(TraceRecord::opBegin(0));
+    sys.put(TraceRecord::opEnd(0));
+    EXPECT_DOUBLE_EQ(sys.operations.value(), 2.0);
+    EXPECT_EQ(sys.totalCycles(), 0u);
+}
+
+TEST(System, OpCyclesHistogramSamplesPerOperation)
+{
+    System sys(testConfig(), SchemeKind::NoProtection);
+    sys.put(TraceRecord::opBegin(0));
+    sys.put(TraceRecord::instBlock(0, 40)); // 10 cycles.
+    sys.put(TraceRecord::opEnd(0));
+    sys.put(TraceRecord::opBegin(0));
+    sys.put(TraceRecord::instBlock(0, 400)); // 100 cycles.
+    sys.put(TraceRecord::opEnd(0));
+    EXPECT_EQ(sys.opCycles.samples(), 2u);
+    EXPECT_EQ(sys.opCycles.min(), 10u);
+    EXPECT_EQ(sys.opCycles.max(), 100u);
+    EXPECT_DOUBLE_EQ(sys.opCycles.mean(), 55.0);
+}
+
+TEST(System, OpEndWithoutBeginIsTolerated)
+{
+    System sys(testConfig(), SchemeKind::NoProtection);
+    sys.put(TraceRecord::opEnd(0)); // Stray end: counted, no sample.
+    EXPECT_DOUBLE_EQ(sys.operations.value(), 1.0);
+    EXPECT_EQ(sys.opCycles.samples(), 0u);
+}
+
+TEST(System, LargePageAttachReducesWalks)
+{
+    SimConfig cfg = testConfig();
+    System small(cfg, SchemeKind::NoProtection);
+    System large(cfg, SchemeKind::NoProtection);
+    const Addr base = Addr{1} << 33; // 2MB-aligned.
+    const Addr size = Addr{2} << 21; // 4MB.
+    small.put(TraceRecord::attach(0, 1, base, size, Perm::ReadWrite,
+                                  PageSize::Size4K));
+    large.put(TraceRecord::attach(0, 1, base, size, Perm::ReadWrite,
+                                  PageSize::Size2M));
+    // Touch 1024 distinct 4KB pages spanning both 2MB frames.
+    for (unsigned i = 0; i < 1024; ++i) {
+        const auto rec =
+            TraceRecord::load(0, base + Addr{i} * 4096, 8, true);
+        small.put(rec);
+        large.put(rec);
+    }
+    const double small_walks =
+        static_cast<stats::Group &>(small).lookup("dtlb.walks");
+    const double large_walks =
+        static_cast<stats::Group &>(large).lookup("dtlb.walks");
+    EXPECT_EQ(small_walks, 1024.0); // One per 4KB page.
+    EXPECT_EQ(large_walks, 2.0);    // One per 2MB frame.
+    EXPECT_LT(large.totalCycles(), small.totalCycles());
+}
+
+TEST(System, DeniedAccessesCounted)
+{
+    System sys(testConfig(), SchemeKind::Mpk);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::load(0, kBase, 8, true)); // No SETPERM yet.
+    EXPECT_DOUBLE_EQ(sys.deniedAccesses.value(), 1.0);
+    sys.put(TraceRecord::setPerm(0, 1, Perm::Read));
+    sys.put(TraceRecord::load(0, kBase, 8, true));
+    EXPECT_DOUBLE_EQ(sys.deniedAccesses.value(), 1.0);
+}
+
+TEST(System, DetachUnmapsRegion)
+{
+    System sys(testConfig(), SchemeKind::NoProtection);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::detach(0, 1));
+    EXPECT_EQ(sys.addressSpace().numRegions(), 0u);
+    // Re-attach at the same base works.
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    EXPECT_EQ(sys.addressSpace().numRegions(), 1u);
+}
+
+TEST(System, ThreadSwitchRoutedToScheme)
+{
+    System sys(testConfig(), SchemeKind::DomainVirt);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    sys.put(TraceRecord::threadSwitch(1));
+    EXPECT_DOUBLE_EQ(
+        static_cast<stats::Group &>(sys).lookup(
+            "domain_virt.context_switches"),
+        1.0);
+}
+
+TEST(System, SecondsMatchFrequency)
+{
+    SimConfig cfg = testConfig();
+    System sys(cfg, SchemeKind::NoProtection);
+    sys.put(TraceRecord::instBlock(0, 4 * 2'200'000));
+    EXPECT_NEAR(sys.seconds(), 1e-3, 1e-9); // 2.2e6 cycles at 2.2 GHz.
+}
+
+TEST(System, Determinism)
+{
+    auto run = []() {
+        System sys(testConfig(), SchemeKind::MpkVirt);
+        sys.put(TraceRecord::attach(0, 1, kBase, kSize,
+                                    Perm::ReadWrite));
+        sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+        for (int i = 0; i < 100; ++i)
+            sys.put(TraceRecord::load(0, kBase + i * 4096 % kSize, 8,
+                                      true));
+        return sys.totalCycles();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MultiReplay, FansOutToAllSchemes)
+{
+    MultiReplay replay(testConfig(),
+                       {SchemeKind::NoProtection,
+                        SchemeKind::Lowerbound, SchemeKind::DomainVirt});
+    std::vector<TraceRecord> trace{
+        TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite),
+        TraceRecord::setPerm(0, 1, Perm::ReadWrite),
+        TraceRecord::load(0, kBase, 8, true),
+        TraceRecord::instBlock(0, 40),
+    };
+    replay.replay(trace);
+    EXPECT_GT(replay.system(SchemeKind::NoProtection).totalCycles(), 0u);
+    EXPECT_GT(replay.system(SchemeKind::Lowerbound).totalCycles(),
+              replay.system(SchemeKind::NoProtection).totalCycles());
+    EXPECT_EQ(replay.counter().permissionSwitches(), 1u);
+    EXPECT_EQ(replay.counter().memAccesses(), 1u);
+}
+
+TEST(MultiReplay, OverheadComputation)
+{
+    MultiReplay replay(testConfig(), {SchemeKind::NoProtection,
+                                      SchemeKind::Lowerbound});
+    std::vector<TraceRecord> trace;
+    trace.push_back(TraceRecord::instBlock(0, 27 * 4 * 100));
+    for (int i = 0; i < 100; ++i)
+        trace.push_back(TraceRecord::setPerm(0, 1, Perm::Read));
+    replay.replay(trace);
+    // Lowerbound adds 27 cycles x 100 over a 2700-cycle baseline:
+    // 100% overhead.
+    EXPECT_NEAR(replay.overheadOver(SchemeKind::Lowerbound,
+                                    SchemeKind::NoProtection),
+                1.0, 1e-9);
+}
+
+TEST(MultiReplayDeathTest, UnknownSchemeLookupPanics)
+{
+    MultiReplay replay(testConfig(), {SchemeKind::NoProtection});
+    EXPECT_DEATH(replay.system(SchemeKind::Mpk), "no system");
+}
+
+} // namespace
+} // namespace pmodv::core

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the address space, TLB and TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "tlb/addrspace.hh"
+#include "tlb/hierarchy.hh"
+#include "tlb/tlb.hh"
+
+namespace pmodv::tlb
+{
+namespace
+{
+
+Region
+makeRegion(Addr base, Addr size, DomainId domain,
+           MemClass cls = MemClass::Nvm)
+{
+    Region r;
+    r.base = base;
+    r.size = size;
+    r.domain = domain;
+    r.memClass = cls;
+    r.pagePerm = Perm::ReadWrite;
+    return r;
+}
+
+TEST(AddressSpace, MapAndFind)
+{
+    AddressSpace as;
+    as.map(makeRegion(0x10000, 0x4000, 1));
+    const Region *r = as.find(0x11000);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->domain, 1u);
+    EXPECT_EQ(as.find(0x14000), nullptr); // One past the end.
+    EXPECT_EQ(as.find(0xf000), nullptr);
+    EXPECT_EQ(as.numRegions(), 1u);
+}
+
+TEST(AddressSpace, FindDomainAndPages)
+{
+    AddressSpace as;
+    as.map(makeRegion(0x10000, 0x4000, 7));
+    EXPECT_NE(as.findDomain(7), nullptr);
+    EXPECT_EQ(as.findDomain(8), nullptr);
+    EXPECT_EQ(as.domainPages(7), 4u);
+}
+
+TEST(AddressSpace, UnmapVariants)
+{
+    AddressSpace as;
+    as.map(makeRegion(0x10000, 0x1000, 1));
+    as.map(makeRegion(0x20000, 0x1000, 2));
+    EXPECT_TRUE(as.unmap(0x10000));
+    EXPECT_FALSE(as.unmap(0x10000));
+    EXPECT_EQ(as.unmapDomain(2), 1u);
+    EXPECT_EQ(as.numRegions(), 0u);
+}
+
+TEST(AddressSpaceDeathTest, RejectsOverlap)
+{
+    AddressSpace as;
+    as.map(makeRegion(0x10000, 0x4000, 1));
+    EXPECT_DEATH(as.map(makeRegion(0x12000, 0x4000, 2)), "overlap");
+    EXPECT_DEATH(as.map(makeRegion(0xe000, 0x4000, 3)), "overlap");
+}
+
+TEST(AddressSpaceDeathTest, RejectsMisalignment)
+{
+    AddressSpace as;
+    EXPECT_DEATH(as.map(makeRegion(0x10001, 0x1000, 1)), "aligned");
+    EXPECT_DEATH(as.map(makeRegion(0x10000, 0x1001, 1)), "multiple");
+}
+
+TEST(AddressSpace, RegionsSortedByBase)
+{
+    AddressSpace as;
+    as.map(makeRegion(0x30000, 0x1000, 3));
+    as.map(makeRegion(0x10000, 0x1000, 1));
+    as.map(makeRegion(0x20000, 0x1000, 2));
+    auto regions = as.regions();
+    ASSERT_EQ(regions.size(), 3u);
+    EXPECT_LT(regions[0].base, regions[1].base);
+    EXPECT_LT(regions[1].base, regions[2].base);
+}
+
+TlbParams
+smallTlb()
+{
+    TlbParams p;
+    p.name = "t";
+    p.entries = 8;
+    p.assoc = 4; // 2 sets.
+    return p;
+}
+
+TlbEntry
+entryFor(Addr va, ProtKey key = kNullKey,
+         DomainId domain = kNullDomain)
+{
+    TlbEntry e;
+    e.vpn = va >> 12;
+    e.pageSize = PageSize::Size4K;
+    e.key = key;
+    e.domain = domain;
+    return e;
+}
+
+TEST(Tlb, InsertLookup)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    EXPECT_EQ(tlb.lookup(0x5000), nullptr);
+    tlb.insert(entryFor(0x5000, 3));
+    TlbEntry *e = tlb.lookup(0x5123);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->key, 3u);
+    EXPECT_DOUBLE_EQ(tlb.hits.value(), 1.0);
+    EXPECT_DOUBLE_EQ(tlb.misses.value(), 1.0);
+}
+
+TEST(Tlb, ReinsertSamePageOverwrites)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    tlb.insert(entryFor(0x5000, 3));
+    tlb.insert(entryFor(0x5000, 9));
+    EXPECT_EQ(tlb.validCount(), 1u);
+    EXPECT_EQ(tlb.lookup(0x5000)->key, 9u);
+}
+
+TEST(Tlb, EvictionWithinSet)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb()); // 2 sets, 4 ways.
+    // Pages with even VPNs map to set 0: stride 2 pages.
+    for (Addr i = 0; i < 5; ++i)
+        tlb.insert(entryFor(i * 2 * 4096));
+    EXPECT_EQ(tlb.validCount(), 4u);
+}
+
+TEST(Tlb, FlushAll)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    tlb.insert(entryFor(0x1000));
+    tlb.insert(entryFor(0x2000));
+    EXPECT_EQ(tlb.flushAll(), 2u);
+    EXPECT_EQ(tlb.validCount(), 0u);
+    EXPECT_DOUBLE_EQ(tlb.flushedEntries.value(), 2.0);
+}
+
+TEST(Tlb, FlushRangeIsExact)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    tlb.insert(entryFor(0x1000));
+    tlb.insert(entryFor(0x2000));
+    tlb.insert(entryFor(0x3000));
+    EXPECT_EQ(tlb.flushRange(0x2000, 0x1000), 1u);
+    EXPECT_EQ(tlb.probe(0x1000) != nullptr, true);
+    EXPECT_EQ(tlb.probe(0x2000), nullptr);
+    EXPECT_NE(tlb.probe(0x3000), nullptr);
+}
+
+TEST(Tlb, FlushKeyAndDomain)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    tlb.insert(entryFor(0x1000, 3, 10));
+    tlb.insert(entryFor(0x2000, 4, 11));
+    tlb.insert(entryFor(0x3000, 3, 12));
+    EXPECT_EQ(tlb.flushKey(3), 2u);
+    EXPECT_EQ(tlb.validCount(), 1u);
+    tlb.insert(entryFor(0x4000, 5, 11));
+    EXPECT_EQ(tlb.flushDomain(11), 2u);
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST(Tlb, LargePages)
+{
+    stats::Group root(nullptr, "");
+    Tlb tlb(&root, smallTlb());
+    TlbEntry e;
+    e.pageSize = PageSize::Size2M;
+    e.vpn = (Addr{1} << 30) >> 21;
+    tlb.insert(e);
+    // Any VA within the 2MB page hits.
+    EXPECT_NE(tlb.lookup((Addr{1} << 30) + 0x12345), nullptr);
+    EXPECT_EQ(tlb.lookup((Addr{1} << 30) + (Addr{1} << 21)), nullptr);
+}
+
+class RecordingFillPolicy : public TlbFillPolicy
+{
+  public:
+    Cycles
+    fill(ThreadId, Addr va, const Region *region,
+         TlbEntry &entry) override
+    {
+        ++fills;
+        lastVa = va;
+        lastRegion = region;
+        entry.key = 5;
+        return extra;
+    }
+
+    unsigned fills = 0;
+    Addr lastVa = 0;
+    const Region *lastRegion = nullptr;
+    Cycles extra = 0;
+};
+
+TEST(TlbHierarchy, WalkFillsBothLevels)
+{
+    stats::Group root(nullptr, "");
+    AddressSpace as;
+    as.map(makeRegion(0x100000, 0x4000, 2));
+    TlbHierarchyParams params;
+    TlbHierarchy h(&root, params, as);
+    RecordingFillPolicy policy;
+    h.setFillPolicy(&policy);
+
+    auto res = h.translate(0, 0x100123);
+    EXPECT_TRUE(res.walked);
+    EXPECT_EQ(res.latency, params.l2.accessLatency + params.walkLatency);
+    EXPECT_EQ(policy.fills, 1u);
+    ASSERT_NE(policy.lastRegion, nullptr);
+    EXPECT_EQ(policy.lastRegion->domain, 2u);
+    EXPECT_EQ(res.entry->key, 5u);
+    EXPECT_EQ(res.entry->memClass, MemClass::Nvm);
+
+    // Second access: pure L1 hit, zero added latency.
+    auto res2 = h.translate(0, 0x100456);
+    EXPECT_TRUE(res2.l1Hit);
+    EXPECT_EQ(res2.latency, 0u);
+    EXPECT_EQ(policy.fills, 1u);
+}
+
+TEST(TlbHierarchy, FillExtraSeparatedFromLatency)
+{
+    stats::Group root(nullptr, "");
+    AddressSpace as;
+    as.map(makeRegion(0x100000, 0x1000, 2));
+    TlbHierarchyParams params;
+    TlbHierarchy h(&root, params, as);
+    RecordingFillPolicy policy;
+    policy.extra = 500;
+    h.setFillPolicy(&policy);
+
+    auto res = h.translate(0, 0x100000);
+    EXPECT_EQ(res.fillExtra, 500u);
+    EXPECT_EQ(res.latency, params.l2.accessLatency + params.walkLatency);
+}
+
+TEST(TlbHierarchy, L2HitPromotesToL1)
+{
+    stats::Group root(nullptr, "");
+    AddressSpace as;
+    TlbHierarchyParams params;
+    params.l1.entries = 4;
+    params.l1.assoc = 4; // Single set.
+    TlbHierarchy h(&root, params, as);
+
+    // Walk 5 unmapped pages: the 5th evicts the 1st from L1 (L2 keeps
+    // it).
+    for (Addr i = 0; i < 5; ++i)
+        h.translate(0, i * 4096);
+    auto res = h.translate(0, 0);
+    EXPECT_TRUE(res.l2Hit);
+    EXPECT_FALSE(res.walked);
+    EXPECT_EQ(res.latency, params.l2.accessLatency);
+    // And it is now back in L1.
+    EXPECT_TRUE(h.translate(0, 0).l1Hit);
+}
+
+TEST(TlbHierarchy, UnmappedVaGetsDomainlessDramEntry)
+{
+    stats::Group root(nullptr, "");
+    AddressSpace as;
+    TlbHierarchyParams params;
+    TlbHierarchy h(&root, params, as);
+    auto res = h.translate(0, 0xdead000);
+    EXPECT_EQ(res.entry->domain, kNullDomain);
+    EXPECT_EQ(res.entry->memClass, MemClass::Dram);
+    EXPECT_EQ(res.entry->key, kNullKey);
+}
+
+TEST(TlbHierarchy, FlushRangeHitsBothLevels)
+{
+    stats::Group root(nullptr, "");
+    AddressSpace as;
+    as.map(makeRegion(0x100000, 0x2000, 2));
+    TlbHierarchyParams params;
+    TlbHierarchy h(&root, params, as);
+    h.translate(0, 0x100000);
+    h.translate(0, 0x101000);
+    // Both pages are in L1 and L2: 4 entries total.
+    EXPECT_EQ(h.flushRange(0x100000, 0x2000), 4u);
+    EXPECT_TRUE(h.translate(0, 0x100000).walked);
+}
+
+} // namespace
+} // namespace pmodv::tlb

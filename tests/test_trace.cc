@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: records, sinks and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/record.hh"
+#include "trace/sinks.hh"
+#include "trace/trace_file.hh"
+
+namespace pmodv::trace
+{
+namespace
+{
+
+TEST(Record, SizeIsStable)
+{
+    EXPECT_EQ(sizeof(TraceRecord), 24u);
+}
+
+TEST(Record, LoadStoreBuilders)
+{
+    auto ld = TraceRecord::load(3, 0x1000, 8, true);
+    EXPECT_EQ(ld.type, RecordType::Load);
+    EXPECT_EQ(ld.tid, 3);
+    EXPECT_EQ(ld.addr, 0x1000u);
+    EXPECT_EQ(ld.aux, 8u);
+    EXPECT_TRUE(ld.isPmoAccess());
+    EXPECT_TRUE(ld.isMemAccess());
+
+    auto st = TraceRecord::store(1, 0x2000, 64, false);
+    EXPECT_EQ(st.type, RecordType::Store);
+    EXPECT_FALSE(st.isPmoAccess());
+    EXPECT_TRUE(st.isMemAccess());
+}
+
+TEST(Record, PermFlagsRoundTrip)
+{
+    for (Perm p :
+         {Perm::None, Perm::Read, Perm::Write, Perm::ReadWrite}) {
+        auto rec = TraceRecord::setPerm(0, 7, p);
+        EXPECT_EQ(rec.perm(), p);
+        EXPECT_EQ(rec.aux, 7u);
+    }
+}
+
+TEST(Record, AttachPageSizeRoundTrip)
+{
+    for (PageSize ps : {PageSize::Size4K, PageSize::Size2M,
+                        PageSize::Size1G}) {
+        auto rec = TraceRecord::attach(0, 3, Addr{1} << 30,
+                                       Addr{1} << 21, Perm::Read, ps);
+        EXPECT_EQ(rec.pageSize(), ps);
+        EXPECT_EQ(rec.perm(), Perm::Read); // Flags coexist.
+    }
+    // Default is 4KB.
+    EXPECT_EQ(TraceRecord::attach(0, 1, 0x1000, 0x1000,
+                                  Perm::ReadWrite)
+                  .pageSize(),
+              PageSize::Size4K);
+}
+
+TEST(Record, AttachCarriesGeometry)
+{
+    auto rec = TraceRecord::attach(2, 9, 0x10000, 0x8000, Perm::Read);
+    EXPECT_EQ(rec.type, RecordType::Attach);
+    EXPECT_EQ(rec.aux, 9u);
+    EXPECT_EQ(rec.addr, 0x10000u);
+    EXPECT_EQ(rec.value, 0x8000u);
+    EXPECT_EQ(rec.perm(), Perm::Read);
+}
+
+TEST(Record, ToStringMentionsFields)
+{
+    auto rec = TraceRecord::setPerm(1, 42, Perm::ReadWrite);
+    const std::string s = toString(rec);
+    EXPECT_NE(s.find("setperm"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("RW"), std::string::npos);
+}
+
+TEST(Record, TypeNamesDistinct)
+{
+    EXPECT_EQ(recordTypeName(RecordType::Load), "load");
+    EXPECT_EQ(recordTypeName(RecordType::ThreadSwitch),
+              "thread_switch");
+    EXPECT_NE(recordTypeName(RecordType::OpBegin),
+              recordTypeName(RecordType::OpEnd));
+}
+
+TEST(VectorSink, BuffersInOrder)
+{
+    VectorSink sink;
+    sink.put(TraceRecord::instBlock(0, 10));
+    sink.put(TraceRecord::load(0, 0x100, 8, false));
+    ASSERT_EQ(sink.records().size(), 2u);
+    EXPECT_EQ(sink.records()[0].type, RecordType::InstBlock);
+    EXPECT_EQ(sink.records()[1].type, RecordType::Load);
+    auto taken = sink.take();
+    EXPECT_EQ(taken.size(), 2u);
+}
+
+TEST(FanoutSink, ReplicatesToAll)
+{
+    VectorSink a, b;
+    FanoutSink fan;
+    fan.addSink(&a);
+    fan.addSink(&b);
+    fan.put(TraceRecord::opBegin(0));
+    fan.put(TraceRecord::opEnd(0));
+    fan.finish();
+    EXPECT_EQ(a.records().size(), 2u);
+    EXPECT_EQ(b.records(), a.records());
+}
+
+TEST(CountingSink, CountsByType)
+{
+    CountingSink sink;
+    sink.put(TraceRecord::instBlock(0, 100));
+    sink.put(TraceRecord::load(0, 0x1, 8, true));
+    sink.put(TraceRecord::store(0, 0x2, 8, false));
+    sink.put(TraceRecord::setPerm(0, 1, Perm::Read));
+    sink.put(TraceRecord::wrpkru(0, 1, Perm::Read));
+    sink.put(TraceRecord::opBegin(0));
+    sink.put(TraceRecord::opEnd(0));
+
+    EXPECT_EQ(sink.memAccesses(), 2u);
+    EXPECT_EQ(sink.pmoAccesses(), 1u);
+    EXPECT_EQ(sink.permissionSwitches(), 2u);
+    EXPECT_EQ(sink.operations(), 1u);
+    // 100 block insts + 2 mem + 2 switches.
+    EXPECT_EQ(sink.totalInstructions(), 104u);
+    sink.reset();
+    EXPECT_EQ(sink.totalInstructions(), 0u);
+}
+
+TEST(TeeCountingSink, CountsAndForwards)
+{
+    VectorSink downstream;
+    TeeCountingSink tee(&downstream);
+    tee.put(TraceRecord::load(0, 0x1, 8, true));
+    EXPECT_EQ(tee.memAccesses(), 1u);
+    EXPECT_EQ(downstream.records().size(), 1u);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("pmodv_trace_test_" +
+                 std::to_string(::getpid()) + ".trc");
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::filesystem::path path_;
+};
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    std::vector<TraceRecord> records{
+        TraceRecord::attach(0, 1, 0x10000, 0x4000, Perm::ReadWrite),
+        TraceRecord::setPerm(0, 1, Perm::ReadWrite),
+        TraceRecord::load(0, 0x10010, 8, true),
+        TraceRecord::store(0, 0x10018, 64, true),
+        TraceRecord::instBlock(0, 999),
+        TraceRecord::detach(0, 1),
+    };
+    {
+        TraceFileWriter writer(path_.string());
+        for (const auto &rec : records)
+            writer.put(rec);
+        writer.finish();
+        EXPECT_EQ(writer.recordsWritten(), records.size());
+    }
+    TraceFileReader reader(path_.string());
+    EXPECT_EQ(reader.recordCount(), records.size());
+    auto loaded = reader.readAll();
+    EXPECT_EQ(loaded, records);
+}
+
+TEST_F(TraceFileTest, PumpIntoSink)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 10; ++i)
+            writer.put(TraceRecord::load(0, 0x1000 + i * 8, 8, true));
+    } // Destructor finishes the file.
+    TraceFileReader reader(path_.string());
+    CountingSink sink;
+    EXPECT_EQ(reader.pump(sink), 10u);
+    EXPECT_EQ(sink.memAccesses(), 10u);
+}
+
+TEST_F(TraceFileTest, IterativeNext)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        writer.put(TraceRecord::opBegin(0, 5));
+        writer.put(TraceRecord::opEnd(0, 5));
+    }
+    TraceFileReader reader(path_.string());
+    TraceRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.type, RecordType::OpBegin);
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.type, RecordType::OpEnd);
+    EXPECT_FALSE(reader.next(rec));
+}
+
+TEST_F(TraceFileTest, EmptyTraceIsValid)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        writer.finish();
+    }
+    TraceFileReader reader(path_.string());
+    EXPECT_EQ(reader.recordCount(), 0u);
+    TraceRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+}
+
+TEST_F(TraceFileTest, RejectsGarbageMagic)
+{
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        const char garbage[32] = "this is not a trace file";
+        std::fwrite(garbage, 1, sizeof(garbage), f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileReader reader(path_.string()),
+                ::testing::ExitedWithCode(1), "magic");
+}
+
+} // namespace
+} // namespace pmodv::trace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * pmodv-ns: inspect and maintain an on-disk PMO namespace directory.
+ *
+ *   pmodv-ns list <dir>
+ *       Catalog: name, id, size, owner, mode, attach-key presence.
+ *   pmodv-ns check <dir> [name]
+ *       Run pool integrity checks (header, heap canaries, free list,
+ *       transaction-log state) on one pool or all of them.
+ *   pmodv-ns recover <dir> <name>
+ *       Roll back an interrupted transaction on a pool.
+ *   pmodv-ns stat <dir> <name>
+ *       Heap statistics for one pool.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pmo/pmo_namespace.hh"
+#include "pmo/txn.hh"
+
+using namespace pmodv;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: pmodv-ns list <dir>\n"
+                 "       pmodv-ns check <dir> [name]\n"
+                 "       pmodv-ns recover <dir> <name>\n"
+                 "       pmodv-ns stat <dir> <name>\n");
+    return 2;
+}
+
+std::string
+modeString(const pmo::PoolMode &mode)
+{
+    std::string s;
+    s += mode.ownerRead ? 'r' : '-';
+    s += mode.ownerWrite ? 'w' : '-';
+    s += mode.otherRead ? 'r' : '-';
+    s += mode.otherWrite ? 'w' : '-';
+    return s;
+}
+
+int
+cmdList(pmo::Namespace &ns)
+{
+    std::printf("%-24s %6s %12s %8s %6s %10s\n", "name", "id", "bytes",
+                "owner", "mode", "attach-key");
+    for (const auto &meta : ns.list()) {
+        std::printf("%-24s %6u %12llu %8u %6s %10s\n",
+                    meta.name.c_str(), meta.id,
+                    static_cast<unsigned long long>(meta.size),
+                    meta.owner, modeString(meta.mode).c_str(),
+                    meta.attachKey ? "yes" : "no");
+    }
+    return 0;
+}
+
+int
+checkOne(pmo::Namespace &ns, const std::string &name)
+{
+    try {
+        pmo::Pool &pool = ns.pool(name);
+        pool.check();
+        pmo::Transaction txn(pool);
+        std::printf("%-24s OK  (%llu blocks, %llu bytes live%s)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        pool.allocatedBlocks()),
+                    static_cast<unsigned long long>(
+                        pool.allocatedBytes()),
+                    txn.active() ? ", INTERRUPTED TXN pending" : "");
+        return txn.active() ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::printf("%-24s CORRUPT: %s\n", name.c_str(), e.what());
+        return 1;
+    }
+}
+
+int
+cmdCheck(pmo::Namespace &ns, const char *name)
+{
+    if (name)
+        return checkOne(ns, name);
+    int rc = 0;
+    for (const auto &meta : ns.list())
+        rc |= checkOne(ns, meta.name);
+    return rc;
+}
+
+int
+cmdRecover(pmo::Namespace &ns, const std::string &name)
+{
+    pmo::Pool &pool = ns.pool(name);
+    if (pmo::Transaction::recover(pool)) {
+        std::printf("rolled back an interrupted transaction on '%s'\n",
+                    name.c_str());
+    } else {
+        std::printf("'%s' was already consistent\n", name.c_str());
+    }
+    ns.sync();
+    return 0;
+}
+
+int
+cmdStat(pmo::Namespace &ns, const std::string &name)
+{
+    pmo::Pool &pool = ns.pool(name);
+    std::printf("pool:            %s (id %u)\n", name.c_str(),
+                pool.id());
+    std::printf("size:            %llu bytes\n",
+                static_cast<unsigned long long>(pool.size()));
+    std::printf("log region:      %llu bytes @%llu\n",
+                static_cast<unsigned long long>(pool.logCapacity()),
+                static_cast<unsigned long long>(pool.logStart()));
+    std::printf("live blocks:     %llu\n",
+                static_cast<unsigned long long>(
+                    pool.allocatedBlocks()));
+    std::printf("live bytes:      %llu\n",
+                static_cast<unsigned long long>(pool.allocatedBytes()));
+    std::printf("free-list size:  %llu blocks\n",
+                static_cast<unsigned long long>(pool.freeBlockCount()));
+    std::printf("root object:     %s\n",
+                pool.hasRoot() ? "present" : "none");
+
+    // Size histogram of live allocations.
+    std::size_t buckets[6] = {};
+    pool.forEachAllocated([&](pmo::Oid, std::size_t size) {
+        if (size <= 64)
+            ++buckets[0];
+        else if (size <= 256)
+            ++buckets[1];
+        else if (size <= 1024)
+            ++buckets[2];
+        else if (size <= 4096)
+            ++buckets[3];
+        else if (size <= 65536)
+            ++buckets[4];
+        else
+            ++buckets[5];
+    });
+    const char *labels[6] = {"<=64B",  "<=256B", "<=1KB",
+                             "<=4KB", "<=64KB", ">64KB"};
+    std::printf("allocation size histogram:\n");
+    for (int i = 0; i < 6; ++i)
+        std::printf("  %-8s %zu\n", labels[i], buckets[i]);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        pmo::Namespace ns(argv[2]);
+        if (cmd == "list")
+            return cmdList(ns);
+        if (cmd == "check")
+            return cmdCheck(ns, argc > 3 ? argv[3] : nullptr);
+        if (cmd == "recover" && argc > 3)
+            return cmdRecover(ns, argv[3]);
+        if (cmd == "stat" && argc > 3)
+            return cmdStat(ns, argv[3]);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pmodv-ns: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

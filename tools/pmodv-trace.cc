@@ -1,0 +1,194 @@
+/**
+ * @file
+ * pmodv-trace: inspect and replay binary trace files.
+ *
+ *   pmodv-trace capture <out.trc> <bench> [--pmos N] [--ops N]
+ *       Generate a microbenchmark trace into a file.
+ *   pmodv-trace info <file.trc>
+ *       Print record counts, access mix and switch statistics.
+ *   pmodv-trace dump <file.trc> [--limit N]
+ *       Print records in human-readable form.
+ *   pmodv-trace replay <file.trc> [--scheme name]...
+ *       Replay under one or more protection schemes and report
+ *       cycles + overheads (default: all six schemes).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/replay.hh"
+#include "trace/trace_file.hh"
+#include "workloads/micro/micro.hh"
+
+using namespace pmodv;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pmodv-trace capture <out.trc> <avl|rbt|bt|ll|ss> "
+        "[--pmos N] [--ops N]\n"
+        "       pmodv-trace info <file.trc>\n"
+        "       pmodv-trace dump <file.trc> [--limit N]\n"
+        "       pmodv-trace replay <file.trc> [--scheme name]...\n");
+    return 2;
+}
+
+int
+cmdCapture(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string path = argv[2];
+    const std::string bench = argv[3];
+    workloads::MicroParams params;
+    params.numPmos = 64;
+    params.numOps = 20'000;
+    params.initialNodes = 1024;
+    for (int i = 4; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--pmos"))
+            params.numPmos =
+                static_cast<unsigned>(std::strtoul(argv[i + 1],
+                                                   nullptr, 10));
+        else if (!std::strcmp(argv[i], "--ops"))
+            params.numOps = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    trace::TraceFileWriter writer(path);
+    workloads::TraceCtx ctx(writer, params.seed);
+    workloads::makeMicro(bench, params)->run(ctx);
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(writer.recordsWritten()),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::TraceFileReader reader(argv[2]);
+    trace::CountingSink counter;
+    reader.pump(counter);
+    std::printf("records:              %llu\n",
+                static_cast<unsigned long long>(reader.recordCount()));
+    std::printf("instructions:         %llu\n",
+                static_cast<unsigned long long>(
+                    counter.totalInstructions()));
+    std::printf("memory accesses:      %llu (%llu to PMOs)\n",
+                static_cast<unsigned long long>(counter.memAccesses()),
+                static_cast<unsigned long long>(counter.pmoAccesses()));
+    std::printf("permission switches:  %llu\n",
+                static_cast<unsigned long long>(
+                    counter.permissionSwitches()));
+    std::printf("attaches / detaches:  %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    counter.count(trace::RecordType::Attach)),
+                static_cast<unsigned long long>(
+                    counter.count(trace::RecordType::Detach)));
+    std::printf("operations:           %llu\n",
+                static_cast<unsigned long long>(counter.operations()));
+    std::printf("thread switches:      %llu\n",
+                static_cast<unsigned long long>(
+                    counter.count(trace::RecordType::ThreadSwitch)));
+    return 0;
+}
+
+int
+cmdDump(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::uint64_t limit = 100;
+    for (int i = 3; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--limit"))
+            limit = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    trace::TraceFileReader reader(argv[2]);
+    trace::TraceRecord rec;
+    std::uint64_t n = 0;
+    while (n < limit && reader.next(rec)) {
+        std::printf("%8llu  %s\n", static_cast<unsigned long long>(n),
+                    trace::toString(rec).c_str());
+        ++n;
+    }
+    if (n == limit && reader.recordCount() > limit) {
+        std::printf("... (%llu more records)\n",
+                    static_cast<unsigned long long>(
+                        reader.recordCount() - limit));
+    }
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::vector<arch::SchemeKind> schemes;
+    for (int i = 3; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--scheme"))
+            schemes.push_back(arch::schemeFromName(argv[i + 1]));
+    }
+    if (schemes.empty()) {
+        schemes = {arch::SchemeKind::NoProtection,
+                   arch::SchemeKind::Lowerbound,
+                   arch::SchemeKind::Mpk,
+                   arch::SchemeKind::LibMpk,
+                   arch::SchemeKind::MpkVirt,
+                   arch::SchemeKind::DomainVirt};
+    }
+    // Always include the baseline so overheads are reportable.
+    if (std::find(schemes.begin(), schemes.end(),
+                  arch::SchemeKind::NoProtection) == schemes.end()) {
+        schemes.insert(schemes.begin(),
+                       arch::SchemeKind::NoProtection);
+    }
+
+    core::SimConfig config;
+    core::MultiReplay replay(config, schemes);
+    trace::TraceFileReader reader(argv[2]);
+    reader.pump(replay.sink());
+
+    std::printf("%-14s %16s %16s %10s\n", "scheme", "cycles",
+                "vs baseline(%)", "denied");
+    const double base = static_cast<double>(
+        replay.system(arch::SchemeKind::NoProtection).totalCycles());
+    for (arch::SchemeKind kind : schemes) {
+        const auto &sys = replay.system(kind);
+        std::printf("%-14s %16llu %16.2f %10.0f\n",
+                    arch::schemeName(kind),
+                    static_cast<unsigned long long>(sys.totalCycles()),
+                    base == 0 ? 0.0
+                              : (static_cast<double>(sys.totalCycles()) -
+                                 base) /
+                                    base * 100.0,
+                    sys.deniedAccesses.value());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "capture")
+        return cmdCapture(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
+    if (cmd == "dump")
+        return cmdDump(argc, argv);
+    if (cmd == "replay")
+        return cmdReplay(argc, argv);
+    return usage();
+}
