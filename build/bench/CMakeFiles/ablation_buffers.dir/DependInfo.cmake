@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_buffers.cc" "bench/CMakeFiles/ablation_buffers.dir/ablation_buffers.cc.o" "gcc" "bench/CMakeFiles/ablation_buffers.dir/ablation_buffers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pmodv_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pmodv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmodv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmo/CMakeFiles/pmodv_pmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pmodv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/pmodv_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pmodv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmodv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmodv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmodv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

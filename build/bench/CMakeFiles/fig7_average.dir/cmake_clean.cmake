@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_average.dir/fig7_average.cc.o"
+  "CMakeFiles/fig7_average.dir/fig7_average.cc.o.d"
+  "fig7_average"
+  "fig7_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_pmo.dir/gbench_pmo.cc.o"
+  "CMakeFiles/gbench_pmo.dir/gbench_pmo.cc.o.d"
+  "gbench_pmo"
+  "gbench_pmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_pmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

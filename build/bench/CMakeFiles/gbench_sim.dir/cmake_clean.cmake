@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_sim.dir/gbench_sim.cc.o"
+  "CMakeFiles/gbench_sim.dir/gbench_sim.cc.o.d"
+  "gbench_sim"
+  "gbench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

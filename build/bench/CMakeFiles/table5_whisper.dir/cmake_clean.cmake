@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_whisper.dir/table5_whisper.cc.o"
+  "CMakeFiles/table5_whisper.dir/table5_whisper.cc.o.d"
+  "table5_whisper"
+  "table5_whisper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_lowerbound.dir/table6_lowerbound.cc.o"
+  "CMakeFiles/table6_lowerbound.dir/table6_lowerbound.cc.o.d"
+  "table6_lowerbound"
+  "table6_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_breakdown.dir/table7_breakdown.cc.o"
+  "CMakeFiles/table7_breakdown.dir/table7_breakdown.cc.o.d"
+  "table7_breakdown"
+  "table7_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

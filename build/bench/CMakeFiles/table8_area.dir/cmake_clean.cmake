@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_area.dir/table8_area.cc.o"
+  "CMakeFiles/table8_area.dir/table8_area.cc.o.d"
+  "table8_area"
+  "table8_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_demo.dir/protection_demo.cpp.o"
+  "CMakeFiles/protection_demo.dir/protection_demo.cpp.o.d"
+  "protection_demo"
+  "protection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_sessions.dir/server_sessions.cpp.o"
+  "CMakeFiles/server_sessions.dir/server_sessions.cpp.o.d"
+  "server_sessions"
+  "server_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/domain_virt.cc" "src/arch/CMakeFiles/pmodv_arch.dir/domain_virt.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/domain_virt.cc.o.d"
+  "/root/repo/src/arch/dttlb.cc" "src/arch/CMakeFiles/pmodv_arch.dir/dttlb.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/dttlb.cc.o.d"
+  "/root/repo/src/arch/factory.cc" "src/arch/CMakeFiles/pmodv_arch.dir/factory.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/factory.cc.o.d"
+  "/root/repo/src/arch/libmpk.cc" "src/arch/CMakeFiles/pmodv_arch.dir/libmpk.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/libmpk.cc.o.d"
+  "/root/repo/src/arch/mpk.cc" "src/arch/CMakeFiles/pmodv_arch.dir/mpk.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/mpk.cc.o.d"
+  "/root/repo/src/arch/mpk_virt.cc" "src/arch/CMakeFiles/pmodv_arch.dir/mpk_virt.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/mpk_virt.cc.o.d"
+  "/root/repo/src/arch/pkru.cc" "src/arch/CMakeFiles/pmodv_arch.dir/pkru.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/pkru.cc.o.d"
+  "/root/repo/src/arch/ptlb.cc" "src/arch/CMakeFiles/pmodv_arch.dir/ptlb.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/ptlb.cc.o.d"
+  "/root/repo/src/arch/scheme.cc" "src/arch/CMakeFiles/pmodv_arch.dir/scheme.cc.o" "gcc" "src/arch/CMakeFiles/pmodv_arch.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmodv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmodv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/pmodv_tlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_arch.dir/domain_virt.cc.o"
+  "CMakeFiles/pmodv_arch.dir/domain_virt.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/dttlb.cc.o"
+  "CMakeFiles/pmodv_arch.dir/dttlb.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/factory.cc.o"
+  "CMakeFiles/pmodv_arch.dir/factory.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/libmpk.cc.o"
+  "CMakeFiles/pmodv_arch.dir/libmpk.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/mpk.cc.o"
+  "CMakeFiles/pmodv_arch.dir/mpk.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/mpk_virt.cc.o"
+  "CMakeFiles/pmodv_arch.dir/mpk_virt.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/pkru.cc.o"
+  "CMakeFiles/pmodv_arch.dir/pkru.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/ptlb.cc.o"
+  "CMakeFiles/pmodv_arch.dir/ptlb.cc.o.d"
+  "CMakeFiles/pmodv_arch.dir/scheme.cc.o"
+  "CMakeFiles/pmodv_arch.dir/scheme.cc.o.d"
+  "libpmodv_arch.a"
+  "libpmodv_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

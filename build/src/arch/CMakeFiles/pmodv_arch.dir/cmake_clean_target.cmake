@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmodv_arch.a"
+)

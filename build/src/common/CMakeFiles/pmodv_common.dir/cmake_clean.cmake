@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_common.dir/logging.cc.o"
+  "CMakeFiles/pmodv_common.dir/logging.cc.o.d"
+  "CMakeFiles/pmodv_common.dir/plru.cc.o"
+  "CMakeFiles/pmodv_common.dir/plru.cc.o.d"
+  "libpmodv_common.a"
+  "libpmodv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

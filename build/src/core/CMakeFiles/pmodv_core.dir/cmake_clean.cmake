@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_core.dir/config.cc.o"
+  "CMakeFiles/pmodv_core.dir/config.cc.o.d"
+  "CMakeFiles/pmodv_core.dir/replay.cc.o"
+  "CMakeFiles/pmodv_core.dir/replay.cc.o.d"
+  "CMakeFiles/pmodv_core.dir/system.cc.o"
+  "CMakeFiles/pmodv_core.dir/system.cc.o.d"
+  "libpmodv_core.a"
+  "libpmodv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_exp.dir/area.cc.o"
+  "CMakeFiles/pmodv_exp.dir/area.cc.o.d"
+  "CMakeFiles/pmodv_exp.dir/experiments.cc.o"
+  "CMakeFiles/pmodv_exp.dir/experiments.cc.o.d"
+  "libpmodv_exp.a"
+  "libpmodv_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

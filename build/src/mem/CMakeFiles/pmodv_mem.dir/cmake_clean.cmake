@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_mem.dir/cache.cc.o"
+  "CMakeFiles/pmodv_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pmodv_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/pmodv_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pmodv_mem.dir/memory.cc.o"
+  "CMakeFiles/pmodv_mem.dir/memory.cc.o.d"
+  "libpmodv_mem.a"
+  "libpmodv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

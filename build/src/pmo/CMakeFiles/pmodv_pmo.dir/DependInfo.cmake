@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmo/api.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/api.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/api.cc.o.d"
+  "/root/repo/src/pmo/arena.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/arena.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/arena.cc.o.d"
+  "/root/repo/src/pmo/pmo_namespace.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/pmo_namespace.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/pmo_namespace.cc.o.d"
+  "/root/repo/src/pmo/pool.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/pool.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/pool.cc.o.d"
+  "/root/repo/src/pmo/runtime.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/runtime.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/runtime.cc.o.d"
+  "/root/repo/src/pmo/txn.cc" "src/pmo/CMakeFiles/pmodv_pmo.dir/txn.cc.o" "gcc" "src/pmo/CMakeFiles/pmodv_pmo.dir/txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmodv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmodv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmodv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_pmo.dir/api.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/api.cc.o.d"
+  "CMakeFiles/pmodv_pmo.dir/arena.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/arena.cc.o.d"
+  "CMakeFiles/pmodv_pmo.dir/pmo_namespace.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/pmo_namespace.cc.o.d"
+  "CMakeFiles/pmodv_pmo.dir/pool.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/pool.cc.o.d"
+  "CMakeFiles/pmodv_pmo.dir/runtime.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/runtime.cc.o.d"
+  "CMakeFiles/pmodv_pmo.dir/txn.cc.o"
+  "CMakeFiles/pmodv_pmo.dir/txn.cc.o.d"
+  "libpmodv_pmo.a"
+  "libpmodv_pmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_pmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_stats.dir/stats.cc.o"
+  "CMakeFiles/pmodv_stats.dir/stats.cc.o.d"
+  "libpmodv_stats.a"
+  "libpmodv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

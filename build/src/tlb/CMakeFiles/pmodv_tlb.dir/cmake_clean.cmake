@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_tlb.dir/addrspace.cc.o"
+  "CMakeFiles/pmodv_tlb.dir/addrspace.cc.o.d"
+  "CMakeFiles/pmodv_tlb.dir/hierarchy.cc.o"
+  "CMakeFiles/pmodv_tlb.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pmodv_tlb.dir/tlb.cc.o"
+  "CMakeFiles/pmodv_tlb.dir/tlb.cc.o.d"
+  "libpmodv_tlb.a"
+  "libpmodv_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/pmodv_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/pmodv_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/sinks.cc" "src/trace/CMakeFiles/pmodv_trace.dir/sinks.cc.o" "gcc" "src/trace/CMakeFiles/pmodv_trace.dir/sinks.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/pmodv_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/pmodv_trace.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmodv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmodv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_trace.dir/record.cc.o"
+  "CMakeFiles/pmodv_trace.dir/record.cc.o.d"
+  "CMakeFiles/pmodv_trace.dir/sinks.cc.o"
+  "CMakeFiles/pmodv_trace.dir/sinks.cc.o.d"
+  "CMakeFiles/pmodv_trace.dir/trace_file.cc.o"
+  "CMakeFiles/pmodv_trace.dir/trace_file.cc.o.d"
+  "libpmodv_trace.a"
+  "libpmodv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

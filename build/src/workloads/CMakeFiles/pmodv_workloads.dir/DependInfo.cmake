@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/micro/avl.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/avl.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/avl.cc.o.d"
+  "/root/repo/src/workloads/micro/btree.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/btree.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/btree.cc.o.d"
+  "/root/repo/src/workloads/micro/linkedlist.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/linkedlist.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/linkedlist.cc.o.d"
+  "/root/repo/src/workloads/micro/micro.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/micro.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/micro.cc.o.d"
+  "/root/repo/src/workloads/micro/rbt.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/rbt.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/rbt.cc.o.d"
+  "/root/repo/src/workloads/micro/stringswap.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/stringswap.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/micro/stringswap.cc.o.d"
+  "/root/repo/src/workloads/trace_ctx.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/trace_ctx.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/trace_ctx.cc.o.d"
+  "/root/repo/src/workloads/whisper/whisper.cc" "src/workloads/CMakeFiles/pmodv_workloads.dir/whisper/whisper.cc.o" "gcc" "src/workloads/CMakeFiles/pmodv_workloads.dir/whisper/whisper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmodv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmodv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmo/CMakeFiles/pmodv_pmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmodv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv_workloads.dir/micro/avl.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/avl.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/micro/btree.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/btree.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/micro/linkedlist.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/linkedlist.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/micro/micro.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/micro.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/micro/rbt.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/rbt.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/micro/stringswap.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/micro/stringswap.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/trace_ctx.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/trace_ctx.cc.o.d"
+  "CMakeFiles/pmodv_workloads.dir/whisper/whisper.cc.o"
+  "CMakeFiles/pmodv_workloads.dir/whisper/whisper.cc.o.d"
+  "libpmodv_workloads.a"
+  "libpmodv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

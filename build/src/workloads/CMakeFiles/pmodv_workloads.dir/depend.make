@@ -1,0 +1,2 @@
+# Empty dependencies file for pmodv_workloads.
+# This may be replaced when dependencies are built.

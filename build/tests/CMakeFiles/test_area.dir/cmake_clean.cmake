@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area.dir/test_area.cc.o"
+  "CMakeFiles/test_area.dir/test_area.cc.o.d"
+  "test_area"
+  "test_area.pdb"
+  "test_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arena.dir/test_arena.cc.o"
+  "CMakeFiles/test_arena.dir/test_arena.cc.o.d"
+  "test_arena"
+  "test_arena.pdb"
+  "test_arena[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

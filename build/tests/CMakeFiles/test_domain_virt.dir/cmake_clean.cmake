@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain_virt.dir/test_domain_virt.cc.o"
+  "CMakeFiles/test_domain_virt.dir/test_domain_virt.cc.o.d"
+  "test_domain_virt"
+  "test_domain_virt.pdb"
+  "test_domain_virt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

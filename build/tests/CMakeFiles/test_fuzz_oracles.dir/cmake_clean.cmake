@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_oracles.dir/test_fuzz_oracles.cc.o"
+  "CMakeFiles/test_fuzz_oracles.dir/test_fuzz_oracles.cc.o.d"
+  "test_fuzz_oracles"
+  "test_fuzz_oracles.pdb"
+  "test_fuzz_oracles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

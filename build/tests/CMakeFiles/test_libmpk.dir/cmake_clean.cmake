@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libmpk.dir/test_libmpk.cc.o"
+  "CMakeFiles/test_libmpk.dir/test_libmpk.cc.o.d"
+  "test_libmpk"
+  "test_libmpk.pdb"
+  "test_libmpk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libmpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

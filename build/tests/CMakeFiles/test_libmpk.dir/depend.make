@@ -1,0 +1,2 @@
+# Empty dependencies file for test_libmpk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_workloads.dir/test_micro_workloads.cc.o"
+  "CMakeFiles/test_micro_workloads.dir/test_micro_workloads.cc.o.d"
+  "test_micro_workloads"
+  "test_micro_workloads.pdb"
+  "test_micro_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpk.dir/test_mpk.cc.o"
+  "CMakeFiles/test_mpk.dir/test_mpk.cc.o.d"
+  "test_mpk"
+  "test_mpk.pdb"
+  "test_mpk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

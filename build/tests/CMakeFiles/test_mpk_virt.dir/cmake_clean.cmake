@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpk_virt.dir/test_mpk_virt.cc.o"
+  "CMakeFiles/test_mpk_virt.dir/test_mpk_virt.cc.o.d"
+  "test_mpk_virt"
+  "test_mpk_virt.pdb"
+  "test_mpk_virt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpk_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpk_virt.
+# This may be replaced when dependencies are built.

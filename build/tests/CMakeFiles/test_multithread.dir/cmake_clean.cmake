@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multithread.dir/test_multithread.cc.o"
+  "CMakeFiles/test_multithread.dir/test_multithread.cc.o.d"
+  "test_multithread"
+  "test_multithread.pdb"
+  "test_multithread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

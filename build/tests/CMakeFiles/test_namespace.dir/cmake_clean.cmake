@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_namespace.dir/test_namespace.cc.o"
+  "CMakeFiles/test_namespace.dir/test_namespace.cc.o.d"
+  "test_namespace"
+  "test_namespace.pdb"
+  "test_namespace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

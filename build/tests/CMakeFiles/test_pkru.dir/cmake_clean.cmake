@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pkru.dir/test_pkru.cc.o"
+  "CMakeFiles/test_pkru.dir/test_pkru.cc.o.d"
+  "test_pkru"
+  "test_pkru.pdb"
+  "test_pkru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pkru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

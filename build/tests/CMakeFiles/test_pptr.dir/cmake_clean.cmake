@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pptr.dir/test_pptr.cc.o"
+  "CMakeFiles/test_pptr.dir/test_pptr.cc.o.d"
+  "test_pptr"
+  "test_pptr.pdb"
+  "test_pptr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

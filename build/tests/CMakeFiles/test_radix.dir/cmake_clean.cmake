@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radix.dir/test_radix.cc.o"
+  "CMakeFiles/test_radix.dir/test_radix.cc.o.d"
+  "test_radix"
+  "test_radix.pdb"
+  "test_radix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn.dir/test_txn.cc.o"
+  "CMakeFiles/test_txn.dir/test_txn.cc.o.d"
+  "test_txn"
+  "test_txn.pdb"
+  "test_txn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

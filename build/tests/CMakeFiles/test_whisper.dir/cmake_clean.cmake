@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whisper.dir/test_whisper.cc.o"
+  "CMakeFiles/test_whisper.dir/test_whisper.cc.o.d"
+  "test_whisper"
+  "test_whisper.pdb"
+  "test_whisper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_pkru[1]_include.cmake")
+include("/root/repo/build/tests/test_radix[1]_include.cmake")
+include("/root/repo/build/tests/test_mpk[1]_include.cmake")
+include("/root/repo/build/tests/test_mpk_virt[1]_include.cmake")
+include("/root/repo/build/tests/test_domain_virt[1]_include.cmake")
+include("/root/repo/build/tests/test_libmpk[1]_include.cmake")
+include("/root/repo/build/tests/test_schemes[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_arena[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_txn[1]_include.cmake")
+include("/root/repo/build/tests/test_namespace[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_micro_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_whisper[1]_include.cmake")
+include("/root/repo/build/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build/tests/test_area[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_oracles[1]_include.cmake")
+include("/root/repo/build/tests/test_multithread[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_pptr[1]_include.cmake")

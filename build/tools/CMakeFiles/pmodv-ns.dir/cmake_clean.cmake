@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv-ns.dir/pmodv-ns.cc.o"
+  "CMakeFiles/pmodv-ns.dir/pmodv-ns.cc.o.d"
+  "pmodv-ns"
+  "pmodv-ns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv-ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

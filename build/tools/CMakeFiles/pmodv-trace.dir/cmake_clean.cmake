@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmodv-trace.dir/pmodv-trace.cc.o"
+  "CMakeFiles/pmodv-trace.dir/pmodv-trace.cc.o.d"
+  "pmodv-trace"
+  "pmodv-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmodv-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
