@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries: a tiny
- * CLI parser (--quick / --full / --ops N / --pmos a,b,c) and table
- * formatting utilities.
+ * CLI parser (--quick / --full / --ops N / --pmos a,b,c / --jobs N /
+ * --json FILE) and table formatting utilities.
  */
 
 #ifndef PMODV_BENCH_BENCH_UTIL_HH
@@ -13,6 +13,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "exp/suite.hh"
 
 namespace pmodv::bench
 {
@@ -26,6 +28,11 @@ struct Options
     bool full = false;     ///< Paper-scale run (slow).
     bool csv = false;      ///< Machine-readable output (plotting).
     std::vector<unsigned> pmoCounts;
+    /** Worker threads for the experiment executor; 0 = hardware
+     *  concurrency (the common::ThreadPool default). */
+    unsigned jobs = 0;
+    /** Write the suite's JSON report here ("" = don't). */
+    std::string jsonPath;
 };
 
 inline Options
@@ -42,6 +49,11 @@ parseOptions(int argc, char **argv)
             opt.csv = true;
         } else if (arg == "--ops" && i + 1 < argc) {
             opt.ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
         } else if (arg == "--pmos" && i + 1 < argc) {
             std::string list = argv[++i];
             std::size_t pos = 0;
@@ -54,9 +66,9 @@ parseOptions(int argc, char **argv)
                 pos = comma + 1;
             }
         } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "usage: %s [--quick|--full] [--csv] [--ops N] [--pmos a,b,c]\n",
-                argv[0]);
+            std::printf("usage: %s [--quick|--full] [--csv] [--ops N] "
+                        "[--pmos a,b,c] [--jobs N] [--json FILE]\n",
+                        argv[0]);
             std::exit(0);
         }
     }
@@ -83,6 +95,19 @@ defaultSweep(const Options &opt)
     if (opt.full)
         return {16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024};
     return {16, 32, 64, 128, 256, 512, 1024};
+}
+
+/** Honor --json: write the suite's report (warn to stderr on failure). */
+inline void
+writeJsonIfRequested(const exp::ExperimentSuite &suite,
+                     const Options &opt)
+{
+    if (opt.jsonPath.empty())
+        return;
+    if (!suite.writeJsonFile(opt.jsonPath)) {
+        std::fprintf(stderr, "error: cannot write JSON report to %s\n",
+                     opt.jsonPath.c_str());
+    }
 }
 
 } // namespace pmodv::bench

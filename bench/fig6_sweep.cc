@@ -15,7 +15,8 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "exp/experiments.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
 
 int
 main(int argc, char **argv)
@@ -24,38 +25,44 @@ main(int argc, char **argv)
     using arch::SchemeKind;
     const auto opt = bench::parseOptions(argc, argv);
 
-    const auto sweep = bench::defaultSweep(opt);
-    workloads::MicroParams base;
-    base.initialNodes = 1024;
-    base.numOps = opt.ops ? opt.ops : (opt.quick ? 5'000 : 30'000);
+    exp::SweepSpec sweep;
+    sweep.pmoCounts = bench::defaultSweep(opt);
+    sweep.base.initialNodes = 1024;
+    sweep.base.numOps = opt.ops ? opt.ops : (opt.quick ? 5'000 : 30'000);
     if (opt.full)
-        base.numOps = 1'000'000;
+        sweep.base.numOps = 1'000'000;
+    sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
+                     SchemeKind::DomainVirt};
 
-    core::SimConfig config;
-    const std::vector<SchemeKind> schemes{
-        SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+    exp::ExperimentSuite suite("fig6_sweep");
+    suite.add(sweep);
+    common::ThreadPool pool(opt.jobs);
+    suite.run(pool);
+
+    // Rows are benchmark-major (SweepSpec::points() order), one row
+    // per (benchmark, pmo-count) — exactly the print order below.
+    const auto &rows = suite.microRows();
+    std::size_t next = 0;
 
     if (opt.csv) {
         std::printf("benchmark,pmos,scheme,overhead_pct\n");
         for (const auto &name : workloads::microNames()) {
-            for (unsigned pmos : sweep) {
-                workloads::MicroParams mp = base;
-                mp.numPmos = pmos;
-                const auto pt =
-                    exp::runMicroPoint(name, mp, config, schemes);
-                for (SchemeKind k : schemes) {
+            for (unsigned pmos : sweep.pmoCounts) {
+                const exp::MicroPoint &pt = rows[next++];
+                for (SchemeKind k : sweep.schemes) {
                     std::printf("%s,%u,%s,%.4f\n", name.c_str(), pmos,
                                 arch::schemeName(k),
                                 pt.overheadPct.at(k));
                 }
             }
         }
+        bench::writeJsonIfRequested(suite, opt);
         return 0;
     }
 
     std::printf("=== Figure 6: overhead over lowerbound vs #PMOs "
                 "(log2 of percent; %llu ops/point) ===\n",
-                static_cast<unsigned long long>(base.numOps));
+                static_cast<unsigned long long>(sweep.base.numOps));
 
     for (const auto &name : workloads::microNames()) {
         std::printf("\n[%s]\n", name.c_str());
@@ -63,11 +70,8 @@ main(int argc, char **argv)
                     "libmpk", "mpk_virt", "domain_virt",
                     "(log2 %% in parentheses)");
         pmodv::bench::rule(78);
-        for (unsigned pmos : sweep) {
-            workloads::MicroParams mp = base;
-            mp.numPmos = pmos;
-            const auto pt =
-                exp::runMicroPoint(name, mp, config, schemes);
+        for (unsigned pmos : sweep.pmoCounts) {
+            const exp::MicroPoint &pt = rows[next++];
             const double lib = pt.overheadPct.at(SchemeKind::LibMpk);
             const double mpkv = pt.overheadPct.at(SchemeKind::MpkVirt);
             const double domv =
@@ -82,5 +86,6 @@ main(int argc, char **argv)
                 "far below libmpk everywhere; MPK virtualization\n"
                 "rises with PMO count while domain virtualization "
                 "stays nearly flat (Fig. 6 of the paper).\n");
+    bench::writeJsonIfRequested(suite, opt);
     return 0;
 }

@@ -12,7 +12,8 @@
 #include <map>
 
 #include "bench_util.hh"
-#include "exp/experiments.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
 
 int
 main(int argc, char **argv)
@@ -21,43 +22,41 @@ main(int argc, char **argv)
     using arch::SchemeKind;
     const auto opt = bench::parseOptions(argc, argv);
 
-    auto sweep = bench::defaultSweep(opt);
-    workloads::MicroParams base;
-    base.initialNodes = 1024;
-    base.numOps = opt.ops ? opt.ops : (opt.quick ? 5'000 : 30'000);
+    exp::SweepSpec sweep;
+    sweep.pmoCounts = bench::defaultSweep(opt);
+    sweep.base.initialNodes = 1024;
+    sweep.base.numOps = opt.ops ? opt.ops : (opt.quick ? 5'000 : 30'000);
     if (opt.full)
-        base.numOps = 1'000'000;
+        sweep.base.numOps = 1'000'000;
+    sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
+                     SchemeKind::DomainVirt};
 
-    core::SimConfig config;
-    const std::vector<SchemeKind> schemes{
-        SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+    exp::ExperimentSuite suite("fig7_average");
+    suite.add(sweep);
+    common::ThreadPool pool(opt.jobs);
+    suite.run(pool);
 
     std::printf("=== Figure 7: average overhead over lowerbound vs "
                 "#PMOs (%llu ops/point) ===\n\n",
-                static_cast<unsigned long long>(base.numOps));
+                static_cast<unsigned long long>(sweep.base.numOps));
     std::printf("%8s %14s %14s %14s %18s %18s\n", "#PMOs", "libmpk(%)",
                 "mpk_virt(%)", "domain_virt(%)", "libmpk/mpk_virt",
                 "libmpk/domain");
     pmodv::bench::rule(92);
 
-    std::map<unsigned, std::map<SchemeKind, double>> averages;
-    for (unsigned pmos : sweep) {
-        std::map<SchemeKind, double> sum;
-        for (const auto &name : workloads::microNames()) {
-            workloads::MicroParams mp = base;
-            mp.numPmos = pmos;
-            const auto pt =
-                exp::runMicroPoint(name, mp, config, schemes);
-            for (SchemeKind k : schemes)
-                sum[k] += pt.overheadPct.at(k);
-        }
-        for (SchemeKind k : schemes)
-            sum[k] /= static_cast<double>(workloads::microNames().size());
-        averages[pmos] = sum;
+    std::map<unsigned, std::map<SchemeKind, double>> sums;
+    for (const exp::MicroPoint &pt : suite.microRows()) {
+        for (SchemeKind k : sweep.schemes)
+            sums[pt.numPmos][k] += pt.overheadPct.at(k);
+    }
 
-        const double lib = sum[SchemeKind::LibMpk];
-        const double mpkv = sum[SchemeKind::MpkVirt];
-        const double domv = sum[SchemeKind::DomainVirt];
+    const double n =
+        static_cast<double>(workloads::microNames().size());
+    for (unsigned pmos : sweep.pmoCounts) {
+        auto &sum = sums.at(pmos);
+        const double lib = sum[SchemeKind::LibMpk] / n;
+        const double mpkv = sum[SchemeKind::MpkVirt] / n;
+        const double domv = sum[SchemeKind::DomainVirt] / n;
         std::printf("%8u %14.1f %14.1f %14.1f %17.1fx %17.1fx\n", pmos,
                     lib, mpkv, domv, mpkv > 0 ? lib / mpkv : 0,
                     domv > 0 ? lib / domv : 0);
@@ -68,5 +67,10 @@ main(int argc, char **argv)
                 "10.1x, libmpk/domain_virt = 25.8x;\n"
                 "                        @1024 PMOs                 = "
                 "10.6x,                      = 52.5x.\n");
+    // stderr so the stdout table is byte-identical across --jobs.
+    std::fprintf(stderr, "(sweep wall-clock: %.2f s on %u worker%s)\n",
+                 suite.wallSeconds(), suite.jobs(),
+                 suite.jobs() == 1 ? "" : "s");
+    bench::writeJsonIfRequested(suite, opt);
     return 0;
 }

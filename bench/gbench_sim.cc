@@ -8,8 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/system.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/system.hh"
+#include "exp/executor.hh"
 
 namespace
 {
@@ -103,5 +105,33 @@ BM_MultiDomainReplay(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MultiDomainReplay)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_ExecutorMicroPoints(benchmark::State &state)
+{
+    // A small Figure-6-shaped batch through the parallel executor —
+    // how experiment wall-clock scales with the worker count.
+    common::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    exp::Executor executor(pool);
+    std::vector<exp::MicroPointSpec> specs;
+    for (unsigned pmos : {16u, 64u, 256u}) {
+        exp::MicroPointSpec spec;
+        spec.benchmark = "avl";
+        spec.params.numPmos = pmos;
+        spec.params.numOps = 2'000;
+        spec.params.initialNodes = 256;
+        spec.schemes = {SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+        specs.push_back(std::move(spec));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(executor.runMicro(specs));
+    state.SetItemsProcessed(state.iterations() * specs.size());
+}
+BENCHMARK(BM_ExecutorMicroPoints)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -13,7 +13,8 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "exp/experiments.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
 
 namespace
 {
@@ -48,7 +49,15 @@ main(int argc, char **argv)
     wp.poolBytes = std::size_t{64} << 20;
     wp.initialKeys = opt.quick ? 2'000 : 10'000;
 
-    core::SimConfig config;
+    exp::ExperimentSuite suite("table5_whisper");
+    for (const auto &name : workloads::whisperNames()) {
+        exp::WhisperPointSpec spec;
+        spec.benchmark = name;
+        spec.params = wp;
+        suite.add(std::move(spec));
+    }
+    common::ThreadPool pool(opt.jobs);
+    suite.run(pool);
 
     std::printf("=== Table V: WHISPER single-PMO overheads (%llu "
                 "transactions/benchmark) ===\n\n",
@@ -60,8 +69,7 @@ main(int argc, char **argv)
 
     double sum_sw = 0, sum_mpk = 0, sum_mpkv = 0, sum_dom = 0;
     unsigned idx = 0;
-    for (const auto &name : workloads::whisperNames()) {
-        const auto row = exp::runWhisper(name, wp, config);
+    for (const exp::WhisperRow &row : suite.whisperRows()) {
         const PaperRow &ref = kPaper[idx++];
         std::printf(
             "%-10s %14.0f %12.2f %12.2f %12.2f | %14.0f %10.2f %10.2f\n",
@@ -84,5 +92,6 @@ main(int argc, char **argv)
                 " single PMO (no key eviction ever happens);\n"
                 "domain virtualization adds the per-access PTLB lookup."
                 "\n");
+    bench::writeJsonIfRequested(suite, opt);
     return 0;
 }

@@ -9,7 +9,8 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "exp/experiments.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
 
 namespace
 {
@@ -43,7 +44,15 @@ main(int argc, char **argv)
         mp.numOps = 1'000'000;
     mp.initialNodes = 1024;
 
-    core::SimConfig config;
+    exp::ExperimentSuite suite("table6_lowerbound");
+    for (const auto &name : workloads::microNames()) {
+        exp::MicroPointSpec spec;
+        spec.benchmark = name;
+        spec.params = mp;
+        suite.add(std::move(spec));
+    }
+    common::ThreadPool pool(opt.jobs);
+    suite.run(pool);
 
     std::printf("=== Table VI: lowerbound overhead and switch "
                 "frequency (1024 PMOs, %llu ops) ===\n\n",
@@ -54,16 +63,16 @@ main(int argc, char **argv)
     pmodv::bench::rule(84);
 
     unsigned idx = 0;
-    for (const auto &name : workloads::microNames()) {
-        const auto pt = exp::runMicroPoint(name, mp, config, {});
+    for (const exp::MicroPoint &pt : suite.microRows()) {
         const PaperRow &ref = kPaper[idx++];
         std::printf("%-16s %14.0f %16.2f | %14.0f %16.2f\n",
-                    name.c_str(), pt.switchesPerSec,
+                    pt.benchmark.c_str(), pt.switchesPerSec,
                     pt.lowerboundOverheadPct, ref.switches,
                     ref.lowerbound);
     }
     pmodv::bench::rule(84);
     std::printf("\nThe lowerbound overhead is proportional to the "
                 "switch rate (27 cycles per SETPERM at 2.2 GHz).\n");
+    bench::writeJsonIfRequested(suite, opt);
     return 0;
 }

@@ -16,7 +16,8 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/experiments.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
 
 namespace
 {
@@ -79,17 +80,25 @@ main(int argc, char **argv)
     if (opt.full)
         mp.numOps = 1'000'000;
 
-    core::SimConfig config;
     const std::vector<SchemeKind> schemes{SchemeKind::MpkVirt,
                                           SchemeKind::DomainVirt};
+
+    exp::ExperimentSuite suite("table7_breakdown");
+    for (const auto &name : workloads::microNames()) {
+        exp::MicroPointSpec spec;
+        spec.benchmark = name;
+        spec.params = mp;
+        spec.schemes = schemes;
+        suite.add(std::move(spec));
+    }
+    common::ThreadPool pool(opt.jobs);
+    suite.run(pool);
 
     std::printf("=== Table VII: overhead breakdown at 1024 PMOs "
                 "(%llu ops/benchmark) ===\n",
                 static_cast<unsigned long long>(mp.numOps));
 
-    std::vector<exp::MicroPoint> points;
-    for (const auto &name : workloads::microNames())
-        points.push_back(exp::runMicroPoint(name, mp, config, schemes));
+    const std::vector<exp::MicroPoint> &points = suite.microRows();
 
     printBlock("Hardware-based MPK Virtualization", points,
                SchemeKind::MpkVirt, false);
@@ -101,5 +110,6 @@ main(int argc, char **argv)
         "0.09, DTT miss 12.88, TLB inval 98.81, total 114.58;\n"
         "domain virt — perm 2.80, entry 0.07, PTLB miss 9.82, access "
         "latency 11.28, total 23.97.\n");
+    bench::writeJsonIfRequested(suite, opt);
     return 0;
 }

@@ -1,0 +1,337 @@
+#include "exp/executor.hh"
+
+#include <cmath>
+#include <future>
+
+#include "common/logging.hh"
+#include "pmo/pmo_namespace.hh"
+
+namespace pmodv::exp
+{
+
+using arch::SchemeKind;
+
+double
+log2Pct(double pct)
+{
+    return pct <= 0 ? 0.0 : std::log2(pct);
+}
+
+namespace
+{
+
+/**
+ * The in-flight state of one experiment point. The capture task
+ * populates everything except `rows`; each replay task drives exactly
+ * one System. Futures synchronize: the coordinating thread reads
+ * `replays` only after the capture future completed, and `systems`
+ * only after every replay future completed.
+ */
+struct PointRun
+{
+    std::vector<SchemeKind> kinds; ///< One per System, in order.
+    std::shared_ptr<const std::vector<trace::TraceRecord>> records;
+    trace::CountingSink counter;
+    std::vector<std::unique_ptr<core::System>> systems;
+    std::vector<std::future<void>> replays;
+};
+
+/**
+ * Build the Systems for `run.kinds`, then enqueue one replay task per
+ * System. Called at the tail of a capture task, once `run.records`
+ * is frozen.
+ */
+void
+launchReplays(common::ThreadPool &pool, PointRun &run,
+              const core::SimConfig &config)
+{
+    for (const trace::TraceRecord &rec : *run.records)
+        run.counter.put(rec);
+    run.systems.reserve(run.kinds.size());
+    run.replays.reserve(run.kinds.size());
+    for (SchemeKind kind : run.kinds) {
+        run.systems.push_back(
+            std::make_unique<core::System>(config, kind));
+        core::System *sys = run.systems.back().get();
+        auto records = run.records;
+        run.replays.push_back(pool.submit([sys, records] {
+            for (const trace::TraceRecord &rec : *records)
+                sys->put(rec);
+            sys->finish();
+        }));
+    }
+}
+
+/** The system replaying @p kind in @p run; panics if absent. */
+const core::System &
+systemOf(const PointRun &run, SchemeKind kind)
+{
+    for (std::size_t i = 0; i < run.kinds.size(); ++i) {
+        if (run.kinds[i] == kind)
+            return *run.systems[i];
+    }
+    panic("no system for scheme '%s' in this point",
+          arch::schemeName(kind));
+}
+
+double
+overheadOver(const PointRun &run, SchemeKind kind, SchemeKind baseline)
+{
+    const double base =
+        static_cast<double>(systemOf(run, baseline).totalCycles());
+    const double val =
+        static_cast<double>(systemOf(run, kind).totalCycles());
+    return base == 0 ? 0.0 : (val - base) / base;
+}
+
+Breakdown
+computeBreakdown(const core::System &sys, const core::System &baseline)
+{
+    // Table VII reports each source as a percentage of the
+    // *unprotected baseline* execution time; Total is the full
+    // protection overhead (and therefore includes the
+    // permission-change row that the lowerbound also pays).
+    Breakdown b;
+    const double base = static_cast<double>(baseline.totalCycles());
+    if (base == 0)
+        return b;
+    const auto &s = sys.scheme();
+    b.permissionChangePct = s.cycPermissionChange.value() / base * 100.0;
+    b.entryChangesPct = s.cycEntryChange.value() / base * 100.0;
+    b.tableMissPct = s.cycTableMiss.value() / base * 100.0;
+    b.accessLatencyPct = s.cycAccessLatency.value() / base * 100.0;
+    b.totalPct = (static_cast<double>(sys.totalCycles()) - base) / base *
+                 100.0;
+    // The shootdown row absorbs both the direct invalidation cycles
+    // and the induced TLB refills — computed as the residual, exactly
+    // the "subsequent TLB misses ... also taken into account" of the
+    // paper's methodology (§V).
+    b.tlbInvalidationPct = b.totalPct - b.permissionChangePct -
+                           b.entryChangesPct - b.tableMissPct -
+                           b.accessLatencyPct;
+    // Clamp tiny negative rounding artefacts.
+    if (b.tlbInvalidationPct < 0 && b.tlbInvalidationPct > -0.05)
+        b.tlbInvalidationPct = 0;
+    return b;
+}
+
+/** The full scheme list of a micro point: baseline + lowerbound + extras. */
+std::vector<SchemeKind>
+microKinds(const std::vector<SchemeKind> &schemes)
+{
+    std::vector<SchemeKind> all{SchemeKind::NoProtection,
+                                SchemeKind::Lowerbound};
+    for (SchemeKind k : schemes) {
+        if (k != SchemeKind::NoProtection && k != SchemeKind::Lowerbound)
+            all.push_back(k);
+    }
+    return all;
+}
+
+/** The fixed Table V scheme set of a WHISPER point. */
+std::vector<SchemeKind>
+whisperKinds()
+{
+    return {SchemeKind::NoProtection, SchemeKind::Mpk,
+            SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+}
+
+/**
+ * Wait for every capture, then every replay, then rethrow the first
+ * stored exception (captures before replays). Waiting on everything
+ * before rethrowing keeps no task alive past the runs it references.
+ */
+void
+awaitAll(std::vector<std::future<void>> &captures,
+         std::vector<std::unique_ptr<PointRun>> &runs)
+{
+    for (auto &f : captures)
+        f.wait();
+    for (auto &run : runs) {
+        for (auto &f : run->replays)
+            f.wait();
+    }
+    for (auto &f : captures)
+        f.get();
+    for (auto &run : runs) {
+        for (auto &f : run->replays)
+            f.get();
+    }
+}
+
+MicroPoint
+reduceMicro(const MicroPointSpec &spec, const PointRun &run)
+{
+    MicroPoint point;
+    point.benchmark = spec.benchmark;
+    point.numPmos = spec.params.numPmos;
+
+    const auto &baseline = systemOf(run, SchemeKind::NoProtection);
+    const double seconds = baseline.seconds();
+    point.switchesPerSec =
+        seconds == 0
+            ? 0
+            : static_cast<double>(run.counter.permissionSwitches()) /
+                  seconds;
+    point.lowerboundOverheadPct =
+        overheadOver(run, SchemeKind::Lowerbound,
+                     SchemeKind::NoProtection) * 100.0;
+
+    for (SchemeKind k : run.kinds) {
+        point.totalCycles[k] = systemOf(run, k).totalCycles();
+        if (k == SchemeKind::NoProtection || k == SchemeKind::Lowerbound)
+            continue;
+        const auto &sys = systemOf(run, k);
+        point.overheadPct[k] =
+            overheadOver(run, k, SchemeKind::Lowerbound) * 100.0;
+        point.breakdown[k] = computeBreakdown(sys, baseline);
+        point.keyRemaps[k] = sys.scheme().keyRemaps.value();
+    }
+    return point;
+}
+
+WhisperRow
+reduceWhisper(const WhisperPointSpec &spec, const PointRun &run)
+{
+    WhisperRow row;
+    row.benchmark = spec.benchmark;
+    const auto &baseline = systemOf(run, SchemeKind::NoProtection);
+    const double seconds = baseline.seconds();
+    row.switchesPerSec =
+        seconds == 0
+            ? 0
+            : static_cast<double>(run.counter.permissionSwitches()) /
+                  seconds;
+    row.overheadMpkPct =
+        overheadOver(run, SchemeKind::Mpk,
+                     SchemeKind::NoProtection) * 100.0;
+    row.overheadMpkVirtPct =
+        overheadOver(run, SchemeKind::MpkVirt,
+                     SchemeKind::NoProtection) * 100.0;
+    row.overheadDomainVirtPct =
+        overheadOver(run, SchemeKind::DomainVirt,
+                     SchemeKind::NoProtection) * 100.0;
+    for (SchemeKind k : run.kinds)
+        row.totalCycles[k] = systemOf(run, k).totalCycles();
+    return row;
+}
+
+} // namespace
+
+std::vector<MicroPoint>
+Executor::runMicro(const std::vector<MicroPointSpec> &specs)
+{
+    std::vector<std::unique_ptr<PointRun>> runs;
+    std::vector<std::future<void>> captures;
+    runs.reserve(specs.size());
+    captures.reserve(specs.size());
+    for (const MicroPointSpec &spec : specs) {
+        runs.push_back(std::make_unique<PointRun>());
+        PointRun *run = runs.back().get();
+        run->kinds = microKinds(spec.schemes);
+        captures.push_back(pool_.submit([this, run, spec] {
+            trace::VectorSink buffer;
+            workloads::TraceCtx ctx(buffer, spec.params.seed);
+            auto workload =
+                workloads::makeMicro(spec.benchmark, spec.params);
+            workload->run(ctx);
+            run->records =
+                std::make_shared<const std::vector<trace::TraceRecord>>(
+                    buffer.take());
+            launchReplays(pool_, *run, spec.config);
+        }));
+    }
+    awaitAll(captures, runs);
+
+    std::vector<MicroPoint> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        rows.push_back(reduceMicro(specs[i], *runs[i]));
+    return rows;
+}
+
+std::vector<WhisperRow>
+Executor::runWhisper(const std::vector<WhisperPointSpec> &specs)
+{
+    std::vector<std::unique_ptr<PointRun>> runs;
+    std::vector<std::future<void>> captures;
+    runs.reserve(specs.size());
+    captures.reserve(specs.size());
+    for (const WhisperPointSpec &spec : specs) {
+        runs.push_back(std::make_unique<PointRun>());
+        PointRun *run = runs.back().get();
+        run->kinds = whisperKinds();
+        captures.push_back(pool_.submit([this, run, spec] {
+            trace::VectorSink buffer;
+            auto workload =
+                workloads::makeWhisper(spec.benchmark, spec.params);
+            pmo::Namespace ns; // In-memory: pools are ephemeral here.
+            workload->run(ns, buffer);
+            run->records =
+                std::make_shared<const std::vector<trace::TraceRecord>>(
+                    buffer.take());
+            launchReplays(pool_, *run, spec.config);
+        }));
+    }
+    awaitAll(captures, runs);
+
+    std::vector<WhisperRow> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        rows.push_back(reduceWhisper(specs[i], *runs[i]));
+    return rows;
+}
+
+std::vector<RawPointResult>
+Executor::runRaw(const std::vector<RawPointSpec> &specs)
+{
+    std::vector<std::unique_ptr<PointRun>> runs;
+    std::vector<std::future<void>> captures;
+    runs.reserve(specs.size());
+    captures.reserve(specs.size());
+    for (const RawPointSpec &spec : specs) {
+        panic_if(!spec.records, "RawPointSpec without a trace buffer");
+        runs.push_back(std::make_unique<PointRun>());
+        PointRun *run = runs.back().get();
+        run->kinds = spec.schemes;
+        run->records = spec.records;
+        // No workload to capture — go straight to the replays.
+        captures.push_back(pool_.submit([this, run, spec] {
+            launchReplays(pool_, *run, spec.config);
+        }));
+    }
+    awaitAll(captures, runs);
+
+    std::vector<RawPointResult> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        RawPointResult res;
+        for (SchemeKind k : runs[i]->kinds) {
+            const core::System &sys = systemOf(*runs[i], k);
+            res.totalCycles[k] = sys.totalCycles();
+            res.deniedAccesses[k] = sys.deniedAccesses.value();
+        }
+        rows.push_back(std::move(res));
+    }
+    return rows;
+}
+
+MicroPoint
+Executor::runMicro(const MicroPointSpec &spec)
+{
+    return runMicro(std::vector<MicroPointSpec>{spec}).front();
+}
+
+WhisperRow
+Executor::runWhisper(const WhisperPointSpec &spec)
+{
+    return runWhisper(std::vector<WhisperPointSpec>{spec}).front();
+}
+
+RawPointResult
+Executor::runRaw(const RawPointSpec &spec)
+{
+    return runRaw(std::vector<RawPointSpec>{spec}).front();
+}
+
+} // namespace pmodv::exp

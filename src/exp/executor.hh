@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The parallel experiment executor.
+ *
+ * An experiment *point* is one workload configuration replayed under
+ * several protection schemes. The executor mirrors the paper's
+ * Pin→Sniper flow but parallelizes both of its independent axes:
+ *
+ *  1. each point's workload trace is captured ONCE into an immutable
+ *     shared buffer (one capture task per point, points run
+ *     concurrently), and
+ *  2. each per-scheme System pipeline replays that buffer on its own
+ *     worker thread (one replay task per (point, scheme)).
+ *
+ * Every System is constructed, fed and finished by exactly one task,
+ * and rows are reduced on the coordinating thread in registration
+ * order — so all reported numbers are bit-identical to the serial
+ * MultiReplay path regardless of the worker count.
+ */
+
+#ifndef PMODV_EXP_EXECUTOR_HH
+#define PMODV_EXP_EXECUTOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/replay.hh"
+#include "workloads/micro/micro.hh"
+#include "workloads/whisper/whisper.hh"
+
+namespace pmodv::exp
+{
+
+// ---------------------------------------------------------------- rows
+
+/** One WHISPER benchmark's Table V row. */
+struct WhisperRow
+{
+    std::string benchmark;
+    double switchesPerSec = 0;
+    double overheadMpkPct = 0;
+    double overheadMpkVirtPct = 0;
+    double overheadDomainVirtPct = 0;
+    /** Raw cycle counts per scheme (incl. the unprotected baseline). */
+    std::map<arch::SchemeKind, Cycles> totalCycles;
+};
+
+/** Table VII-style overhead breakdown (percent over lowerbound). */
+struct Breakdown
+{
+    double permissionChangePct = 0;
+    double entryChangesPct = 0;
+    double tableMissPct = 0;     ///< DTT misses / PTLB misses row.
+    double tlbInvalidationPct = 0; ///< Incl. induced TLB misses (MPK virt).
+    double accessLatencyPct = 0; ///< Domain virt only.
+    double totalPct = 0;
+};
+
+/** One (benchmark, pmo-count) sweep point. */
+struct MicroPoint
+{
+    std::string benchmark;
+    unsigned numPmos = 0;
+    double switchesPerSec = 0;
+    double lowerboundOverheadPct = 0; ///< Over the unprotected baseline.
+    /** Overhead over lowerbound, percent, per scheme. */
+    std::map<arch::SchemeKind, double> overheadPct;
+    /** Breakdown per proposed scheme. */
+    std::map<arch::SchemeKind, Breakdown> breakdown;
+    /** Eviction/shootdown counts per scheme (diagnostics). */
+    std::map<arch::SchemeKind, double> keyRemaps;
+    /** Raw cycle counts per scheme (incl. baseline and lowerbound). */
+    std::map<arch::SchemeKind, Cycles> totalCycles;
+};
+
+// --------------------------------------------------------------- specs
+
+/**
+ * One microbenchmark sweep point: @p benchmark at @p params under
+ * @p schemes. The unprotected baseline and the lowerbound pipelines
+ * are always replayed in addition to @p schemes.
+ */
+struct MicroPointSpec
+{
+    std::string benchmark;
+    workloads::MicroParams params;
+    core::SimConfig config;
+    std::vector<arch::SchemeKind> schemes;
+};
+
+/**
+ * One WHISPER benchmark run under the Table V scheme set
+ * {none, mpk, mpk_virt, domain_virt}.
+ */
+struct WhisperPointSpec
+{
+    std::string benchmark;
+    workloads::WhisperParams params;
+    core::SimConfig config;
+};
+
+/**
+ * A pre-captured trace replayed under @p schemes verbatim (no
+ * baseline/lowerbound is added). Lets ad-hoc experiments (ablations,
+ * tools) share the parallel replay machinery.
+ */
+struct RawPointSpec
+{
+    std::shared_ptr<const std::vector<trace::TraceRecord>> records;
+    core::SimConfig config;
+    std::vector<arch::SchemeKind> schemes;
+};
+
+/** Result of a RawPointSpec: cycle counts per scheme. */
+struct RawPointResult
+{
+    std::map<arch::SchemeKind, Cycles> totalCycles;
+    std::map<arch::SchemeKind, double> deniedAccesses;
+};
+
+/** log2 of an overhead percentage, the paper's Figure 6 y-axis. */
+double log2Pct(double pct);
+
+// ------------------------------------------------------------ executor
+
+/**
+ * Runs experiment points on a ThreadPool (see file comment for the
+ * parallel decomposition). The executor holds no state between run
+ * calls; it is a scheduler plus the row-reduction math.
+ */
+class Executor
+{
+  public:
+    explicit Executor(common::ThreadPool &pool) : pool_(pool) {}
+
+    /** Run a batch of points; rows come back in spec order. */
+    std::vector<MicroPoint>
+    runMicro(const std::vector<MicroPointSpec> &specs);
+    std::vector<WhisperRow>
+    runWhisper(const std::vector<WhisperPointSpec> &specs);
+    std::vector<RawPointResult>
+    runRaw(const std::vector<RawPointSpec> &specs);
+
+    /** Single-point conveniences. */
+    MicroPoint runMicro(const MicroPointSpec &spec);
+    WhisperRow runWhisper(const WhisperPointSpec &spec);
+    RawPointResult runRaw(const RawPointSpec &spec);
+
+    common::ThreadPool &pool() { return pool_; }
+
+  private:
+    common::ThreadPool &pool_;
+};
+
+} // namespace pmodv::exp
+
+#endif // PMODV_EXP_EXECUTOR_HH

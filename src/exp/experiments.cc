@@ -1,136 +1,44 @@
 #include "exp/experiments.hh"
 
-#include <cmath>
-
-#include "common/logging.hh"
-#include "pmo/pmo_namespace.hh"
-
 namespace pmodv::exp
 {
 
-using arch::SchemeKind;
+// The shims run on a single-worker pool: same records, same Systems,
+// same reduction — bit-identical to the historical serial drivers.
 
-double
-log2Pct(double pct)
-{
-    return pct <= 0 ? 0.0 : std::log2(pct);
-}
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 WhisperRow
 runWhisper(const std::string &name,
            const workloads::WhisperParams &wparams,
            const core::SimConfig &config)
 {
-    auto workload = workloads::makeWhisper(name, wparams);
-
-    core::MultiReplay replay(config,
-                             {SchemeKind::NoProtection, SchemeKind::Mpk,
-                              SchemeKind::MpkVirt,
-                              SchemeKind::DomainVirt});
-
-    pmo::Namespace ns; // In-memory: WHISPER pools are ephemeral here.
-    workload->run(ns, replay.sink());
-
-    WhisperRow row;
-    row.benchmark = name;
-    const auto &baseline = replay.system(SchemeKind::NoProtection);
-    const double seconds = baseline.seconds();
-    row.switchesPerSec =
-        seconds == 0
-            ? 0
-            : static_cast<double>(replay.counter().permissionSwitches()) /
-                  seconds;
-    row.overheadMpkPct =
-        replay.overheadOver(SchemeKind::Mpk,
-                            SchemeKind::NoProtection) * 100.0;
-    row.overheadMpkVirtPct =
-        replay.overheadOver(SchemeKind::MpkVirt,
-                            SchemeKind::NoProtection) * 100.0;
-    row.overheadDomainVirtPct =
-        replay.overheadOver(SchemeKind::DomainVirt,
-                            SchemeKind::NoProtection) * 100.0;
-    return row;
+    common::ThreadPool pool(1);
+    Executor executor(pool);
+    WhisperPointSpec spec;
+    spec.benchmark = name;
+    spec.params = wparams;
+    spec.config = config;
+    return executor.runWhisper(spec);
 }
-
-namespace
-{
-
-Breakdown
-computeBreakdown(const core::System &sys, const core::System &baseline)
-{
-    // Table VII reports each source as a percentage of the
-    // *unprotected baseline* execution time; Total is the full
-    // protection overhead (and therefore includes the
-    // permission-change row that the lowerbound also pays).
-    Breakdown b;
-    const double base = static_cast<double>(baseline.totalCycles());
-    if (base == 0)
-        return b;
-    const auto &s = sys.scheme();
-    b.permissionChangePct = s.cycPermissionChange.value() / base * 100.0;
-    b.entryChangesPct = s.cycEntryChange.value() / base * 100.0;
-    b.tableMissPct = s.cycTableMiss.value() / base * 100.0;
-    b.accessLatencyPct = s.cycAccessLatency.value() / base * 100.0;
-    b.totalPct = (static_cast<double>(sys.totalCycles()) - base) / base *
-                 100.0;
-    // The shootdown row absorbs both the direct invalidation cycles
-    // and the induced TLB refills — computed as the residual, exactly
-    // the "subsequent TLB misses ... also taken into account" of the
-    // paper's methodology (§V).
-    b.tlbInvalidationPct = b.totalPct - b.permissionChangePct -
-                           b.entryChangesPct - b.tableMissPct -
-                           b.accessLatencyPct;
-    // Clamp tiny negative rounding artefacts.
-    if (b.tlbInvalidationPct < 0 && b.tlbInvalidationPct > -0.05)
-        b.tlbInvalidationPct = 0;
-    return b;
-}
-
-} // namespace
 
 MicroPoint
 runMicroPoint(const std::string &bench,
               const workloads::MicroParams &mparams,
               const core::SimConfig &config,
-              const std::vector<SchemeKind> &schemes)
+              const std::vector<arch::SchemeKind> &schemes)
 {
-    std::vector<SchemeKind> all{SchemeKind::NoProtection,
-                                SchemeKind::Lowerbound};
-    for (SchemeKind k : schemes) {
-        if (k != SchemeKind::NoProtection && k != SchemeKind::Lowerbound)
-            all.push_back(k);
-    }
-
-    core::MultiReplay replay(config, all);
-    workloads::TraceCtx ctx(replay.sink(), mparams.seed);
-    auto workload = workloads::makeMicro(bench, mparams);
-    workload->run(ctx);
-
-    MicroPoint point;
-    point.benchmark = bench;
-    point.numPmos = mparams.numPmos;
-
-    const auto &baseline = replay.system(SchemeKind::NoProtection);
-    const double seconds = baseline.seconds();
-    point.switchesPerSec =
-        seconds == 0
-            ? 0
-            : static_cast<double>(replay.counter().permissionSwitches()) /
-                  seconds;
-    point.lowerboundOverheadPct =
-        replay.overheadOver(SchemeKind::Lowerbound,
-                            SchemeKind::NoProtection) * 100.0;
-
-    for (SchemeKind k : all) {
-        if (k == SchemeKind::NoProtection || k == SchemeKind::Lowerbound)
-            continue;
-        const auto &sys = replay.system(k);
-        point.overheadPct[k] =
-            replay.overheadOver(k, SchemeKind::Lowerbound) * 100.0;
-        point.breakdown[k] = computeBreakdown(sys, baseline);
-        point.keyRemaps[k] = sys.scheme().keyRemaps.value();
-    }
-    return point;
+    common::ThreadPool pool(1);
+    Executor executor(pool);
+    MicroPointSpec spec;
+    spec.benchmark = bench;
+    spec.params = mparams;
+    spec.config = config;
+    spec.schemes = schemes;
+    return executor.runMicro(spec);
 }
+
+#pragma GCC diagnostic pop
 
 } // namespace pmodv::exp

@@ -1,77 +1,46 @@
 /**
  * @file
- * Experiment drivers behind the bench binaries: each function
- * generates the relevant workload trace once and replays it under
- * every scheme the experiment needs, returning the numbers the
- * paper's tables/figures report.
+ * DEPRECATED experiment drivers, kept as thin shims over the
+ * SweepSpec/ExperimentSuite/Executor API in exp/executor.hh and
+ * exp/suite.hh.
+ *
+ * Migration: build an exp::MicroPointSpec / exp::WhisperPointSpec
+ * (or a whole exp::SweepSpec grid), register it with an
+ * exp::ExperimentSuite, and run it on a common::ThreadPool — see
+ * the "Running experiments" section of EXPERIMENTS.md. The row types
+ * (WhisperRow, MicroPoint, Breakdown) now live in exp/executor.hh
+ * and are re-exported here unchanged.
  */
 
 #ifndef PMODV_EXP_EXPERIMENTS_HH
 #define PMODV_EXP_EXPERIMENTS_HH
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "core/replay.hh"
-#include "workloads/micro/micro.hh"
-#include "workloads/whisper/whisper.hh"
+#include "exp/executor.hh"
 
 namespace pmodv::exp
 {
 
-/** One WHISPER benchmark's Table V row. */
-struct WhisperRow
-{
-    std::string benchmark;
-    double switchesPerSec = 0;
-    double overheadMpkPct = 0;
-    double overheadMpkVirtPct = 0;
-    double overheadDomainVirtPct = 0;
-};
-
-/** Run one WHISPER benchmark under {none, mpk, mpk_virt, domain_virt}. */
+/**
+ * Run one WHISPER benchmark under {none, mpk, mpk_virt, domain_virt}
+ * on the calling thread.
+ */
+[[deprecated("build a WhisperPointSpec and run it through "
+             "exp::Executor / exp::ExperimentSuite instead")]]
 WhisperRow runWhisper(const std::string &name,
                       const workloads::WhisperParams &wparams,
                       const core::SimConfig &config);
 
-/** Table VII-style overhead breakdown (percent over lowerbound). */
-struct Breakdown
-{
-    double permissionChangePct = 0;
-    double entryChangesPct = 0;
-    double tableMissPct = 0;     ///< DTT misses / PTLB misses row.
-    double tlbInvalidationPct = 0; ///< Incl. induced TLB misses (MPK virt).
-    double accessLatencyPct = 0; ///< Domain virt only.
-    double totalPct = 0;
-};
-
-/** One (benchmark, pmo-count) sweep point. */
-struct MicroPoint
-{
-    std::string benchmark;
-    unsigned numPmos = 0;
-    double switchesPerSec = 0;
-    double lowerboundOverheadPct = 0; ///< Over the unprotected baseline.
-    /** Overhead over lowerbound, percent, per scheme. */
-    std::map<arch::SchemeKind, double> overheadPct;
-    /** Breakdown per proposed scheme. */
-    std::map<arch::SchemeKind, Breakdown> breakdown;
-    /** Eviction/shootdown counts per scheme (diagnostics). */
-    std::map<arch::SchemeKind, double> keyRemaps;
-};
-
 /**
  * Run one microbenchmark at one PMO count under the given schemes
- * (the baseline and lowerbound pipelines are always added).
+ * (the baseline and lowerbound pipelines are always added) on the
+ * calling thread.
  */
+[[deprecated("build a MicroPointSpec and run it through "
+             "exp::Executor / exp::ExperimentSuite instead")]]
 MicroPoint runMicroPoint(const std::string &bench,
                          const workloads::MicroParams &mparams,
                          const core::SimConfig &config,
                          const std::vector<arch::SchemeKind> &schemes);
-
-/** log2 of an overhead percentage, the paper's Figure 6 y-axis. */
-double log2Pct(double pct);
 
 } // namespace pmodv::exp
 

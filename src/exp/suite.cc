@@ -1,0 +1,193 @@
+#include "exp/suite.hh"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+namespace pmodv::exp
+{
+
+using arch::SchemeKind;
+
+std::vector<MicroPointSpec>
+SweepSpec::points() const
+{
+    const std::vector<std::string> &names =
+        benchmarks.empty() ? workloads::microNames() : benchmarks;
+    std::vector<MicroPointSpec> out;
+    out.reserve(names.size() * pmoCounts.size());
+    for (const std::string &name : names) {
+        for (unsigned pmos : pmoCounts) {
+            MicroPointSpec spec;
+            spec.benchmark = name;
+            spec.params = base;
+            spec.params.numPmos = pmos;
+            spec.config = config;
+            spec.schemes = schemes;
+            out.push_back(std::move(spec));
+        }
+    }
+    return out;
+}
+
+std::size_t
+ExperimentSuite::add(MicroPointSpec spec)
+{
+    micro_.push_back(std::move(spec));
+    return micro_.size() - 1;
+}
+
+std::size_t
+ExperimentSuite::add(WhisperPointSpec spec)
+{
+    whisper_.push_back(std::move(spec));
+    return whisper_.size() - 1;
+}
+
+std::size_t
+ExperimentSuite::add(const SweepSpec &sweep)
+{
+    const std::size_t first = micro_.size();
+    for (MicroPointSpec &spec : sweep.points())
+        micro_.push_back(std::move(spec));
+    return first;
+}
+
+void
+ExperimentSuite::run(common::ThreadPool &pool)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Executor executor(pool);
+    microRows_ = executor.runMicro(micro_);
+    whisperRows_ = executor.runWhisper(whisper_);
+    wallSeconds_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    jobs_ = pool.size();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (names here are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeSchemeDoubles(std::ostream &os,
+                   const std::map<SchemeKind, double> &m)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[kind, value] : m) {
+        os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+           << "\": " << value;
+        first = false;
+    }
+    os << "}";
+}
+
+void
+writeSchemeCycles(std::ostream &os,
+                  const std::map<SchemeKind, Cycles> &m)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[kind, value] : m) {
+        os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+           << "\": " << value;
+        first = false;
+    }
+    os << "}";
+}
+
+void
+writeMicroRow(std::ostream &os, const MicroPoint &pt)
+{
+    os << "    {\"benchmark\": \"" << jsonEscape(pt.benchmark)
+       << "\", \"pmos\": " << pt.numPmos
+       << ", \"switches_per_sec\": " << pt.switchesPerSec
+       << ", \"lowerbound_overhead_pct\": " << pt.lowerboundOverheadPct
+       << ",\n     \"overhead_pct\": ";
+    writeSchemeDoubles(os, pt.overheadPct);
+    os << ",\n     \"key_remaps\": ";
+    writeSchemeDoubles(os, pt.keyRemaps);
+    os << ",\n     \"total_cycles\": ";
+    writeSchemeCycles(os, pt.totalCycles);
+    os << ",\n     \"breakdown\": {";
+    bool first = true;
+    for (const auto &[kind, b] : pt.breakdown) {
+        os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+           << "\": {\"permission_change_pct\": " << b.permissionChangePct
+           << ", \"entry_changes_pct\": " << b.entryChangesPct
+           << ", \"table_miss_pct\": " << b.tableMissPct
+           << ", \"tlb_invalidation_pct\": " << b.tlbInvalidationPct
+           << ", \"access_latency_pct\": " << b.accessLatencyPct
+           << ", \"total_pct\": " << b.totalPct << "}";
+        first = false;
+    }
+    os << "}}";
+}
+
+void
+writeWhisperRow(std::ostream &os, const WhisperRow &row)
+{
+    os << "    {\"benchmark\": \"" << jsonEscape(row.benchmark)
+       << "\", \"switches_per_sec\": " << row.switchesPerSec
+       << ", \"overhead_mpk_pct\": " << row.overheadMpkPct
+       << ", \"overhead_mpk_virt_pct\": " << row.overheadMpkVirtPct
+       << ", \"overhead_domain_virt_pct\": "
+       << row.overheadDomainVirtPct << ",\n     \"total_cycles\": ";
+    writeSchemeCycles(os, row.totalCycles);
+    os << "}";
+}
+
+} // namespace
+
+void
+ExperimentSuite::writeJson(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os.precision(17); // Round-trip doubles exactly.
+
+    os << "{\n  \"suite\": \"" << jsonEscape(name_) << "\",\n"
+       << "  \"jobs\": " << jobs_ << ",\n"
+       << "  \"wall_seconds\": " << wallSeconds_ << ",\n"
+       << "  \"micro\": [\n";
+    for (std::size_t i = 0; i < microRows_.size(); ++i) {
+        writeMicroRow(os, microRows_[i]);
+        os << (i + 1 < microRows_.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n  \"whisper\": [\n";
+    for (std::size_t i = 0; i < whisperRows_.size(); ++i) {
+        writeWhisperRow(os, whisperRows_[i]);
+        os << (i + 1 < whisperRows_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+
+    os.precision(precision);
+    os.flags(flags);
+}
+
+bool
+ExperimentSuite::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace pmodv::exp

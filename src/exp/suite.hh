@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The declarative experiment-driver API the bench binaries consume:
+ * register points (or whole sweep grids) → run(pool) → collect typed
+ * rows. A suite also records its wall-clock time and worker count and
+ * can serialize everything as a machine-readable JSON report
+ * (`BENCH_<suite>.json` by convention) so the perf trajectory is
+ * tracked across PRs.
+ *
+ * Typical use:
+ *
+ *     exp::ExperimentSuite suite("fig7_average");
+ *     exp::SweepSpec sweep;
+ *     sweep.pmoCounts = {16, 64, 1024};
+ *     sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
+ *                      SchemeKind::DomainVirt};
+ *     suite.add(sweep);
+ *     common::ThreadPool pool(opt.jobs);
+ *     suite.run(pool);
+ *     for (const exp::MicroPoint &pt : suite.microRows()) ...
+ */
+
+#ifndef PMODV_EXP_SUITE_HH
+#define PMODV_EXP_SUITE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/executor.hh"
+
+namespace pmodv::exp
+{
+
+/**
+ * A (benchmark x PMO-count) sweep grid over the micro suite — the
+ * shape of the Figure 6/7 evaluations. Expands benchmark-major:
+ * all PMO counts of benchmarks[0] first, then benchmarks[1], ...
+ */
+struct SweepSpec
+{
+    /** Microbenchmark names; empty means the full Table IV suite. */
+    std::vector<std::string> benchmarks;
+    std::vector<unsigned> pmoCounts;
+    workloads::MicroParams base;
+    core::SimConfig config;
+    std::vector<arch::SchemeKind> schemes;
+
+    /** The grid as individual points, benchmark-major. */
+    std::vector<MicroPointSpec> points() const;
+};
+
+/**
+ * A named collection of experiment points with their result rows.
+ * Rows come back in registration order, independent of the worker
+ * count (see executor.hh for the determinism argument).
+ */
+class ExperimentSuite
+{
+  public:
+    explicit ExperimentSuite(std::string name) : name_(std::move(name))
+    {
+    }
+
+    /** Register points; returns the row index the result will have. */
+    std::size_t add(MicroPointSpec spec);
+    std::size_t add(WhisperPointSpec spec);
+    /** Expand and register a sweep grid; returns its first row index. */
+    std::size_t add(const SweepSpec &sweep);
+
+    /** Run every registered point on @p pool and collect the rows. */
+    void run(common::ThreadPool &pool);
+
+    const std::string &name() const { return name_; }
+    const std::vector<MicroPoint> &microRows() const
+    {
+        return microRows_;
+    }
+    const std::vector<WhisperRow> &whisperRows() const
+    {
+        return whisperRows_;
+    }
+
+    /** Wall-clock seconds of the last run() (0 before any run). */
+    double wallSeconds() const { return wallSeconds_; }
+    /** Worker count of the last run() (0 before any run). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Serialize name, timing and all rows as a JSON document. */
+    void writeJson(std::ostream &os) const;
+    /** writeJson() to @p path; returns false if the file won't open. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::string name_;
+    std::vector<MicroPointSpec> micro_;
+    std::vector<WhisperPointSpec> whisper_;
+    std::vector<MicroPoint> microRows_;
+    std::vector<WhisperRow> whisperRows_;
+    double wallSeconds_ = 0;
+    unsigned jobs_ = 0;
+};
+
+} // namespace pmodv::exp
+
+#endif // PMODV_EXP_SUITE_HH

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests of the parallel experiment executor and the declarative
+ * SweepSpec/ExperimentSuite API. The load-bearing property is
+ * determinism: per-scheme cycle counts must be bit-identical to the
+ * serial MultiReplay path and independent of the worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/thread_pool.hh"
+#include "core/replay.hh"
+#include "exp/suite.hh"
+#include "workloads/trace_ctx.hh"
+
+namespace pmodv::exp
+{
+namespace
+{
+
+using arch::SchemeKind;
+
+MicroPointSpec
+avlSpec(unsigned pmos = 64)
+{
+    MicroPointSpec spec;
+    spec.benchmark = "avl";
+    spec.params.numPmos = pmos;
+    spec.params.pmoBytes = Addr{8} << 20;
+    spec.params.numOps = 3000;
+    spec.params.initialNodes = 512;
+    spec.params.seed = 42;
+    spec.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
+                    SchemeKind::DomainVirt};
+    return spec;
+}
+
+/** Serial reference: capture the trace, replay through MultiReplay. */
+std::map<SchemeKind, Cycles>
+serialCycles(const MicroPointSpec &spec,
+             const std::vector<SchemeKind> &kinds)
+{
+    trace::VectorSink buffer;
+    workloads::TraceCtx ctx(buffer, spec.params.seed);
+    workloads::makeMicro(spec.benchmark, spec.params)->run(ctx);
+
+    core::MultiReplay replay(spec.config, kinds);
+    replay.replay(buffer.records());
+
+    std::map<SchemeKind, Cycles> cycles;
+    for (SchemeKind k : kinds)
+        cycles[k] = replay.system(k).totalCycles();
+    return cycles;
+}
+
+TEST(Executor, MatchesSerialMultiReplayBitForBit)
+{
+    const MicroPointSpec spec = avlSpec();
+    const std::vector<SchemeKind> kinds{
+        SchemeKind::NoProtection, SchemeKind::Lowerbound,
+        SchemeKind::LibMpk, SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt};
+    const auto serial = serialCycles(spec, kinds);
+
+    common::ThreadPool pool(4);
+    Executor executor(pool);
+    const MicroPoint pt = executor.runMicro(spec);
+
+    ASSERT_EQ(pt.totalCycles.size(), kinds.size());
+    for (SchemeKind k : kinds) {
+        EXPECT_EQ(pt.totalCycles.at(k), serial.at(k))
+            << arch::schemeName(k);
+    }
+}
+
+TEST(Executor, JobCountDoesNotChangeAnyRow)
+{
+    const std::vector<MicroPointSpec> specs{avlSpec(16), avlSpec(64),
+                                            avlSpec(128)};
+
+    common::ThreadPool serial(1);
+    common::ThreadPool wide(4);
+    const auto rows1 = Executor(serial).runMicro(specs);
+    const auto rows4 = Executor(wide).runMicro(specs);
+
+    ASSERT_EQ(rows1.size(), rows4.size());
+    for (std::size_t i = 0; i < rows1.size(); ++i) {
+        EXPECT_EQ(rows1[i].benchmark, rows4[i].benchmark);
+        EXPECT_EQ(rows1[i].numPmos, rows4[i].numPmos);
+        EXPECT_EQ(rows1[i].totalCycles, rows4[i].totalCycles);
+        EXPECT_EQ(rows1[i].overheadPct, rows4[i].overheadPct);
+        EXPECT_EQ(rows1[i].keyRemaps, rows4[i].keyRemaps);
+        EXPECT_DOUBLE_EQ(rows1[i].switchesPerSec,
+                         rows4[i].switchesPerSec);
+        EXPECT_DOUBLE_EQ(rows1[i].lowerboundOverheadPct,
+                         rows4[i].lowerboundOverheadPct);
+    }
+}
+
+TEST(Executor, WhisperDeterministicAcrossJobCounts)
+{
+    WhisperPointSpec spec;
+    spec.benchmark = "echo";
+    spec.params.numTxns = 200;
+    spec.params.poolBytes = std::size_t{8} << 20;
+    spec.params.initialKeys = 300;
+
+    common::ThreadPool serial(1);
+    common::ThreadPool wide(4);
+    const WhisperRow row1 = Executor(serial).runWhisper(spec);
+    const WhisperRow row4 = Executor(wide).runWhisper(spec);
+
+    EXPECT_EQ(row1.totalCycles, row4.totalCycles);
+    EXPECT_DOUBLE_EQ(row1.switchesPerSec, row4.switchesPerSec);
+    EXPECT_DOUBLE_EQ(row1.overheadMpkPct, row4.overheadMpkPct);
+    EXPECT_DOUBLE_EQ(row1.overheadMpkVirtPct, row4.overheadMpkVirtPct);
+    EXPECT_DOUBLE_EQ(row1.overheadDomainVirtPct,
+                     row4.overheadDomainVirtPct);
+    EXPECT_GT(row1.totalCycles.at(SchemeKind::NoProtection), 0u);
+}
+
+TEST(Executor, RawReplayMatchesMultiReplay)
+{
+    using trace::TraceRecord;
+    auto records = std::make_shared<std::vector<TraceRecord>>();
+    constexpr Addr base = Addr{1} << 33;
+    records->push_back(TraceRecord::attach(0, 1, base, Addr{1} << 20,
+                                           Perm::ReadWrite));
+    records->push_back(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    for (unsigned i = 0; i < 500; ++i)
+        records->push_back(
+            TraceRecord::load(0, base + i * 64, 8, true));
+
+    const std::vector<SchemeKind> kinds{SchemeKind::NoProtection,
+                                        SchemeKind::MpkVirt,
+                                        SchemeKind::DomainVirt};
+    core::MultiReplay replay({}, kinds);
+    replay.replay(*records);
+
+    RawPointSpec spec;
+    spec.records = records;
+    spec.schemes = kinds;
+    common::ThreadPool pool(3);
+    const RawPointResult res = Executor(pool).runRaw(spec);
+
+    for (SchemeKind k : kinds) {
+        EXPECT_EQ(res.totalCycles.at(k),
+                  replay.system(k).totalCycles())
+            << arch::schemeName(k);
+        EXPECT_DOUBLE_EQ(res.deniedAccesses.at(k),
+                         replay.system(k).deniedAccesses.value());
+    }
+}
+
+TEST(SweepSpec, ExpandsBenchmarkMajor)
+{
+    SweepSpec sweep;
+    sweep.benchmarks = {"avl", "ll"};
+    sweep.pmoCounts = {16, 64};
+    sweep.base.numOps = 100;
+    const auto points = sweep.points();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].benchmark, "avl");
+    EXPECT_EQ(points[0].params.numPmos, 16u);
+    EXPECT_EQ(points[1].benchmark, "avl");
+    EXPECT_EQ(points[1].params.numPmos, 64u);
+    EXPECT_EQ(points[2].benchmark, "ll");
+    EXPECT_EQ(points[2].params.numPmos, 16u);
+    EXPECT_EQ(points[3].benchmark, "ll");
+    EXPECT_EQ(points[3].params.numPmos, 64u);
+}
+
+TEST(SweepSpec, EmptyBenchmarksMeansFullSuite)
+{
+    SweepSpec sweep;
+    sweep.pmoCounts = {32};
+    EXPECT_EQ(sweep.points().size(), workloads::microNames().size());
+}
+
+TEST(ExperimentSuite, RowsComeBackInRegistrationOrder)
+{
+    ExperimentSuite suite("test");
+    EXPECT_EQ(suite.add(avlSpec(128)), 0u);
+    MicroPointSpec ll = avlSpec(16);
+    ll.benchmark = "ll";
+    EXPECT_EQ(suite.add(std::move(ll)), 1u);
+
+    common::ThreadPool pool(2);
+    suite.run(pool);
+
+    ASSERT_EQ(suite.microRows().size(), 2u);
+    EXPECT_EQ(suite.microRows()[0].benchmark, "avl");
+    EXPECT_EQ(suite.microRows()[0].numPmos, 128u);
+    EXPECT_EQ(suite.microRows()[1].benchmark, "ll");
+    EXPECT_EQ(suite.microRows()[1].numPmos, 16u);
+    EXPECT_EQ(suite.jobs(), 2u);
+    EXPECT_GT(suite.wallSeconds(), 0.0);
+}
+
+TEST(ExperimentSuite, JsonReportIsWellFormed)
+{
+    ExperimentSuite suite("json_probe");
+    MicroPointSpec spec = avlSpec(16);
+    spec.params.numOps = 500;
+    suite.add(std::move(spec));
+    common::ThreadPool pool(2);
+    suite.run(pool);
+
+    std::ostringstream os;
+    suite.writeJson(os);
+    const std::string json = os.str();
+
+    // Structural sanity: balanced braces/brackets, key fields present.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("\"suite\": \"json_probe\""), std::string::npos);
+    EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\": \"avl\""), std::string::npos);
+    EXPECT_NE(json.find("\"total_cycles\""), std::string::npos);
+    EXPECT_NE(json.find("\"overhead_pct\""), std::string::npos);
+    // No NaN/inf can sneak into a JSON document.
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ExperimentSuite, EmptySuiteRunsToCompletion)
+{
+    ExperimentSuite suite("empty");
+    common::ThreadPool pool(2);
+    suite.run(pool);
+    EXPECT_TRUE(suite.microRows().empty());
+    EXPECT_TRUE(suite.whisperRows().empty());
+    std::ostringstream os;
+    suite.writeJson(os);
+    EXPECT_NE(os.str().find("\"micro\": [\n  ]"), std::string::npos);
+}
+
+} // namespace
+} // namespace pmodv::exp

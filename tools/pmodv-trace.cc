@@ -8,9 +8,10 @@
  *       Print record counts, access mix and switch statistics.
  *   pmodv-trace dump <file.trc> [--limit N]
  *       Print records in human-readable form.
- *   pmodv-trace replay <file.trc> [--scheme name]...
- *       Replay under one or more protection schemes and report
- *       cycles + overheads (default: all six schemes).
+ *   pmodv-trace replay <file.trc> [--scheme name]... [--jobs N]
+ *       Replay under one or more protection schemes (one worker
+ *       thread per scheme pipeline) and report cycles + overheads
+ *       (default: all six schemes).
  */
 
 #include <cstdio>
@@ -18,7 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "core/replay.hh"
+#include "common/thread_pool.hh"
+#include "exp/executor.hh"
 #include "trace/trace_file.hh"
 #include "workloads/micro/micro.hh"
 
@@ -132,9 +134,13 @@ cmdReplay(int argc, char **argv)
     if (argc < 3)
         return usage();
     std::vector<arch::SchemeKind> schemes;
+    unsigned jobs = 0; // 0 = hardware concurrency.
     for (int i = 3; i + 1 < argc; i += 2) {
         if (!std::strcmp(argv[i], "--scheme"))
             schemes.push_back(arch::schemeFromName(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
     }
     if (schemes.empty()) {
         schemes = {arch::SchemeKind::NoProtection,
@@ -151,25 +157,36 @@ cmdReplay(int argc, char **argv)
                        arch::SchemeKind::NoProtection);
     }
 
-    core::SimConfig config;
-    core::MultiReplay replay(config, schemes);
-    trace::TraceFileReader reader(argv[2]);
-    reader.pump(replay.sink());
+    // Buffer the trace once, then fan the scheme pipelines out over
+    // the pool (one worker per System).
+    auto records = std::make_shared<std::vector<trace::TraceRecord>>();
+    {
+        trace::VectorSink buffer;
+        trace::TraceFileReader reader(argv[2]);
+        reader.pump(buffer);
+        *records = buffer.take();
+    }
+    exp::RawPointSpec spec;
+    spec.records = records;
+    spec.schemes = schemes;
+
+    common::ThreadPool pool(jobs);
+    exp::Executor executor(pool);
+    const exp::RawPointResult res = executor.runRaw(spec);
 
     std::printf("%-14s %16s %16s %10s\n", "scheme", "cycles",
                 "vs baseline(%)", "denied");
     const double base = static_cast<double>(
-        replay.system(arch::SchemeKind::NoProtection).totalCycles());
+        res.totalCycles.at(arch::SchemeKind::NoProtection));
     for (arch::SchemeKind kind : schemes) {
-        const auto &sys = replay.system(kind);
+        const double cycles =
+            static_cast<double>(res.totalCycles.at(kind));
         std::printf("%-14s %16llu %16.2f %10.0f\n",
                     arch::schemeName(kind),
-                    static_cast<unsigned long long>(sys.totalCycles()),
-                    base == 0 ? 0.0
-                              : (static_cast<double>(sys.totalCycles()) -
-                                 base) /
-                                    base * 100.0,
-                    sys.deniedAccesses.value());
+                    static_cast<unsigned long long>(
+                        res.totalCycles.at(kind)),
+                    base == 0 ? 0.0 : (cycles - base) / base * 100.0,
+                    res.deniedAccesses.at(kind));
     }
     return 0;
 }
