@@ -2,7 +2,7 @@
  * @file
  * Shared helpers for the table/figure reproduction binaries: a tiny
  * CLI parser (--quick / --full / --ops N / --pmos a,b,c / --jobs N /
- * --json FILE) and table formatting utilities.
+ * --json FILE / --dump-stats) and table formatting utilities.
  */
 
 #ifndef PMODV_BENCH_BENCH_UTIL_HH
@@ -33,6 +33,8 @@ struct Options
     unsigned jobs = 0;
     /** Write the suite's JSON report here ("" = don't). */
     std::string jsonPath;
+    /** Print every row's per-scheme stats tree to stdout. */
+    bool dumpStats = false;
 };
 
 inline Options
@@ -54,6 +56,8 @@ parseOptions(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (arg == "--dump-stats") {
+            opt.dumpStats = true;
         } else if (arg == "--pmos" && i + 1 < argc) {
             std::string list = argv[++i];
             std::size_t pos = 0;
@@ -67,7 +71,8 @@ parseOptions(int argc, char **argv)
             }
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick|--full] [--csv] [--ops N] "
-                        "[--pmos a,b,c] [--jobs N] [--json FILE]\n",
+                        "[--pmos a,b,c] [--jobs N] [--json FILE] "
+                        "[--dump-stats]\n",
                         argv[0]);
             std::exit(0);
         }
@@ -107,6 +112,31 @@ writeJsonIfRequested(const exp::ExperimentSuite &suite,
     if (!suite.writeJsonFile(opt.jsonPath)) {
         std::fprintf(stderr, "error: cannot write JSON report to %s\n",
                      opt.jsonPath.c_str());
+    }
+}
+
+/**
+ * Honor --dump-stats: print each row's per-scheme stats tree (the
+ * same compact JSON embedded in --json reports) to stdout.
+ */
+inline void
+dumpStatsIfRequested(const exp::ExperimentSuite &suite,
+                     const Options &opt)
+{
+    if (!opt.dumpStats)
+        return;
+    for (const exp::MicroPoint &pt : suite.microRows()) {
+        for (const auto &[kind, json] : pt.statsJson) {
+            std::printf("# stats %s pmos=%u %s\n%s\n",
+                        pt.benchmark.c_str(), pt.numPmos,
+                        arch::schemeName(kind), json.c_str());
+        }
+    }
+    for (const exp::WhisperRow &row : suite.whisperRows()) {
+        for (const auto &[kind, json] : row.statsJson) {
+            std::printf("# stats %s %s\n%s\n", row.benchmark.c_str(),
+                        arch::schemeName(kind), json.c_str());
+        }
     }
 }
 

@@ -57,6 +57,7 @@ main(int argc, char **argv)
             }
         }
         bench::writeJsonIfRequested(suite, opt);
+        bench::dumpStatsIfRequested(suite, opt);
         return 0;
     }
 
@@ -87,5 +88,6 @@ main(int argc, char **argv)
                 "rises with PMO count while domain virtualization "
                 "stays nearly flat (Fig. 6 of the paper).\n");
     bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
     return 0;
 }

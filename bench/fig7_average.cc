@@ -72,5 +72,6 @@ main(int argc, char **argv)
                  suite.wallSeconds(), suite.jobs(),
                  suite.jobs() == 1 ? "" : "s");
     bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
     return 0;
 }

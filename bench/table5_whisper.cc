@@ -93,5 +93,6 @@ main(int argc, char **argv)
                 "domain virtualization adds the per-access PTLB lookup."
                 "\n");
     bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
     return 0;
 }

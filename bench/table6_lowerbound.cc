@@ -74,5 +74,6 @@ main(int argc, char **argv)
     std::printf("\nThe lowerbound overhead is proportional to the "
                 "switch rate (27 cycles per SETPERM at 2.2 GHz).\n");
     bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
     return 0;
 }

@@ -111,5 +111,6 @@ main(int argc, char **argv)
         "domain virt — perm 2.80, entry 0.07, PTLB miss 9.82, access "
         "latency 11.28, total 23.97.\n");
     bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
     return 0;
 }

@@ -71,6 +71,9 @@ DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
     // table lookup), then install the entry.
     cycles += params_.ptlbMissCycles;
     cycTableMiss += static_cast<double>(params_.ptlbMissCycles);
+    ptlb_->missLatency.sample(params_.ptlbMissCycles);
+    postEvent(trace::EventKind::PtlbRefill, tid, domain,
+              params_.ptlbMissCycles);
 
     PtlbEntry entry;
     entry.used = true;
@@ -114,9 +117,7 @@ Cycles
 DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 {
     perm = permNormalizeHw(perm);
-    ++permChanges;
-    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
-    Cycles cycles = params_.wrpkruCycles;
+    Cycles cycles = chargeSetPerm();
 
     // The PTLB caches the *running* thread's permissions only; a
     // cross-thread permission update (an OS-assisted grant) goes

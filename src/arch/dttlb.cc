@@ -10,6 +10,8 @@ Dttlb::Dttlb(stats::Group *parent, unsigned entries)
       hits(this, "hits", "VA lookups that matched"),
       misses(this, "misses", "VA lookups that missed"),
       evictions(this, "evictions", "slots evicted by capacity"),
+      missLatency(this, "miss_latency",
+                  "cycles spent servicing each DTTLB miss"),
       slots_(entries), plru_(entries)
 {
     fatal_if(entries == 0, "DTTLB needs at least one entry");

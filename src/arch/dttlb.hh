@@ -83,6 +83,7 @@ class Dttlb : public stats::Group
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar evictions;
+    stats::Histogram missLatency; ///< Cycles per miss (DTT walk).
 
   private:
     std::vector<DttlbEntry> slots_;

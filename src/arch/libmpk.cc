@@ -8,7 +8,6 @@ namespace pmodv::arch
 LibMpkScheme::LibMpkScheme(stats::Group *parent, const ProtParams &params,
                            const tlb::AddressSpace &space)
     : ProtectionScheme(parent, "libmpk", params, space),
-      evictions(this, "evictions", "software key evictions"),
       ptePatches(this, "pte_patches", "PTE pkey fields rewritten")
 {
     keyHolder_.fill(kNullDomain);
@@ -78,7 +77,7 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
     if (key == kInvalidKey) {
         // Evict the LRU key holder: pkey_mprotect() strips the key
         // from every page of the victim domain.
-        ++evictions;
+        ++keyEvictions;
         const ProtKey victim = victimKey();
         const DomainId victim_domain = keyHolder_[victim];
         DomainState &vst = domains_.at(victim_domain);
@@ -93,10 +92,16 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
             params_.tlbInvalidationCycles * params_.numCores;
         cycles += inval;
         cycTlbInvalidation += static_cast<double>(inval);
+        std::uint64_t pages = 0;
         if (tlb_) {
-            tlb_->flushRange(vst.base, vst.size);
-            tlb_->flushRange(st.base, st.size);
+            pages += tlb_->flushRange(vst.base, vst.size);
+            pages += tlb_->flushRange(st.base, st.size);
         }
+        shootdownPages += static_cast<double>(pages);
+        postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
+                  victim);
+        postEvent(trace::EventKind::Shootdown, tid, victim_domain,
+                  pages);
         key = victim;
     }
 
@@ -143,9 +148,7 @@ Cycles
 LibMpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 {
     perm = permNormalizeHw(perm);
-    ++permChanges;
-    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
-    Cycles cycles = params_.wrpkruCycles;
+    Cycles cycles = chargeSetPerm();
 
     // libmpk's user-level bookkeeping (domain hash lookup) runs on
     // every mpk_begin/end call.

@@ -43,7 +43,6 @@ class LibMpkScheme : public ProtectionScheme
     /** The key currently backing @p domain (kInvalidKey if none). */
     ProtKey keyOf(DomainId domain) const;
 
-    stats::Scalar evictions;
     stats::Scalar ptePatches;
 
   private:

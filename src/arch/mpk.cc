@@ -50,22 +50,20 @@ Cycles
 MpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 {
     perm = permNormalizeHw(perm);
-    ++permChanges;
-    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    const Cycles cycles = chargeSetPerm();
     auto it = domainKey_.find(domain);
     if (it != domainKey_.end() && it->second != kNullKey)
         pkrus_.forThread(tid).setPerm(it->second, perm);
     // A domainless PMO (exhausted keys) still executes the WRPKRU.
-    return params_.wrpkruCycles;
+    return cycles;
 }
 
 Cycles
 MpkScheme::wrpkruRaw(ThreadId tid, ProtKey key, Perm perm)
 {
-    ++permChanges;
-    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    const Cycles cycles = chargeWrpkru();
     pkrus_.forThread(tid).setPerm(key, perm);
-    return params_.wrpkruCycles;
+    return cycles;
 }
 
 Cycles

@@ -133,13 +133,20 @@ MpkVirtScheme::resolveKey(ThreadId tid, DttInfo &info)
 
         // Ranged TLB shootdown of the victim's pages on every core,
         // so no stale VA->key mapping survives.
+        ++keyEvictions;
         ++shootdowns;
         const Cycles inval = params_.tlbInvalidationCycles *
                              params_.numCores;
         cycles += inval;
         cycTlbInvalidation += static_cast<double>(inval);
+        std::uint64_t pages = 0;
         if (tlb_)
-            tlb_->flushRange(vinfo.base, vinfo.size);
+            pages = tlb_->flushRange(vinfo.base, vinfo.size);
+        shootdownPages += static_cast<double>(pages);
+        postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
+                  victim);
+        postEvent(trace::EventKind::Shootdown, tid, victim_domain,
+                  pages);
 
         key = victim;
     }
@@ -175,10 +182,13 @@ MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
         ++s.dttWalks;
         cycles += s.params_.dttWalkCycles;
         s.cycTableMiss += static_cast<double>(s.params_.dttWalkCycles);
+        s.dttlb_->missLatency.sample(s.params_.dttWalkCycles);
         auto walk = s.dtt_.walk(va);
         panic_if(!walk.found,
                  "mapped PMO region missing from the DTT");
         info = walk.payload;
+        s.postEvent(trace::EventKind::DttlbRefill, tid, info->domain,
+                    s.params_.dttWalkCycles);
     }
 
     cycles += s.resolveKey(tid, *info);
@@ -206,9 +216,7 @@ Cycles
 MpkVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 {
     perm = permNormalizeHw(perm);
-    ++permChanges;
-    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
-    Cycles cycles = params_.wrpkruCycles;
+    Cycles cycles = chargeSetPerm();
 
     auto it = domains_.find(domain);
     if (it == domains_.end())

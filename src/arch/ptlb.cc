@@ -10,6 +10,8 @@ Ptlb::Ptlb(stats::Group *parent, unsigned entries)
       hits(this, "hits", "domain lookups that matched"),
       misses(this, "misses", "domain lookups that missed"),
       evictions(this, "evictions", "slots evicted by capacity"),
+      missLatency(this, "miss_latency",
+                  "cycles spent servicing each PTLB miss"),
       slots_(entries), plru_(entries)
 {
     fatal_if(entries == 0, "PTLB needs at least one entry");

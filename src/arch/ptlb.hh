@@ -64,6 +64,7 @@ class Ptlb : public stats::Group
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar evictions;
+    stats::Histogram missLatency; ///< Cycles per miss (PT lookup).
 
   private:
     std::vector<PtlbEntry> slots_;

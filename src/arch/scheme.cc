@@ -60,19 +60,41 @@ ProtectionScheme::ProtectionScheme(stats::Group *parent, std::string name,
       cycSoftware(this, "cyc_software",
                   "software path cycles (syscalls, PTE rewrites)"),
       permChanges(this, "perm_changes", "SETPERM/WRPKRU executed"),
+      setperms(this, "setperms", "SETPERM instructions executed"),
+      wrpkrus(this, "wrpkrus", "raw WRPKRU instructions executed"),
       keyRemaps(this, "key_remaps", "domain-to-key (re)assignments"),
+      keyEvictions(this, "key_evictions",
+                   "victim domains that lost their protection key"),
       shootdowns(this, "shootdowns", "ranged TLB invalidations issued"),
+      shootdownPages(this, "shootdown_pages",
+                     "TLB entries invalidated by shootdowns"),
       protectionFaults(this, "protection_faults", "accesses denied"),
       params_(params), space_(space), label_(std::move(name))
 {
 }
 
 Cycles
-ProtectionScheme::wrpkruRaw(ThreadId, ProtKey, Perm)
+ProtectionScheme::chargeSetPerm()
 {
     ++permChanges;
+    ++setperms;
     cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
     return params_.wrpkruCycles;
+}
+
+Cycles
+ProtectionScheme::chargeWrpkru()
+{
+    ++permChanges;
+    ++wrpkrus;
+    cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
+    return params_.wrpkruCycles;
+}
+
+Cycles
+ProtectionScheme::wrpkruRaw(ThreadId, ProtKey, Perm)
+{
+    return chargeWrpkru();
 }
 
 CheckResult

@@ -19,6 +19,7 @@
 #include "common/types.hh"
 #include "stats/stats.hh"
 #include "tlb/hierarchy.hh"
+#include "trace/event_ring.hh"
 
 namespace pmodv::arch
 {
@@ -69,6 +70,22 @@ class ProtectionScheme : public stats::Group
     const std::string &schemeLabel() const { return label_; }
 
     const ProtParams &params() const { return params_; }
+
+    /**
+     * The scheme's statistics subtree. Every scheme IS a
+     * stats::Group; this accessor is the uniform way consumers reach
+     * it (arch::makeScheme attaches it under the owning System, so
+     * the subtree shows up in the System's dumps automatically).
+     */
+    stats::Group &statsGroup() { return *this; }
+    const stats::Group &statsGroup() const { return *this; }
+
+    /**
+     * Connect the event flight recorder (not owned; typically the
+     * owning System's ring). Schemes post key evictions, shootdowns
+     * and buffer refills to it; a null ring disables posting.
+     */
+    void setEventRing(trace::EventRing *ring) { events_ = ring; }
 
     /**
      * Connect the data TLB (not owned). The default implementation
@@ -127,8 +144,12 @@ class ProtectionScheme : public stats::Group
 
     // ---- event counters ----
     stats::Scalar permChanges;     ///< SETPERM/WRPKRU executed.
+    stats::Scalar setperms;        ///< SETPERM instructions executed.
+    stats::Scalar wrpkrus;         ///< Raw WRPKRU instructions executed.
     stats::Scalar keyRemaps;       ///< Domain->key (re)assignments.
+    stats::Scalar keyEvictions;    ///< Victim domains that lost a key.
     stats::Scalar shootdowns;      ///< Ranged TLB invalidations issued.
+    stats::Scalar shootdownPages;  ///< TLB entries shot down by them.
     stats::Scalar protectionFaults; ///< Accesses denied.
 
   protected:
@@ -136,9 +157,29 @@ class ProtectionScheme : public stats::Group
     CheckResult judge(const AccessContext &ctx, Perm domain_perm,
                       Cycles extra) const;
 
+    /**
+     * Charge one SETPERM instruction: bumps permChanges/setperms,
+     * attributes the WRPKRU latency to the permission-change bucket
+     * and returns it. Every scheme's setPerm starts here.
+     */
+    Cycles chargeSetPerm();
+
+    /** As chargeSetPerm(), for a raw WRPKRU. */
+    Cycles chargeWrpkru();
+
+    /** Post to the event ring (no-op when none is connected). */
+    void
+    postEvent(trace::EventKind kind, ThreadId tid,
+              std::uint32_t arg = 0, std::uint64_t value = 0)
+    {
+        if (events_)
+            events_->post(kind, tid, arg, value);
+    }
+
     ProtParams params_;
     const tlb::AddressSpace &space_;
     tlb::TlbHierarchy *tlb_ = nullptr;
+    trace::EventRing *events_ = nullptr;
 
   private:
     std::string label_;
@@ -198,9 +239,7 @@ class LowerboundScheme : public ProtectionScheme
     Cycles
     setPerm(ThreadId, DomainId, Perm) override
     {
-        ++permChanges;
-        cycPermissionChange += static_cast<double>(params_.wrpkruCycles);
-        return params_.wrpkruCycles;
+        return chargeSetPerm();
     }
 
     Cycles attach(ThreadId, DomainId, Addr, Addr, Perm) override

@@ -19,6 +19,17 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
       operations(this, "operations", "workload operations completed"),
       deniedAccesses(this, "denied_accesses",
                      "accesses denied by protection"),
+      cycIssue(this, "cyc_issue", "cycles issuing instruction blocks"),
+      cycMem(this, "cyc_mem", "visible load/store latency cycles"),
+      cycProtFill(this, "cyc_prot_fill",
+                  "serializing protection-fill cycles on TLB misses"),
+      cycProtCheck(this, "cyc_prot_check",
+                   "per-access protection check cycles"),
+      cycPermInstr(this, "cyc_perm_instr",
+                   "cycles in SETPERM/WRPKRU instructions"),
+      cycSyscall(this, "cyc_syscall", "cycles in attach/detach paths"),
+      cycCtxSwitch(this, "cyc_ctx_switch",
+                   "cycles processing context switches"),
       opCycles(this, "op_cycles", "cycles per workload operation"),
       ipc(this, "ipc", "instructions per cycle",
           [this]() {
@@ -26,14 +37,16 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
                          ? 0.0
                          : instructions.value() / cycles.value();
           }),
-      config_(config), schemeKind_(scheme)
+      config_(config), schemeKind_(scheme), events_(this)
 {
+    events_.bindClock(&cycleCount_);
     tlb_ = std::make_unique<tlb::TlbHierarchy>(this, config_.tlb,
                                                space_);
     caches_ = std::make_unique<mem::CacheHierarchy>(this,
                                                     config_.memory);
     scheme_ = arch::makeScheme(scheme, this, config_.prot, space_);
     scheme_->setTlb(tlb_.get());
+    scheme_->setEventRing(&events_);
 }
 
 System::~System() = default;
@@ -78,8 +91,9 @@ System::doAccess(const trace::TraceRecord &rec)
     const double visible =
         1.0 + (1.0 - config_.memOverlap) *
                   static_cast<double>(xlate.latency + mem_latency - 1);
-    addCycles(static_cast<Cycles>(std::llround(visible)) +
-              xlate.fillExtra + check.extraCycles);
+    addCycles(static_cast<Cycles>(std::llround(visible)), cycMem);
+    addCycles(xlate.fillExtra, cycProtFill);
+    addCycles(check.extraCycles, cycProtCheck);
 }
 
 void
@@ -91,7 +105,7 @@ System::put(const trace::TraceRecord &rec)
         instructions += static_cast<double>(rec.aux);
         const Cycles c = (rec.aux + config_.issueWidth - 1) /
                          config_.issueWidth;
-        addCycles(c);
+        addCycles(c, cycIssue);
         break;
       }
       case RecordType::Load:
@@ -100,12 +114,15 @@ System::put(const trace::TraceRecord &rec)
         break;
       case RecordType::SetPerm:
         instructions += 1;
-        addCycles(scheme_->setPerm(rec.tid, rec.aux, rec.perm()));
+        addCycles(scheme_->setPerm(rec.tid, rec.aux, rec.perm()),
+                  cycPermInstr);
         break;
       case RecordType::Wrpkru:
         instructions += 1;
         addCycles(scheme_->wrpkruRaw(
-            rec.tid, static_cast<ProtKey>(rec.aux), rec.perm()));
+                      rec.tid, static_cast<ProtKey>(rec.aux),
+                      rec.perm()),
+                  cycPermInstr);
         break;
       case RecordType::Attach: {
         tlb::Region region;
@@ -117,15 +134,17 @@ System::put(const trace::TraceRecord &rec)
         region.pageSize = rec.pageSize();
         space_.map(region);
         addCycles(scheme_->attach(rec.tid, rec.aux, rec.addr, rec.value,
-                                  rec.perm()));
+                                  rec.perm()),
+                  cycSyscall);
         break;
       }
       case RecordType::Detach:
-        addCycles(scheme_->detach(rec.tid, rec.aux));
+        addCycles(scheme_->detach(rec.tid, rec.aux), cycSyscall);
         space_.unmapDomain(rec.aux);
         break;
       case RecordType::ThreadSwitch:
-        addCycles(scheme_->contextSwitch(currentThread_, rec.aux));
+        addCycles(scheme_->contextSwitch(currentThread_, rec.aux),
+                  cycCtxSwitch);
         currentThread_ = rec.aux;
         break;
       case RecordType::OpBegin:
@@ -136,6 +155,9 @@ System::put(const trace::TraceRecord &rec)
         ++operations;
         if (opInFlight_) {
             opCycles.sample(cycleCount_ - opStart_);
+            events_.post(trace::EventKind::TxnCommit, rec.tid,
+                         static_cast<std::uint32_t>(rec.aux),
+                         cycleCount_ - opStart_);
             opInFlight_ = false;
         }
         break;

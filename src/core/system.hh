@@ -19,6 +19,7 @@
 #include "mem/hierarchy.hh"
 #include "stats/stats.hh"
 #include "tlb/hierarchy.hh"
+#include "trace/event_ring.hh"
 #include "trace/sinks.hh"
 
 namespace pmodv::core
@@ -54,6 +55,13 @@ class System : public stats::Group, public trace::TraceSink
     mem::CacheHierarchy &caches() { return *caches_; }
     tlb::AddressSpace &addressSpace() { return space_; }
 
+    /** The protection layer's flight recorder. */
+    trace::EventRing &events() { return events_; }
+    const trace::EventRing &events() const { return events_; }
+
+    /** Drain the event ring (oldest first; the ring empties). */
+    std::vector<trace::Event> drainEvents() { return events_.drain(); }
+
     // Replay statistics.
     stats::Scalar cycles;
     stats::Scalar instructions;
@@ -61,20 +69,34 @@ class System : public stats::Group, public trace::TraceSink
     stats::Scalar pmoAccesses;
     stats::Scalar operations;
     stats::Scalar deniedAccesses;
+
+    // Where the cycles went. These buckets partition `cycles`: every
+    // addCycles() call names exactly one of them, so their sum always
+    // equals the total (asserted by tools/check_stats_schema.py).
+    stats::Scalar cycIssue;     ///< Instruction issue (InstBlock).
+    stats::Scalar cycMem;       ///< Visible load/store latency.
+    stats::Scalar cycProtFill;  ///< Protection fill work on TLB misses.
+    stats::Scalar cycProtCheck; ///< Per-access protection checks.
+    stats::Scalar cycPermInstr; ///< SETPERM/WRPKRU instructions.
+    stats::Scalar cycSyscall;   ///< Attach/detach paths.
+    stats::Scalar cycCtxSwitch; ///< Context-switch processing.
+
     stats::Formula ipc;
     /** Cycles per workload operation (OpBegin..OpEnd), log2 buckets. */
     stats::Histogram opCycles;
 
   private:
     void doAccess(const trace::TraceRecord &rec);
-    void addCycles(Cycles c)
+    void addCycles(Cycles c, stats::Scalar &bucket)
     {
         cycleCount_ += c;
         cycles += static_cast<double>(c);
+        bucket += static_cast<double>(c);
     }
 
     SimConfig config_;
     arch::SchemeKind schemeKind_;
+    trace::EventRing events_;
     tlb::AddressSpace space_;
     std::unique_ptr<tlb::TlbHierarchy> tlb_;
     std::unique_ptr<mem::CacheHierarchy> caches_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "pmo/pmo_namespace.hh"
+#include "stats/export.hh"
 
 namespace pmodv::exp
 {
@@ -115,6 +116,50 @@ computeBreakdown(const core::System &sys, const core::System &baseline)
     return b;
 }
 
+/** At most this many trailing ring events are embedded per scheme. */
+constexpr std::size_t kMaxEmbeddedEvents = 32;
+
+/** Serialize the tail of @p sys's event ring as a JSON array. */
+std::string
+eventsToJson(const core::System &sys)
+{
+    const std::vector<trace::Event> events = sys.events().snapshot();
+    const std::size_t skip = events.size() > kMaxEmbeddedEvents
+                                 ? events.size() - kMaxEmbeddedEvents
+                                 : 0;
+    std::string out = "[";
+    for (std::size_t i = skip; i < events.size(); ++i) {
+        const trace::Event &ev = events[i];
+        if (i != skip)
+            out += ",";
+        out += "{\"kind\":\"";
+        out += trace::eventKindName(ev.kind);
+        out += "\",\"cycle\":" + std::to_string(ev.cycle);
+        out += ",\"tid\":" + std::to_string(ev.tid);
+        out += ",\"arg\":" + std::to_string(ev.arg);
+        out += ",\"value\":" + std::to_string(ev.value) + "}";
+    }
+    out += "]";
+    return out;
+}
+
+/**
+ * Capture the per-scheme observability payloads (stats tree + event
+ * ring) into @p stats_json / @p events_json. Must run while the
+ * point's Systems are still alive, i.e. during row reduction.
+ */
+void
+captureObservability(const PointRun &run,
+                     std::map<SchemeKind, std::string> &stats_json,
+                     std::map<SchemeKind, std::string> &events_json)
+{
+    for (SchemeKind k : run.kinds) {
+        const core::System &sys = systemOf(run, k);
+        stats_json[k] = stats::toJsonString(sys);
+        events_json[k] = eventsToJson(sys);
+    }
+}
+
 /** The full scheme list of a micro point: baseline + lowerbound + extras. */
 std::vector<SchemeKind>
 microKinds(const std::vector<SchemeKind> &schemes)
@@ -187,6 +232,7 @@ reduceMicro(const MicroPointSpec &spec, const PointRun &run)
         point.breakdown[k] = computeBreakdown(sys, baseline);
         point.keyRemaps[k] = sys.scheme().keyRemaps.value();
     }
+    captureObservability(run, point.statsJson, point.eventsJson);
     return point;
 }
 
@@ -213,6 +259,7 @@ reduceWhisper(const WhisperPointSpec &spec, const PointRun &run)
                      SchemeKind::NoProtection) * 100.0;
     for (SchemeKind k : run.kinds)
         row.totalCycles[k] = systemOf(run, k).totalCycles();
+    captureObservability(run, row.statsJson, row.eventsJson);
     return row;
 }
 
@@ -311,6 +358,7 @@ Executor::runRaw(const std::vector<RawPointSpec> &specs)
             res.totalCycles[k] = sys.totalCycles();
             res.deniedAccesses[k] = sys.deniedAccesses.value();
         }
+        captureObservability(*runs[i], res.statsJson, res.eventsJson);
         rows.push_back(std::move(res));
     }
     return rows;

@@ -46,6 +46,10 @@ struct WhisperRow
     double overheadDomainVirtPct = 0;
     /** Raw cycle counts per scheme (incl. the unprotected baseline). */
     std::map<arch::SchemeKind, Cycles> totalCycles;
+    /** Full stats tree per scheme, serialized as compact JSON. */
+    std::map<arch::SchemeKind, std::string> statsJson;
+    /** Event-ring snapshot per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> eventsJson;
 };
 
 /** Table VII-style overhead breakdown (percent over lowerbound). */
@@ -74,6 +78,10 @@ struct MicroPoint
     std::map<arch::SchemeKind, double> keyRemaps;
     /** Raw cycle counts per scheme (incl. baseline and lowerbound). */
     std::map<arch::SchemeKind, Cycles> totalCycles;
+    /** Full stats tree per scheme, serialized as compact JSON. */
+    std::map<arch::SchemeKind, std::string> statsJson;
+    /** Event-ring snapshot per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> eventsJson;
 };
 
 // --------------------------------------------------------------- specs
@@ -119,6 +127,10 @@ struct RawPointResult
 {
     std::map<arch::SchemeKind, Cycles> totalCycles;
     std::map<arch::SchemeKind, double> deniedAccesses;
+    /** Full stats tree per scheme, serialized as compact JSON. */
+    std::map<arch::SchemeKind, std::string> statsJson;
+    /** Event-ring snapshot per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> eventsJson;
 };
 
 /** log2 of an overhead percentage, the paper's Figure 6 y-axis. */

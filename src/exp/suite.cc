@@ -111,6 +111,25 @@ writeSchemeCycles(std::ostream &os,
     os << "}";
 }
 
+/**
+ * Emit a map of scheme -> pre-serialized JSON (the stats trees and
+ * event arrays captured by the executor) as a JSON object. The values
+ * are already JSON, so they are spliced in verbatim.
+ */
+void
+writeSchemeJson(std::ostream &os,
+                const std::map<SchemeKind, std::string> &m)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[kind, json] : m) {
+        os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+           << "\": " << json;
+        first = false;
+    }
+    os << "}";
+}
+
 void
 writeMicroRow(std::ostream &os, const MicroPoint &pt)
 {
@@ -136,7 +155,12 @@ writeMicroRow(std::ostream &os, const MicroPoint &pt)
            << ", \"total_pct\": " << b.totalPct << "}";
         first = false;
     }
-    os << "}}";
+    os << "}";
+    os << ",\n     \"stats\": ";
+    writeSchemeJson(os, pt.statsJson);
+    os << ",\n     \"events\": ";
+    writeSchemeJson(os, pt.eventsJson);
+    os << "}";
 }
 
 void
@@ -149,6 +173,10 @@ writeWhisperRow(std::ostream &os, const WhisperRow &row)
        << ", \"overhead_domain_virt_pct\": "
        << row.overheadDomainVirtPct << ",\n     \"total_cycles\": ";
     writeSchemeCycles(os, row.totalCycles);
+    os << ",\n     \"stats\": ";
+    writeSchemeJson(os, row.statsJson);
+    os << ",\n     \"events\": ";
+    writeSchemeJson(os, row.eventsJson);
     os << "}";
 }
 

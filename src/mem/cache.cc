@@ -10,6 +10,7 @@ Cache::Cache(stats::Group *parent, const CacheParams &params)
     : stats::Group(parent, params.name),
       hits(this, "hits", "accesses that hit"),
       misses(this, "misses", "accesses that missed"),
+      evictions(this, "evictions", "valid lines displaced by fills"),
       writebacks(this, "writebacks", "dirty lines evicted"),
       invalidations(this, "invalidations", "lines invalidated"),
       missRate(this, "miss_rate", "misses / accesses",
@@ -84,6 +85,8 @@ Cache::access(Addr addr, AccessType type)
     ++misses;
     const unsigned victim = victimWay(set);
     Line &line = set.ways[victim];
+    if (line.valid)
+        ++evictions;
     const bool wb = line.valid && line.dirty;
     if (wb)
         ++writebacks;

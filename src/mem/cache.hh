@@ -76,6 +76,7 @@ class Cache : public stats::Group
     // Stats (public so formulas above can reference them).
     stats::Scalar hits;
     stats::Scalar misses;
+    stats::Scalar evictions; ///< Valid lines displaced by a fill.
     stats::Scalar writebacks;
     stats::Scalar invalidations;
     stats::Formula missRate;

@@ -1,0 +1,330 @@
+#include "stats/export.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace pmodv::stats
+{
+
+namespace
+{
+
+/**
+ * Deterministic number formatting shared by the JSON and CSV
+ * exporters: integers print without a fraction, everything else with
+ * 17 significant digits (enough to round-trip a double exactly).
+ * Non-finite values become 0 so a document can never fail to parse.
+ */
+std::string
+formatNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    if (value == std::nearbyint(value) &&
+        std::fabs(value) < 9007199254740992.0) { // 2^53
+        std::ostringstream os;
+        os << static_cast<long long>(value);
+        return os.str();
+    }
+    std::ostringstream os;
+    os << std::setprecision(17) << value;
+    return os.str();
+}
+
+/** Minimal JSON string escaping (stat names are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- text
+
+void
+TextVisitor::line(const std::string &full_name, double value,
+                  const std::string &desc)
+{
+    os_ << std::left << std::setw(48) << full_name << " "
+        << std::setw(16) << value << " # " << desc << "\n";
+}
+
+void
+TextVisitor::beginGroup(const Group &group)
+{
+    const std::string &parent =
+        prefixes_.empty() ? std::string() : prefixes_.back();
+    prefixes_.push_back(group.groupName().empty()
+                            ? parent
+                            : parent + group.groupName() + ".");
+}
+
+void
+TextVisitor::endGroup(const Group &)
+{
+    prefixes_.pop_back();
+}
+
+void
+TextVisitor::visitScalar(const Scalar &stat)
+{
+    line(prefixes_.back() + stat.name(), stat.value(), stat.desc());
+}
+
+void
+TextVisitor::visitVector(const Vector &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    for (std::size_t i = 0; i < stat.size(); ++i)
+        line(base + "::" + stat.subname(i), stat.at(i), stat.desc());
+    line(base + "::total", stat.total(), stat.desc());
+}
+
+void
+TextVisitor::visitHistogram(const Histogram &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    line(base + "::samples", static_cast<double>(stat.samples()),
+         stat.desc());
+    line(base + "::mean", stat.mean(), stat.desc());
+    line(base + "::min", static_cast<double>(stat.min()), stat.desc());
+    line(base + "::max", static_cast<double>(stat.max()), stat.desc());
+    for (std::size_t i = 0; i < stat.numBuckets(); ++i) {
+        if (stat.bucket(i) == 0)
+            continue;
+        line(base + "::" + stat.bucketLabel(i),
+             static_cast<double>(stat.bucket(i)), stat.desc());
+    }
+}
+
+void
+TextVisitor::visitFormula(const Formula &stat)
+{
+    line(prefixes_.back() + stat.name(), stat.value(), stat.desc());
+}
+
+// ------------------------------------------------------------- json
+
+void
+JsonVisitor::key(const std::string &name)
+{
+    if (first_.back())
+        first_.back() = false;
+    else
+        os_ << ",";
+    os_ << '"' << jsonEscape(name) << "\":";
+}
+
+void
+JsonVisitor::number(double value)
+{
+    os_ << formatNumber(value);
+}
+
+void
+JsonVisitor::beginGroup(const Group &group)
+{
+    if (depth_ == 0) {
+        os_ << "{";
+        first_.push_back(true);
+    } else if (group.groupName().empty()) {
+        // An unnamed child merges into its parent's object, exactly
+        // like the text dump folds unnamed groups into the prefix.
+        merged_.push_back(depth_);
+    } else {
+        key(group.groupName());
+        os_ << "{";
+        first_.push_back(true);
+    }
+    ++depth_;
+}
+
+void
+JsonVisitor::endGroup(const Group &)
+{
+    --depth_;
+    if (!merged_.empty() && merged_.back() == depth_) {
+        merged_.pop_back();
+        return;
+    }
+    os_ << "}";
+    first_.pop_back();
+}
+
+void
+JsonVisitor::visitScalar(const Scalar &stat)
+{
+    key(stat.name());
+    number(stat.value());
+}
+
+void
+JsonVisitor::visitVector(const Vector &stat)
+{
+    key(stat.name());
+    os_ << "{";
+    first_.push_back(true);
+    for (std::size_t i = 0; i < stat.size(); ++i) {
+        key(stat.subname(i));
+        number(stat.at(i));
+    }
+    key("total");
+    number(stat.total());
+    first_.pop_back();
+    os_ << "}";
+}
+
+void
+JsonVisitor::visitHistogram(const Histogram &stat)
+{
+    key(stat.name());
+    os_ << "{";
+    first_.push_back(true);
+    key("samples");
+    number(static_cast<double>(stat.samples()));
+    key("mean");
+    number(stat.mean());
+    key("min");
+    number(static_cast<double>(stat.min()));
+    key("max");
+    number(static_cast<double>(stat.max()));
+    key("buckets");
+    os_ << "[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < stat.numBuckets(); ++i) {
+        if (stat.bucket(i) == 0)
+            continue;
+        // Edges are numeric (not the text label) so documents stay
+        // free of brackets-inside-strings; the same bucketLow/High
+        // pair also builds the text label, keeping the two in sync.
+        os_ << (first_bucket ? "" : ",") << "{\"lo\":"
+            << stat.bucketLow(i);
+        if (!stat.bucketUnbounded(i))
+            os_ << ",\"hi\":" << stat.bucketHigh(i);
+        os_ << ",\"count\":"
+            << formatNumber(static_cast<double>(stat.bucket(i))) << "}";
+        first_bucket = false;
+    }
+    os_ << "]";
+    first_.pop_back();
+    os_ << "}";
+}
+
+void
+JsonVisitor::visitFormula(const Formula &stat)
+{
+    key(stat.name());
+    number(stat.value());
+}
+
+// -------------------------------------------------------------- csv
+
+CsvVisitor::CsvVisitor(std::ostream &os) : os_(os)
+{
+    os_ << "stat,value\n";
+}
+
+void
+CsvVisitor::row(const std::string &name, double value)
+{
+    if (name.find(',') != std::string::npos)
+        os_ << '"' << name << '"';
+    else
+        os_ << name;
+    os_ << ',' << formatNumber(value) << "\n";
+}
+
+void
+CsvVisitor::beginGroup(const Group &group)
+{
+    const std::string &parent =
+        prefixes_.empty() ? std::string() : prefixes_.back();
+    prefixes_.push_back(group.groupName().empty()
+                            ? parent
+                            : parent + group.groupName() + ".");
+}
+
+void
+CsvVisitor::endGroup(const Group &)
+{
+    prefixes_.pop_back();
+}
+
+void
+CsvVisitor::visitScalar(const Scalar &stat)
+{
+    row(prefixes_.back() + stat.name(), stat.value());
+}
+
+void
+CsvVisitor::visitVector(const Vector &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    for (std::size_t i = 0; i < stat.size(); ++i)
+        row(base + "::" + stat.subname(i), stat.at(i));
+    row(base + "::total", stat.total());
+}
+
+void
+CsvVisitor::visitHistogram(const Histogram &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    row(base + "::samples", static_cast<double>(stat.samples()));
+    row(base + "::mean", stat.mean());
+    row(base + "::min", static_cast<double>(stat.min()));
+    row(base + "::max", static_cast<double>(stat.max()));
+    for (std::size_t i = 0; i < stat.numBuckets(); ++i) {
+        if (stat.bucket(i) == 0)
+            continue;
+        row(base + "::" + stat.bucketLabel(i),
+            static_cast<double>(stat.bucket(i)));
+    }
+}
+
+void
+CsvVisitor::visitFormula(const Formula &stat)
+{
+    row(prefixes_.back() + stat.name(), stat.value());
+}
+
+// ------------------------------------------------------- entry points
+
+void
+dumpText(std::ostream &os, const Group &group)
+{
+    TextVisitor visitor(os);
+    group.accept(visitor);
+}
+
+void
+dumpJson(std::ostream &os, const Group &group)
+{
+    JsonVisitor visitor(os);
+    group.accept(visitor);
+}
+
+void
+dumpCsv(std::ostream &os, const Group &group)
+{
+    CsvVisitor visitor(os);
+    group.accept(visitor);
+}
+
+std::string
+toJsonString(const Group &group)
+{
+    std::ostringstream os;
+    dumpJson(os, group);
+    return os.str();
+}
+
+} // namespace pmodv::stats

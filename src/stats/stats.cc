@@ -1,10 +1,10 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
-#include <iomanip>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "stats/export.hh"
 
 namespace pmodv::stats
 {
@@ -17,25 +17,6 @@ StatBase::StatBase(Group *parent, std::string name, std::string desc)
     parent->registerStat(this);
 }
 
-namespace
-{
-
-void
-printLine(std::ostream &os, const std::string &full_name, double value,
-          const std::string &desc)
-{
-    os << std::left << std::setw(48) << full_name << " " << std::setw(16)
-       << value << " # " << desc << "\n";
-}
-
-} // namespace
-
-void
-Scalar::print(std::ostream &os, const std::string &prefix) const
-{
-    printLine(os, prefix + name(), value_, desc());
-}
-
 double
 Vector::total() const
 {
@@ -43,17 +24,6 @@ Vector::total() const
     for (double v : values_)
         t += v;
     return t;
-}
-
-void
-Vector::print(std::ostream &os, const std::string &prefix) const
-{
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-        std::string sub = i < subnames_.size() ? subnames_[i]
-                                               : std::to_string(i);
-        printLine(os, prefix + name() + "::" + sub, values_[i], desc());
-    }
-    printLine(os, prefix + name() + "::total", total(), desc());
 }
 
 void
@@ -75,16 +45,15 @@ Histogram::mean() const
     return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
 }
 
-void
-Histogram::print(std::ostream &os, const std::string &prefix) const
+std::string
+Histogram::bucketLabel(std::size_t i) const
 {
-    printLine(os, prefix + name() + "::samples",
-              static_cast<double>(samples_), desc());
-    printLine(os, prefix + name() + "::mean", mean(), desc());
-    printLine(os, prefix + name() + "::min",
-              static_cast<double>(min()), desc());
-    printLine(os, prefix + name() + "::max",
-              static_cast<double>(max_), desc());
+    // The overflow bucket's upper edge does not exist; ">=" avoids
+    // ever printing a bound that the exporters could disagree on.
+    if (bucketUnbounded(i))
+        return ">=" + std::to_string(bucketLow(i));
+    return "[" + std::to_string(bucketLow(i)) + "," +
+           std::to_string(bucketHigh(i)) + ")";
 }
 
 void
@@ -95,12 +64,6 @@ Histogram::reset()
     sum_ = 0;
     min_ = ~std::uint64_t{0};
     max_ = 0;
-}
-
-void
-Formula::print(std::ostream &os, const std::string &prefix) const
-{
-    printLine(os, prefix + name(), value(), desc());
 }
 
 Group::Group(Group *parent, std::string name)
@@ -150,22 +113,20 @@ Group::unregisterChild(Group *child)
 }
 
 void
-Group::dump(std::ostream &os) const
+Group::accept(Visitor &visitor) const
 {
-    std::string prefix = name_.empty() ? "" : name_ + ".";
-    dumpWithPrefix(os, prefix);
+    visitor.beginGroup(*this);
+    for (const StatBase *s : stats_)
+        s->accept(visitor);
+    for (const Group *c : children_)
+        c->accept(visitor);
+    visitor.endGroup(*this);
 }
 
 void
-Group::dumpWithPrefix(std::ostream &os, const std::string &prefix) const
+Group::dump(std::ostream &os) const
 {
-    for (const StatBase *s : stats_)
-        s->print(os, prefix);
-    for (const Group *c : children_) {
-        std::string child_prefix =
-            c->name_.empty() ? prefix : prefix + c->name_ + ".";
-        c->dumpWithPrefix(os, child_prefix);
-    }
+    dumpText(os, *this);
 }
 
 void

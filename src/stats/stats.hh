@@ -6,6 +6,11 @@
  * register themselves with the group at construction. Groups nest, so
  * a whole system can be dumped with one call. Scalar, Vector,
  * Histogram and Formula statistics are provided.
+ *
+ * Output goes through the Visitor interface (see stats/export.hh for
+ * the text/JSON/CSV exporters): a visitor walks the group tree in
+ * registration order, which is construction order and therefore
+ * deterministic across runs and worker counts.
  */
 
 #ifndef PMODV_STATS_STATS_HH
@@ -13,8 +18,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <ostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,29 @@ namespace pmodv::stats
 {
 
 class Group;
+class Scalar;
+class Vector;
+class Histogram;
+class Formula;
+
+/**
+ * Traversal interface over a stats tree. beginGroup/endGroup bracket
+ * each Group (the root included); between them the group's own
+ * statistics are visited first, then its children, both in
+ * registration order.
+ */
+class Visitor
+{
+  public:
+    virtual ~Visitor() = default;
+
+    virtual void beginGroup(const Group &group) = 0;
+    virtual void endGroup(const Group &group) = 0;
+    virtual void visitScalar(const Scalar &stat) = 0;
+    virtual void visitVector(const Vector &stat) = 0;
+    virtual void visitHistogram(const Histogram &stat) = 0;
+    virtual void visitFormula(const Formula &stat) = 0;
+};
 
 /** Base class for all statistics; handles naming and registration. */
 class StatBase
@@ -36,9 +63,8 @@ class StatBase
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
-    /** Write "fullName value # desc" lines to @p os. */
-    virtual void print(std::ostream &os,
-                       const std::string &prefix) const = 0;
+    /** Double-dispatch into @p visitor. */
+    virtual void accept(Visitor &visitor) const = 0;
 
     /** Reset the statistic to its initial value. */
     virtual void reset() = 0;
@@ -79,7 +105,10 @@ class Scalar : public StatBase
 
     double value() const { return value_; }
 
-    void print(std::ostream &os, const std::string &prefix) const override;
+    void accept(Visitor &visitor) const override
+    {
+        visitor.visitScalar(*this);
+    }
     void reset() override { value_ = 0; }
 
   private:
@@ -104,6 +133,12 @@ class Vector : public StatBase
         subnames_ = std::move(names);
     }
 
+    /** The display name of bucket @p i (its index when unnamed). */
+    std::string subname(std::size_t i) const
+    {
+        return i < subnames_.size() ? subnames_[i] : std::to_string(i);
+    }
+
     double &operator[](std::size_t i) { return values_.at(i); }
     double at(std::size_t i) const { return values_.at(i); }
     std::size_t size() const { return values_.size(); }
@@ -111,7 +146,10 @@ class Vector : public StatBase
     /** Sum over all buckets. */
     double total() const;
 
-    void print(std::ostream &os, const std::string &prefix) const override;
+    void accept(Visitor &visitor) const override
+    {
+        visitor.visitVector(*this);
+    }
     void reset() override { values_.assign(values_.size(), 0.0); }
 
   private:
@@ -119,7 +157,14 @@ class Vector : public StatBase
     std::vector<std::string> subnames_;
 };
 
-/** A log2-bucketed histogram of sampled values. */
+/**
+ * A log2-bucketed histogram of sampled values. Bucket 0 holds the
+ * value 0; bucket i >= 1 holds [2^(i-1), 2^i); the last bucket is
+ * open-ended and absorbs everything at or above its lower edge.
+ * bucketLow()/bucketLabel() are the single source of truth for the
+ * edges — every exporter (text, JSON, CSV) formats buckets through
+ * them, so the dumps agree by construction.
+ */
 class Histogram : public StatBase
 {
   public:
@@ -138,8 +183,34 @@ class Histogram : public StatBase
     std::uint64_t min() const { return samples_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
 
-    void print(std::ostream &os, const std::string &prefix) const override;
+    /** Inclusive lower edge of bucket @p i. */
+    std::uint64_t bucketLow(std::size_t i) const
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Exclusive upper edge of bucket @p i (undefined for the last,
+     *  open-ended bucket; check bucketUnbounded() first). */
+    std::uint64_t bucketHigh(std::size_t i) const
+    {
+        return std::uint64_t{1} << i;
+    }
+
+    /** True for the open-ended overflow bucket. */
+    bool bucketUnbounded(std::size_t i) const
+    {
+        return i + 1 == buckets_.size();
+    }
+
+    /** Canonical edge label: "[lo,hi)", or ">=lo" for the last. */
+    std::string bucketLabel(std::size_t i) const;
+
+    void accept(Visitor &visitor) const override
+    {
+        visitor.visitHistogram(*this);
+    }
     void reset() override;
 
   private:
@@ -163,7 +234,10 @@ class Formula : public StatBase
 
     double value() const { return fn_ ? fn_() : 0.0; }
 
-    void print(std::ostream &os, const std::string &prefix) const override;
+    void accept(Visitor &visitor) const override
+    {
+        visitor.visitFormula(*this);
+    }
     void reset() override {}
 
   private:
@@ -189,7 +263,10 @@ class Group
     /** Full dotted path from the root group. */
     std::string fullPath() const;
 
-    /** Dump this group and all children to @p os. */
+    /** Walk this group, its stats and its children with @p visitor. */
+    void accept(Visitor &visitor) const;
+
+    /** Dump this group and all children as text to @p os. */
     void dump(std::ostream &os) const;
 
     /** Reset all statistics in this group and children. */
@@ -204,7 +281,6 @@ class Group
     void unregisterChild(Group *child);
 
   private:
-    void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
     const StatBase *findStat(const std::string &dotted_path) const;
 
     Group *parent_;

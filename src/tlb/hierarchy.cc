@@ -10,6 +10,8 @@ TlbHierarchy::TlbHierarchy(stats::Group *parent,
                            const AddressSpace &space)
     : stats::Group(parent, "dtlb"),
       walks(this, "walks", "page table walks performed"),
+      missLatency(this, "miss_latency",
+                  "translation cycles added per L1 TLB miss"),
       params_(params), space_(space), fillPolicy_(&defaultPolicy_)
 {
     l1_ = std::make_unique<Tlb>(this, params_.l1);
@@ -32,6 +34,7 @@ TlbHierarchy::translate(ThreadId tid, Addr va)
         // Promote into L1.
         res.entry = &l1_->insert(*e);
         res.l2Hit = true;
+        missLatency.sample(res.latency);
         return res;
     }
 
@@ -63,6 +66,7 @@ TlbHierarchy::translate(ThreadId tid, Addr va)
 
     l2_->insert(entry);
     res.entry = &l1_->insert(entry);
+    missLatency.sample(res.latency + res.fillExtra);
     return res;
 }
 

@@ -107,6 +107,7 @@ class TlbHierarchy : public stats::Group
     const TlbHierarchyParams &params() const { return params_; }
 
     stats::Scalar walks;
+    stats::Histogram missLatency; ///< Cycles added per L1 miss.
 
   private:
     TlbHierarchyParams params_;

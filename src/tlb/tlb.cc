@@ -10,6 +10,8 @@ Tlb::Tlb(stats::Group *parent, const TlbParams &params)
     : stats::Group(parent, params.name),
       hits(this, "hits", "translations that hit"),
       misses(this, "misses", "translations that missed"),
+      evictions(this, "evictions",
+                "valid entries displaced by capacity replacement"),
       flushedEntries(this, "flushed_entries",
                      "entries dropped by invalidations"),
       missRate(this, "miss_rate", "misses / lookups",
@@ -89,8 +91,11 @@ Tlb::insert(const TlbEntry &entry)
         if (victim == params_.assoc && !e.valid)
             victim = w;
     }
-    if (victim == params_.assoc)
+    if (victim == params_.assoc) {
         victim = set.plru->victim();
+        if (set.ways[victim].valid)
+            ++evictions;
+    }
     set.ways[victim] = entry;
     set.ways[victim].valid = true;
     set.plru->touch(victim);

@@ -91,6 +91,7 @@ class Tlb : public stats::Group
 
     stats::Scalar hits;
     stats::Scalar misses;
+    stats::Scalar evictions; ///< Valid entries displaced by capacity.
     stats::Scalar flushedEntries;
     stats::Formula missRate;
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the bounded event-trace ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/event_ring.hh"
+
+namespace pmodv::trace
+{
+namespace
+{
+
+TEST(EventRing, PostAndSnapshotOldestFirst)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 4u);
+
+    ring.post(EventKind::KeyEviction, 1, 10, 100);
+    ring.post(EventKind::Shootdown, 2, 20, 200);
+    ASSERT_EQ(ring.size(), 2u);
+
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, EventKind::KeyEviction);
+    EXPECT_EQ(events[0].tid, 1u);
+    EXPECT_EQ(events[0].arg, 10u);
+    EXPECT_EQ(events[0].value, 100u);
+    EXPECT_EQ(events[1].kind, EventKind::Shootdown);
+    EXPECT_DOUBLE_EQ(ring.recorded.value(), 2.0);
+    EXPECT_DOUBLE_EQ(ring.dropped.value(), 0.0);
+}
+
+TEST(EventRing, OverwritesOldestWhenFull)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 3);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        ring.post(EventKind::TxnCommit, 0, i);
+
+    ASSERT_EQ(ring.size(), 3u); // Bounded: never grows past capacity.
+    const auto events = ring.snapshot();
+    EXPECT_EQ(events[0].arg, 2u); // The two oldest were overwritten.
+    EXPECT_EQ(events[1].arg, 3u);
+    EXPECT_EQ(events[2].arg, 4u);
+    EXPECT_DOUBLE_EQ(ring.recorded.value(), 5.0);
+    EXPECT_DOUBLE_EQ(ring.dropped.value(), 2.0);
+}
+
+TEST(EventRing, DrainEmptiesButKeepsStats)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 4);
+    ring.post(EventKind::PtlbRefill, 0);
+    ring.post(EventKind::DttlbRefill, 0);
+
+    const auto drained = ring.drain();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_DOUBLE_EQ(ring.recorded.value(), 2.0);
+
+    // The ring keeps working after a drain.
+    ring.post(EventKind::Shootdown, 3);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.snapshot()[0].kind, EventKind::Shootdown);
+}
+
+TEST(EventRing, StampsCyclesFromBoundClock)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 4);
+    ring.post(EventKind::TxnCommit, 0); // Unbound: stamps 0.
+
+    Cycles clock = 42;
+    ring.bindClock(&clock);
+    ring.post(EventKind::TxnCommit, 0);
+    clock = 99;
+    ring.post(EventKind::TxnCommit, 0);
+
+    const auto events = ring.snapshot();
+    EXPECT_EQ(events[0].cycle, 0u);
+    EXPECT_EQ(events[1].cycle, 42u);
+    EXPECT_EQ(events[2].cycle, 99u);
+}
+
+TEST(EventRing, AppearsInOwnersStatsTree)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 4);
+    ring.post(EventKind::KeyEviction, 0);
+    EXPECT_DOUBLE_EQ(root.lookup("events.recorded"), 1.0);
+    EXPECT_DOUBLE_EQ(root.lookup("events.dropped"), 0.0);
+}
+
+TEST(EventRing, KindNamesAreStable)
+{
+    EXPECT_STREQ(eventKindName(EventKind::KeyEviction), "key_eviction");
+    EXPECT_STREQ(eventKindName(EventKind::Shootdown), "shootdown");
+    EXPECT_STREQ(eventKindName(EventKind::PtlbRefill), "ptlb_refill");
+    EXPECT_STREQ(eventKindName(EventKind::DttlbRefill), "dttlb_refill");
+    EXPECT_STREQ(eventKindName(EventKind::TxnCommit), "txn_commit");
+}
+
+} // namespace
+} // namespace pmodv::trace

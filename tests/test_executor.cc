@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/thread_pool.hh"
@@ -96,6 +97,11 @@ TEST(Executor, JobCountDoesNotChangeAnyRow)
                          rows4[i].switchesPerSec);
         EXPECT_DOUBLE_EQ(rows1[i].lowerboundOverheadPct,
                          rows4[i].lowerboundOverheadPct);
+        // The embedded observability payloads are byte-identical too:
+        // the full stats tree and the event ring must not depend on
+        // the worker count.
+        EXPECT_EQ(rows1[i].statsJson, rows4[i].statsJson);
+        EXPECT_EQ(rows1[i].eventsJson, rows4[i].eventsJson);
     }
 }
 
@@ -119,6 +125,8 @@ TEST(Executor, WhisperDeterministicAcrossJobCounts)
     EXPECT_DOUBLE_EQ(row1.overheadDomainVirtPct,
                      row4.overheadDomainVirtPct);
     EXPECT_GT(row1.totalCycles.at(SchemeKind::NoProtection), 0u);
+    EXPECT_EQ(row1.statsJson, row4.statsJson);
+    EXPECT_EQ(row1.eventsJson, row4.eventsJson);
 }
 
 TEST(Executor, RawReplayMatchesMultiReplay)
@@ -223,9 +231,42 @@ TEST(ExperimentSuite, JsonReportIsWellFormed)
     EXPECT_NE(json.find("\"benchmark\": \"avl\""), std::string::npos);
     EXPECT_NE(json.find("\"total_cycles\""), std::string::npos);
     EXPECT_NE(json.find("\"overhead_pct\""), std::string::npos);
+    // The embedded per-scheme stats tree and event ring.
+    EXPECT_NE(json.find("\"stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"events\""), std::string::npos);
+    EXPECT_NE(json.find("\"cyc_mem\""), std::string::npos);
+    EXPECT_NE(json.find("\"cyc_issue\""), std::string::npos);
+    EXPECT_NE(json.find("\"dtlb\""), std::string::npos);
+    EXPECT_NE(json.find("\"dcache\""), std::string::npos);
+    EXPECT_NE(json.find("\"recorded\""), std::string::npos);
     // No NaN/inf can sneak into a JSON document.
     EXPECT_EQ(json.find("nan"), std::string::npos);
     EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Executor, StatsAttributionSumsToTotalCycles)
+{
+    common::ThreadPool pool(2);
+    const MicroPoint pt = Executor(pool).runMicro(avlSpec(64));
+    for (const auto &[kind, json] : pt.statsJson) {
+        // Extract a top-level scalar from the compact JSON payload.
+        const auto grab = [&json](const std::string &key) {
+            const std::string needle = "\"" + key + "\":";
+            const auto pos = json.find(needle);
+            EXPECT_NE(pos, std::string::npos) << key;
+            return std::strtod(json.c_str() + pos + needle.size(),
+                               nullptr);
+        };
+        const double total = grab("cycles");
+        const double sum = grab("cyc_issue") + grab("cyc_mem") +
+                           grab("cyc_prot_fill") +
+                           grab("cyc_prot_check") +
+                           grab("cyc_perm_instr") + grab("cyc_syscall") +
+                           grab("cyc_ctx_switch");
+        EXPECT_DOUBLE_EQ(sum, total) << arch::schemeName(kind);
+        EXPECT_EQ(static_cast<Cycles>(total), pt.totalCycles.at(kind))
+            << arch::schemeName(kind);
+    }
 }
 
 TEST(ExperimentSuite, EmptySuiteRunsToCompletion)

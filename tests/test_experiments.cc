@@ -7,13 +7,8 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/experiments.hh"
-
-// This file deliberately exercises the deprecated runWhisper /
-// runMicroPoint shims: they must keep compiling and keep returning
-// the same rows as the exp::Executor they now wrap (test_executor.cc
-// covers the new API directly).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "common/thread_pool.hh"
+#include "exp/executor.hh"
 
 namespace pmodv::exp
 {
@@ -21,6 +16,36 @@ namespace
 {
 
 using arch::SchemeKind;
+
+// Local spec-building conveniences over the Executor API; the test
+// bodies below read like the experiments they model.
+MicroPoint
+runMicroPoint(const std::string &bench,
+              const workloads::MicroParams &mparams,
+              const core::SimConfig &config,
+              const std::vector<SchemeKind> &schemes)
+{
+    MicroPointSpec spec;
+    spec.benchmark = bench;
+    spec.params = mparams;
+    spec.config = config;
+    spec.schemes = schemes;
+    common::ThreadPool pool(2);
+    return Executor(pool).runMicro(spec);
+}
+
+WhisperRow
+runWhisper(const std::string &name,
+           const workloads::WhisperParams &wparams,
+           const core::SimConfig &config)
+{
+    WhisperPointSpec spec;
+    spec.benchmark = name;
+    spec.params = wparams;
+    spec.config = config;
+    common::ThreadPool pool(2);
+    return Executor(pool).runWhisper(spec);
+}
 
 workloads::MicroParams
 sweepParams(unsigned pmos)

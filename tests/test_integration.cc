@@ -11,7 +11,7 @@
 #include <filesystem>
 
 #include "core/replay.hh"
-#include "exp/experiments.hh"
+#include "exp/executor.hh"
 #include "pmo/api.hh"
 #include "pmo/txn.hh"
 #include "trace/trace_file.hh"

@@ -59,12 +59,12 @@ TEST(LibMpk, EvictionCostScalesWithVictimSize)
         h.attach(i + 1, pmoBase(i), kSize);
         h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
     }
-    EXPECT_DOUBLE_EQ(lib.evictions.value(), 0.0);
+    EXPECT_DOUBLE_EQ(lib.keyEvictions.value(), 0.0);
 
     // The 16th mapping evicts: cost includes 2048 PTE patches.
     h.attach(16, pmoBase(16), kSize);
     const Cycles cost = h.scheme().setPerm(0, 16, Perm::ReadWrite);
-    EXPECT_DOUBLE_EQ(lib.evictions.value(), 1.0);
+    EXPECT_DOUBLE_EQ(lib.keyEvictions.value(), 1.0);
     const std::uint64_t pages = kSize / 4096;
     EXPECT_GE(cost, params.libmpkSyscallCycles +
                         params.libmpkPtePatchCycles * pages +

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
+#include "stats/export.hh"
 #include "stats/stats.hh"
 
 namespace pmodv::stats
@@ -158,6 +162,189 @@ TEST(Group, ChildDestructionUnregisters)
     std::ostringstream os;
     root.dump(os);
     EXPECT_EQ(os.str().find("ephemeral"), std::string::npos);
+}
+
+TEST(Histogram, BucketEdgeHelpers)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "hist", "");
+    // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+    EXPECT_EQ(h.bucketLow(0), 0u);
+    EXPECT_EQ(h.bucketHigh(0), 1u);
+    EXPECT_EQ(h.bucketLow(1), 1u);
+    EXPECT_EQ(h.bucketHigh(1), 2u);
+    EXPECT_EQ(h.bucketLow(2), 2u);
+    EXPECT_EQ(h.bucketHigh(2), 4u);
+    EXPECT_EQ(h.bucketLabel(0), "[0,1)");
+    EXPECT_EQ(h.bucketLabel(2), "[2,4)");
+    // The last bucket is open-ended and labelled without brackets (so
+    // exported documents contain no unbalanced '[' and no "inf").
+    const std::size_t last = h.numBuckets() - 1;
+    EXPECT_TRUE(h.bucketUnbounded(last));
+    EXPECT_EQ(h.bucketLabel(last),
+              ">=" + std::to_string(h.bucketLow(last)));
+    EXPECT_FALSE(h.bucketUnbounded(0));
+}
+
+/** Records the traversal order a visitor sees. */
+class RecordingVisitor : public Visitor
+{
+  public:
+    std::vector<std::string> log;
+    void beginGroup(const Group &g) override
+    {
+        log.push_back("begin:" + g.groupName());
+    }
+    void endGroup(const Group &g) override
+    {
+        log.push_back("end:" + g.groupName());
+    }
+    void visitScalar(const Scalar &s) override
+    {
+        log.push_back("scalar:" + s.name());
+    }
+    void visitVector(const Vector &s) override
+    {
+        log.push_back("vector:" + s.name());
+    }
+    void visitHistogram(const Histogram &s) override
+    {
+        log.push_back("hist:" + s.name());
+    }
+    void visitFormula(const Formula &s) override
+    {
+        log.push_back("formula:" + s.name());
+    }
+};
+
+TEST(Visitor, TraversalIsRegistrationOrderStatsBeforeChildren)
+{
+    Group root(nullptr, "sys");
+    Scalar a(&root, "a", "");
+    Group child(&root, "cpu");
+    Scalar b(&child, "b", "");
+    Scalar c(&root, "c", ""); // Registered after the child group.
+
+    RecordingVisitor v;
+    root.accept(v);
+    const std::vector<std::string> expected{
+        "begin:sys", "scalar:a", "scalar:c",
+        "begin:cpu", "scalar:b", "end:cpu", "end:sys"};
+    EXPECT_EQ(v.log, expected);
+}
+
+/** A small tree exercising every stat kind. */
+struct SampleTree
+{
+    Group root{nullptr, "sys"};
+    Scalar cycles{&root, "cycles", "total"};
+    Formula half{&root, "half", "cycles/2",
+                 [this]() { return cycles.value() / 2.0; }};
+    Group cpu{&root, "cpu"};
+    Vector ops{&cpu, "ops", "per kind", 2};
+    Histogram lat{&cpu, "lat", "latency"};
+
+    SampleTree()
+    {
+        cycles = 10;
+        ops[0] = 3;
+        ops[1] = 4;
+        lat.sample(0);
+        lat.sample(3);
+        lat.sample(300);
+    }
+};
+
+TEST(Export, JsonIsBalancedDeterministicAndFinite)
+{
+    SampleTree t;
+    const std::string json = toJsonString(t.root);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"half\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"cpu\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"total\":7"), std::string::npos);
+    // Dumping twice yields the identical byte string.
+    EXPECT_EQ(json, toJsonString(t.root));
+}
+
+TEST(Export, JsonRoundTripsNonIntegralValues)
+{
+    Group root(nullptr, "sys");
+    Scalar s(&root, "pi", "");
+    s = 3.14159265358979312;
+    const std::string json = toJsonString(root);
+    const auto pos = json.find("\"pi\":");
+    ASSERT_NE(pos, std::string::npos);
+    const double parsed = std::strtod(json.c_str() + pos + 5, nullptr);
+    EXPECT_DOUBLE_EQ(parsed, s.value()); // Bit-exact round trip.
+}
+
+TEST(Export, TextAndJsonAgreeOnBucketEdges)
+{
+    SampleTree t;
+    std::ostringstream os;
+    dumpText(os, t.root);
+    const std::string text = os.str();
+    const std::string json = toJsonString(t.root);
+    for (std::size_t i = 0; i < t.lat.numBuckets(); ++i) {
+        if (t.lat.bucket(i) == 0)
+            continue;
+        // The text label and the JSON edges come from the same
+        // bucketLow/High pair.
+        EXPECT_NE(text.find("lat::" + t.lat.bucketLabel(i)),
+                  std::string::npos);
+        std::string edge =
+            "{\"lo\":" + std::to_string(t.lat.bucketLow(i));
+        if (!t.lat.bucketUnbounded(i))
+            edge += ",\"hi\":" + std::to_string(t.lat.bucketHigh(i));
+        EXPECT_NE(json.find(edge), std::string::npos) << edge;
+    }
+}
+
+TEST(Export, TextMatchesLegacyDump)
+{
+    SampleTree t;
+    std::ostringstream via_dump, via_visitor;
+    t.root.dump(via_dump);
+    dumpText(via_visitor, t.root);
+    EXPECT_EQ(via_dump.str(), via_visitor.str());
+    EXPECT_NE(via_dump.str().find("sys.cycles"), std::string::npos);
+    EXPECT_NE(via_dump.str().find("sys.cpu.ops::total"),
+              std::string::npos);
+}
+
+TEST(Export, CsvListsEveryLeaf)
+{
+    SampleTree t;
+    std::ostringstream os;
+    dumpCsv(os, t.root);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("stat,value\n", 0), 0u);
+    EXPECT_NE(csv.find("sys.cycles,10"), std::string::npos);
+    EXPECT_NE(csv.find("sys.cpu.ops::total,7"), std::string::npos);
+    EXPECT_NE(csv.find("sys.cpu.lat::samples,3"), std::string::npos);
+    // Bucket labels contain a comma, so those names must be quoted.
+    EXPECT_NE(csv.find("\"sys.cpu.lat::[0,1)\",1"), std::string::npos);
+}
+
+TEST(Export, UnnamedChildGroupMergesIntoParentObject)
+{
+    Group root(nullptr, "sys");
+    Group unnamed(&root, "");
+    Scalar inner(&unnamed, "x", "");
+    inner = 7;
+    const std::string json = toJsonString(root);
+    EXPECT_NE(json.find("\"x\":7"), std::string::npos);
+    EXPECT_EQ(json.find("\"\":"), std::string::npos);
+    std::ostringstream os;
+    dumpText(os, root);
+    EXPECT_NE(os.str().find("sys.x"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate the stats trees embedded in a suite --json report.
+
+Checks, for every micro/whisper row and every scheme:
+
+  * the embedded stats tree has the expected shape: the System-level
+    counters and cycle-attribution scalars, the dtlb/dcache/events
+    child groups, and a child group named after the scheme;
+  * the seven cyc_* attribution buckets account for at least 95% of
+    the scheme's total cycles (the paper's Table VII methodology
+    requires the breakdown to explain where the time went — this
+    model attributes 100%);
+  * the stats tree's `cycles` equals the row's total_cycles entry;
+  * the event ring's `recorded` count is consistent with `dropped`.
+
+With --diff A B, additionally asserts that two reports are identical
+except for the run-environment fields (wall_seconds, jobs) — the
+cross---jobs determinism guarantee.
+
+Exit status 0 on success; prints offending paths and exits 1 on any
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SCALARS = [
+    "cycles",
+    "instructions",
+    "mem_accesses",
+    "operations",
+    "cyc_issue",
+    "cyc_mem",
+    "cyc_prot_fill",
+    "cyc_prot_check",
+    "cyc_perm_instr",
+    "cyc_syscall",
+    "cyc_ctx_switch",
+]
+
+ATTRIBUTION = [
+    "cyc_issue",
+    "cyc_mem",
+    "cyc_prot_fill",
+    "cyc_prot_check",
+    "cyc_perm_instr",
+    "cyc_syscall",
+    "cyc_ctx_switch",
+]
+
+REQUIRED_CHILDREN = ["dtlb", "dcache", "events"]
+
+# Fraction of total cycles the named attribution buckets must explain.
+MIN_ATTRIBUTED = 0.95
+
+errors = []
+
+
+def fail(path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_stats_tree(path, scheme, stats, expected_total):
+    for key in REQUIRED_SCALARS:
+        if key not in stats:
+            fail(path, f"missing scalar '{key}'")
+    for child in REQUIRED_CHILDREN:
+        if not isinstance(stats.get(child), dict):
+            fail(path, f"missing child group '{child}'")
+    # Every scheme's stats subtree is attached under its scheme name
+    # (NoProtection is named "none" etc. — same name as the JSON key).
+    if not isinstance(stats.get(scheme), dict):
+        fail(path, f"missing scheme child group '{scheme}'")
+
+    total = stats.get("cycles", 0)
+    if expected_total is not None and total != expected_total:
+        fail(path, f"stats cycles {total} != total_cycles "
+                   f"{expected_total}")
+    attributed = sum(stats.get(k, 0) for k in ATTRIBUTION)
+    if total > 0 and attributed < MIN_ATTRIBUTED * total:
+        fail(path, f"attribution {attributed} covers only "
+                   f"{attributed / total:.1%} of {total} cycles")
+
+    events = stats.get("events")
+    if isinstance(events, dict):
+        if events.get("dropped", 0) > events.get("recorded", 0):
+            fail(path, "event ring dropped more than it recorded")
+
+
+def check_row(path, row):
+    stats = row.get("stats")
+    if not isinstance(stats, dict) or not stats:
+        fail(path, "row has no embedded stats trees")
+        return
+    totals = row.get("total_cycles", {})
+    for scheme, tree in stats.items():
+        check_stats_tree(f"{path}.stats.{scheme}", scheme, tree,
+                         totals.get(scheme))
+    events = row.get("events")
+    if not isinstance(events, dict):
+        fail(path, "row has no embedded event arrays")
+        return
+    for scheme, ring in events.items():
+        if not isinstance(ring, list):
+            fail(f"{path}.events.{scheme}", "not a JSON array")
+
+
+def check_report(path, report):
+    rows = report.get("micro", []) + report.get("whisper", [])
+    if not rows:
+        fail(path, "report has no rows")
+    for i, row in enumerate(rows):
+        name = row.get("benchmark", f"#{i}")
+        check_row(f"{path}:{name}[{i}]", row)
+
+
+def strip_environment(report):
+    """Remove fields legitimately differing between runs."""
+    report = dict(report)
+    report.pop("wall_seconds", None)
+    report.pop("jobs", None)
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+",
+                        help="suite --json report file(s)")
+    parser.add_argument("--diff", action="store_true",
+                        help="require all reports identical modulo "
+                             "wall_seconds/jobs")
+    args = parser.parse_args()
+
+    parsed = []
+    for path in args.reports:
+        with open(path) as f:
+            report = json.load(f)
+        check_report(path, report)
+        parsed.append((path, report))
+
+    if args.diff:
+        if len(parsed) < 2:
+            print("--diff needs at least two reports", file=sys.stderr)
+            return 2
+        base_path, base = parsed[0]
+        base_stripped = strip_environment(base)
+        for path, report in parsed[1:]:
+            if strip_environment(report) != base_stripped:
+                fail(path, f"differs from {base_path} beyond "
+                           "wall_seconds/jobs")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    n = len(parsed)
+    print(f"ok: {n} report(s) validated" +
+          (", identical modulo run environment" if args.diff else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
