@@ -98,8 +98,14 @@ CheckResult
 DomainVirtScheme::checkAccess(const AccessContext &ctx)
 {
     const DomainId domain = ctx.entry->domain;
-    if (domain == kNullDomain)
-        return {}; // Domainless: no PTLB lookup, no extra latency.
+    if (domain == kNullDomain) {
+        // Domainless: no PTLB lookup, no extra latency — but the page
+        // permission still governs.
+        CheckResult res = judge(ctx, Perm::ReadWrite, 0);
+        if (!res.allowed)
+            ++protectionFaults;
+        return res;
+    }
 
     // The PTLB permission lookup adds latency to every domain access,
     // even when the data hits in the cache (paper §VI-A).
@@ -118,6 +124,12 @@ DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 {
     perm = permNormalizeHw(perm);
     Cycles cycles = chargeSetPerm();
+
+    // SETPERM on an unattached domain is a no-op (as in every other
+    // scheme): without this guard the PT/PTLB would accumulate
+    // phantom grants a later attach of the same id would inherit.
+    if (domains_.find(domain) == domains_.end())
+        return cycles;
 
     // The PTLB caches the *running* thread's permissions only; a
     // cross-thread permission update (an OS-assisted grant) goes

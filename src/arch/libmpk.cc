@@ -122,11 +122,13 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
     keyHolder_[key] = domain;
     touchKey(key);
     ++keyRemaps;
-    // The handler restores the thread's recorded permission for the
-    // incoming domain into PKRU.
-    auto perm_it = st.perms.find(tid);
-    pkrus_.forThread(tid).setPerm(
-        key, perm_it == st.perms.end() ? Perm::None : perm_it->second);
+    // The key changed hands: clear its bits in every thread's PKRU
+    // (the victim's grants must not leak to the incoming domain),
+    // then restore each thread's recorded permission for the new
+    // holder — libmpk has no context-switch hook to fix them lazily.
+    pkrus_.resetKey(key);
+    for (const auto &[t, p] : st.perms)
+        pkrus_.forThread(t).setPerm(key, p);
     return cycles;
 }
 
@@ -134,10 +136,11 @@ CheckResult
 LibMpkScheme::checkAccess(const AccessContext &ctx)
 {
     const ProtKey key = ctx.entry->key;
-    if (key == kNullKey)
-        return {};
-    touchKey(key);
-    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    Perm domain_perm = Perm::ReadWrite; // Domainless: page perm only.
+    if (key != kNullKey) {
+        touchKey(key);
+        domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    }
     CheckResult res = judge(ctx, domain_perm, 0);
     if (!res.allowed)
         ++protectionFaults;

@@ -37,9 +37,11 @@ CheckResult
 MpkScheme::checkAccess(const AccessContext &ctx)
 {
     const ProtKey key = ctx.entry->key;
-    if (key == kNullKey)
-        return {}; // Domainless access: page permission only.
-    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    // Domainless accesses skip the PKRU check but the page permission
+    // still governs (an exhausted-attach PMO keeps its PTE rights).
+    const Perm domain_perm =
+        key == kNullKey ? Perm::ReadWrite
+                        : pkrus_.forThread(ctx.tid).permFor(key);
     CheckResult res = judge(ctx, domain_perm, 0);
     if (!res.allowed)
         ++protectionFaults;
@@ -74,6 +76,11 @@ MpkScheme::attach(ThreadId, DomainId domain, Addr, Addr, Perm)
         // pkey_alloc() returned ENOSPC: the PMO stays domainless.
         ++keyExhausted;
         key = kNullKey;
+    } else {
+        // pkey_alloc() hands the key out in the no-access state for
+        // every thread; a reused key must not leak its previous
+        // owner's PKRU grants.
+        pkrus_.resetKey(key);
     }
     domainKey_[domain] = key;
     return 0;
@@ -89,6 +96,12 @@ MpkScheme::detach(ThreadId, DomainId domain)
         keyAlloc_.free(it->second);
         if (tlb_)
             tlb_->flushKey(it->second);
+    } else if (tlb_) {
+        // Domainless (exhausted) PMO: no key to flush by, but the
+        // munmap behind detach still invalidates the range — without
+        // it, stale translations keep the dead region's page rights.
+        if (const tlb::Region *region = space_.findDomain(domain))
+            tlb_->flushRange(region->base, region->size);
     }
     domainKey_.erase(it);
     return 0;

@@ -109,6 +109,7 @@ MpkVirtScheme::resolveKey(ThreadId tid, DttInfo &info)
 
     // Check the free-key structure.
     cycles += params_.freeKeyCheckCycles;
+    cycEntryChange += static_cast<double>(params_.freeKeyCheckCycles);
     ProtKey key = keyAlloc_.alloc();
     if (key == kInvalidKey) {
         // No free key: reassign the LRU victim's key.
@@ -202,10 +203,11 @@ CheckResult
 MpkVirtScheme::checkAccess(const AccessContext &ctx)
 {
     const ProtKey key = ctx.entry->key;
-    if (key == kNullKey)
-        return {};
-    touchKey(key);
-    const Perm domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    Perm domain_perm = Perm::ReadWrite; // Domainless: page perm only.
+    if (key != kNullKey) {
+        touchKey(key);
+        domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
+    }
     CheckResult res = judge(ctx, domain_perm, 0);
     if (!res.allowed)
         ++protectionFaults;

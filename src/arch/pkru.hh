@@ -102,6 +102,20 @@ class PkruFile
         return it == regs_.end() ? reset_state : it->second;
     }
 
+    /**
+     * Clear @p key's permission bits in every thread's register. The
+     * kernel does this when a key changes hands (pkey_free +
+     * pkey_alloc reuse, or a virtualization-layer remap): without it,
+     * stale PKRU bits from the key's previous owner would grant
+     * threads unintended access to the new holder.
+     */
+    void
+    resetKey(ProtKey key)
+    {
+        for (auto &[tid, pkru] : regs_)
+            pkru.setPerm(key, Perm::None);
+    }
+
   private:
     mutable std::unordered_map<ThreadId, Pkru> regs_;
 };

@@ -1,0 +1,161 @@
+#include "testing/generator.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace pmodv::testing
+{
+
+namespace
+{
+
+/**
+ * Generator-side mirror of the live-domain set. Only what is needed
+ * to bias ops toward interesting targets; the runner re-derives the
+ * authoritative state from the ops themselves.
+ */
+struct GenState
+{
+    std::vector<DomainId> live;
+    std::vector<std::uint32_t> livePages;
+    ThreadId currentTid = 0;
+
+    bool
+    isLive(DomainId d) const
+    {
+        return std::find(live.begin(), live.end(), d) != live.end();
+    }
+
+    std::uint32_t
+    pagesOf(DomainId d) const
+    {
+        for (std::size_t i = 0; i < live.size(); ++i)
+            if (live[i] == d)
+                return livePages[i];
+        return 1;
+    }
+
+    void
+    kill(DomainId d)
+    {
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            if (live[i] == d) {
+                live.erase(live.begin() + static_cast<long>(i));
+                livePages.erase(livePages.begin() + static_cast<long>(i));
+                return;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<Op>
+generateOps(std::uint64_t seed, const GenConfig &cfg)
+{
+    Rng rng(seed);
+    GenState st;
+    std::vector<Op> ops;
+    ops.reserve(cfg.numOps);
+
+    const unsigned weights[] = {cfg.wAttach,    cfg.wDetach, cfg.wSetPerm,
+                                cfg.wAccess,    cfg.wOutAccess,
+                                cfg.wSwitch,    cfg.wChurn};
+    unsigned total_weight = 0;
+    for (unsigned w : weights)
+        total_weight += w;
+
+    auto pickDomain = [&](bool prefer_live) -> DomainId {
+        if (prefer_live && !st.live.empty() &&
+            !rng.chance(cfg.invalidTargetChance))
+            return st.live[rng.next(st.live.size())];
+        return static_cast<DomainId>(rng.range(1, cfg.domainPool));
+    };
+
+    while (ops.size() < cfg.numOps) {
+        std::uint64_t roll = rng.next(total_weight);
+        std::size_t kind = 0;
+        while (roll >= weights[kind]) {
+            roll -= weights[kind];
+            ++kind;
+        }
+
+        Op op;
+        switch (kind) {
+          case 0: { // attach
+            if (st.live.size() >= cfg.maxLive)
+                continue;
+            DomainId d = pickDomain(/*prefer_live=*/false);
+            if (st.isLive(d))
+                continue;
+            op.kind = OpKind::Attach;
+            op.domain = d;
+            op.pages = static_cast<std::uint32_t>(
+                rng.range(1, cfg.maxPages));
+            op.perm = rng.chance(cfg.readOnlyPageChance) ? Perm::Read
+                                                         : Perm::ReadWrite;
+            st.live.push_back(d);
+            st.livePages.push_back(op.pages);
+            break;
+          }
+          case 1: { // detach
+            op.kind = OpKind::Detach;
+            op.domain = pickDomain(/*prefer_live=*/true);
+            st.kill(op.domain);
+            break;
+          }
+          case 2: { // setperm
+            op.kind = OpKind::SetPerm;
+            op.domain = pickDomain(/*prefer_live=*/true);
+            op.tid = static_cast<ThreadId>(rng.next(cfg.numThreads));
+            // Bias the grants: half RW, then R, None, and raw W (which
+            // hardware widens to RW) to exercise normalization.
+            const std::uint64_t p = rng.next(8);
+            op.perm = p < 4   ? Perm::ReadWrite
+                      : p < 6 ? Perm::Read
+                      : p < 7 ? Perm::None
+                              : Perm::Write;
+            break;
+          }
+          case 3: { // access inside a PMO slot
+            op.kind = OpKind::Access;
+            op.domain = pickDomain(/*prefer_live=*/true);
+            const std::uint32_t pages = st.pagesOf(op.domain);
+            // Zipf page choice keeps the TLB warm on hot pages.
+            op.offset = rng.zipf(pages, 0.6) * 4096 + rng.next(4096);
+            op.type = rng.chance(0.4) ? AccessType::Write
+                                      : AccessType::Read;
+            break;
+          }
+          case 4: { // access outside every PMO
+            op.kind = OpKind::OutAccess;
+            op.offset = rng.next(kOutsideSize);
+            op.type = rng.chance(0.4) ? AccessType::Write
+                                      : AccessType::Read;
+            break;
+          }
+          case 5: { // thread switch
+            if (cfg.numThreads < 2)
+                continue;
+            op.kind = OpKind::ThreadSwitch;
+            op.tid = static_cast<ThreadId>(rng.next(cfg.numThreads));
+            if (op.tid == st.currentTid)
+                continue;
+            st.currentTid = op.tid;
+            break;
+          }
+          default: { // TLB-pressure churn
+            op.kind = OpKind::TlbChurn;
+            op.domain = pickDomain(/*prefer_live=*/true);
+            op.pages = static_cast<std::uint32_t>(
+                rng.range(1, cfg.maxPages));
+            break;
+          }
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+} // namespace pmodv::testing

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seeded random workload generator for the differential harness. A
+ * (seed, GenConfig) pair always yields the identical op sequence, so
+ * any failure is replayable from the printed seed alone.
+ */
+
+#ifndef PMODV_TESTING_GENERATOR_HH
+#define PMODV_TESTING_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "testing/ops.hh"
+
+namespace pmodv::testing
+{
+
+/** Shape of the generated workload. */
+struct GenConfig
+{
+    std::size_t numOps = 256;
+    unsigned numThreads = 4;
+    /** Domain ids are drawn from [1, domainPool]. */
+    unsigned domainPool = 24;
+    /** Cap on concurrently attached domains. */
+    unsigned maxLive = 20;
+    /** Attach size cap, in 4K pages. */
+    std::uint32_t maxPages = 64;
+    /** Probability an attach maps its pages read-only. */
+    double readOnlyPageChance = 0.15;
+    /** Probability a setperm/detach targets a dead domain on purpose. */
+    double invalidTargetChance = 0.05;
+
+    // Relative op-kind weights (normalized internally).
+    unsigned wAttach = 10;
+    unsigned wDetach = 7;
+    unsigned wSetPerm = 20;
+    unsigned wAccess = 40;
+    unsigned wOutAccess = 8;
+    unsigned wSwitch = 8;
+    unsigned wChurn = 7;
+};
+
+/** Generate a deterministic op sequence for @p seed. */
+std::vector<Op> generateOps(std::uint64_t seed, const GenConfig &cfg = {});
+
+} // namespace pmodv::testing
+
+#endif // PMODV_TESTING_GENERATOR_HH

@@ -1,0 +1,220 @@
+#include "testing/ops.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pmodv::testing
+{
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Attach:
+        return "attach";
+      case OpKind::Detach:
+        return "detach";
+      case OpKind::SetPerm:
+        return "setperm";
+      case OpKind::Access:
+        return "access";
+      case OpKind::OutAccess:
+        return "out";
+      case OpKind::ThreadSwitch:
+        return "switch";
+      case OpKind::TlbChurn:
+        return "churn";
+    }
+    return "?";
+}
+
+Addr
+domainBase(DomainId domain)
+{
+    return (Addr{1} << 33) + Addr{domain} * (Addr{16} << 20);
+}
+
+namespace
+{
+
+Perm
+parsePerm(const std::string &s)
+{
+    if (s == "-")
+        return Perm::None;
+    if (s == "R")
+        return Perm::Read;
+    if (s == "W")
+        return Perm::Write;
+    if (s == "RW")
+        return Perm::ReadWrite;
+    fatal("bad permission '%s' in op line", s.c_str());
+}
+
+AccessType
+parseType(const std::string &s)
+{
+    if (s == "R")
+        return AccessType::Read;
+    if (s == "W")
+        return AccessType::Write;
+    fatal("bad access type '%s' in op line", s.c_str());
+}
+
+/** The `key=value` fields of one op line, order-insensitive. */
+struct Fields
+{
+    std::string verb;
+    std::uint64_t d = 0, t = 0, off = 0, pages = 1;
+    Perm perm = Perm::None;
+    Perm pageperm = Perm::ReadWrite;
+    AccessType type = AccessType::Read;
+
+    explicit Fields(const std::string &line)
+    {
+        std::istringstream in(line);
+        in >> verb;
+        std::string tok;
+        while (in >> tok) {
+            const auto eq = tok.find('=');
+            fatal_if(eq == std::string::npos,
+                     "malformed op token '%s' in line '%s'", tok.c_str(),
+                     line.c_str());
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "d")
+                d = std::stoull(val);
+            else if (key == "t")
+                t = std::stoull(val);
+            else if (key == "off")
+                off = std::stoull(val);
+            else if (key == "pages")
+                pages = std::stoull(val);
+            else if (key == "perm")
+                perm = parsePerm(val);
+            else if (key == "pageperm")
+                pageperm = parsePerm(val);
+            else if (key == "type")
+                type = parseType(val);
+            else
+                fatal("unknown op field '%s' in line '%s'", key.c_str(),
+                      line.c_str());
+        }
+    }
+};
+
+} // namespace
+
+std::string
+opToString(const Op &op)
+{
+    std::ostringstream out;
+    out << opKindName(op.kind);
+    switch (op.kind) {
+      case OpKind::Attach:
+        out << " d=" << op.domain << " pages=" << op.pages
+            << " pageperm=" << permToString(op.perm);
+        break;
+      case OpKind::Detach:
+        out << " d=" << op.domain;
+        break;
+      case OpKind::SetPerm:
+        out << " t=" << op.tid << " d=" << op.domain
+            << " perm=" << permToString(op.perm);
+        break;
+      case OpKind::Access:
+        out << " d=" << op.domain << " off=" << op.offset
+            << " type=" << (op.type == AccessType::Read ? "R" : "W");
+        break;
+      case OpKind::OutAccess:
+        out << " off=" << op.offset
+            << " type=" << (op.type == AccessType::Read ? "R" : "W");
+        break;
+      case OpKind::ThreadSwitch:
+        out << " t=" << op.tid;
+        break;
+      case OpKind::TlbChurn:
+        out << " d=" << op.domain << " pages=" << op.pages;
+        break;
+    }
+    return out.str();
+}
+
+bool
+opFromString(const std::string &line, Op &op)
+{
+    std::size_t first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos || line[first] == '#')
+        return false;
+
+    const Fields f(line.substr(first));
+    Op parsed;
+    if (f.verb == "attach") {
+        parsed.kind = OpKind::Attach;
+        parsed.domain = static_cast<DomainId>(f.d);
+        parsed.pages = static_cast<std::uint32_t>(f.pages);
+        parsed.perm = f.pageperm;
+    } else if (f.verb == "detach") {
+        parsed.kind = OpKind::Detach;
+        parsed.domain = static_cast<DomainId>(f.d);
+    } else if (f.verb == "setperm") {
+        parsed.kind = OpKind::SetPerm;
+        parsed.tid = static_cast<ThreadId>(f.t);
+        parsed.domain = static_cast<DomainId>(f.d);
+        parsed.perm = f.perm;
+    } else if (f.verb == "access") {
+        parsed.kind = OpKind::Access;
+        parsed.domain = static_cast<DomainId>(f.d);
+        parsed.offset = f.off;
+        parsed.type = f.type;
+    } else if (f.verb == "out") {
+        parsed.kind = OpKind::OutAccess;
+        parsed.offset = f.off;
+        parsed.type = f.type;
+    } else if (f.verb == "switch") {
+        parsed.kind = OpKind::ThreadSwitch;
+        parsed.tid = static_cast<ThreadId>(f.t);
+    } else if (f.verb == "churn") {
+        parsed.kind = OpKind::TlbChurn;
+        parsed.domain = static_cast<DomainId>(f.d);
+        parsed.pages = static_cast<std::uint32_t>(f.pages);
+    } else {
+        fatal("unknown op verb '%s' in line '%s'", f.verb.c_str(),
+              line.c_str());
+    }
+    op = parsed;
+    return true;
+}
+
+void
+printOps(std::ostream &out, const std::vector<Op> &ops)
+{
+    for (const Op &op : ops)
+        out << opToString(op) << '\n';
+}
+
+std::vector<Op>
+parseOps(std::istream &in)
+{
+    std::vector<Op> ops;
+    std::string line;
+    while (std::getline(in, line)) {
+        Op op;
+        if (opFromString(line, op))
+            ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<Op>
+loadOpsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open op file '%s'", path.c_str());
+    return parseOps(in);
+}
+
+} // namespace pmodv::testing

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The operation vocabulary of the differential fuzz harness: a small,
+ * replayable instruction set over the protection-scheme API
+ * (attach/detach PMOs, permission changes, in/out-of-domain accesses,
+ * thread switches, TLB-pressure loops).
+ *
+ * Operations are value types with a stable one-line text form, so a
+ * failing sequence can be printed as a self-contained reproducer,
+ * checked into the regression corpus, and replayed byte-identically
+ * by `pmodv-fuzz --replay` or `test_differential`.
+ */
+
+#ifndef PMODV_TESTING_OPS_HH
+#define PMODV_TESTING_OPS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmodv::testing
+{
+
+/** One step of a differential workload. */
+enum class OpKind : std::uint8_t
+{
+    Attach,       ///< Map a PMO region and notify the scheme.
+    Detach,       ///< Notify the scheme and unmap the region.
+    SetPerm,      ///< SETPERM for an explicit (thread, domain).
+    Access,       ///< One access by the *current* thread inside a PMO.
+    OutAccess,    ///< One access by the current thread outside all PMOs.
+    ThreadSwitch, ///< Context-switch the current thread.
+    TlbChurn,     ///< A read loop over a PMO's pages (TLB pressure).
+};
+
+/** Stable lowercase mnemonic of @p kind (the text-format verb). */
+const char *opKindName(OpKind kind);
+
+/**
+ * One operation. Fields are interpreted per kind:
+ *  - Attach:  domain, pages (region size in 4K pages), perm (page perm)
+ *  - Detach:  domain
+ *  - SetPerm: tid, domain, perm
+ *  - Access:  domain, offset (byte offset into the region), type
+ *  - OutAccess: offset (byte offset into the unmapped window), type
+ *  - ThreadSwitch: tid (the incoming thread)
+ *  - TlbChurn: domain, pages (number of consecutive pages read)
+ */
+struct Op
+{
+    OpKind kind = OpKind::Access;
+    DomainId domain = 0;
+    ThreadId tid = 0;
+    Perm perm = Perm::None;
+    Addr offset = 0;
+    AccessType type = AccessType::Read;
+    std::uint32_t pages = 1;
+
+    bool operator==(const Op &) const = default;
+};
+
+/**
+ * The fixed VA layout of the harness. Every domain id owns a disjoint
+ * 16 MB slot above 8 GB; out-of-domain accesses live in a low window
+ * no attach can ever reach, so the two can never collide.
+ */
+Addr domainBase(DomainId domain);
+
+/** Base of the never-mapped window OutAccess offsets index into. */
+inline constexpr Addr kOutsideBase = Addr{1} << 30;
+
+/** Size cap (bytes) OutAccess offsets are wrapped into. */
+inline constexpr Addr kOutsideSize = Addr{16} << 20;
+
+/** Render one op in the stable text format. */
+std::string opToString(const Op &op);
+
+/**
+ * Parse one text-format line. Returns false (leaving @p op untouched)
+ * for blank lines and `#` comments; fatal()s on malformed input.
+ */
+bool opFromString(const std::string &line, Op &op);
+
+/** Write an op list, one per line, with an optional `# seed=` header. */
+void printOps(std::ostream &out, const std::vector<Op> &ops);
+
+/** Parse a whole stream of text-format ops (comments/blanks skipped). */
+std::vector<Op> parseOps(std::istream &in);
+
+/** parseOps() over a file; fatal()s when the file cannot be opened. */
+std::vector<Op> loadOpsFile(const std::string &path);
+
+} // namespace pmodv::testing
+
+#endif // PMODV_TESTING_OPS_HH

@@ -1,0 +1,111 @@
+#include "testing/reference.hh"
+
+#include "common/logging.hh"
+
+namespace pmodv::testing
+{
+
+namespace
+{
+/** Keys the stock MPK allocator can hand out (key 0 is reserved). */
+constexpr unsigned kAllocatableKeys = kNumProtKeys - 1;
+} // namespace
+
+void
+ReferenceModel::attach(DomainId domain, Addr base, Addr size, Perm page_perm)
+{
+    panic_if(domains_.count(domain), "reference: double attach of domain %u",
+             domain);
+    Domain d;
+    d.base = base;
+    d.size = size;
+    d.pagePerm = page_perm;
+    d.mpkKeyed = mpkKeysInUse_ < kAllocatableKeys;
+    if (d.mpkKeyed)
+        ++mpkKeysInUse_;
+    domains_.emplace(domain, d);
+}
+
+void
+ReferenceModel::detach(DomainId domain)
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return;
+    if (it->second.mpkKeyed)
+        --mpkKeysInUse_;
+    domains_.erase(it);
+}
+
+void
+ReferenceModel::setPerm(ThreadId tid, DomainId domain, Perm perm)
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end())
+        return;
+    it->second.perms[tid] = permNormalizeHw(perm);
+}
+
+bool
+ReferenceModel::isLive(DomainId domain) const
+{
+    return domains_.count(domain) != 0;
+}
+
+const ReferenceModel::Domain *
+ReferenceModel::find(DomainId domain) const
+{
+    auto it = domains_.find(domain);
+    return it == domains_.end() ? nullptr : &it->second;
+}
+
+const ReferenceModel::Domain *
+ReferenceModel::findByAddr(Addr va) const
+{
+    for (const auto &[id, d] : domains_)
+        if (d.contains(va))
+            return &d;
+    return nullptr;
+}
+
+Perm
+ReferenceModel::effectivePerm(ThreadId tid, DomainId domain) const
+{
+    const Domain *d = find(domain);
+    if (!d)
+        return Perm::None;
+    auto it = d->perms.find(tid);
+    return it == d->perms.end() ? Perm::None : it->second;
+}
+
+Expectation
+ReferenceModel::expect(ThreadId tid, Addr va, AccessType type,
+                       bool mpk_exhausted_hole) const
+{
+    Expectation e;
+    const Perm need = permForAccess(type);
+    const Domain *d = findByAddr(va);
+    if (!d) {
+        // Outside every PMO: domainless, no page restriction modeled.
+        e.mapped = false;
+        e.allowed = true;
+        return e;
+    }
+    e.mapped = true;
+
+    Perm domain_perm = Perm::None;
+    if (auto it = d->perms.find(tid); it != d->perms.end())
+        domain_perm = it->second;
+    if (mpk_exhausted_hole && !d->mpkKeyed)
+        domain_perm = Perm::ReadWrite; // No key left: domain check vacuous.
+
+    const Perm effective = permIntersect(d->pagePerm, domain_perm);
+    e.allowed = permAllows(effective, need);
+    if (!e.allowed) {
+        e.pageDenied = !permAllows(d->pagePerm, need);
+        e.domainDenied = !permAllows(domain_perm, need);
+    }
+    return e;
+}
+
+} // namespace pmodv::testing

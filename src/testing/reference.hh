@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The ground-truth permission model the differential oracles compare
+ * every scheme against: a direct transcription of the paper's
+ * intra-process isolation semantics with none of the schemes'
+ * machinery (no keys, no TLBs, no caching).
+ *
+ * The one place the schemes legitimately diverge is stock MPK's key
+ * exhaustion: the 16th concurrently attached PMO gets no key and
+ * becomes domainless (domain checks vacuously pass; page permission
+ * still applies). The model tracks the stock allocator's occupancy so
+ * the verdict oracle can apply that carve-out to `mpk` only.
+ */
+
+#ifndef PMODV_TESTING_REFERENCE_HH
+#define PMODV_TESTING_REFERENCE_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace pmodv::testing
+{
+
+/** What the model says should happen to one access. */
+struct Expectation
+{
+    bool allowed = true;
+    /** True when the VA is inside a live PMO region. */
+    bool mapped = false;
+    /** True when the ref domain-permission check failed. */
+    bool domainDenied = false;
+    /** True when the page permission failed. */
+    bool pageDenied = false;
+};
+
+/**
+ * Pure-semantics replica of the machine's protection state. The
+ * DifferentialRunner feeds it the same op stream the schemes get.
+ */
+class ReferenceModel
+{
+  public:
+    /** Per-PMO ground-truth state. */
+    struct Domain
+    {
+        Addr base = 0;
+        Addr size = 0;
+        Perm pagePerm = Perm::ReadWrite;
+        /** Whether stock MPK's allocator had a key for this attach. */
+        bool mpkKeyed = true;
+        /** SETPERM grants, hardware-normalized. Absent = None. */
+        std::unordered_map<ThreadId, Perm> perms;
+
+        bool contains(Addr a) const { return a >= base && a < base + size; }
+    };
+
+    void attach(DomainId domain, Addr base, Addr size, Perm page_perm);
+    void detach(DomainId domain);
+    /** No-op for unattached domains, like every scheme's SETPERM. */
+    void setPerm(ThreadId tid, DomainId domain, Perm perm);
+
+    bool isLive(DomainId domain) const;
+    const Domain *find(DomainId domain) const;
+    const Domain *findByAddr(Addr va) const;
+
+    /** Ground-truth effective permission (None when unattached). */
+    Perm effectivePerm(ThreadId tid, DomainId domain) const;
+
+    /**
+     * Predict the verdict for an access by @p tid to @p va. With
+     * @p mpk_exhausted_hole, a keyless (exhausted-attach) domain's
+     * domain check passes vacuously — the stock-MPK carve-out.
+     */
+    Expectation expect(ThreadId tid, Addr va, AccessType type,
+                       bool mpk_exhausted_hole) const;
+
+    const std::unordered_map<DomainId, Domain> &domains() const
+    {
+        return domains_;
+    }
+
+  private:
+    std::unordered_map<DomainId, Domain> domains_;
+    /** Stock-MPK allocator occupancy (keys in use out of 15). */
+    unsigned mpkKeysInUse_ = 0;
+};
+
+} // namespace pmodv::testing
+
+#endif // PMODV_TESTING_REFERENCE_HH

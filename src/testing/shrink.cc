@@ -1,0 +1,50 @@
+#include "testing/shrink.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pmodv::testing
+{
+
+std::vector<Op>
+shrinkOps(std::vector<Op> ops, const FailPredicate &fails,
+          const ShrinkConfig &cfg)
+{
+    panic_if(!fails(ops), "shrinkOps() called with a passing sequence");
+    std::size_t evals = 1;
+
+    bool progressed = true;
+    while (progressed && evals < cfg.maxEvaluations) {
+        progressed = false;
+        for (std::size_t chunk = std::max<std::size_t>(ops.size() / 2, 1);
+             chunk >= 1; chunk /= 2) {
+            // Scan back-to-front so surviving indices stay valid.
+            for (std::size_t start = ops.size();
+                 start > 0 && evals < cfg.maxEvaluations;) {
+                start = start > chunk ? start - chunk : 0;
+                std::vector<Op> candidate;
+                candidate.reserve(ops.size());
+                candidate.insert(candidate.end(), ops.begin(),
+                                 ops.begin() + static_cast<long>(start));
+                const std::size_t stop =
+                    std::min(start + chunk, ops.size());
+                candidate.insert(candidate.end(),
+                                 ops.begin() + static_cast<long>(stop),
+                                 ops.end());
+                if (candidate.size() == ops.size())
+                    continue;
+                ++evals;
+                if (fails(candidate)) {
+                    ops = std::move(candidate);
+                    progressed = true;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    return ops;
+}
+
+} // namespace pmodv::testing

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Greedy delta-debugging shrinker: given a failing op sequence and a
+ * "does it still fail?" predicate, removes chunks (halving the chunk
+ * size down to single ops) until no removal preserves the failure,
+ * yielding a locally minimal reproducer.
+ */
+
+#ifndef PMODV_TESTING_SHRINK_HH
+#define PMODV_TESTING_SHRINK_HH
+
+#include <functional>
+#include <vector>
+
+#include "testing/ops.hh"
+
+namespace pmodv::testing
+{
+
+/** Re-runs a candidate sequence; true when it still fails. */
+using FailPredicate = std::function<bool(const std::vector<Op> &)>;
+
+/** Knobs for the shrinking loop. */
+struct ShrinkConfig
+{
+    /** Hard cap on predicate evaluations (each is a full replay). */
+    std::size_t maxEvaluations = 2000;
+};
+
+/**
+ * Shrink @p ops to a locally minimal sequence for which @p fails
+ * still returns true. @p ops itself must fail; the result always
+ * fails.
+ */
+std::vector<Op> shrinkOps(std::vector<Op> ops, const FailPredicate &fails,
+                          const ShrinkConfig &cfg = {});
+
+} // namespace pmodv::testing
+
+#endif // PMODV_TESTING_SHRINK_HH

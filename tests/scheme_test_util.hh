@@ -17,6 +17,18 @@
 namespace pmodv::test
 {
 
+/** Verdict plus every cycle charge of one checked access. */
+struct AccessOutcome
+{
+    bool allowed = false;
+    arch::FaultKind fault = arch::FaultKind::None;
+    Cycles checkCycles = 0; ///< Charged by the scheme's checkAccess().
+    Cycles fillCycles = 0;  ///< Charged by the TLB fill (scheme extra).
+
+    /** Total protection-attributable cycles of the access. */
+    Cycles charged() const { return checkCycles + fillCycles; }
+};
+
 /** A miniature machine for driving a protection scheme directly. */
 class SchemeHarness
 {
@@ -53,6 +65,16 @@ class SchemeHarness
         space_.unmapDomain(domain);
     }
 
+    /** Attach a PMO and immediately grant @p perm to @p tid. */
+    void
+    attachGranted(DomainId domain, Addr base, Addr size,
+                  Perm perm = Perm::ReadWrite, ThreadId tid = 0,
+                  Perm page_perm = Perm::ReadWrite)
+    {
+        attach(domain, base, size, page_perm, tid);
+        scheme_->setPerm(tid, domain, perm);
+    }
+
     /** Translate + protection-check one access. */
     arch::CheckResult
     access(ThreadId tid, Addr va, AccessType type)
@@ -65,6 +87,14 @@ class SchemeHarness
         ctx.type = type;
         ctx.entry = xlate.entry;
         return scheme_->checkAccess(ctx);
+    }
+
+    /** One access with its full outcome: verdict + charged cycles. */
+    AccessOutcome
+    accessOutcome(ThreadId tid, Addr va, AccessType type)
+    {
+        const arch::CheckResult res = access(tid, va, type);
+        return {res.allowed, res.fault, res.extraCycles, lastFillExtra};
     }
 
     bool

@@ -102,8 +102,7 @@ TEST(Ptlb, InvalidateSingleDomain)
 TEST(DomainVirt, TlbEntriesCarryDomainIds)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
-    h.attach(7, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 7, Perm::Read);
+    h.attachGranted(7, pmoBase(0), kSize, Perm::Read);
     h.canRead(0, pmoBase(0));
     const auto *entry = h.tlbs().l1().probe(pmoBase(0));
     ASSERT_NE(entry, nullptr);
@@ -114,10 +113,9 @@ TEST(DomainVirt, TlbEntriesCarryDomainIds)
 TEST(DomainVirt, Figure2Scenarios)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
-    h.attach(1, pmoBase(0), kSize);
+    h.attachGranted(1, pmoBase(0), kSize, Perm::Read);
     const Addr a = pmoBase(0) + 0x10;
 
-    h.scheme().setPerm(0, 1, Perm::Read);
     EXPECT_TRUE(h.canRead(0, a));
     EXPECT_FALSE(h.canWrite(0, a));
     h.scheme().setPerm(0, 1, Perm::ReadWrite);
@@ -137,11 +135,9 @@ TEST(DomainVirt, ScalesFarBeyond16Domains)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
     auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
-    for (unsigned i = 0; i < 100; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1,
-                           i % 2 ? Perm::ReadWrite : Perm::Read);
-    }
+    for (unsigned i = 0; i < 100; ++i)
+        h.attachGranted(i + 1, pmoBase(i), kSize,
+                        i % 2 ? Perm::ReadWrite : Perm::Read);
     // Spot-check: even-indexed domains are read-only, odd read-write,
     // and crucially there are NO shootdowns anywhere.
     EXPECT_TRUE(h.canRead(0, pmoBase(10)));
@@ -156,12 +152,11 @@ TEST(DomainVirt, PtlbAccessLatencyCharged)
     arch::ProtParams params;
     params.ptlbAccessCycles = 1;
     SchemeHarness h(SchemeKind::DomainVirt, params);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     // First access: PTLB hit (SETPERM installed the entry): 1 cycle.
-    auto res = h.access(0, pmoBase(0), AccessType::Write);
-    EXPECT_TRUE(res.allowed);
-    EXPECT_EQ(res.extraCycles, 1u);
+    const auto out = h.accessOutcome(0, pmoBase(0), AccessType::Write);
+    EXPECT_TRUE(out.allowed);
+    EXPECT_EQ(out.checkCycles, 1u);
 }
 
 TEST(DomainVirt, PtlbMissChargesPtLookup)
@@ -170,15 +165,13 @@ TEST(DomainVirt, PtlbMissChargesPtLookup)
     params.ptlbEntries = 2;
     params.ptlbMissCycles = 30;
     SchemeHarness h(SchemeKind::DomainVirt, params);
-    for (unsigned i = 0; i < 4; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
-    }
+    for (unsigned i = 0; i < 4; ++i)
+        h.attachGranted(i + 1, pmoBase(i), kSize);
     // Domains 1/2 were evicted from the 2-entry PTLB by 3/4; touching
     // domain 1 misses and pays the PT lookup.
-    auto res = h.access(0, pmoBase(0), AccessType::Write);
-    EXPECT_TRUE(res.allowed); // Dirty value was written back to PT.
-    EXPECT_GE(res.extraCycles, 30u);
+    const auto out = h.accessOutcome(0, pmoBase(0), AccessType::Write);
+    EXPECT_TRUE(out.allowed); // Dirty value was written back to PT.
+    EXPECT_GE(out.checkCycles, 30u);
 }
 
 TEST(DomainVirt, LazyPtWriteBackOnEviction)
@@ -187,15 +180,12 @@ TEST(DomainVirt, LazyPtWriteBackOnEviction)
     params.ptlbEntries = 2;
     SchemeHarness h(SchemeKind::DomainVirt, params);
     auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     // SETPERM completes in the PTLB; the PT still has no entry.
     EXPECT_EQ(virt.pt().get(1, 0), Perm::None);
     // Force eviction of domain 1's dirty entry.
-    h.attach(2, pmoBase(1), kSize);
-    h.attach(3, pmoBase(2), kSize);
-    h.scheme().setPerm(0, 2, Perm::Read);
-    h.scheme().setPerm(0, 3, Perm::Read);
+    h.attachGranted(2, pmoBase(1), kSize, Perm::Read);
+    h.attachGranted(3, pmoBase(2), kSize, Perm::Read);
     EXPECT_EQ(virt.pt().get(1, 0), Perm::ReadWrite);
     EXPECT_GE(virt.ptlbWritebacks.value(), 1.0);
 }
@@ -204,8 +194,7 @@ TEST(DomainVirt, ContextSwitchKeepsTlbFlushesPtlb)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
     auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     h.canWrite(0, pmoBase(0));
     ASSERT_NE(h.tlbs().l1().probe(pmoBase(0)), nullptr);
 
@@ -222,8 +211,7 @@ TEST(DomainVirt, ContextSwitchWritesBackOutgoingPerms)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
     auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite); // Dirty in PTLB.
+    h.attachGranted(1, pmoBase(0), kSize); // Grant is dirty in PTLB.
     h.scheme().contextSwitch(0, 5);
     EXPECT_EQ(virt.pt().get(1, 0), Perm::ReadWrite);
     // Thread 0's permission survives the round trip.
@@ -235,8 +223,7 @@ TEST(DomainVirt, DetachDropsEverything)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
     auto &virt = static_cast<DomainVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     h.canWrite(0, pmoBase(0));
     h.detach(1);
     EXPECT_EQ(h.tlbs().l1().probe(pmoBase(0)), nullptr);
@@ -247,16 +234,15 @@ TEST(DomainVirt, DetachDropsEverything)
 TEST(DomainVirt, DomainlessBypassesPtlb)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
-    auto res = h.access(0, 0x9000, AccessType::Write);
-    EXPECT_TRUE(res.allowed);
-    EXPECT_EQ(res.extraCycles, 0u);
+    const auto out = h.accessOutcome(0, 0x9000, AccessType::Write);
+    EXPECT_TRUE(out.allowed);
+    EXPECT_EQ(out.charged(), 0u);
 }
 
 TEST(DomainVirt, EffectivePermReadsFreshPtlbValue)
 {
     SchemeHarness h(SchemeKind::DomainVirt);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::Read);
+    h.attachGranted(1, pmoBase(0), kSize, Perm::Read);
     EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::Read);
     h.scheme().setPerm(0, 1, Perm::ReadWrite);
     EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::ReadWrite);

@@ -50,6 +50,41 @@ TEST(EventRing, OverwritesOldestWhenFull)
     EXPECT_DOUBLE_EQ(ring.dropped.value(), 2.0);
 }
 
+TEST(EventRing, WrapAroundKeepsExactDropAccounting)
+{
+    stats::Group root(nullptr, "sys");
+    EventRing ring(&root, "events", 4);
+
+    // Filling to exactly capacity drops nothing.
+    for (std::uint32_t i = 0; i < 4; ++i)
+        ring.post(EventKind::TxnCommit, 0, i);
+    EXPECT_DOUBLE_EQ(ring.dropped.value(), 0.0);
+
+    // Wrap around the ring almost twice more: each post past capacity
+    // evicts exactly one event, oldest first.
+    for (std::uint32_t i = 4; i < 11; ++i)
+        ring.post(EventKind::TxnCommit, 0, i);
+
+    ASSERT_EQ(ring.size(), 4u);
+    EXPECT_DOUBLE_EQ(ring.recorded.value(), 11.0);
+    EXPECT_DOUBLE_EQ(ring.dropped.value(), 7.0);
+
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].arg, 7u + i); // Survivors in post order.
+
+    // A drain across the wrapped state returns the same survivors and
+    // resets the ring without disturbing the counters.
+    const auto drained = ring.drain();
+    ASSERT_EQ(drained.size(), 4u);
+    EXPECT_EQ(drained[0].arg, 7u);
+    EXPECT_EQ(drained[3].arg, 10u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_DOUBLE_EQ(ring.recorded.value(), 11.0);
+    EXPECT_DOUBLE_EQ(ring.dropped.value(), 7.0);
+}
+
 TEST(EventRing, DrainEmptiesButKeepsStats)
 {
     stats::Group root(nullptr, "sys");

@@ -55,10 +55,8 @@ TEST(LibMpk, EvictionCostScalesWithVictimSize)
     auto &lib = static_cast<LibMpkScheme &>(h.scheme());
 
     // Fill the 15 keys with 8MB domains.
-    for (unsigned i = 0; i < 15; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
-    }
+    for (unsigned i = 0; i < 15; ++i)
+        h.attachGranted(i + 1, pmoBase(i), kSize);
     EXPECT_DOUBLE_EQ(lib.keyEvictions.value(), 0.0);
 
     // The 16th mapping evicts: cost includes 2048 PTE patches.
@@ -76,18 +74,17 @@ TEST(LibMpk, AccessToEvictedDomainTrapsAndRemaps)
 {
     SchemeHarness h(SchemeKind::LibMpk);
     auto &lib = static_cast<LibMpkScheme &>(h.scheme());
-    for (unsigned i = 0; i < 16; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
-    }
+    for (unsigned i = 0; i < 16; ++i)
+        h.attachGranted(i + 1, pmoBase(i), kSize);
     // Domain 1 was the LRU victim of the 16th mapping.
     EXPECT_EQ(lib.keyOf(1), kInvalidKey);
     const double remaps_before = lib.keyRemaps.value();
     // Touching it traps into the handler (cost lands in fillExtra)
     // and the access then succeeds with the recorded permission.
-    EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
+    const auto out = h.accessOutcome(0, pmoBase(0), AccessType::Write);
+    EXPECT_TRUE(out.allowed);
     EXPECT_GT(lib.keyRemaps.value(), remaps_before);
-    EXPECT_GT(h.lastFillExtra, 1000u);
+    EXPECT_GT(out.fillCycles, 1000u);
     EXPECT_NE(lib.keyOf(1), kInvalidKey);
 }
 
@@ -95,12 +92,10 @@ TEST(LibMpk, ShootdownFlushesVictimTranslations)
 {
     SchemeHarness h(SchemeKind::LibMpk);
     for (unsigned i = 0; i < 15; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+        h.attachGranted(i + 1, pmoBase(i), kSize);
         h.canWrite(0, pmoBase(i)); // Warm the TLB.
     }
-    h.attach(16, pmoBase(16), kSize);
-    h.scheme().setPerm(0, 16, Perm::ReadWrite);
+    h.attachGranted(16, pmoBase(16), kSize);
     // Victim = domain 1 (LRU): translations must be gone.
     EXPECT_EQ(h.tlbs().l1().probe(pmoBase(0)), nullptr);
 }
@@ -123,8 +118,7 @@ TEST(LibMpk, SmallDomainsEvictCheaply)
 TEST(LibMpk, PerThreadPermsSurviveRemapping)
 {
     SchemeHarness h(SchemeKind::LibMpk);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::Read);
+    h.attachGranted(1, pmoBase(0), kSize, Perm::Read);
     h.scheme().setPerm(5, 1, Perm::ReadWrite);
     EXPECT_EQ(h.scheme().effectivePerm(0, 1), Perm::Read);
     EXPECT_EQ(h.scheme().effectivePerm(5, 1), Perm::ReadWrite);
@@ -135,8 +129,7 @@ TEST(LibMpk, DetachReleasesKey)
 {
     SchemeHarness h(SchemeKind::LibMpk);
     auto &lib = static_cast<LibMpkScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     ASSERT_NE(lib.keyOf(1), kInvalidKey);
     h.detach(1);
     EXPECT_EQ(lib.keyOf(1), kInvalidKey);

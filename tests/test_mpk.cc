@@ -45,14 +45,13 @@ TEST(Mpk, DefaultDeniedUntilSetPerm)
 TEST(Mpk, Figure2TemporalIsolation)
 {
     SchemeHarness h(SchemeKind::Mpk);
-    h.attach(1, pmoBase(0), kSize);
+    h.attachGranted(1, pmoBase(0), kSize, Perm::Read); // +R
     const Addr a = pmoBase(0) + 0x10;
     const Addr b = pmoBase(0) + 0x2000;
     const Addr c = pmoBase(0) + 0x3000;
     const Addr d = pmoBase(0) + 0x4000;
 
-    h.scheme().setPerm(0, 1, Perm::Read); // +R
-    EXPECT_TRUE(h.canRead(0, a));         // ld A permitted
+    EXPECT_TRUE(h.canRead(0, a)); // ld A permitted
     EXPECT_FALSE(h.canWrite(0, b));       // st B denied
 
     h.scheme().setPerm(0, 1, Perm::ReadWrite); // +W
@@ -66,12 +65,12 @@ TEST(Mpk, Figure2TemporalIsolation)
 TEST(Mpk, Figure2SpatialIsolation)
 {
     SchemeHarness h(SchemeKind::Mpk);
-    h.attach(1, pmoBase(0), kSize);
+    // Thread 1 gets the full grant; thread 2 may only read.
+    h.attachGranted(1, pmoBase(0), kSize, Perm::ReadWrite, 1);
     const Addr a = pmoBase(0) + 0x10;
     const Addr b = pmoBase(0) + 0x2000;
 
-    h.scheme().setPerm(1, 1, Perm::ReadWrite); // Thread 1 only.
-    h.scheme().setPerm(2, 1, Perm::Read);      // Thread 2: read only.
+    h.scheme().setPerm(2, 1, Perm::Read);
 
     EXPECT_TRUE(h.canWrite(1, a));  // Thread1 st A permitted.
     EXPECT_TRUE(h.canRead(2, a));   // Thread2 may read...
@@ -84,13 +83,14 @@ TEST(Mpk, Figure2SpatialIsolation)
 TEST(Mpk, PagePermissionIsStricter)
 {
     SchemeHarness h(SchemeKind::Mpk);
-    h.attach(1, pmoBase(0), kSize, Perm::Read); // Read-only mapping.
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    // Read-only mapping, full domain grant.
+    h.attachGranted(1, pmoBase(0), kSize, Perm::ReadWrite, 0,
+                    Perm::Read);
     EXPECT_TRUE(h.canRead(0, pmoBase(0)));
     // Domain allows W but the page does not: strictest wins.
-    auto res = h.access(0, pmoBase(0), AccessType::Write);
-    EXPECT_FALSE(res.allowed);
-    EXPECT_EQ(res.fault, arch::FaultKind::PagePermission);
+    const auto out = h.accessOutcome(0, pmoBase(0), AccessType::Write);
+    EXPECT_FALSE(out.allowed);
+    EXPECT_EQ(out.fault, arch::FaultKind::PagePermission);
 }
 
 TEST(Mpk, DomainlessAccessBypassesChecks)
@@ -175,8 +175,7 @@ TEST(Mpk, FaultsAreCounted)
 TEST(Mpk, TlbCachedKeySurvivesAcrossAccesses)
 {
     SchemeHarness h(SchemeKind::Mpk);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
     // TLB hit path: still checked against PKRU after revocation.
     h.scheme().setPerm(0, 1, Perm::None);

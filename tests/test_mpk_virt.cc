@@ -137,8 +137,7 @@ TEST(MpkVirt, FirstAccessAssignsFreeKey)
 {
     arch::ProtParams params;
     SchemeHarness h(SchemeKind::MpkVirt, params);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
     auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
     EXPECT_NE(virt.keyOf(1), kInvalidKey);
@@ -152,15 +151,13 @@ TEST(MpkVirt, EvictionRemapsAndShootsDown)
     auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
     // Fill all 15 keys.
     for (unsigned i = 0; i < 15; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+        h.attachGranted(i + 1, pmoBase(i), kSize);
         EXPECT_TRUE(h.canWrite(0, pmoBase(i)));
     }
     EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 0.0);
 
     // A 16th domain forces a victim eviction.
-    h.attach(16, pmoBase(15), kSize);
-    h.scheme().setPerm(0, 16, Perm::ReadWrite);
+    h.attachGranted(16, pmoBase(15), kSize);
     EXPECT_TRUE(h.canWrite(0, pmoBase(15)));
     EXPECT_DOUBLE_EQ(virt.shootdowns.value(), 1.0);
 
@@ -181,26 +178,23 @@ TEST(MpkVirt, EvictionCostsMatchConfig)
     params.tlbInvalidationCycles = 286;
     params.dttWalkCycles = 30;
     SchemeHarness h(SchemeKind::MpkVirt, params);
-    for (unsigned i = 0; i < 16; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
-    }
+    for (unsigned i = 0; i < 16; ++i)
+        h.attachGranted(i + 1, pmoBase(i), kSize);
     for (unsigned i = 0; i < 15; ++i)
         h.canWrite(0, pmoBase(i));
     // Access to the 16th domain: fill extra must include the DTT walk
     // (DTTLB cold for this domain) and the shootdown.
-    h.canWrite(0, pmoBase(15));
-    EXPECT_GE(h.lastFillExtra, 286u + 30u);
+    const auto out = h.accessOutcome(0, pmoBase(15), AccessType::Write);
+    EXPECT_GE(out.fillCycles, 286u + 30u);
 }
 
 TEST(MpkVirt, Figure2Scenarios)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
-    h.attach(1, pmoBase(0), kSize);
+    // Temporal.
+    h.attachGranted(1, pmoBase(0), kSize, Perm::Read);
     const Addr a = pmoBase(0) + 0x10;
 
-    // Temporal.
-    h.scheme().setPerm(0, 1, Perm::Read);
     EXPECT_TRUE(h.canRead(0, a));
     EXPECT_FALSE(h.canWrite(0, a));
     h.scheme().setPerm(0, 1, Perm::ReadWrite);
@@ -219,8 +213,7 @@ TEST(MpkVirt, Figure2Scenarios)
 TEST(MpkVirt, SetPermInvalidatesDttlbAndUpdatesPkru)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     EXPECT_TRUE(h.canWrite(0, pmoBase(0)));
     // Key is held; revoking must take effect even on the TLB-hit path
     // (PKRU updated alongside the DTT).
@@ -232,8 +225,7 @@ TEST(MpkVirt, SetPermInvalidatesDttlbAndUpdatesPkru)
 TEST(MpkVirt, ContextSwitchReconstructsPkru)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     h.scheme().setPerm(7, 1, Perm::Read);
     EXPECT_TRUE(h.canWrite(0, pmoBase(0))); // Maps the key for tid 0.
 
@@ -248,8 +240,7 @@ TEST(MpkVirt, ContextSwitchFlushesDttlb)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
     auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     h.canWrite(0, pmoBase(0));
     EXPECT_GE(virt.dttlb().usedCount(), 1u);
     h.scheme().contextSwitch(0, 1);
@@ -261,8 +252,7 @@ TEST(MpkVirt, DetachFreesKeyAndCleansState)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
     auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
-    h.attach(1, pmoBase(0), kSize);
-    h.scheme().setPerm(0, 1, Perm::ReadWrite);
+    h.attachGranted(1, pmoBase(0), kSize);
     h.canWrite(0, pmoBase(0));
     const ProtKey key = virt.keyOf(1);
     ASSERT_NE(key, kInvalidKey);
@@ -277,14 +267,12 @@ TEST(MpkVirt, LruVictimSelection)
     SchemeHarness h(SchemeKind::MpkVirt);
     auto &virt = static_cast<MpkVirtScheme &>(h.scheme());
     for (unsigned i = 0; i < 15; ++i) {
-        h.attach(i + 1, pmoBase(i), kSize);
-        h.scheme().setPerm(0, i + 1, Perm::ReadWrite);
+        h.attachGranted(i + 1, pmoBase(i), kSize);
         h.canWrite(0, pmoBase(i));
     }
     // Refresh domain 1 so domain 2 becomes LRU.
     h.canWrite(0, pmoBase(0));
-    h.attach(99, pmoBase(20), kSize);
-    h.scheme().setPerm(0, 99, Perm::ReadWrite);
+    h.attachGranted(99, pmoBase(20), kSize);
     h.canWrite(0, pmoBase(20));
     EXPECT_EQ(virt.keyOf(2), kInvalidKey); // Domain 2 was the victim.
     EXPECT_NE(virt.keyOf(1), kInvalidKey);
@@ -294,8 +282,9 @@ TEST(MpkVirt, DomainlessAccessesUnaffected)
 {
     SchemeHarness h(SchemeKind::MpkVirt);
     h.attach(1, pmoBase(0), kSize);
-    EXPECT_TRUE(h.canWrite(0, 0x4000)); // Non-PMO VA.
-    EXPECT_EQ(h.lastFillExtra, 0u);
+    const auto out = h.accessOutcome(0, 0x4000, AccessType::Write);
+    EXPECT_TRUE(out.allowed); // Non-PMO VA.
+    EXPECT_EQ(out.charged(), 0u);
 }
 
 TEST(MpkVirt, DttMemoryModelGrowsWithDomains)

@@ -182,16 +182,20 @@ TEST_F(RuntimeTest, TraceCaptureEmitsExpectedRecords)
     rt_.opBegin(0);
     rt_.opEnd(0);
     rt_.switchThread(2);
-    rt_.detach(att.domain);
+    // `att` refers into the runtime's attachment map; detach erases
+    // that entry, so copy what the assertions need first.
+    const DomainId domain = att.domain;
+    const Addr va_base = att.vaBase;
+    rt_.detach(domain);
 
     const auto &recs = sink.records();
     ASSERT_EQ(recs.size(), 9u);
     using trace::RecordType;
     EXPECT_EQ(recs[0].type, RecordType::Attach);
-    EXPECT_EQ(recs[0].aux, att.domain);
+    EXPECT_EQ(recs[0].aux, domain);
     EXPECT_EQ(recs[1].type, RecordType::SetPerm);
     EXPECT_EQ(recs[2].type, RecordType::Store);
-    EXPECT_EQ(recs[2].addr, att.vaBase + a.offset);
+    EXPECT_EQ(recs[2].addr, va_base + a.offset);
     EXPECT_TRUE(recs[2].isPmoAccess());
     EXPECT_EQ(recs[3].type, RecordType::Load);
     EXPECT_EQ(recs[4].type, RecordType::InstBlock);
