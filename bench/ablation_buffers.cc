@@ -91,6 +91,7 @@ main(int argc, char **argv)
 
     common::ThreadPool pool(opt.jobs);
     exp::Executor executor(pool);
+    executor.setProgress(opt.progress);
 
     std::printf("=== Ablation: buffer sizing and shootdown cost "
                 "(avl, %u PMOs, %llu ops) ===\n",

@@ -2,7 +2,8 @@
  * @file
  * Shared helpers for the table/figure reproduction binaries: a tiny
  * CLI parser (--quick / --full / --ops N / --pmos a,b,c / --jobs N /
- * --json FILE / --dump-stats) and table formatting utilities.
+ * --json FILE / --dump-stats / --epoch N / --trace-out FILE /
+ * --progress) and table formatting utilities.
  */
 
 #ifndef PMODV_BENCH_BENCH_UTIL_HH
@@ -11,10 +12,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "exp/suite.hh"
+#include "exp/trace_export.hh"
 
 namespace pmodv::bench
 {
@@ -35,6 +38,12 @@ struct Options
     std::string jsonPath;
     /** Print every row's per-scheme stats tree to stdout. */
     bool dumpStats = false;
+    /** Cycles per timeline sampling epoch (0 = sampling off). */
+    std::uint64_t epochCycles = 0;
+    /** Write a Perfetto/Chrome trace-event JSON here ("" = don't). */
+    std::string traceOut;
+    /** Periodic replay progress on stderr. */
+    bool progress = false;
 };
 
 inline Options
@@ -58,6 +67,12 @@ parseOptions(int argc, char **argv)
             opt.jsonPath = argv[++i];
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
+        } else if (arg == "--epoch" && i + 1 < argc) {
+            opt.epochCycles = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            opt.traceOut = argv[++i];
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (arg == "--pmos" && i + 1 < argc) {
             std::string list = argv[++i];
             std::size_t pos = 0;
@@ -72,13 +87,76 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick|--full] [--csv] [--ops N] "
                         "[--pmos a,b,c] [--jobs N] [--json FILE] "
-                        "[--dump-stats]\n",
+                        "[--dump-stats] [--epoch CYCLES] "
+                        "[--trace-out FILE] [--progress]\n",
                         argv[0]);
             std::exit(0);
         }
     }
     return opt;
 }
+
+/**
+ * Honor --epoch / --trace-out on a point's SimConfig. Call on each
+ * spec's config BEFORE registering it with the suite (specs are
+ * copied at add()). --trace-out implies epoch sampling (so the trace
+ * has counter tracks) and a wide event ring (so transaction spans
+ * survive to the export).
+ */
+inline void
+applyObservability(core::SimConfig &config, const Options &opt)
+{
+    std::uint64_t epoch = opt.epochCycles;
+    if (!opt.traceOut.empty()) {
+        config.eventRingCapacity = 65536;
+        if (epoch == 0)
+            epoch = 65536;
+    }
+    if (epoch != 0) {
+        config.samplingEpochCycles = epoch;
+        config.samplingMaxEpochs = 256;
+    }
+}
+
+/**
+ * Owns the bench binary's optional Perfetto exporter and wires
+ * --progress / --trace-out into the suite. Construct (on the stack)
+ * before suite.run(), call writeTrace() after it.
+ */
+class Profiler
+{
+  public:
+    Profiler(exp::ExperimentSuite &suite, const core::SimConfig &config,
+             const Options &opt)
+        : exporter_(exp::makeExporter(config)), opt_(opt)
+    {
+        suite.setProgress(opt.progress);
+        if (!opt.traceOut.empty())
+            suite.setPerfettoExporter(&exporter_);
+    }
+
+    /** Honor --trace-out (warn to stderr on failure). */
+    void writeTrace() const
+    {
+        if (opt_.traceOut.empty())
+            return;
+        std::ofstream out(opt_.traceOut);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write trace to %s\n",
+                         opt_.traceOut.c_str());
+            return;
+        }
+        exporter_.write(out);
+        std::fprintf(stderr,
+                     "[trace] wrote %zu events on %zu tracks to %s\n",
+                     exporter_.numEvents(), exporter_.numTracks(),
+                     opt_.traceOut.c_str());
+    }
+
+  private:
+    trace::PerfettoExporter exporter_;
+    const Options &opt_;
+};
 
 /** Horizontal rule sized to a table width. */
 inline void

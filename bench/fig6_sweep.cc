@@ -33,10 +33,12 @@ main(int argc, char **argv)
         sweep.base.numOps = 1'000'000;
     sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
                      SchemeKind::DomainVirt};
+    bench::applyObservability(sweep.config, opt);
 
     exp::ExperimentSuite suite("fig6_sweep");
     suite.add(sweep);
     common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, sweep.config, opt);
     suite.run(pool);
 
     // Rows are benchmark-major (SweepSpec::points() order), one row
@@ -58,6 +60,7 @@ main(int argc, char **argv)
         }
         bench::writeJsonIfRequested(suite, opt);
         bench::dumpStatsIfRequested(suite, opt);
+        profiler.writeTrace();
         return 0;
     }
 
@@ -89,5 +92,6 @@ main(int argc, char **argv)
                 "stays nearly flat (Fig. 6 of the paper).\n");
     bench::writeJsonIfRequested(suite, opt);
     bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
     return 0;
 }

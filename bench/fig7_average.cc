@@ -30,10 +30,12 @@ main(int argc, char **argv)
         sweep.base.numOps = 1'000'000;
     sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
                      SchemeKind::DomainVirt};
+    bench::applyObservability(sweep.config, opt);
 
     exp::ExperimentSuite suite("fig7_average");
     suite.add(sweep);
     common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, sweep.config, opt);
     suite.run(pool);
 
     std::printf("=== Figure 7: average overhead over lowerbound vs "
@@ -73,5 +75,6 @@ main(int argc, char **argv)
                  suite.jobs() == 1 ? "" : "s");
     bench::writeJsonIfRequested(suite, opt);
     bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
     return 0;
 }

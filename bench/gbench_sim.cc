@@ -107,6 +107,36 @@ BM_MultiDomainReplay(benchmark::State &state)
 BENCHMARK(BM_MultiDomainReplay)->Arg(16)->Arg(64)->Arg(256);
 
 void
+BM_ReplaySamplingOverhead(benchmark::State &state)
+{
+    // Cost of the timeline profiler on the replay hot loop. Arg 0 is
+    // the epoch width in cycles (0 = sampling disabled — the default
+    // configuration, whose throughput must stay within noise of the
+    // pre-profiler replay loop; the tick is one predictable
+    // compare-and-branch). Compare the 0 row against the others to
+    // see the enabled cost shrink as epochs widen.
+    core::SimConfig cfg;
+    cfg.samplingEpochCycles = static_cast<Cycles>(state.range(0));
+    cfg.samplingMaxEpochs = 256;
+    core::System sys(cfg, SchemeKind::MpkVirt);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    Rng rng(7);
+    for (auto _ : state) {
+        sys.put(TraceRecord::load(0, kBase + rng.next(kSize - 8), 8,
+                                  true));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) == 0 ? "sampling off"
+                                       : "sampling on");
+}
+BENCHMARK(BM_ReplaySamplingOverhead)
+    ->Arg(0)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+
+void
 BM_ExecutorMicroPoints(benchmark::State &state)
 {
     // A small Figure-6-shaped batch through the parallel executor —

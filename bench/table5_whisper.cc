@@ -49,14 +49,19 @@ main(int argc, char **argv)
     wp.poolBytes = std::size_t{64} << 20;
     wp.initialKeys = opt.quick ? 2'000 : 10'000;
 
+    core::SimConfig config;
+    bench::applyObservability(config, opt);
+
     exp::ExperimentSuite suite("table5_whisper");
     for (const auto &name : workloads::whisperNames()) {
         exp::WhisperPointSpec spec;
         spec.benchmark = name;
         spec.params = wp;
+        spec.config = config;
         suite.add(std::move(spec));
     }
     common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, config, opt);
     suite.run(pool);
 
     std::printf("=== Table V: WHISPER single-PMO overheads (%llu "
@@ -94,5 +99,6 @@ main(int argc, char **argv)
                 "\n");
     bench::writeJsonIfRequested(suite, opt);
     bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
     return 0;
 }

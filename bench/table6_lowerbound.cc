@@ -44,14 +44,19 @@ main(int argc, char **argv)
         mp.numOps = 1'000'000;
     mp.initialNodes = 1024;
 
+    core::SimConfig config;
+    bench::applyObservability(config, opt);
+
     exp::ExperimentSuite suite("table6_lowerbound");
     for (const auto &name : workloads::microNames()) {
         exp::MicroPointSpec spec;
         spec.benchmark = name;
         spec.params = mp;
+        spec.config = config;
         suite.add(std::move(spec));
     }
     common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, config, opt);
     suite.run(pool);
 
     std::printf("=== Table VI: lowerbound overhead and switch "
@@ -75,5 +80,6 @@ main(int argc, char **argv)
                 "switch rate (27 cycles per SETPERM at 2.2 GHz).\n");
     bench::writeJsonIfRequested(suite, opt);
     bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
     return 0;
 }

@@ -83,15 +83,20 @@ main(int argc, char **argv)
     const std::vector<SchemeKind> schemes{SchemeKind::MpkVirt,
                                           SchemeKind::DomainVirt};
 
+    core::SimConfig config;
+    bench::applyObservability(config, opt);
+
     exp::ExperimentSuite suite("table7_breakdown");
     for (const auto &name : workloads::microNames()) {
         exp::MicroPointSpec spec;
         spec.benchmark = name;
         spec.params = mp;
+        spec.config = config;
         spec.schemes = schemes;
         suite.add(std::move(spec));
     }
     common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, config, opt);
     suite.run(pool);
 
     std::printf("=== Table VII: overhead breakdown at 1024 PMOs "
@@ -112,5 +117,6 @@ main(int argc, char **argv)
         "latency 11.28, total 23.97.\n");
     bench::writeJsonIfRequested(suite, opt);
     bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
     return 0;
 }

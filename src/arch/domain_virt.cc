@@ -1,6 +1,7 @@
 #include "arch/domain_virt.hh"
 
 #include "common/logging.hh"
+#include "stats/timeseries.hh"
 
 namespace pmodv::arch
 {
@@ -16,6 +17,14 @@ DomainVirtScheme::DomainVirtScheme(stats::Group *parent,
                       "context switches processed")
 {
     ptlb_ = std::make_unique<Ptlb>(this, params_.ptlbEntries);
+}
+
+void
+DomainVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
+{
+    ProtectionScheme::registerTimelineTracks(timeline);
+    timeline.track(ptlb_->misses, "ptlb_misses");
+    timeline.track(drtWalks, "drt_walks");
 }
 
 void
@@ -69,6 +78,7 @@ DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
 
     // PTLB miss: fetch from the PT (Table II: 30 cycles including the
     // table lookup), then install the entry.
+    profile_.fillMiss(domain);
     cycles += params_.ptlbMissCycles;
     cycTableMiss += static_cast<double>(params_.ptlbMissCycles);
     ptlb_->missLatency.sample(params_.ptlbMissCycles);
@@ -109,6 +119,7 @@ DomainVirtScheme::checkAccess(const AccessContext &ctx)
 
     // The PTLB permission lookup adds latency to every domain access,
     // even when the data hits in the cache (paper §VI-A).
+    profile_.access(domain);
     Cycles cycles = params_.ptlbAccessCycles;
     cycAccessLatency += static_cast<double>(params_.ptlbAccessCycles);
 
@@ -130,6 +141,8 @@ DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     // phantom grants a later attach of the same id would inherit.
     if (domains_.find(domain) == domains_.end())
         return cycles;
+
+    profile_.setPerm(domain);
 
     // The PTLB caches the *running* thread's permissions only; a
     // cross-thread permission update (an OS-assisted grant) goes

@@ -73,6 +73,7 @@ class DomainVirtScheme : public ProtectionScheme
                      const tlb::AddressSpace &space);
 
     void setTlb(tlb::TlbHierarchy *tlb) override;
+    void registerTimelineTracks(stats::TimeSeries &timeline) override;
 
     CheckResult checkAccess(const AccessContext &ctx) override;
     Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;

@@ -71,6 +71,9 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
 {
     Cycles cycles = 0;
 
+    // The remap trap is the incoming domain's protection-fill miss.
+    profile_.fillMiss(domain);
+
     ProtKey key = keyAlloc_.alloc();
     std::uint64_t patched_pages = 0;
 
@@ -98,6 +101,7 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
             pages += tlb_->flushRange(st.base, st.size);
         }
         shootdownPages += static_cast<double>(pages);
+        profile_.eviction(victim_domain, pages);
         postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
                   victim);
         postEvent(trace::EventKind::Shootdown, tid, victim_domain,
@@ -139,6 +143,8 @@ LibMpkScheme::checkAccess(const AccessContext &ctx)
     Perm domain_perm = Perm::ReadWrite; // Domainless: page perm only.
     if (key != kNullKey) {
         touchKey(key);
+        if (keyHolder_[key] != kNullDomain)
+            profile_.access(keyHolder_[key]);
         domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
     }
     CheckResult res = judge(ctx, domain_perm, 0);
@@ -161,6 +167,7 @@ LibMpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     auto it = domains_.find(domain);
     if (it == domains_.end())
         return cycles;
+    profile_.setPerm(domain);
     DomainState &st = it->second;
     st.perms[tid] = perm;
 

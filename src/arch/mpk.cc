@@ -12,6 +12,7 @@ MpkScheme::MpkScheme(stats::Group *parent, const ProtParams &params,
                    "attaches that found no free protection key"),
       fillPolicy_(*this)
 {
+    keyHolder_.fill(kNullDomain);
 }
 
 void
@@ -37,6 +38,8 @@ CheckResult
 MpkScheme::checkAccess(const AccessContext &ctx)
 {
     const ProtKey key = ctx.entry->key;
+    if (key != kNullKey && keyHolder_[key] != kNullDomain)
+        profile_.access(keyHolder_[key]);
     // Domainless accesses skip the PKRU check but the page permission
     // still governs (an exhausted-attach PMO keeps its PTE rights).
     const Perm domain_perm =
@@ -54,6 +57,8 @@ MpkScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     perm = permNormalizeHw(perm);
     const Cycles cycles = chargeSetPerm();
     auto it = domainKey_.find(domain);
+    if (it != domainKey_.end())
+        profile_.setPerm(domain);
     if (it != domainKey_.end() && it->second != kNullKey)
         pkrus_.forThread(tid).setPerm(it->second, perm);
     // A domainless PMO (exhausted keys) still executes the WRPKRU.
@@ -81,6 +86,7 @@ MpkScheme::attach(ThreadId, DomainId domain, Addr, Addr, Perm)
         // every thread; a reused key must not leak its previous
         // owner's PKRU grants.
         pkrus_.resetKey(key);
+        keyHolder_[key] = domain;
     }
     domainKey_[domain] = key;
     return 0;
@@ -94,6 +100,7 @@ MpkScheme::detach(ThreadId, DomainId domain)
         return 0;
     if (it->second != kNullKey) {
         keyAlloc_.free(it->second);
+        keyHolder_[it->second] = kNullDomain;
         if (tlb_)
             tlb_->flushKey(it->second);
     } else if (tlb_) {

@@ -10,6 +10,7 @@
 #ifndef PMODV_ARCH_MPK_HH
 #define PMODV_ARCH_MPK_HH
 
+#include <array>
 #include <unordered_map>
 
 #include "arch/pkru.hh"
@@ -61,6 +62,10 @@ class MpkScheme : public ProtectionScheme
     KeyAllocator keyAlloc_;
     PkruFile pkrus_;
     std::unordered_map<DomainId, ProtKey> domainKey_;
+    /** Reverse of domainKey_ for access attribution (kNullDomain when
+     *  the key is free; domainless PMOs share kNullKey and stay
+     *  unattributed). */
+    std::array<DomainId, kNumProtKeys> keyHolder_{};
     FillPolicy fillPolicy_;
 };
 

@@ -1,6 +1,7 @@
 #include "arch/mpk_virt.hh"
 
 #include "common/logging.hh"
+#include "stats/timeseries.hh"
 
 namespace pmodv::arch
 {
@@ -18,6 +19,14 @@ MpkVirtScheme::MpkVirtScheme(stats::Group *parent,
     dttlb_ = std::make_unique<Dttlb>(this, params_.dttlbEntries);
     keyHolder_.fill(kNullDomain);
     keyStamp_.fill(0);
+}
+
+void
+MpkVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
+{
+    ProtectionScheme::registerTimelineTracks(timeline);
+    timeline.track(dttlb_->misses, "dttlb_misses");
+    timeline.track(dttWalks, "dtt_walks");
 }
 
 void
@@ -144,6 +153,7 @@ MpkVirtScheme::resolveKey(ThreadId tid, DttInfo &info)
         if (tlb_)
             pages = tlb_->flushRange(vinfo.base, vinfo.size);
         shootdownPages += static_cast<double>(pages);
+        profile_.eviction(victim_domain, pages);
         postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
                   victim);
         postEvent(trace::EventKind::Shootdown, tid, victim_domain,
@@ -182,6 +192,7 @@ MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
         // DTTLB miss: walk the DTT (Table II: 30 cycles).
         ++s.dttWalks;
         cycles += s.params_.dttWalkCycles;
+        s.profile_.fillMiss(region->domain);
         s.cycTableMiss += static_cast<double>(s.params_.dttWalkCycles);
         s.dttlb_->missLatency.sample(s.params_.dttWalkCycles);
         auto walk = s.dtt_.walk(va);
@@ -206,6 +217,8 @@ MpkVirtScheme::checkAccess(const AccessContext &ctx)
     Perm domain_perm = Perm::ReadWrite; // Domainless: page perm only.
     if (key != kNullKey) {
         touchKey(key);
+        if (keyHolder_[key] != kNullDomain)
+            profile_.access(keyHolder_[key]);
         domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
     }
     CheckResult res = judge(ctx, domain_perm, 0);
@@ -224,6 +237,7 @@ MpkVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     if (it == domains_.end())
         return cycles; // SETPERM on an unattached domain: no-op.
 
+    profile_.setPerm(domain);
     DttInfo &info = *it->second;
     info.perms[tid] = perm;
 

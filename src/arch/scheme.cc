@@ -1,6 +1,7 @@
 #include "arch/scheme.hh"
 
 #include "common/logging.hh"
+#include "stats/timeseries.hh"
 
 namespace pmodv::arch
 {
@@ -71,6 +72,15 @@ ProtectionScheme::ProtectionScheme(stats::Group *parent, std::string name,
       protectionFaults(this, "protection_faults", "accesses denied"),
       params_(params), space_(space), label_(std::move(name))
 {
+}
+
+void
+ProtectionScheme::registerTimelineTracks(stats::TimeSeries &timeline)
+{
+    timeline.track(keyEvictions, "key_evictions");
+    timeline.track(shootdowns, "shootdowns");
+    timeline.track(shootdownPages, "shootdown_pages");
+    timeline.track(permChanges, "perm_changes");
 }
 
 Cycles

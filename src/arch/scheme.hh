@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "arch/domain_profile.hh"
 #include "arch/params.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
@@ -134,6 +135,22 @@ class ProtectionScheme : public stats::Group
      */
     virtual Perm effectivePerm(ThreadId tid, DomainId domain) const = 0;
 
+    /**
+     * Per-domain attribution: which PMOs the scheme's protection work
+     * (fills, evictions, shootdowns, SETPERMs) landed on. Reports
+     * rank this into the "hot domains" table.
+     */
+    const DomainProfile &domainProfile() const { return profile_; }
+
+    /**
+     * Add the scheme's counters to the System's timeline sampler.
+     * The base registers the cross-scheme event counters (key
+     * evictions, shootdowns, shootdown pages, permission changes);
+     * schemes with private buffers override to add their miss
+     * counters (DTTLB/PTLB) and must call the base first.
+     */
+    virtual void registerTimelineTracks(stats::TimeSeries &timeline);
+
     // ---- Table VII overhead buckets (cycles) ----
     stats::Scalar cycPermissionChange; ///< SETPERM/WRPKRU instructions.
     stats::Scalar cycEntryChange;      ///< DTTLB/PTLB entry operations.
@@ -180,6 +197,7 @@ class ProtectionScheme : public stats::Group
     const tlb::AddressSpace &space_;
     tlb::TlbHierarchy *tlb_ = nullptr;
     trace::EventRing *events_ = nullptr;
+    DomainProfile profile_;
 
   private:
     std::string label_;

@@ -8,6 +8,7 @@
 #ifndef PMODV_CORE_CONFIG_HH
 #define PMODV_CORE_CONFIG_HH
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 
@@ -37,6 +38,21 @@ struct SimConfig
     tlb::TlbHierarchyParams tlb{};
     mem::HierarchyParams memory{};
     arch::ProtParams prot{};
+
+    /**
+     * Epoch width of the System's timeline sampler in cycles; 0 (the
+     * default) disables sampling entirely, reducing the hot-path cost
+     * to one compare per trace record (bench/gbench_sim.cc).
+     */
+    Cycles samplingEpochCycles = 0;
+
+    /** Row bound of the timeline sampler; adjacent epochs coalesce
+     *  (doubling the epoch width) once this many rows exist. */
+    unsigned samplingMaxEpochs = 64;
+
+    /** Capacity of the System's event flight recorder. Raise it when
+     *  exporting Perfetto traces so transaction spans survive. */
+    std::size_t eventRingCapacity = 256;
 
     /** Cycles for @p seconds of wall-clock at the configured clock. */
     double

@@ -37,7 +37,11 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
                          ? 0.0
                          : instructions.value() / cycles.value();
           }),
-      config_(config), schemeKind_(scheme), events_(this)
+      timeline(this, "timeline",
+               "per-epoch counter deltas (cycles per epoch in "
+               "epoch_cycles)"),
+      config_(config), schemeKind_(scheme),
+      events_(this, "events", config.eventRingCapacity)
 {
     events_.bindClock(&cycleCount_);
     tlb_ = std::make_unique<tlb::TlbHierarchy>(this, config_.tlb,
@@ -47,9 +51,30 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
     scheme_ = arch::makeScheme(scheme, this, config_.prot, space_);
     scheme_->setTlb(tlb_.get());
     scheme_->setEventRing(&events_);
+
+    if (config_.samplingEpochCycles != 0) {
+        timeline.configure(config_.samplingEpochCycles,
+                           config_.samplingMaxEpochs);
+        timeline.track(cycles, "cycles");
+        timeline.track(instructions, "instructions");
+        timeline.track(memAccesses, "mem_accesses");
+        timeline.track(operations, "operations");
+        timeline.track(cycMem, "cyc_mem");
+        timeline.track(cycProtFill, "cyc_prot_fill");
+        timeline.track(cycProtCheck, "cyc_prot_check");
+        timeline.track(cycPermInstr, "cyc_perm_instr");
+        timeline.track(tlb_->l1().misses, "dtlb_l1_misses");
+        scheme_->registerTimelineTracks(timeline);
+    }
 }
 
 System::~System() = default;
+
+void
+System::finish()
+{
+    timeline.finalize(cycleCount_);
+}
 
 void
 System::doAccess(const trace::TraceRecord &rec)
@@ -162,6 +187,7 @@ System::put(const trace::TraceRecord &rec)
         }
         break;
     }
+    timeline.tick(cycleCount_);
 }
 
 } // namespace pmodv::core

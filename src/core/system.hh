@@ -18,6 +18,7 @@
 #include "core/config.hh"
 #include "mem/hierarchy.hh"
 #include "stats/stats.hh"
+#include "stats/timeseries.hh"
 #include "tlb/hierarchy.hh"
 #include "trace/event_ring.hh"
 #include "trace/sinks.hh"
@@ -39,7 +40,8 @@ class System : public stats::Group, public trace::TraceSink
 
     // -- TraceSink --
     void put(const trace::TraceRecord &rec) override;
-    void finish() override {}
+    /** Ends the replay: closes the timeline's trailing epoch. */
+    void finish() override;
 
     /** Total cycles accumulated so far. */
     Cycles totalCycles() const { return cycleCount_; }
@@ -84,6 +86,15 @@ class System : public stats::Group, public trace::TraceSink
     stats::Formula ipc;
     /** Cycles per workload operation (OpBegin..OpEnd), log2 buckets. */
     stats::Histogram opCycles;
+
+    /**
+     * Epoch-sampled counter trajectory (config.samplingEpochCycles; off
+     * by default). Tracks the replay counters, the cycle-attribution
+     * buckets, L1 TLB misses and the scheme's eviction/shootdown
+     * counters — plus whatever the scheme adds via its
+     * registerTimelineTracks() hook (DTTLB/PTLB misses).
+     */
+    stats::TimeSeries timeline;
 
   private:
     void doAccess(const trace::TraceRecord &rec);

@@ -1,9 +1,13 @@
 #include "exp/executor.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <future>
+#include <thread>
 
 #include "common/logging.hh"
+#include "exp/trace_export.hh"
 #include "pmo/pmo_namespace.hh"
 #include "stats/export.hh"
 
@@ -151,12 +155,14 @@ eventsToJson(const core::System &sys)
 void
 captureObservability(const PointRun &run,
                      std::map<SchemeKind, std::string> &stats_json,
-                     std::map<SchemeKind, std::string> &events_json)
+                     std::map<SchemeKind, std::string> &events_json,
+                     std::map<SchemeKind, std::string> &hot_json)
 {
     for (SchemeKind k : run.kinds) {
         const core::System &sys = systemOf(run, k);
         stats_json[k] = stats::toJsonString(sys);
         events_json[k] = eventsToJson(sys);
+        hot_json[k] = hotDomainsJson(sys.scheme().domainProfile());
     }
 }
 
@@ -182,14 +188,79 @@ whisperKinds()
 }
 
 /**
+ * Poll-and-report loop: counts ready futures every ~200 ms and prints
+ * one overwriting stderr line with done/total, elapsed and a linear
+ * ETA. `run->replays` is only read for runs whose capture already
+ * completed — before that the vector is still being populated by the
+ * capture task.
+ */
+void
+awaitWithProgress(std::vector<std::future<void>> &captures,
+                  std::vector<std::unique_ptr<PointRun>> &runs)
+{
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    std::size_t total = 0;
+    for (const auto &run : runs)
+        total += run->kinds.size();
+
+    auto last_print = start;
+    bool printed = false;
+    for (;;) {
+        std::size_t captures_done = 0;
+        std::size_t replays_done = 0;
+        std::size_t replays_known = 0;
+        for (std::size_t i = 0; i < captures.size(); ++i) {
+            if (captures[i].wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue;
+            ++captures_done;
+            for (auto &f : runs[i]->replays) {
+                ++replays_known;
+                if (f.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready)
+                    ++replays_done;
+            }
+        }
+        const bool done = captures_done == captures.size() &&
+                          replays_done == replays_known;
+        const auto now = clock::now();
+        if (done || now - last_print > std::chrono::milliseconds(200)) {
+            last_print = now;
+            const double elapsed =
+                std::chrono::duration<double>(now - start).count();
+            const double eta =
+                replays_done == 0
+                    ? 0.0
+                    : elapsed *
+                          static_cast<double>(total - replays_done) /
+                          static_cast<double>(replays_done);
+            std::fprintf(stderr,
+                         "\r[exp] replays %zu/%zu  elapsed %.1fs"
+                         "  eta %.1fs ",
+                         replays_done, total, elapsed, eta);
+            std::fflush(stderr);
+            printed = true;
+        }
+        if (done)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (printed)
+        std::fprintf(stderr, "\n");
+}
+
+/**
  * Wait for every capture, then every replay, then rethrow the first
  * stored exception (captures before replays). Waiting on everything
  * before rethrowing keeps no task alive past the runs it references.
  */
 void
 awaitAll(std::vector<std::future<void>> &captures,
-         std::vector<std::unique_ptr<PointRun>> &runs)
+         std::vector<std::unique_ptr<PointRun>> &runs, bool progress)
 {
+    if (progress)
+        awaitWithProgress(captures, runs);
     for (auto &f : captures)
         f.wait();
     for (auto &run : runs) {
@@ -232,7 +303,8 @@ reduceMicro(const MicroPointSpec &spec, const PointRun &run)
         point.breakdown[k] = computeBreakdown(sys, baseline);
         point.keyRemaps[k] = sys.scheme().keyRemaps.value();
     }
-    captureObservability(run, point.statsJson, point.eventsJson);
+    captureObservability(run, point.statsJson, point.eventsJson,
+                         point.hotDomainsJson);
     return point;
 }
 
@@ -259,8 +331,29 @@ reduceWhisper(const WhisperPointSpec &spec, const PointRun &run)
                      SchemeKind::NoProtection) * 100.0;
     for (SchemeKind k : run.kinds)
         row.totalCycles[k] = systemOf(run, k).totalCycles();
-    captureObservability(run, row.statsJson, row.eventsJson);
+    captureObservability(run, row.statsJson, row.eventsJson,
+                         row.hotDomainsJson);
     return row;
+}
+
+/**
+ * Append every System of @p run to @p exporter (when one is set), one
+ * track per scheme named "<point>/<scheme>". Runs on the coordinating
+ * thread during reduction, preserving spec order.
+ */
+void
+exportTracks(trace::PerfettoExporter *exporter, const PointRun &run,
+             const std::string &point_label)
+{
+    if (!exporter)
+        return;
+    for (std::size_t i = 0; i < run.kinds.size(); ++i) {
+        const std::string label =
+            point_label.empty()
+                ? std::string(arch::schemeName(run.kinds[i]))
+                : point_label + "/" + arch::schemeName(run.kinds[i]);
+        appendSystemTrack(*exporter, *run.systems[i], label);
+    }
 }
 
 } // namespace
@@ -288,12 +381,16 @@ Executor::runMicro(const std::vector<MicroPointSpec> &specs)
             launchReplays(pool_, *run, spec.config);
         }));
     }
-    awaitAll(captures, runs);
+    awaitAll(captures, runs, progress_);
 
     std::vector<MicroPoint> rows;
     rows.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         rows.push_back(reduceMicro(specs[i], *runs[i]));
+        exportTracks(perfetto_, *runs[i],
+                     specs[i].benchmark + "/pmos=" +
+                         std::to_string(specs[i].params.numPmos));
+    }
     return rows;
 }
 
@@ -320,12 +417,14 @@ Executor::runWhisper(const std::vector<WhisperPointSpec> &specs)
             launchReplays(pool_, *run, spec.config);
         }));
     }
-    awaitAll(captures, runs);
+    awaitAll(captures, runs, progress_);
 
     std::vector<WhisperRow> rows;
     rows.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         rows.push_back(reduceWhisper(specs[i], *runs[i]));
+        exportTracks(perfetto_, *runs[i], specs[i].benchmark);
+    }
     return rows;
 }
 
@@ -347,7 +446,7 @@ Executor::runRaw(const std::vector<RawPointSpec> &specs)
             launchReplays(pool_, *run, spec.config);
         }));
     }
-    awaitAll(captures, runs);
+    awaitAll(captures, runs, progress_);
 
     std::vector<RawPointResult> rows;
     rows.reserve(specs.size());
@@ -357,8 +456,14 @@ Executor::runRaw(const std::vector<RawPointSpec> &specs)
             const core::System &sys = systemOf(*runs[i], k);
             res.totalCycles[k] = sys.totalCycles();
             res.deniedAccesses[k] = sys.deniedAccesses.value();
+            res.hotDomains[k] =
+                sys.scheme().domainProfile().topN(kHotDomainsTopN);
         }
-        captureObservability(*runs[i], res.statsJson, res.eventsJson);
+        captureObservability(*runs[i], res.statsJson, res.eventsJson,
+                             res.hotDomainsJson);
+        exportTracks(perfetto_, *runs[i],
+                     specs.size() == 1 ? std::string()
+                                       : "p" + std::to_string(i));
         rows.push_back(std::move(res));
     }
     return rows;

@@ -26,10 +26,16 @@
 #include <string>
 #include <vector>
 
+#include "arch/domain_profile.hh"
 #include "common/thread_pool.hh"
 #include "core/replay.hh"
 #include "workloads/micro/micro.hh"
 #include "workloads/whisper/whisper.hh"
+
+namespace pmodv::trace
+{
+class PerfettoExporter;
+} // namespace pmodv::trace
 
 namespace pmodv::exp
 {
@@ -50,6 +56,8 @@ struct WhisperRow
     std::map<arch::SchemeKind, std::string> statsJson;
     /** Event-ring snapshot per scheme, as a JSON array. */
     std::map<arch::SchemeKind, std::string> eventsJson;
+    /** Top-N hot-domain table per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> hotDomainsJson;
 };
 
 /** Table VII-style overhead breakdown (percent over lowerbound). */
@@ -82,6 +90,8 @@ struct MicroPoint
     std::map<arch::SchemeKind, std::string> statsJson;
     /** Event-ring snapshot per scheme, as a JSON array. */
     std::map<arch::SchemeKind, std::string> eventsJson;
+    /** Top-N hot-domain table per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> hotDomainsJson;
 };
 
 // --------------------------------------------------------------- specs
@@ -131,6 +141,10 @@ struct RawPointResult
     std::map<arch::SchemeKind, std::string> statsJson;
     /** Event-ring snapshot per scheme, as a JSON array. */
     std::map<arch::SchemeKind, std::string> eventsJson;
+    /** Top-N hot-domain table per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> hotDomainsJson;
+    /** The same table, typed (for tools printing text reports). */
+    std::map<arch::SchemeKind, std::vector<arch::HotDomain>> hotDomains;
 };
 
 /** log2 of an overhead percentage, the paper's Figure 6 y-axis. */
@@ -147,6 +161,24 @@ class Executor
 {
   public:
     explicit Executor(common::ThreadPool &pool) : pool_(pool) {}
+
+    /**
+     * Emit a periodic progress line ("replays done/total, elapsed,
+     * ETA") to stderr while waiting for a batch. Off by default —
+     * reports stay clean for piped/CI output.
+     */
+    void setProgress(bool on) { progress_ = on; }
+
+    /**
+     * Append one Perfetto track per (point, scheme) to @p exporter
+     * (nullptr disables, the default). Tracks are appended during the
+     * single-threaded row reduction in spec order, so the exported
+     * trace is byte-identical across worker counts.
+     */
+    void setPerfettoExporter(trace::PerfettoExporter *exporter)
+    {
+        perfetto_ = exporter;
+    }
 
     /** Run a batch of points; rows come back in spec order. */
     std::vector<MicroPoint>
@@ -165,6 +197,8 @@ class Executor
 
   private:
     common::ThreadPool &pool_;
+    bool progress_ = false;
+    trace::PerfettoExporter *perfetto_ = nullptr;
 };
 
 } // namespace pmodv::exp

@@ -58,6 +58,8 @@ ExperimentSuite::run(common::ThreadPool &pool)
 {
     const auto start = std::chrono::steady_clock::now();
     Executor executor(pool);
+    executor.setProgress(progress_);
+    executor.setPerfettoExporter(perfetto_);
     microRows_ = executor.runMicro(micro_);
     whisperRows_ = executor.runWhisper(whisper_);
     wallSeconds_ = std::chrono::duration<double>(
@@ -160,6 +162,8 @@ writeMicroRow(std::ostream &os, const MicroPoint &pt)
     writeSchemeJson(os, pt.statsJson);
     os << ",\n     \"events\": ";
     writeSchemeJson(os, pt.eventsJson);
+    os << ",\n     \"hot_domains\": ";
+    writeSchemeJson(os, pt.hotDomainsJson);
     os << "}";
 }
 
@@ -177,6 +181,8 @@ writeWhisperRow(std::ostream &os, const WhisperRow &row)
     writeSchemeJson(os, row.statsJson);
     os << ",\n     \"events\": ";
     writeSchemeJson(os, row.eventsJson);
+    os << ",\n     \"hot_domains\": ";
+    writeSchemeJson(os, row.hotDomainsJson);
     os << "}";
 }
 

@@ -62,6 +62,15 @@ class ExperimentSuite
     {
     }
 
+    /** Forwarded to the Executor's progress reporting (see there). */
+    void setProgress(bool on) { progress_ = on; }
+
+    /** Forwarded to Executor::setPerfettoExporter (nullptr = off). */
+    void setPerfettoExporter(trace::PerfettoExporter *exporter)
+    {
+        perfetto_ = exporter;
+    }
+
     /** Register points; returns the row index the result will have. */
     std::size_t add(MicroPointSpec spec);
     std::size_t add(WhisperPointSpec spec);
@@ -99,6 +108,8 @@ class ExperimentSuite
     std::vector<WhisperRow> whisperRows_;
     double wallSeconds_ = 0;
     unsigned jobs_ = 0;
+    bool progress_ = false;
+    trace::PerfettoExporter *perfetto_ = nullptr;
 };
 
 } // namespace pmodv::exp

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "stats/timeseries.hh"
+
 namespace pmodv::stats
 {
 
@@ -110,6 +112,22 @@ void
 TextVisitor::visitFormula(const Formula &stat)
 {
     line(prefixes_.back() + stat.name(), stat.value(), stat.desc());
+}
+
+void
+TextVisitor::visitTimeSeries(const TimeSeries &stat)
+{
+    // The text dump stays summary-level (per-track totals); the full
+    // per-epoch rows are a JSON/CSV affair.
+    const std::string base = prefixes_.back() + stat.name();
+    line(base + "::epoch_cycles",
+         static_cast<double>(stat.epochCycles()), stat.desc());
+    line(base + "::epochs", static_cast<double>(stat.numEpochs()),
+         stat.desc());
+    for (std::size_t t = 0; t < stat.numTracks(); ++t) {
+        line(base + "::" + stat.trackLabel(t) + "::total",
+             stat.trackTotal(t), stat.desc());
+    }
 }
 
 // ------------------------------------------------------------- json
@@ -226,6 +244,34 @@ JsonVisitor::visitFormula(const Formula &stat)
     number(stat.value());
 }
 
+void
+JsonVisitor::visitTimeSeries(const TimeSeries &stat)
+{
+    key(stat.name());
+    os_ << "{";
+    first_.push_back(true);
+    key("epoch_cycles");
+    number(static_cast<double>(stat.epochCycles()));
+    key("epochs");
+    number(static_cast<double>(stat.numEpochs()));
+    key("tracks");
+    os_ << "{";
+    first_.push_back(true);
+    for (std::size_t t = 0; t < stat.numTracks(); ++t) {
+        key(stat.trackLabel(t));
+        os_ << "[";
+        for (std::size_t e = 0; e < stat.numEpochs(); ++e) {
+            os_ << (e ? "," : "");
+            number(stat.sample(t, e));
+        }
+        os_ << "]";
+    }
+    first_.pop_back();
+    os_ << "}";
+    first_.pop_back();
+    os_ << "}";
+}
+
 // -------------------------------------------------------------- csv
 
 CsvVisitor::CsvVisitor(std::ostream &os) : os_(os)
@@ -294,6 +340,19 @@ void
 CsvVisitor::visitFormula(const Formula &stat)
 {
     row(prefixes_.back() + stat.name(), stat.value());
+}
+
+void
+CsvVisitor::visitTimeSeries(const TimeSeries &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    row(base + "::epoch_cycles", static_cast<double>(stat.epochCycles()));
+    row(base + "::epochs", static_cast<double>(stat.numEpochs()));
+    for (std::size_t t = 0; t < stat.numTracks(); ++t) {
+        const std::string track = base + "::" + stat.trackLabel(t);
+        for (std::size_t e = 0; e < stat.numEpochs(); ++e)
+            row(track + "::e" + std::to_string(e), stat.sample(t, e));
+    }
 }
 
 // ------------------------------------------------------- entry points

@@ -39,6 +39,7 @@ class TextVisitor : public Visitor
     void visitVector(const Vector &stat) override;
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
+    void visitTimeSeries(const TimeSeries &stat) override;
 
   private:
     void line(const std::string &full_name, double value,
@@ -55,6 +56,9 @@ class TextVisitor : public Visitor
  * parent), scalars/formulas become numbers, vectors objects of
  * sub-buckets plus "total", histograms objects with the moments and a
  * "buckets" array of {"bin", "count"} pairs (non-empty buckets only).
+ * Time series become objects with "epoch_cycles"/"epochs" and a
+ * "tracks" object mapping each track label to its per-epoch delta
+ * array (disabled series emit epoch_cycles 0 and no tracks).
  * Numbers round-trip: integral values print without a fraction,
  * others with 17 significant digits; non-finite values are emitted as
  * 0 so the document always parses.
@@ -70,6 +74,7 @@ class JsonVisitor : public Visitor
     void visitVector(const Vector &stat) override;
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
+    void visitTimeSeries(const TimeSeries &stat) override;
 
   private:
     void key(const std::string &name);
@@ -99,6 +104,7 @@ class CsvVisitor : public Visitor
     void visitVector(const Vector &stat) override;
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
+    void visitTimeSeries(const TimeSeries &stat) override;
 
   private:
     void row(const std::string &name, double value);

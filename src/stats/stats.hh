@@ -30,6 +30,7 @@ class Scalar;
 class Vector;
 class Histogram;
 class Formula;
+class TimeSeries;
 
 /**
  * Traversal interface over a stats tree. beginGroup/endGroup bracket
@@ -48,6 +49,9 @@ class Visitor
     virtual void visitVector(const Vector &stat) = 0;
     virtual void visitHistogram(const Histogram &stat) = 0;
     virtual void visitFormula(const Formula &stat) = 0;
+    /** Defaulted (not pure) so visitors predating epoch sampling —
+     *  including out-of-tree ones — keep compiling unchanged. */
+    virtual void visitTimeSeries(const TimeSeries &) {}
 };
 
 /** Base class for all statistics; handles naming and registration. */

@@ -37,7 +37,14 @@ enum class EventKind : std::uint8_t
     Shootdown = 1,   ///< A ranged TLB invalidation was issued.
     PtlbRefill = 2,  ///< A PTLB miss was refilled from the PT.
     DttlbRefill = 3, ///< A DTTLB miss was refilled from the DTT.
-    TxnCommit = 4,   ///< A workload operation completed (OpEnd).
+    /**
+     * A workload operation completed (OpEnd). `arg` carries the op's
+     * identity — workloads stamp the primary domain of the operation
+     * into the OpBegin/OpEnd aux field — and `value` the op's duration
+     * in cycles, so exporters can render labelled transaction spans
+     * (trace::PerfettoExporter).
+     */
+    TxnCommit = 4,
 };
 
 /** Stable snake_case name of @p kind (used in JSON reports). */

@@ -1,0 +1,137 @@
+#include "trace/perfetto.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace pmodv::trace
+{
+
+namespace
+{
+
+/** Deterministic double formatting (mirrors the stats exporters). */
+std::string
+formatNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    if (value == std::nearbyint(value) &&
+        std::fabs(value) < 9007199254740992.0) { // 2^53
+        std::ostringstream os;
+        os << static_cast<long long>(value);
+        return os.str();
+    }
+    std::ostringstream os;
+    os << std::setprecision(17) << value;
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+PerfettoExporter::timestamp(std::uint64_t cycle) const
+{
+    return formatNumber(static_cast<double>(cycle) / cyclesPerUsec_);
+}
+
+void
+PerfettoExporter::appendArgs(std::string &out, const Args &args) const
+{
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(key) + "\":" + formatNumber(value);
+    }
+    out += "}";
+}
+
+int
+PerfettoExporter::addTrack(const std::string &name)
+{
+    const int pid = numTracks_++;
+    events_.push_back("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                      std::to_string(pid) + ",\"args\":{\"name\":\"" +
+                      jsonEscape(name) + "\"}}");
+    return pid;
+}
+
+void
+PerfettoExporter::span(int track, const std::string &name,
+                       std::uint64_t begin, std::uint64_t duration,
+                       ThreadId tid, const Args &args)
+{
+    std::string ev = "{\"name\":\"" + jsonEscape(name) +
+                     "\",\"ph\":\"X\",\"ts\":" + timestamp(begin) +
+                     ",\"dur\":" +
+                     formatNumber(static_cast<double>(duration) /
+                                  cyclesPerUsec_) +
+                     ",\"pid\":" + std::to_string(track) +
+                     ",\"tid\":" + std::to_string(tid);
+    if (!args.empty())
+        appendArgs(ev, args);
+    ev += "}";
+    events_.push_back(std::move(ev));
+}
+
+void
+PerfettoExporter::instant(int track, const std::string &name,
+                          std::uint64_t cycle, ThreadId tid,
+                          const Args &args)
+{
+    std::string ev = "{\"name\":\"" + jsonEscape(name) +
+                     "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+                     timestamp(cycle) +
+                     ",\"pid\":" + std::to_string(track) +
+                     ",\"tid\":" + std::to_string(tid);
+    if (!args.empty())
+        appendArgs(ev, args);
+    ev += "}";
+    events_.push_back(std::move(ev));
+}
+
+void
+PerfettoExporter::counter(int track, const std::string &name,
+                          std::uint64_t cycle, double value)
+{
+    events_.push_back("{\"name\":\"" + jsonEscape(name) +
+                      "\",\"ph\":\"C\",\"ts\":" + timestamp(cycle) +
+                      ",\"pid\":" + std::to_string(track) +
+                      ",\"args\":{\"value\":" + formatNumber(value) +
+                      "}}");
+}
+
+void
+PerfettoExporter::write(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        os << (i ? ",\n" : "\n") << events_[i];
+    os << "\n]}\n";
+}
+
+std::string
+PerfettoExporter::toString() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+} // namespace pmodv::trace

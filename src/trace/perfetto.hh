@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (the legacy JSON format Perfetto and
+ * chrome://tracing both load). The exporter is a plain accumulator:
+ * callers allocate one *track* per replay pipeline (each track
+ * becomes a "process" in the UI, named via a process_name metadata
+ * event) and append duration spans (ph "X"), instant events (ph "i")
+ * and counter samples (ph "C") stamped in simulated cycles; the
+ * exporter converts to the format's microsecond timebase with the
+ * cycles-per-microsecond divisor it was built with.
+ *
+ * The class knows nothing about Systems or schemes — it is pure
+ * format. exp::appendSystemTrack() is the bridge that turns one
+ * replayed System (event ring + timeline) into a track.
+ *
+ * Events serialize eagerly into JSON fragments, so memory per event
+ * is one small string and write() is a join — and the output is
+ * byte-deterministic given the same append sequence, which the
+ * executor guarantees by appending tracks during its single-threaded
+ * row reduction (tests/test_timeline.cc compares --jobs 1 vs 4).
+ */
+
+#ifndef PMODV_TRACE_PERFETTO_HH
+#define PMODV_TRACE_PERFETTO_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmodv::trace
+{
+
+/** Accumulates Chrome trace-event JSON ("traceEvents" array). */
+class PerfettoExporter
+{
+  public:
+    /** Numeric event arguments shown in the UI's detail pane. */
+    using Args = std::vector<std::pair<std::string, double>>;
+
+    /** @p cycles_per_usec converts cycle stamps to the format's
+     *  microsecond timebase (freqGhz * 1000 for a simulated core). */
+    explicit PerfettoExporter(double cycles_per_usec)
+        : cyclesPerUsec_(cycles_per_usec > 0 ? cycles_per_usec : 1.0)
+    {
+    }
+
+    /** Open a new track named @p name; returns its id (the "pid"). */
+    int addTrack(const std::string &name);
+
+    /** Complete span (ph "X") on @p track: [begin, begin+duration). */
+    void span(int track, const std::string &name, std::uint64_t begin,
+              std::uint64_t duration, ThreadId tid,
+              const Args &args = {});
+
+    /** Instant event (ph "i", thread scope). */
+    void instant(int track, const std::string &name, std::uint64_t cycle,
+                 ThreadId tid, const Args &args = {});
+
+    /** Counter sample (ph "C"): @p name's value at @p cycle. */
+    void counter(int track, const std::string &name, std::uint64_t cycle,
+                 double value);
+
+    std::size_t numTracks() const { return numTracks_; }
+    std::size_t numEvents() const { return events_.size(); }
+
+    /** The complete document: {"traceEvents":[...],...}. */
+    void write(std::ostream &os) const;
+    std::string toString() const;
+
+  private:
+    std::string timestamp(std::uint64_t cycle) const;
+    void appendArgs(std::string &out, const Args &args) const;
+
+    double cyclesPerUsec_;
+    int numTracks_ = 0;
+    /** Pre-serialized JSON objects, in append order. */
+    std::vector<std::string> events_;
+};
+
+} // namespace pmodv::trace
+
+#endif // PMODV_TRACE_PERFETTO_HH

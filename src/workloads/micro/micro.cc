@@ -29,11 +29,13 @@ MicroWorkload::run(TraceCtx &ctx)
         const unsigned primary =
             static_cast<unsigned>(ctx.rng().next(params_.numPmos));
         const DomainId domain = space.pmo(primary).domain();
-        ctx.opBegin();
+        // The op markers carry the primary domain so TxnCommit events
+        // (and the Perfetto spans built from them) are attributable.
+        ctx.opBegin(domain);
         ctx.setPerm(domain, Perm::ReadWrite);
         op(ctx, space, primary);
         ctx.setPerm(domain, Perm::ReadWrite);
-        ctx.opEnd();
+        ctx.opEnd(domain);
     }
     ctx.sink().finish();
 }

@@ -79,9 +79,11 @@ WhisperWorkload::run(pmo::Namespace &ns, trace::TraceSink &sink)
 
     Rng rng(params_.seed);
     for (std::uint64_t i = 0; i < params_.numTxns; ++i) {
-        rt.opBegin(tid_);
+        // The op markers carry the pool's domain so TxnCommit events
+        // (and the Perfetto spans built from them) are attributable.
+        rt.opBegin(tid_, domain_);
         txn(api, *pool, rng);
-        rt.opEnd(tid_);
+        rt.opEnd(tid_, domain_);
     }
     sink.finish();
 }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Gate the simulator's headline numbers against a committed baseline.
+
+The baseline (BENCH_baseline.json at the repo root) pins per-scheme
+total_cycles for the quick configurations of the headline experiments
+(fig7_average, table7_breakdown). Metrics are keyed
+
+    <suite>:<benchmark>[/pmos=N]/<scheme>  ->  total_cycles
+
+The simulator is deterministic, so on identical workload parameters a
+drift in these numbers means the *model* changed — which is sometimes
+intended (a PR that changes protection-cost modelling) and sometimes a
+regression smuggled in by a refactor. This gate makes the drift
+visible: CI runs it warn-only, release branches can run it strict.
+
+Usage:
+    check_perf_regress.py report.json... [--baseline FILE]
+        [--tolerance-pct P] [--warn-only] [--update]
+
+--update rewrites the baseline from the given reports instead of
+checking (commit the result alongside the model change that caused
+it). Exit status: 0 ok / 1 drift beyond tolerance (unless --warn-only)
+/ 2 usage or missing-metric errors.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_BASELINE = "BENCH_baseline.json"
+DEFAULT_TOLERANCE_PCT = 2.0
+
+
+def metric_keys(report):
+    """Yield (key, total_cycles) for every row x scheme in a report."""
+    suite = report.get("suite", "unknown")
+    for row in report.get("micro", []):
+        bench = row.get("benchmark", "?")
+        pmos = row.get("pmos")
+        point = f"{bench}/pmos={pmos}" if pmos is not None else bench
+        for scheme, cycles in sorted(row.get("total_cycles", {}).items()):
+            yield f"{suite}:{point}/{scheme}", cycles
+    for row in report.get("whisper", []):
+        bench = row.get("benchmark", "?")
+        for scheme, cycles in sorted(row.get("total_cycles", {}).items()):
+            yield f"{suite}:{bench}/{scheme}", cycles
+
+
+def collect(report_paths):
+    metrics = {}
+    for path in report_paths:
+        with open(path) as f:
+            report = json.load(f)
+        for key, cycles in metric_keys(report):
+            if key in metrics and metrics[key] != cycles:
+                print(f"error: duplicate metric {key} with conflicting "
+                      f"values", file=sys.stderr)
+                sys.exit(2)
+            metrics[key] = cycles
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+",
+                        help="suite --json report file(s)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance-pct", type=float, default=None,
+                        help="allowed drift per metric (default: the "
+                             "baseline's own tolerance_pct, else "
+                             f"{DEFAULT_TOLERANCE_PCT})")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report drift but exit 0")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the reports")
+    args = parser.parse_args()
+
+    current = collect(args.reports)
+    if not current:
+        print("error: reports contain no metrics", file=sys.stderr)
+        return 2
+
+    if args.update:
+        doc = {
+            "tolerance_pct": args.tolerance_pct
+            if args.tolerance_pct is not None else DEFAULT_TOLERANCE_PCT,
+            "metrics": dict(sorted(current.items())),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(current)} metrics to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+    expected = baseline.get("metrics", {})
+    tolerance = args.tolerance_pct
+    if tolerance is None:
+        tolerance = baseline.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
+
+    drifted, missing, checked = [], [], 0
+    for key, base in sorted(expected.items()):
+        if key not in current:
+            missing.append(key)
+            continue
+        checked += 1
+        now = current[key]
+        drift_pct = (abs(now - base) / base * 100.0) if base else (
+            0.0 if now == base else float("inf"))
+        if drift_pct > tolerance:
+            drifted.append((key, base, now, drift_pct))
+
+    new = sorted(set(current) - set(expected))
+    for key in new:
+        print(f"note: metric {key} not in baseline (run --update to "
+              f"pin it)")
+    for key in missing:
+        print(f"note: baseline metric {key} missing from the given "
+              f"reports")
+
+    for key, base, now, drift_pct in drifted:
+        direction = "slower" if now > base else "faster"
+        print(f"DRIFT {key}: {base} -> {now} "
+              f"({drift_pct:+.2f}% {direction})", file=sys.stderr)
+
+    if drifted:
+        verdict = (f"{len(drifted)}/{checked} metrics drifted beyond "
+                   f"{tolerance}% of {args.baseline}")
+        if args.warn_only:
+            print(f"warning: {verdict} (--warn-only, not failing)")
+            return 0
+        print(f"FAIL: {verdict}", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} metrics within {tolerance}% of "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

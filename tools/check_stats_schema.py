@@ -11,11 +11,22 @@ Checks, for every micro/whisper row and every scheme:
     requires the breakdown to explain where the time went — this
     model attributes 100%);
   * the stats tree's `cycles` equals the row's total_cycles entry;
-  * the event ring's `recorded` count is consistent with `dropped`.
+  * the event ring's `recorded` count is consistent with `dropped`;
+  * when the run sampled a timeline (`timeline.epoch_cycles` > 0),
+    every track has one delta per epoch and the per-epoch deltas sum
+    back to the same-named aggregate scalar — the reconstruction
+    invariant stats::TimeSeries guarantees;
+  * every row's `hot_domains` tables are well-formed (per-scheme
+    arrays of domain rows with the five attribution counters).
 
 With --diff A B, additionally asserts that two reports are identical
 except for the run-environment fields (wall_seconds, jobs) — the
 cross---jobs determinism guarantee.
+
+With --trace FILE, additionally validates a Chrome trace-event JSON
+written by --trace-out (pmodv-trace / the bench binaries): the
+document must parse, have a non-empty traceEvents array, name every
+track, and contain at least one duration span and one counter sample.
 
 Exit status 0 on success; prints offending paths and exits 1 on any
 violation.
@@ -87,6 +98,60 @@ def check_stats_tree(path, scheme, stats, expected_total):
         if events.get("dropped", 0) > events.get("recorded", 0):
             fail(path, "event ring dropped more than it recorded")
 
+    check_timeline(path, stats)
+
+
+def check_timeline(path, stats):
+    timeline = stats.get("timeline")
+    if not isinstance(timeline, dict):
+        return
+    epoch_cycles = timeline.get("epoch_cycles", 0)
+    if epoch_cycles == 0:
+        return  # Sampling was off for this run.
+    epochs = timeline.get("epochs")
+    tracks = timeline.get("tracks")
+    if not isinstance(epochs, int) or epochs <= 0:
+        fail(path, f"timeline has bad epoch count {epochs!r}")
+        return
+    if not isinstance(tracks, dict) or not tracks:
+        fail(path, "enabled timeline has no tracks")
+        return
+    for label, deltas in tracks.items():
+        tpath = f"{path}.timeline.{label}"
+        if not isinstance(deltas, list) or len(deltas) != epochs:
+            fail(tpath, f"expected {epochs} epoch deltas, got "
+                        f"{len(deltas) if isinstance(deltas, list) else deltas!r}")
+            continue
+        # Reconstruction invariant: deltas sum to the same-named
+        # aggregate (only checkable for System-level scalars that
+        # live in the same tree node).
+        if label in stats and isinstance(stats[label], (int, float)):
+            total = stats[label]
+            if abs(sum(deltas) - total) > max(1e-6 * abs(total), 1e-6):
+                fail(tpath, f"epoch deltas sum to {sum(deltas)}, "
+                            f"aggregate is {total}")
+
+
+HOT_DOMAIN_KEYS = ["domain", "accesses", "fill_misses", "evictions",
+                   "shootdown_pages", "setperms"]
+
+
+def check_hot_domains(path, row):
+    tables = row.get("hot_domains")
+    if not isinstance(tables, dict):
+        fail(path, "row has no hot_domains tables")
+        return
+    for scheme, rows in tables.items():
+        hpath = f"{path}.hot_domains.{scheme}"
+        if not isinstance(rows, list):
+            fail(hpath, "not a JSON array")
+            continue
+        for entry in rows:
+            for key in HOT_DOMAIN_KEYS:
+                value = entry.get(key)
+                if not isinstance(value, int) or value < 0:
+                    fail(hpath, f"bad '{key}' in {entry}")
+
 
 def check_row(path, row):
     stats = row.get("stats")
@@ -104,6 +169,36 @@ def check_row(path, row):
     for scheme, ring in events.items():
         if not isinstance(ring, list):
             fail(f"{path}.events.{scheme}", "not a JSON array")
+    check_hot_domains(path, row)
+
+
+def check_perfetto_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"trace does not parse: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "trace has no traceEvents")
+        return
+    phases = {}
+    for ev in events:
+        if not isinstance(ev, dict) or "ph" not in ev or "pid" not in ev:
+            fail(path, f"malformed trace event {ev!r}")
+            return
+        phases[ev["ph"]] = phases.get(ev["ph"], 0) + 1
+    tracks = [ev for ev in events
+              if ev["ph"] == "M" and ev.get("name") == "process_name"]
+    if not tracks:
+        fail(path, "trace names no tracks (process_name metadata)")
+    if phases.get("X", 0) == 0:
+        fail(path, "trace has no duration spans (ph X)")
+    if phases.get("C", 0) == 0:
+        fail(path, "trace has no counter samples (ph C)")
+    print(f"ok: {path}: {len(events)} events on {len(tracks)} "
+          f"track(s), phases {phases}")
 
 
 def check_report(path, report):
@@ -125,12 +220,20 @@ def strip_environment(report):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("reports", nargs="+",
+    parser.add_argument("reports", nargs="*",
                         help="suite --json report file(s)")
     parser.add_argument("--diff", action="store_true",
                         help="require all reports identical modulo "
                              "wall_seconds/jobs")
+    parser.add_argument("--trace", action="append", default=[],
+                        help="also validate a --trace-out Chrome "
+                             "trace-event JSON (repeatable)")
     args = parser.parse_args()
+    if not args.reports and not args.trace:
+        parser.error("nothing to check: pass report(s) and/or --trace")
+
+    for path in args.trace:
+        check_perfetto_trace(path)
 
     parsed = []
     for path in args.reports:

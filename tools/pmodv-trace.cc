@@ -9,18 +9,28 @@
  *   pmodv-trace dump <file.trc> [--limit N]
  *       Print records in human-readable form.
  *   pmodv-trace replay <file.trc> [--scheme name]... [--jobs N]
+ *                      [--trace-out out.json] [--epoch CYCLES]
+ *                      [--progress]
  *       Replay under one or more protection schemes (one worker
  *       thread per scheme pipeline) and report cycles + overheads
- *       (default: all six schemes).
+ *       plus a per-scheme hot-domain table (default: all six
+ *       schemes). --trace-out writes a Chrome trace-event JSON
+ *       (loadable in Perfetto / chrome://tracing) with one track per
+ *       scheme; it enables epoch sampling (--epoch, default 65536
+ *       cycles) for the counter tracks and widens the event ring so
+ *       transaction spans survive.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hh"
 #include "exp/executor.hh"
+#include "exp/trace_export.hh"
 #include "trace/trace_file.hh"
 #include "workloads/micro/micro.hh"
 
@@ -38,7 +48,9 @@ usage()
         "[--pmos N] [--ops N]\n"
         "       pmodv-trace info <file.trc>\n"
         "       pmodv-trace dump <file.trc> [--limit N]\n"
-        "       pmodv-trace replay <file.trc> [--scheme name]...\n");
+        "       pmodv-trace replay <file.trc> [--scheme name]...\n"
+        "           [--jobs N] [--trace-out out.json] [--epoch CYCLES]\n"
+        "           [--progress]\n");
     return 2;
 }
 
@@ -135,13 +147,28 @@ cmdReplay(int argc, char **argv)
         return usage();
     std::vector<arch::SchemeKind> schemes;
     unsigned jobs = 0; // 0 = hardware concurrency.
-    for (int i = 3; i + 1 < argc; i += 2) {
-        if (!std::strcmp(argv[i], "--scheme"))
-            schemes.push_back(arch::schemeFromName(argv[i + 1]));
-        else if (!std::strcmp(argv[i], "--jobs"))
+    std::string trace_out;
+    Cycles epoch = 0; // 0 = sampling off (unless --trace-out).
+    bool progress = false;
+    for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc)
+            schemes.push_back(arch::schemeFromName(argv[++i]));
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
             jobs = static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10));
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (!std::strcmp(argv[i], "--epoch") && i + 1 < argc)
+            epoch = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--progress"))
+            progress = true;
+        else
+            return usage();
     }
+    // Counter tracks need epoch sampling; pick a default when the
+    // user asked for a trace but no epoch width.
+    if (!trace_out.empty() && epoch == 0)
+        epoch = 65536;
     if (schemes.empty()) {
         schemes = {arch::SchemeKind::NoProtection,
                    arch::SchemeKind::Lowerbound,
@@ -169,10 +196,35 @@ cmdReplay(int argc, char **argv)
     exp::RawPointSpec spec;
     spec.records = records;
     spec.schemes = schemes;
+    if (epoch != 0) {
+        spec.config.samplingEpochCycles = epoch;
+        spec.config.samplingMaxEpochs = 256;
+    }
+    if (!trace_out.empty()) {
+        // Keep enough events for the trace's transaction spans.
+        spec.config.eventRingCapacity = 65536;
+    }
 
     common::ThreadPool pool(jobs);
     exp::Executor executor(pool);
+    executor.setProgress(progress);
+    trace::PerfettoExporter exporter = exp::makeExporter(spec.config);
+    if (!trace_out.empty())
+        executor.setPerfettoExporter(&exporter);
     const exp::RawPointResult res = executor.runRaw(spec);
+
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        exporter.write(out);
+        std::fprintf(stderr, "[trace] wrote %zu events on %zu tracks "
+                     "to %s\n", exporter.numEvents(),
+                     exporter.numTracks(), trace_out.c_str());
+    }
 
     std::printf("%-14s %16s %16s %10s\n", "scheme", "cycles",
                 "vs baseline(%)", "denied");
@@ -187,6 +239,17 @@ cmdReplay(int argc, char **argv)
                         res.totalCycles.at(kind)),
                     base == 0 ? 0.0 : (cycles - base) / base * 100.0,
                     res.deniedAccesses.at(kind));
+    }
+    // Where did the protection overhead land?  The baseline scheme
+    // tracks no domains, so skip it.
+    for (arch::SchemeKind kind : schemes) {
+        if (kind == arch::SchemeKind::NoProtection)
+            continue;
+        const auto it = res.hotDomains.find(kind);
+        if (it == res.hotDomains.end() || it->second.empty())
+            continue;
+        std::printf("\nhot domains (%s):\n", arch::schemeName(kind));
+        exp::printHotDomains(std::cout, it->second);
     }
     return 0;
 }
