@@ -36,7 +36,7 @@ avlSpec(const workloads::MicroParams &mp, const core::SimConfig &config)
 }
 
 /** The two-thread context-switch trace of section [5]. */
-std::shared_ptr<const std::vector<trace::TraceRecord>>
+std::shared_ptr<const trace::TraceBuffer>
 makeCtxSwitchTrace(unsigned span)
 {
     using trace::TraceRecord;
@@ -73,8 +73,7 @@ makeCtxSwitchTrace(unsigned span)
             base + d * stride + (a * 4096) % (Addr{1} << 20), 8,
             true));
     }
-    return std::make_shared<const std::vector<TraceRecord>>(
-        std::move(t));
+    return trace::TraceBuffer::fromRecords(std::move(t));
 }
 
 } // namespace
@@ -191,7 +190,7 @@ main(int argc, char **argv)
         std::vector<exp::RawPointSpec> specs;
         for (unsigned span : spans) {
             exp::RawPointSpec spec;
-            spec.records = makeCtxSwitchTrace(span);
+            spec.trace = makeCtxSwitchTrace(span);
             spec.schemes = {SchemeKind::Lowerbound, SchemeKind::MpkVirt,
                             SchemeKind::DomainVirt};
             specs.push_back(std::move(spec));

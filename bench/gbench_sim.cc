@@ -59,28 +59,83 @@ BM_TlbTranslate(benchmark::State &state)
 }
 BENCHMARK(BM_TlbTranslate);
 
+/** Label like "mpk_virt/64K" for a scheme + working-set pair. */
+std::string
+replayLabel(SchemeKind kind, Addr range)
+{
+    const auto kb = static_cast<unsigned long long>(range >> 10);
+    return std::string(arch::schemeName(kind)) + "/" +
+           (kb >= 1024 ? std::to_string(kb >> 10) + "M"
+                       : std::to_string(kb) + "K");
+}
+
 void
 BM_ReplayRecordThroughput(benchmark::State &state)
 {
+    // Arg 1 is log2 of the touched address range: 16 (64KB — TLB and
+    // cache resident, the engine-bound regime) or 23 (8MB — every
+    // level thrashes, the model-bound regime).
     const auto kind = static_cast<SchemeKind>(state.range(0));
+    const Addr range = Addr{1} << state.range(1);
     core::SimConfig cfg;
     core::System sys(cfg, kind);
     sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
     sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
     Rng rng(7);
     for (auto _ : state) {
-        sys.put(TraceRecord::load(0, kBase + rng.next(kSize - 8), 8,
+        sys.put(TraceRecord::load(0, kBase + rng.next(range - 8), 8,
                                   true));
     }
     state.SetItemsProcessed(state.iterations());
-    state.SetLabel(arch::schemeName(kind));
+    state.SetLabel(replayLabel(kind, range));
 }
 BENCHMARK(BM_ReplayRecordThroughput)
-    ->Arg(static_cast<int>(SchemeKind::NoProtection))
-    ->Arg(static_cast<int>(SchemeKind::Mpk))
-    ->Arg(static_cast<int>(SchemeKind::MpkVirt))
-    ->Arg(static_cast<int>(SchemeKind::DomainVirt))
-    ->Arg(static_cast<int>(SchemeKind::LibMpk));
+    ->Args({static_cast<int>(SchemeKind::NoProtection), 16})
+    ->Args({static_cast<int>(SchemeKind::Mpk), 16})
+    ->Args({static_cast<int>(SchemeKind::MpkVirt), 16})
+    ->Args({static_cast<int>(SchemeKind::DomainVirt), 16})
+    ->Args({static_cast<int>(SchemeKind::LibMpk), 16})
+    ->Args({static_cast<int>(SchemeKind::NoProtection), 23})
+    ->Args({static_cast<int>(SchemeKind::MpkVirt), 23})
+    ->Args({static_cast<int>(SchemeKind::DomainVirt), 23});
+
+void
+BM_ReplayBatchThroughput(benchmark::State &state)
+{
+    // The batch engine on the same access stream as
+    // BM_ReplayRecordThroughput: one immutable TraceBuffer replayed
+    // via System::replayBatch. The ratio of the two benchmarks is the
+    // devirtualized hot loop's speedup.
+    const auto kind = static_cast<SchemeKind>(state.range(0));
+    const Addr range = Addr{1} << state.range(1);
+    core::SimConfig cfg;
+    core::System sys(cfg, kind);
+    sys.put(TraceRecord::attach(0, 1, kBase, kSize, Perm::ReadWrite));
+    sys.put(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    constexpr std::size_t kBatch = 65536;
+    std::vector<TraceRecord> records;
+    records.reserve(kBatch);
+    Rng rng(7);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        records.push_back(
+            TraceRecord::load(0, kBase + rng.next(range - 8), 8, true));
+    }
+    const auto buf = trace::TraceBuffer::fromRecords(std::move(records));
+    for (auto _ : state)
+        sys.replayBatch(buf->records());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf->size()));
+    state.SetLabel(replayLabel(kind, range));
+}
+BENCHMARK(BM_ReplayBatchThroughput)
+    ->Args({static_cast<int>(SchemeKind::NoProtection), 16})
+    ->Args({static_cast<int>(SchemeKind::Mpk), 16})
+    ->Args({static_cast<int>(SchemeKind::MpkVirt), 16})
+    ->Args({static_cast<int>(SchemeKind::DomainVirt), 16})
+    ->Args({static_cast<int>(SchemeKind::LibMpk), 16})
+    ->Args({static_cast<int>(SchemeKind::NoProtection), 23})
+    ->Args({static_cast<int>(SchemeKind::MpkVirt), 23})
+    ->Args({static_cast<int>(SchemeKind::DomainVirt), 23});
 
 void
 BM_MultiDomainReplay(benchmark::State &state)

@@ -17,6 +17,7 @@ DomainVirtScheme::DomainVirtScheme(stats::Group *parent,
                       "context switches processed")
 {
     ptlb_ = std::make_unique<Ptlb>(this, params_.ptlbEntries);
+    setFastCheck(&fastCheckThunk<DomainVirtScheme>);
 }
 
 void

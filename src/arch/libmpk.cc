@@ -12,6 +12,7 @@ LibMpkScheme::LibMpkScheme(stats::Group *parent, const ProtParams &params,
 {
     keyHolder_.fill(kNullDomain);
     keyStamp_.fill(0);
+    setFastCheck(&fastCheckThunk<LibMpkScheme>);
 }
 
 void

@@ -13,6 +13,7 @@ MpkScheme::MpkScheme(stats::Group *parent, const ProtParams &params,
       fillPolicy_(*this)
 {
     keyHolder_.fill(kNullDomain);
+    setFastCheck(&fastCheckThunk<MpkScheme>);
 }
 
 void

@@ -19,6 +19,7 @@ MpkVirtScheme::MpkVirtScheme(stats::Group *parent,
     dttlb_ = std::make_unique<Dttlb>(this, params_.dttlbEntries);
     keyHolder_.fill(kNullDomain);
     keyStamp_.fill(0);
+    setFastCheck(&fastCheckThunk<MpkVirtScheme>);
 }
 
 void

@@ -10,7 +10,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -88,18 +88,31 @@ class KeyAllocator
 /**
  * Per-thread PKRU file: the OS view that saves/restores PKRU across
  * context switches. Lazily creates a reset-state register per thread.
+ *
+ * Thread ids are dense small integers in every trace, so the file is
+ * a flat vector indexed by ThreadId with on-demand growth — the
+ * per-access lookup in the MPK-family checkAccess paths is an array
+ * index, not a hash probe. An untouched slot holds the reset state,
+ * which is indistinguishable from a never-created register: resetKey
+ * only ever targets keys 1..15, whose reset-state bits are already
+ * AD|WD (exactly what setPerm(key, None) writes).
  */
 class PkruFile
 {
   public:
-    Pkru &forThread(ThreadId tid) { return regs_[tid]; }
+    Pkru &
+    forThread(ThreadId tid)
+    {
+        if (tid >= regs_.size()) [[unlikely]]
+            regs_.resize(std::size_t{tid} + 1);
+        return regs_[tid];
+    }
 
     const Pkru &
     forThread(ThreadId tid) const
     {
         static const Pkru reset_state;
-        auto it = regs_.find(tid);
-        return it == regs_.end() ? reset_state : it->second;
+        return tid < regs_.size() ? regs_[tid] : reset_state;
     }
 
     /**
@@ -112,12 +125,12 @@ class PkruFile
     void
     resetKey(ProtKey key)
     {
-        for (auto &[tid, pkru] : regs_)
+        for (Pkru &pkru : regs_)
             pkru.setPerm(key, Perm::None);
     }
 
   private:
-    mutable std::unordered_map<ThreadId, Pkru> regs_;
+    std::vector<Pkru> regs_;
 };
 
 } // namespace pmodv::arch

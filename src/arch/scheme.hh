@@ -67,6 +67,26 @@ class ProtectionScheme : public stats::Group
                      const tlb::AddressSpace &space);
     ~ProtectionScheme() override = default;
 
+    /**
+     * A devirtualized per-access check entry point. Concrete schemes
+     * register a thunk that calls their checkAccess() non-virtually
+     * (see fastCheckThunk), letting the batch replay loop skip the
+     * vtable dispatch on the hottest call in the simulator.
+     */
+    using FastCheckFn = CheckResult (*)(ProtectionScheme &,
+                                        const AccessContext &);
+
+    /** The registered fast check, or nullptr (callers fall back to
+     *  the virtual checkAccess()). */
+    FastCheckFn fastCheck() const { return fastCheck_; }
+
+    /**
+     * True when checkAccess() unconditionally allows at zero cost
+     * (no-protection/lowerbound). The batch replay loop skips the
+     * check — and the AccessContext construction — entirely.
+     */
+    bool alwaysAllows() const { return alwaysAllows_; }
+
     /** Scheme display name. */
     const std::string &schemeLabel() const { return label_; }
 
@@ -170,6 +190,12 @@ class ProtectionScheme : public stats::Group
     stats::Scalar protectionFaults; ///< Accesses denied.
 
   protected:
+    /** Register the devirtualized check (from a scheme constructor). */
+    void setFastCheck(FastCheckFn fn) { fastCheck_ = fn; }
+
+    /** Declare that checkAccess() always allows at zero cost. */
+    void setAlwaysAllows() { alwaysAllows_ = true; }
+
     /** Helper: combine page and domain permission, build the result. */
     CheckResult judge(const AccessContext &ctx, Perm domain_perm,
                       Cycles extra) const;
@@ -201,7 +227,22 @@ class ProtectionScheme : public stats::Group
 
   private:
     std::string label_;
+    FastCheckFn fastCheck_ = nullptr;
+    bool alwaysAllows_ = false;
 };
+
+/**
+ * The canonical fast-check thunk: forwards to @p SchemeT's
+ * checkAccess with a qualified (non-virtual) call, so the check body
+ * inlines into the thunk. Scheme constructors pass
+ * `setFastCheck(&fastCheckThunk<MyScheme>)`.
+ */
+template <typename SchemeT>
+CheckResult
+fastCheckThunk(ProtectionScheme &self, const AccessContext &ctx)
+{
+    return static_cast<SchemeT &>(self).SchemeT::checkAccess(ctx);
+}
 
 /** The unprotected baseline: every access allowed, zero cost. */
 class NoProtectionScheme : public ProtectionScheme
@@ -211,6 +252,7 @@ class NoProtectionScheme : public ProtectionScheme
                        const tlb::AddressSpace &space)
         : ProtectionScheme(parent, "none", params, space)
     {
+        setAlwaysAllows();
     }
 
     CheckResult
@@ -246,6 +288,7 @@ class LowerboundScheme : public ProtectionScheme
                      const tlb::AddressSpace &space)
         : ProtectionScheme(parent, "lowerbound", params, space)
     {
+        setAlwaysAllows();
     }
 
     CheckResult

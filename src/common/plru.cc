@@ -1,5 +1,7 @@
 #include "common/plru.hh"
 
+#include <cstring>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -9,8 +11,9 @@ namespace pmodv
 TreePlru::TreePlru(unsigned num_ways) : numWays_(num_ways)
 {
     panic_if(num_ways == 0, "TreePlru needs at least one way");
+    panic_if(num_ways > kMaxWays, "TreePlru supports at most %u ways",
+             kMaxWays);
     treeWays_ = 1u << ceilLog2(num_ways);
-    bits_.assign(treeWays_ > 1 ? treeWays_ - 1 : 1, false);
 }
 
 void
@@ -28,7 +31,7 @@ TreePlru::touch(unsigned way)
         const unsigned half = span / 2;
         const bool right = way >= lo + half;
         // bit false => victim path goes left; point away from 'way'.
-        bits_[node] = !right;
+        setBit(node, !right);
         node = 2 * node + (right ? 2 : 1);
         if (right)
             lo += half;
@@ -46,7 +49,7 @@ TreePlru::victim() const
     unsigned span = treeWays_;
     while (span > 1) {
         const unsigned half = span / 2;
-        const bool right = bits_[node];
+        const bool right = bit(node);
         node = 2 * node + (right ? 2 : 1);
         if (right)
             lo += half;
@@ -60,7 +63,7 @@ TreePlru::victim() const
 void
 TreePlru::reset()
 {
-    bits_.assign(bits_.size(), false);
+    std::memset(bits_, 0, sizeof(bits_));
 }
 
 TrueLru::TrueLru(unsigned num_ways) : numWays_(num_ways)

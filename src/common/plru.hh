@@ -22,10 +22,17 @@ namespace pmodv
  * least-recently-used way. For non-power-of-two way counts the tree
  * is built over the next power of two and out-of-range victims are
  * redirected.
+ *
+ * The tree bits live in a small inline bit array so a TreePlru can be
+ * stored by value — one per cache/TLB set in a contiguous vector —
+ * with no per-set heap allocation on the replay hot path.
  */
 class TreePlru
 {
   public:
+    /** Largest supported way count (kMaxWays-1 inline tree bits). */
+    static constexpr unsigned kMaxWays = 256;
+
     explicit TreePlru(unsigned num_ways);
 
     /** Number of ways this tracker covers. */
@@ -41,9 +48,23 @@ class TreePlru
     void reset();
 
   private:
+    bool bit(unsigned node) const
+    {
+        return (bits_[node >> 6] >> (node & 63)) & 1;
+    }
+
+    void setBit(unsigned node, bool value)
+    {
+        const std::uint64_t mask = std::uint64_t{1} << (node & 63);
+        if (value)
+            bits_[node >> 6] |= mask;
+        else
+            bits_[node >> 6] &= ~mask;
+    }
+
     unsigned numWays_;
     unsigned treeWays_; ///< numWays_ rounded up to a power of two.
-    std::vector<bool> bits_;
+    std::uint64_t bits_[kMaxWays / 64] = {};
 };
 
 /**

@@ -16,11 +16,29 @@ MultiReplay::MultiReplay(const SimConfig &config,
 }
 
 void
+MultiReplay::replayBuffer(const trace::TraceBuffer &buffer)
+{
+    counter_.addSummary(buffer.summary());
+    for (auto &sys : systems_) {
+        sys->replayBatch(buffer.records());
+        sys->finish();
+    }
+}
+
+void
+MultiReplay::replayBatch(std::span<const trace::TraceRecord> records)
+{
+    counter_.addBatch(records);
+    for (auto &sys : systems_) {
+        sys->replayBatch(records);
+        sys->finish();
+    }
+}
+
+void
 MultiReplay::replay(const std::vector<trace::TraceRecord> &records)
 {
-    for (const auto &rec : records)
-        fanout_.put(rec);
-    fanout_.finish();
+    replayBatch(records);
 }
 
 System &

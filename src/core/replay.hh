@@ -9,9 +9,11 @@
 #define PMODV_CORE_REPLAY_HH
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/system.hh"
+#include "trace/buffer.hh"
 
 namespace pmodv::core
 {
@@ -29,7 +31,23 @@ class MultiReplay
     /** Also counts records/switches while fanning out. */
     const trace::CountingSink &counter() const { return counter_; }
 
-    /** Replay a buffered trace through every system. */
+    /**
+     * Replay an immutable trace buffer through every system via the
+     * batch engine (System::replayBatch), folding the buffer's
+     * precomputed summary into the counter. The preferred entry
+     * point: capture once, share the buffer across replays.
+     */
+    void replayBuffer(const trace::TraceBuffer &buffer);
+
+    /** As replayBuffer(), for records without a TraceBuffer. */
+    void replayBatch(std::span<const trace::TraceRecord> records);
+
+    /**
+     * Replay a buffered trace through every system.
+     * @deprecated Use replayBuffer()/replayBatch(); this shim
+     * forwards to the batch engine.
+     */
+    [[deprecated("use replayBuffer()/replayBatch() instead")]]
     void replay(const std::vector<trace::TraceRecord> &records);
 
     System &system(arch::SchemeKind kind);

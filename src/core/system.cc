@@ -7,6 +7,26 @@
 namespace pmodv::core
 {
 
+namespace
+{
+
+/**
+ * Visible-latency lookup-table reach. Translate+memory latency sums
+ * beyond this (never seen with the shipped configs) fall back to the
+ * identical formula.
+ */
+constexpr std::size_t kVisTableSize = 1024;
+
+/** Fallback fast-check: plain virtual dispatch. */
+arch::CheckResult
+virtualCheck(arch::ProtectionScheme &scheme,
+             const arch::AccessContext &ctx)
+{
+    return scheme.checkAccess(ctx);
+}
+
+} // namespace
+
 System::System(const SimConfig &config, arch::SchemeKind scheme,
                std::string name)
     : stats::Group(nullptr,
@@ -51,6 +71,14 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
     scheme_ = arch::makeScheme(scheme, this, config_.prot, space_);
     scheme_->setTlb(tlb_.get());
     scheme_->setEventRing(&events_);
+
+    // The visible-latency formula depends only on the (integer)
+    // translate+memory latency sum; precompute it so the hot loop
+    // replaces an fp multiply + llround with a table load. Index 0 is
+    // unreachable (L1 hit latency is at least one cycle).
+    visTable_.resize(kVisTableSize);
+    for (std::size_t lat = 1; lat < kVisTableSize; ++lat)
+        visTable_[lat] = visibleCycles(static_cast<Cycles>(lat));
 
     if (config_.samplingEpochCycles != 0) {
         timeline.configure(config_.samplingEpochCycles,
@@ -188,6 +216,186 @@ System::put(const trace::TraceRecord &rec)
         break;
     }
     timeline.tick(cycleCount_);
+}
+
+Cycles
+System::visibleCycles(Cycles lat) const
+{
+    // Must stay textually identical to the legacy doAccess() formula:
+    // the determinism tests compare batch and per-record replays
+    // bit for bit.
+    const double visible =
+        1.0 + (1.0 - config_.memOverlap) * static_cast<double>(lat - 1);
+    return static_cast<Cycles>(std::llround(visible));
+}
+
+void
+System::flushBatch(BatchCounters &d)
+{
+    const std::uint64_t total_cycles =
+        d.cycIssue + d.cycMem + d.cycProtFill + d.cycProtCheck +
+        d.cycPermInstr + d.cycSyscall + d.cycCtxSwitch;
+    cycles += static_cast<double>(total_cycles);
+    cycIssue += static_cast<double>(d.cycIssue);
+    cycMem += static_cast<double>(d.cycMem);
+    cycProtFill += static_cast<double>(d.cycProtFill);
+    cycProtCheck += static_cast<double>(d.cycProtCheck);
+    cycPermInstr += static_cast<double>(d.cycPermInstr);
+    cycSyscall += static_cast<double>(d.cycSyscall);
+    cycCtxSwitch += static_cast<double>(d.cycCtxSwitch);
+    instructions += static_cast<double>(d.instructions);
+    memAccesses += static_cast<double>(d.memAccesses);
+    pmoAccesses += static_cast<double>(d.pmoAccesses);
+    operations += static_cast<double>(d.operations);
+    deniedAccesses += static_cast<double>(d.denied);
+    d = BatchCounters{};
+}
+
+void
+System::replayBatch(std::span<const trace::TraceRecord> records)
+{
+    using trace::RecordType;
+
+    // Invariants hoisted out of the record loop.
+    tlb::TlbHierarchy *const tlb = tlb_.get();
+    mem::CacheHierarchy *const caches = caches_.get();
+    arch::ProtectionScheme *const scheme = scheme_.get();
+    const Cycles l1_hit = config_.memory.l1.hitLatency;
+    const std::uint32_t issue_width = config_.issueWidth;
+    const bool trivial_check = scheme->alwaysAllows();
+    const arch::ProtectionScheme::FastCheckFn check_fn =
+        scheme->fastCheck() ? scheme->fastCheck() : &virtualCheck;
+
+    BatchCounters d;
+    std::uint64_t boundary = timeline.nextBoundary();
+
+    for (const trace::TraceRecord &rec : records) {
+        switch (rec.type) {
+          case RecordType::Load:
+          case RecordType::Store: {
+            const auto type = rec.type == RecordType::Load
+                                  ? AccessType::Read
+                                  : AccessType::Write;
+            const bool pmo = rec.flags & trace::kFlagPmo;
+            ++d.memAccesses;
+            ++d.instructions;
+            d.pmoAccesses += pmo ? 1 : 0;
+
+            const auto xlate = tlb->translate(rec.tid, rec.addr);
+
+            bool allowed = true;
+            Cycles check_extra = 0;
+            if (!trivial_check) {
+                arch::AccessContext ctx;
+                ctx.tid = rec.tid;
+                ctx.va = rec.addr;
+                ctx.type = type;
+                ctx.entry = xlate.entry;
+                const auto check = check_fn(*scheme, ctx);
+                allowed = check.allowed;
+                check_extra = check.extraCycles;
+                if (!allowed)
+                    ++d.denied;
+            }
+
+            Cycles mem_latency = l1_hit;
+            if (allowed) {
+                const MemClass cls =
+                    pmo ? MemClass::Nvm : xlate.entry->memClass;
+                mem_latency = caches->access(rec.addr, type, cls).latency;
+            }
+
+            const Cycles lat = xlate.latency + mem_latency;
+            const Cycles vis = lat < kVisTableSize ? visTable_[lat]
+                                                   : visibleCycles(lat);
+            cycleCount_ += vis + xlate.fillExtra + check_extra;
+            d.cycMem += vis;
+            d.cycProtFill += xlate.fillExtra;
+            d.cycProtCheck += check_extra;
+            break;
+          }
+          case RecordType::InstBlock: {
+            d.instructions += rec.aux;
+            const Cycles c = (rec.aux + issue_width - 1) / issue_width;
+            cycleCount_ += c;
+            d.cycIssue += c;
+            break;
+          }
+          case RecordType::SetPerm: {
+            ++d.instructions;
+            const Cycles c = scheme->setPerm(rec.tid, rec.aux,
+                                             rec.perm());
+            cycleCount_ += c;
+            d.cycPermInstr += c;
+            break;
+          }
+          case RecordType::Wrpkru: {
+            ++d.instructions;
+            const Cycles c = scheme->wrpkruRaw(
+                rec.tid, static_cast<ProtKey>(rec.aux), rec.perm());
+            cycleCount_ += c;
+            d.cycPermInstr += c;
+            break;
+          }
+          case RecordType::Attach: {
+            tlb::Region region;
+            region.base = rec.addr;
+            region.size = rec.value;
+            region.domain = rec.aux;
+            region.pagePerm = rec.perm();
+            region.memClass = MemClass::Nvm;
+            region.pageSize = rec.pageSize();
+            space_.map(region);
+            const Cycles c = scheme->attach(rec.tid, rec.aux, rec.addr,
+                                            rec.value, rec.perm());
+            cycleCount_ += c;
+            d.cycSyscall += c;
+            break;
+          }
+          case RecordType::Detach: {
+            const Cycles c = scheme->detach(rec.tid, rec.aux);
+            cycleCount_ += c;
+            d.cycSyscall += c;
+            space_.unmapDomain(rec.aux);
+            break;
+          }
+          case RecordType::ThreadSwitch: {
+            const Cycles c = scheme->contextSwitch(currentThread_,
+                                                   rec.aux);
+            cycleCount_ += c;
+            d.cycCtxSwitch += c;
+            currentThread_ = rec.aux;
+            break;
+          }
+          case RecordType::OpBegin:
+            opStart_ = cycleCount_;
+            opInFlight_ = true;
+            break;
+          case RecordType::OpEnd:
+            ++d.operations;
+            if (opInFlight_) {
+                opCycles.sample(cycleCount_ - opStart_);
+                events_.post(trace::EventKind::TxnCommit, rec.tid,
+                             static_cast<std::uint32_t>(rec.aux),
+                             cycleCount_ - opStart_);
+                opInFlight_ = false;
+            }
+            break;
+        }
+
+        // The legacy path ticks the timeline after every record; the
+        // tick only has an effect once cycleCount_ passes the next
+        // epoch boundary, so an explicit boundary compare here is
+        // equivalent — provided the deferred counters are flushed
+        // first, so the epoch snapshot sees exactly the per-record
+        // Scalar values.
+        if (cycleCount_ >= boundary) [[unlikely]] {
+            flushBatch(d);
+            timeline.tick(cycleCount_);
+            boundary = timeline.nextBoundary();
+        }
+    }
+    flushBatch(d);
 }
 
 } // namespace pmodv::core

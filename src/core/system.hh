@@ -12,7 +12,9 @@
 #define PMODV_CORE_SYSTEM_HH
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "arch/factory.hh"
 #include "core/config.hh"
@@ -42,6 +44,22 @@ class System : public stats::Group, public trace::TraceSink
     void put(const trace::TraceRecord &rec) override;
     /** Ends the replay: closes the timeline's trailing epoch. */
     void finish() override;
+
+    /**
+     * Replay a whole batch of records through the devirtualized hot
+     * loop. Produces exactly the same cycles, stats tree, event ring
+     * and timeline as feeding each record through put(): the loop
+     * hoists config/scheme lookups, skips or devirtualizes the
+     * per-access protection check (ProtectionScheme::fastCheck) and
+     * defers the System's own Scalar updates into plain integer
+     * accumulators, flushing them before every timeline epoch
+     * boundary and at the end of the batch. All deferred quantities
+     * are integers well below 2^53, so the batched double adds are
+     * bit-identical to the per-record ones.
+     *
+     * Call finish() after the last batch, exactly as with put().
+     */
+    void replayBatch(std::span<const trace::TraceRecord> records);
 
     /** Total cycles accumulated so far. */
     Cycles totalCycles() const { return cycleCount_; }
@@ -97,6 +115,26 @@ class System : public stats::Group, public trace::TraceSink
     stats::TimeSeries timeline;
 
   private:
+    /**
+     * Integer accumulators for the System's own counters, filled by
+     * the replayBatch loop instead of bumping the Scalars per record.
+     */
+    struct BatchCounters
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t memAccesses = 0;
+        std::uint64_t pmoAccesses = 0;
+        std::uint64_t operations = 0;
+        std::uint64_t denied = 0;
+        std::uint64_t cycIssue = 0;
+        std::uint64_t cycMem = 0;
+        std::uint64_t cycProtFill = 0;
+        std::uint64_t cycProtCheck = 0;
+        std::uint64_t cycPermInstr = 0;
+        std::uint64_t cycSyscall = 0;
+        std::uint64_t cycCtxSwitch = 0;
+    };
+
     void doAccess(const trace::TraceRecord &rec);
     void addCycles(Cycles c, stats::Scalar &bucket)
     {
@@ -104,6 +142,12 @@ class System : public stats::Group, public trace::TraceSink
         cycles += static_cast<double>(c);
         bucket += static_cast<double>(c);
     }
+
+    /** Drain @p d into the Scalars (and reset it). */
+    void flushBatch(BatchCounters &d);
+
+    /** The visible-latency formula (slow path / table filler). */
+    Cycles visibleCycles(Cycles lat) const;
 
     SimConfig config_;
     arch::SchemeKind schemeKind_;
@@ -114,6 +158,8 @@ class System : public stats::Group, public trace::TraceSink
     std::unique_ptr<arch::ProtectionScheme> scheme_;
     Cycles cycleCount_ = 0;
     ThreadId currentThread_ = 0;
+    /** visTable_[lat] = visible cycles for translate+mem latency lat. */
+    std::vector<Cycles> visTable_;
     /** Cycle count at the most recent OpBegin (op in flight if set). */
     Cycles opStart_ = 0;
     bool opInFlight_ = false;

@@ -35,7 +35,7 @@ namespace
 struct PointRun
 {
     std::vector<SchemeKind> kinds; ///< One per System, in order.
-    std::shared_ptr<const std::vector<trace::TraceRecord>> records;
+    std::shared_ptr<const trace::TraceBuffer> buffer;
     trace::CountingSink counter;
     std::vector<std::unique_ptr<core::System>> systems;
     std::vector<std::future<void>> replays;
@@ -43,25 +43,24 @@ struct PointRun
 
 /**
  * Build the Systems for `run.kinds`, then enqueue one replay task per
- * System. Called at the tail of a capture task, once `run.records`
+ * System. Called at the tail of a capture task, once `run.buffer`
  * is frozen.
  */
 void
 launchReplays(common::ThreadPool &pool, PointRun &run,
               const core::SimConfig &config)
 {
-    for (const trace::TraceRecord &rec : *run.records)
-        run.counter.put(rec);
+    // The buffer already carries its one-pass summary; no rescan.
+    run.counter.addSummary(run.buffer->summary());
     run.systems.reserve(run.kinds.size());
     run.replays.reserve(run.kinds.size());
     for (SchemeKind kind : run.kinds) {
         run.systems.push_back(
             std::make_unique<core::System>(config, kind));
         core::System *sys = run.systems.back().get();
-        auto records = run.records;
-        run.replays.push_back(pool.submit([sys, records] {
-            for (const trace::TraceRecord &rec : *records)
-                sys->put(rec);
+        auto buffer = run.buffer;
+        run.replays.push_back(pool.submit([sys, buffer] {
+            sys->replayBatch(buffer->records());
             sys->finish();
         }));
     }
@@ -375,9 +374,7 @@ Executor::runMicro(const std::vector<MicroPointSpec> &specs)
             auto workload =
                 workloads::makeMicro(spec.benchmark, spec.params);
             workload->run(ctx);
-            run->records =
-                std::make_shared<const std::vector<trace::TraceRecord>>(
-                    buffer.take());
+            run->buffer = trace::TraceBuffer::fromRecords(buffer.take());
             launchReplays(pool_, *run, spec.config);
         }));
     }
@@ -411,9 +408,7 @@ Executor::runWhisper(const std::vector<WhisperPointSpec> &specs)
                 workloads::makeWhisper(spec.benchmark, spec.params);
             pmo::Namespace ns; // In-memory: pools are ephemeral here.
             workload->run(ns, buffer);
-            run->records =
-                std::make_shared<const std::vector<trace::TraceRecord>>(
-                    buffer.take());
+            run->buffer = trace::TraceBuffer::fromRecords(buffer.take());
             launchReplays(pool_, *run, spec.config);
         }));
     }
@@ -436,11 +431,11 @@ Executor::runRaw(const std::vector<RawPointSpec> &specs)
     runs.reserve(specs.size());
     captures.reserve(specs.size());
     for (const RawPointSpec &spec : specs) {
-        panic_if(!spec.records, "RawPointSpec without a trace buffer");
+        panic_if(!spec.trace, "RawPointSpec without a trace buffer");
         runs.push_back(std::make_unique<PointRun>());
         PointRun *run = runs.back().get();
         run->kinds = spec.schemes;
-        run->records = spec.records;
+        run->buffer = spec.trace;
         // No workload to capture — go straight to the replays.
         captures.push_back(pool_.submit([this, run, spec] {
             launchReplays(pool_, *run, spec.config);

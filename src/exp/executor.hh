@@ -7,10 +7,11 @@
  * Pin→Sniper flow but parallelizes both of its independent axes:
  *
  *  1. each point's workload trace is captured ONCE into an immutable
- *     shared buffer (one capture task per point, points run
- *     concurrently), and
+ *     shared trace::TraceBuffer (one capture task per point, points
+ *     run concurrently), and
  *  2. each per-scheme System pipeline replays that buffer on its own
- *     worker thread (one replay task per (point, scheme)).
+ *     worker thread via System::replayBatch (one replay task per
+ *     (point, scheme)).
  *
  * Every System is constructed, fed and finished by exactly one task,
  * and rows are reduced on the coordinating thread in registration
@@ -29,6 +30,7 @@
 #include "arch/domain_profile.hh"
 #include "common/thread_pool.hh"
 #include "core/replay.hh"
+#include "trace/buffer.hh"
 #include "workloads/micro/micro.hh"
 #include "workloads/whisper/whisper.hh"
 
@@ -127,7 +129,8 @@ struct WhisperPointSpec
  */
 struct RawPointSpec
 {
-    std::shared_ptr<const std::vector<trace::TraceRecord>> records;
+    /** The captured trace, shared by reference across all replays. */
+    std::shared_ptr<const trace::TraceBuffer> trace;
     core::SimConfig config;
     std::vector<arch::SchemeKind> schemes;
 };

@@ -35,56 +35,66 @@ Cache::Cache(stats::Group *parent, const CacheParams &params)
              params_.name.c_str());
     lineShift_ = floorLog2(params_.lineBytes);
 
-    sets_.resize(numSets_);
-    for (auto &set : sets_) {
-        set.ways.resize(params_.assoc);
-        if (params_.repl == ReplPolicy::Lru)
-            set.lru = std::make_unique<TrueLru>(params_.assoc);
-        else
-            set.plru = std::make_unique<TreePlru>(params_.assoc);
+    lines_.resize(std::size_t{numSets_} * params_.assoc);
+    if (params_.repl == ReplPolicy::Lru) {
+        stamps_.assign(lines_.size(), 0);
+        clocks_.assign(numSets_, 0);
+    } else {
+        plru_.assign(numSets_, TreePlru(params_.assoc));
     }
 }
 
 unsigned
-Cache::victimWay(Set &set) const
+Cache::victimWay(std::size_t si) const
 {
     // Prefer an invalid way before consulting the replacement state.
+    const Line *ways = setWays(si);
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!set.ways[w].valid)
+        if (!ways[w].valid)
             return w;
     }
-    return set.lru ? set.lru->victim() : set.plru->victim();
+    if (params_.repl == ReplPolicy::TreePlru)
+        return plru_[si].victim();
+    // Exact LRU: earliest stamp wins, ties broken by lowest index.
+    const std::uint64_t *stamps = stamps_.data() + si * params_.assoc;
+    unsigned best = 0;
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        if (stamps[w] < stamps[best])
+            best = w;
+    }
+    return best;
 }
 
 void
-Cache::touchWay(Set &set, unsigned way)
+Cache::touchWay(std::size_t si, unsigned way)
 {
-    if (set.lru)
-        set.lru->touch(way);
+    if (params_.repl == ReplPolicy::TreePlru)
+        plru_[si].touch(way);
     else
-        set.plru->touch(way);
+        stamps_[si * params_.assoc + way] = ++clocks_[si];
 }
 
 CacheResult
 Cache::access(Addr addr, AccessType type)
 {
-    Set &set = sets_[setIndex(addr)];
+    const std::size_t si = setIndex(addr);
+    Line *ways = setWays(si);
     const Addr tag = lineTag(addr);
 
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = set.ways[w];
+        Line &line = ways[w];
         if (line.valid && line.tag == tag) {
             ++hits;
             if (type == AccessType::Write)
                 line.dirty = true;
-            touchWay(set, w);
+            touchWay(si, w);
             return {true, false};
         }
     }
 
     ++misses;
-    const unsigned victim = victimWay(set);
-    Line &line = set.ways[victim];
+    const unsigned victim = victimWay(si);
+    Line &line = ways[victim];
     if (line.valid)
         ++evictions;
     const bool wb = line.valid && line.dirty;
@@ -93,17 +103,17 @@ Cache::access(Addr addr, AccessType type)
     line.valid = true;
     line.dirty = (type == AccessType::Write);
     line.tag = tag;
-    touchWay(set, victim);
+    touchWay(si, victim);
     return {false, wb};
 }
 
 bool
 Cache::probe(Addr addr) const
 {
-    const Set &set = sets_[setIndex(addr)];
+    const Line *ways = setWays(setIndex(addr));
     const Addr tag = lineTag(addr);
-    for (const Line &line : set.ways) {
-        if (line.valid && line.tag == tag)
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
             return true;
     }
     return false;
@@ -112,13 +122,11 @@ Cache::probe(Addr addr) const
 void
 Cache::invalidateAll()
 {
-    for (auto &set : sets_) {
-        for (Line &line : set.ways) {
-            if (line.valid) {
-                line.valid = false;
-                line.dirty = false;
-                ++invalidations;
-            }
+    for (Line &line : lines_) {
+        if (line.valid) {
+            line.valid = false;
+            line.dirty = false;
+            ++invalidations;
         }
     }
 }
@@ -126,9 +134,10 @@ Cache::invalidateAll()
 bool
 Cache::invalidate(Addr addr)
 {
-    Set &set = sets_[setIndex(addr)];
+    Line *ways = setWays(setIndex(addr));
     const Addr tag = lineTag(addr);
-    for (Line &line : set.ways) {
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = ways[w];
         if (line.valid && line.tag == tag) {
             line.valid = false;
             line.dirty = false;

@@ -10,7 +10,6 @@
 #define PMODV_MEM_CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +48,11 @@ struct CacheResult
 /**
  * One level of set-associative cache. Thread-safe only for
  * single-threaded replay (each replay pipeline owns its own caches).
+ *
+ * All lines live in one flat vector (set-major) and the replacement
+ * state is flat too — per-way LRU stamps plus a per-set clock, or a
+ * by-value TreePlru per set — so the replay hot loop walks contiguous
+ * arrays with no per-set heap indirection.
  */
 class Cache : public stats::Group
 {
@@ -89,26 +93,34 @@ class Cache : public stats::Group
         Addr tag = 0;
     };
 
-    struct Set
-    {
-        std::vector<Line> ways;
-        std::unique_ptr<TrueLru> lru;
-        std::unique_ptr<TreePlru> plru;
-    };
-
     Addr lineTag(Addr addr) const { return addr >> lineShift_; }
     std::size_t setIndex(Addr addr) const
     {
         return (addr >> lineShift_) & (numSets_ - 1);
     }
 
-    unsigned victimWay(Set &set) const;
-    void touchWay(Set &set, unsigned way);
+    /** First way of set @p si in the flat line array. */
+    Line *setWays(std::size_t si)
+    {
+        return lines_.data() + si * params_.assoc;
+    }
+    const Line *setWays(std::size_t si) const
+    {
+        return lines_.data() + si * params_.assoc;
+    }
+
+    unsigned victimWay(std::size_t si) const;
+    void touchWay(std::size_t si, unsigned way);
 
     CacheParams params_;
     unsigned numSets_;
     unsigned lineShift_;
-    std::vector<Set> sets_;
+    std::vector<Line> lines_; ///< numSets_ x assoc, set-major.
+    // Exactly one of the two replacement representations is active,
+    // selected by params_.repl.
+    std::vector<std::uint64_t> stamps_; ///< Lru: per-way touch stamps.
+    std::vector<std::uint64_t> clocks_; ///< Lru: per-set logical clock.
+    std::vector<TreePlru> plru_;        ///< TreePlru: per-set tracker.
 };
 
 } // namespace pmodv::mem

@@ -78,6 +78,14 @@ class TimeSeries : public StatBase
      *  counters' final values. Idempotent until new cycles arrive. */
     void finalize(std::uint64_t now);
 
+    /**
+     * The cycle at which the next epoch closes (the saturated
+     * disabled sentinel while sampling is off). Batch replay loops
+     * cache this to know when deferred counters must be flushed into
+     * their Scalars before tick() snapshots them.
+     */
+    std::uint64_t nextBoundary() const { return nextEpochEnd_; }
+
     // -- inspection (exporters / tests) --
     std::uint64_t epochCycles() const { return cyclesPerEpoch_; }
     std::size_t numEpochs() const { return rows_.size(); }

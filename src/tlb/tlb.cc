@@ -30,27 +30,28 @@ Tlb::Tlb(stats::Group *parent, const TlbParams &params)
     fatal_if(!isPowerOfTwo(numSets_),
              "tlb '%s': set count must be a power of two",
              params_.name.c_str());
-    sets_.resize(numSets_);
-    for (auto &set : sets_) {
-        set.ways.resize(params_.assoc);
-        set.plru = std::make_unique<TreePlru>(params_.assoc);
-    }
+    ways_.resize(std::size_t{numSets_} * params_.assoc);
+    plru_.assign(numSets_, TreePlru(params_.assoc));
 }
 
 TlbEntry *
 Tlb::lookup(Addr va)
 {
     // Pages of different sizes index differently; try each supported
-    // size (smallest first — by far the common case).
+    // size (smallest first — by far the common case). Sizes with no
+    // valid entry anywhere are skipped outright.
     for (PageSize ps :
          {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeValid_[static_cast<unsigned>(ps)] == 0)
+            continue;
         const Addr vpn = va >> pageShift(ps);
-        Set &set = sets_[setIndexFor(vpn)];
+        const std::size_t si = setIndexFor(vpn);
+        TlbEntry *ways = setWays(si);
         for (unsigned w = 0; w < params_.assoc; ++w) {
-            TlbEntry &e = set.ways[w];
+            TlbEntry &e = ways[w];
             if (e.valid && e.pageSize == ps && e.vpn == vpn) {
                 ++hits;
-                set.plru->touch(w);
+                plru_[si].touch(w);
                 return &e;
             }
         }
@@ -64,9 +65,12 @@ Tlb::probe(Addr va) const
 {
     for (PageSize ps :
          {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeValid_[static_cast<unsigned>(ps)] == 0)
+            continue;
         const Addr vpn = va >> pageShift(ps);
-        const Set &set = sets_[setIndexFor(vpn)];
-        for (const TlbEntry &e : set.ways) {
+        const TlbEntry *ways = setWays(setIndexFor(vpn));
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            const TlbEntry &e = ways[w];
             if (e.valid && e.pageSize == ps && e.vpn == vpn)
                 return &e;
         }
@@ -77,12 +81,13 @@ Tlb::probe(Addr va) const
 TlbEntry &
 Tlb::insert(const TlbEntry &entry)
 {
-    Set &set = sets_[setIndexFor(entry.vpn)];
+    const std::size_t si = setIndexFor(entry.vpn);
+    TlbEntry *ways = setWays(si);
     // Reuse an existing entry for the same page, else an invalid way,
     // else the pseudo-LRU victim.
     unsigned victim = params_.assoc;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        TlbEntry &e = set.ways[w];
+        TlbEntry &e = ways[w];
         if (e.valid && e.vpn == entry.vpn &&
             e.pageSize == entry.pageSize) {
             victim = w;
@@ -92,14 +97,17 @@ Tlb::insert(const TlbEntry &entry)
             victim = w;
     }
     if (victim == params_.assoc) {
-        victim = set.plru->victim();
-        if (set.ways[victim].valid)
+        victim = plru_[si].victim();
+        if (ways[victim].valid)
             ++evictions;
     }
-    set.ways[victim] = entry;
-    set.ways[victim].valid = true;
-    set.plru->touch(victim);
-    return set.ways[victim];
+    if (ways[victim].valid)
+        dropEntry(ways[victim]);
+    ways[victim] = entry;
+    ways[victim].valid = true;
+    ++sizeValid_[static_cast<unsigned>(entry.pageSize)];
+    plru_[si].touch(victim);
+    return ways[victim];
 }
 
 template <typename Pred>
@@ -107,12 +115,10 @@ unsigned
 Tlb::flushIf(Pred pred)
 {
     unsigned n = 0;
-    for (auto &set : sets_) {
-        for (TlbEntry &e : set.ways) {
-            if (e.valid && pred(e)) {
-                e.valid = false;
-                ++n;
-            }
+    for (TlbEntry &e : ways_) {
+        if (e.valid && pred(e)) {
+            dropEntry(e);
+            ++n;
         }
     }
     flushedEntries += n;
@@ -152,11 +158,9 @@ unsigned
 Tlb::validCount() const
 {
     unsigned n = 0;
-    for (const auto &set : sets_) {
-        for (const TlbEntry &e : set.ways) {
-            if (e.valid)
-                ++n;
-        }
+    for (const TlbEntry &e : ways_) {
+        if (e.valid)
+            ++n;
     }
     return n;
 }

@@ -11,7 +11,6 @@
 #define PMODV_TLB_TLB_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,7 +48,16 @@ struct TlbParams
     Cycles accessLatency = 0;
 };
 
-/** One level of set-associative TLB. */
+/**
+ * One level of set-associative TLB.
+ *
+ * All ways live in one flat vector (set-major) and the per-set
+ * replacement trackers are stored by value, so a lookup touches two
+ * contiguous arrays instead of chasing per-set heap blocks. A per
+ * page-size count of valid entries lets lookups skip the 2M/1G index
+ * probes entirely when no entry of that size is cached — the common
+ * case for 4K-only traces.
+ */
 class Tlb : public stats::Group
 {
   public:
@@ -96,15 +104,25 @@ class Tlb : public stats::Group
     stats::Formula missRate;
 
   private:
-    struct Set
-    {
-        std::vector<TlbEntry> ways;
-        std::unique_ptr<TreePlru> plru;
-    };
-
     std::size_t setIndexFor(Addr vpn) const
     {
         return vpn & (numSets_ - 1);
+    }
+
+    /** First way of set @p si in the flat way array. */
+    TlbEntry *setWays(std::size_t si)
+    {
+        return ways_.data() + si * params_.assoc;
+    }
+    const TlbEntry *setWays(std::size_t si) const
+    {
+        return ways_.data() + si * params_.assoc;
+    }
+
+    void dropEntry(TlbEntry &e)
+    {
+        e.valid = false;
+        --sizeValid_[static_cast<unsigned>(e.pageSize)];
     }
 
     template <typename Pred>
@@ -112,7 +130,10 @@ class Tlb : public stats::Group
 
     TlbParams params_;
     unsigned numSets_;
-    std::vector<Set> sets_;
+    std::vector<TlbEntry> ways_; ///< numSets_ x assoc, set-major.
+    std::vector<TreePlru> plru_; ///< One tracker per set, by value.
+    /** Valid-entry count per PageSize (indexed by the enum value). */
+    unsigned sizeValid_[3] = {0, 0, 0};
 };
 
 } // namespace pmodv::tlb

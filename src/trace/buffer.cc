@@ -1,0 +1,101 @@
+#include "trace/buffer.hh"
+
+#include <cstring>
+#include <new>
+
+#include <sys/mman.h>
+
+#include "common/logging.hh"
+
+namespace pmodv::trace
+{
+
+void
+TraceSummary::add(const TraceRecord &rec)
+{
+    ++counts[static_cast<std::size_t>(rec.type)];
+    if (rec.type == RecordType::InstBlock)
+        instBlockInsts += rec.aux;
+    if (rec.isPmoAccess())
+        ++pmoAccesses;
+
+    // FNV-1a over the raw record bytes. TraceRecord is trivially
+    // copyable and padding-free (static_assert'ed to 24 bytes), so
+    // hashing the object representation is deterministic.
+    const auto *p = reinterpret_cast<const unsigned char *>(&rec);
+    for (std::size_t i = 0; i < sizeof(TraceRecord); ++i) {
+        checksum ^= p[i];
+        checksum *= kFnvPrime;
+    }
+}
+
+std::uint64_t
+TraceSummary::totalRecords() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    return total;
+}
+
+bool
+TraceSummary::matches(const TraceSummary &other) const
+{
+    if (checksum != other.checksum ||
+        instBlockInsts != other.instBlockInsts ||
+        pmoAccesses != other.pmoAccesses)
+        return false;
+    for (std::size_t i = 0; i < kNumRecordTypes; ++i) {
+        if (counts[i] != other.counts[i])
+            return false;
+    }
+    return true;
+}
+
+TraceBuffer::~TraceBuffer()
+{
+    if (arena_)
+        ::operator delete(arena_, std::align_val_t{kTraceBufferAlign});
+    if (map_)
+        ::munmap(map_, mapBytes_);
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceBuffer::copyOf(std::span<const TraceRecord> records)
+{
+    auto buf = std::shared_ptr<TraceBuffer>(new TraceBuffer);
+    buf->count_ = records.size();
+    if (!records.empty()) {
+        const std::size_t bytes = records.size() * sizeof(TraceRecord);
+        buf->arena_ = ::operator new(
+            bytes, std::align_val_t{kTraceBufferAlign});
+        std::memcpy(buf->arena_, records.data(), bytes);
+        buf->records_ = static_cast<const TraceRecord *>(buf->arena_);
+    }
+    for (const TraceRecord &rec : records)
+        buf->summary_.add(rec);
+    return buf;
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceBuffer::fromRecords(std::vector<TraceRecord> records)
+{
+    return copyOf(std::span<const TraceRecord>(records));
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceBuffer::adoptMapping(void *map, std::size_t map_bytes,
+                          const TraceRecord *records, std::size_t count,
+                          const TraceSummary &summary)
+{
+    panic_if(!map, "TraceBuffer::adoptMapping without a mapping");
+    auto buf = std::shared_ptr<TraceBuffer>(new TraceBuffer);
+    buf->map_ = map;
+    buf->mapBytes_ = map_bytes;
+    buf->records_ = records;
+    buf->count_ = count;
+    buf->summary_ = summary;
+    return buf;
+}
+
+} // namespace pmodv::trace

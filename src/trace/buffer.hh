@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The immutable replay trace buffer.
+ *
+ * A TraceBuffer is the capture-once / replay-many handle of the v2
+ * trace pipeline: one arena-backed (or mmap-backed, when loaded
+ * zero-copy from a v2 trace file) array of TraceRecords, 64-byte
+ * aligned, shared by reference across every per-scheme replay
+ * pipeline. Alongside the records it carries a TraceSummary — the
+ * per-type counts, instruction totals and checksum computed in the
+ * single pass that built the buffer — so consumers (trace info,
+ * replay counters, file headers) never rescan the body.
+ */
+
+#ifndef PMODV_TRACE_BUFFER_HH
+#define PMODV_TRACE_BUFFER_HH
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace pmodv::trace
+{
+
+/** Record-store alignment: one x86 cache line. */
+inline constexpr std::size_t kTraceBufferAlign = 64;
+
+/** FNV-1a 64-bit offset basis (trace checksums start here). */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/**
+ * Per-type record counts, derived totals and the FNV-1a checksum of
+ * the raw record bytes, accumulated in one pass over a trace. The v2
+ * trace file header embeds one of these verbatim.
+ */
+struct TraceSummary
+{
+    std::uint64_t counts[kNumRecordTypes] = {};
+    std::uint64_t instBlockInsts = 0; ///< Instructions in InstBlocks.
+    std::uint64_t pmoAccesses = 0;    ///< Loads/stores to PMO memory.
+    std::uint64_t checksum = kFnvOffsetBasis;
+
+    /** Fold one record into counts and checksum. */
+    void add(const TraceRecord &rec);
+
+    std::uint64_t count(RecordType t) const
+    {
+        return counts[static_cast<std::size_t>(t)];
+    }
+
+    /** Total record count across all types. */
+    std::uint64_t totalRecords() const;
+
+    /** True when counts and checksum match @p other exactly. */
+    bool matches(const TraceSummary &other) const;
+};
+
+/**
+ * An immutable, 64-byte-aligned TraceRecord store. Construction is
+ * the only mutation; afterwards the buffer is safe to share across
+ * replay worker threads by const reference / shared_ptr.
+ */
+class TraceBuffer
+{
+  public:
+    ~TraceBuffer();
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /** Build a buffer by copying @p records into an aligned arena. */
+    static std::shared_ptr<const TraceBuffer>
+    copyOf(std::span<const TraceRecord> records);
+
+    /** As copyOf(), from a vector (the vector is released after). */
+    static std::shared_ptr<const TraceBuffer>
+    fromRecords(std::vector<TraceRecord> records);
+
+    /**
+     * Adopt an mmap'ed file region: @p records points inside
+     * [map, map + map_bytes), which is munmap'ed when the buffer
+     * dies. @p summary must already be verified by the caller.
+     * Used by TraceFileReader::view() for zero-copy v2 loads.
+     */
+    static std::shared_ptr<const TraceBuffer>
+    adoptMapping(void *map, std::size_t map_bytes,
+                 const TraceRecord *records, std::size_t count,
+                 const TraceSummary &summary);
+
+    std::span<const TraceRecord> records() const
+    {
+        return {records_, count_};
+    }
+
+    const TraceRecord *data() const { return records_; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** The one-pass statistics captured while building the buffer. */
+    const TraceSummary &summary() const { return summary_; }
+
+    /** True when the records live in an mmap'ed trace file. */
+    bool zeroCopy() const { return map_ != nullptr; }
+
+  private:
+    TraceBuffer() = default;
+
+    const TraceRecord *records_ = nullptr;
+    std::size_t count_ = 0;
+    TraceSummary summary_;
+    void *arena_ = nullptr; ///< Owned aligned storage, or nullptr.
+    void *map_ = nullptr;   ///< Owned mmap region, or nullptr.
+    std::size_t mapBytes_ = 0;
+};
+
+} // namespace pmodv::trace
+
+#endif // PMODV_TRACE_BUFFER_HH

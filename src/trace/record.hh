@@ -10,6 +10,7 @@
 #ifndef PMODV_TRACE_RECORD_HH
 #define PMODV_TRACE_RECORD_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -53,6 +54,9 @@ enum class RecordType : std::uint8_t
     /** End of a logical workload operation. */
     OpEnd = 9,
 };
+
+/** Number of distinct RecordType values (array sizing). */
+inline constexpr std::size_t kNumRecordTypes = 10;
 
 /** Flag bit: the access targets PMO (NVM-backed) memory. */
 inline constexpr std::uint8_t kFlagPmo = 0x01;

@@ -13,6 +13,22 @@ CountingSink::put(const TraceRecord &rec)
         ++pmoAccesses_;
 }
 
+void
+CountingSink::addBatch(std::span<const TraceRecord> records)
+{
+    for (const TraceRecord &rec : records)
+        put(rec);
+}
+
+void
+CountingSink::addSummary(const TraceSummary &summary)
+{
+    for (std::size_t i = 0; i < kNumRecordTypes; ++i)
+        counts_[i] += summary.counts[i];
+    instBlockInsts_ += summary.instBlockInsts;
+    pmoAccesses_ += summary.pmoAccesses;
+}
+
 std::uint64_t
 CountingSink::totalInstructions() const
 {

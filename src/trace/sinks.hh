@@ -10,8 +10,10 @@
 #define PMODV_TRACE_SINKS_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "trace/buffer.hh"
 #include "trace/record.hh"
 
 namespace pmodv::trace
@@ -86,6 +88,12 @@ class CountingSink : public TraceSink
   public:
     void put(const TraceRecord &rec) override;
 
+    /** Fold a whole batch of records into the counters. */
+    void addBatch(std::span<const TraceRecord> records);
+
+    /** Fold a precomputed TraceSummary (e.g. a TraceBuffer's). */
+    void addSummary(const TraceSummary &summary);
+
     std::uint64_t count(RecordType t) const
     {
         return counts_[static_cast<std::size_t>(t)];
@@ -115,7 +123,7 @@ class CountingSink : public TraceSink
     void reset();
 
   private:
-    std::uint64_t counts_[10] = {};
+    std::uint64_t counts_[kNumRecordTypes] = {};
     std::uint64_t instBlockInsts_ = 0;
     std::uint64_t pmoAccesses_ = 0;
 };

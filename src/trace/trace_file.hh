@@ -1,11 +1,19 @@
 /**
  * @file
- * Binary trace file I/O. Traces can be captured once (expensive
+ * Binary trace file I/O. Traces are captured once (expensive
  * workload execution) and replayed many times (one per scheme sweep
  * point), mirroring the paper's Pin-capture/Sniper-replay split.
  *
- * Format: 16-byte header {magic, version, record count} followed by
- * packed TraceRecords.
+ * v2 format (current): a 128-byte section header {magic, version,
+ * record count, full TraceSummary: per-type counts + instruction and
+ * PMO-access totals + FNV-1a checksum} followed by packed
+ * TraceRecords starting at a 64-byte-aligned offset. The body is
+ * mmap-able: TraceFileReader::view() maps it read-only and wraps it
+ * in a zero-copy TraceBuffer after verifying the checksum.
+ *
+ * v1 format (legacy, still readable): a 16-byte header {magic,
+ * version, record count} followed by packed records. view() falls
+ * back to decode-on-load, building an arena-backed TraceBuffer.
  */
 
 #ifndef PMODV_TRACE_TRACE_FILE_HH
@@ -15,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/buffer.hh"
 #include "trace/sinks.hh"
 
 namespace pmodv::trace
@@ -24,9 +33,23 @@ namespace pmodv::trace
 inline constexpr std::uint32_t kTraceMagic = 0x564f4d50; // "PMOV"
 
 /** Current trace format version. */
-inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceVersion = 2;
 
-/** A TraceSink that streams records to a binary file. */
+/** The legacy format version (pre-TraceBuffer, no checksum). */
+inline constexpr std::uint32_t kTraceVersionLegacy = 1;
+
+/** Byte size of the v2 section header (64-byte-aligned body). */
+inline constexpr std::size_t kTraceHeaderBytesV2 = 128;
+
+/** Byte size of the legacy v1 header. */
+inline constexpr std::size_t kTraceHeaderBytesV1 = 16;
+
+/**
+ * A TraceSink that streams records to a binary v2 trace file. Every
+ * file operation is checked: short writes, flush and close failures
+ * are fatal instead of silently truncating the trace, and put()
+ * after finish() is a hard error.
+ */
 class TraceFileWriter : public TraceSink
 {
   public:
@@ -39,22 +62,35 @@ class TraceFileWriter : public TraceSink
 
     void put(const TraceRecord &rec) override;
 
-    /** Patch the header record count and close the file. */
+    /** Write the final section header and close the file. */
     void finish() override;
 
-    std::uint64_t recordsWritten() const { return count_; }
+    std::uint64_t recordsWritten() const
+    {
+        return summary_.totalRecords();
+    }
+
+    /** The summary that finish() writes into the header. */
+    const TraceSummary &summary() const { return summary_; }
 
   private:
     std::FILE *file_ = nullptr;
-    std::uint64_t count_ = 0;
+    std::string path_;
+    TraceSummary summary_;
     bool finished_ = false;
 };
 
-/** Reads a binary trace file and pumps it into a sink. */
+/**
+ * Reads a binary trace file (v1 or v2). view() is the intended entry
+ * point: it loads the whole trace as an immutable TraceBuffer —
+ * zero-copy via mmap for v2 files, decode-on-load for v1 — verified
+ * against the header's checksum and counts. next() remains for
+ * streaming consumers (dump).
+ */
 class TraceFileReader
 {
   public:
-    /** Open @p path; fatal() on failure or bad header. */
+    /** Open @p path; fatal() on failure or bad/truncated header. */
     explicit TraceFileReader(const std::string &path);
     ~TraceFileReader();
 
@@ -64,19 +100,55 @@ class TraceFileReader
     /** Number of records the header claims. */
     std::uint64_t recordCount() const { return count_; }
 
+    /** The file's format version (1 or 2). */
+    std::uint32_t version() const { return version_; }
+
+    /**
+     * The header's TraceSummary (v2 only; nullptr for v1 files,
+     * whose header carries no statistics).
+     */
+    const TraceSummary *headerSummary() const
+    {
+        return version_ == kTraceVersion ? &headerSummary_ : nullptr;
+    }
+
+    /**
+     * Load the whole trace as an immutable shared TraceBuffer,
+     * independent of the next() cursor. v2 bodies are mmap'ed
+     * zero-copy (arena fallback when mmap is unavailable); v1 bodies
+     * are decoded into an arena. fatal() on checksum or count
+     * mismatch. May be called once per reader.
+     */
+    std::shared_ptr<const TraceBuffer> view();
+
     /** Read the next record into @p rec; false at end of trace. */
     bool next(TraceRecord &rec);
 
-    /** Stream every remaining record into @p sink (calls finish()). */
+    /**
+     * Stream every remaining record into @p sink (calls finish()).
+     * @deprecated Replay paths should use view() + replayBatch.
+     */
+    [[deprecated("use view() and the batch replay API instead")]]
     std::uint64_t pump(TraceSink &sink);
 
-    /** Read the whole remaining trace into a vector. */
+    /**
+     * Read the whole remaining trace into a vector.
+     * @deprecated Use view(); it shares one immutable buffer instead
+     * of copying per caller.
+     */
+    [[deprecated("use view() instead")]]
     std::vector<TraceRecord> readAll();
 
   private:
+    std::shared_ptr<const TraceBuffer> loadIntoArena();
+
     std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint32_t version_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t readSoFar_ = 0;
+    std::size_t headerBytes_ = 0;
+    TraceSummary headerSummary_; ///< Valid for v2 files only.
 };
 
 } // namespace pmodv::trace

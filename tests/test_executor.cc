@@ -48,7 +48,7 @@ serialCycles(const MicroPointSpec &spec,
     workloads::makeMicro(spec.benchmark, spec.params)->run(ctx);
 
     core::MultiReplay replay(spec.config, kinds);
-    replay.replay(buffer.records());
+    replay.replayBatch(buffer.records());
 
     std::map<SchemeKind, Cycles> cycles;
     for (SchemeKind k : kinds)
@@ -132,23 +132,24 @@ TEST(Executor, WhisperDeterministicAcrossJobCounts)
 TEST(Executor, RawReplayMatchesMultiReplay)
 {
     using trace::TraceRecord;
-    auto records = std::make_shared<std::vector<TraceRecord>>();
+    std::vector<TraceRecord> records;
     constexpr Addr base = Addr{1} << 33;
-    records->push_back(TraceRecord::attach(0, 1, base, Addr{1} << 20,
-                                           Perm::ReadWrite));
-    records->push_back(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
+    records.push_back(TraceRecord::attach(0, 1, base, Addr{1} << 20,
+                                          Perm::ReadWrite));
+    records.push_back(TraceRecord::setPerm(0, 1, Perm::ReadWrite));
     for (unsigned i = 0; i < 500; ++i)
-        records->push_back(
+        records.push_back(
             TraceRecord::load(0, base + i * 64, 8, true));
+    const auto buf = trace::TraceBuffer::fromRecords(std::move(records));
 
     const std::vector<SchemeKind> kinds{SchemeKind::NoProtection,
                                         SchemeKind::MpkVirt,
                                         SchemeKind::DomainVirt};
     core::MultiReplay replay({}, kinds);
-    replay.replay(*records);
+    replay.replayBuffer(*buf);
 
     RawPointSpec spec;
-    spec.records = records;
+    spec.trace = buf;
     spec.schemes = kinds;
     common::ThreadPool pool(3);
     const RawPointResult res = Executor(pool).runRaw(spec);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <span>
 
 #include "core/replay.hh"
 #include "exp/executor.hh"
@@ -48,16 +49,16 @@ TEST(Integration, FileTraceReplayEqualsLiveReplay)
     }
 
     core::SimConfig cfg;
-    auto replay_records = [&](const std::vector<trace::TraceRecord> &v) {
+    auto replay_records = [&](std::span<const trace::TraceRecord> v) {
         core::MultiReplay replay(cfg, {SchemeKind::MpkVirt});
-        replay.replay(v);
+        replay.replayBatch(v);
         return replay.system(SchemeKind::MpkVirt).totalCycles();
     };
 
     trace::TraceFileReader reader(path.string());
-    const auto from_file = reader.readAll();
-    EXPECT_EQ(from_file.size(), memory.records().size());
-    EXPECT_EQ(replay_records(from_file),
+    const auto from_file = reader.view();
+    EXPECT_EQ(from_file->size(), memory.records().size());
+    EXPECT_EQ(replay_records(from_file->records()),
               replay_records(memory.records()));
     std::filesystem::remove(path);
 }

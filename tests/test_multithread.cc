@@ -111,7 +111,7 @@ TEST(MultiThread, FewDomainsFavourMpkVirt)
     core::MultiReplay replay(cfg, {SchemeKind::Lowerbound,
                                    SchemeKind::MpkVirt,
                                    SchemeKind::DomainVirt});
-    replay.replay(pingPongTrace(200, 4, 1));
+    replay.replayBatch(pingPongTrace(200, 4, 1));
     const auto lb =
         replay.system(SchemeKind::Lowerbound).totalCycles();
     const auto mpkv = replay.system(SchemeKind::MpkVirt).totalCycles();
@@ -131,7 +131,7 @@ TEST(MultiThread, ManyDomainsFavourDomainVirt)
     core::MultiReplay replay(cfg, {SchemeKind::Lowerbound,
                                    SchemeKind::MpkVirt,
                                    SchemeKind::DomainVirt});
-    replay.replay(pingPongTrace(100, 20, 20));
+    replay.replayBatch(pingPongTrace(100, 20, 20));
     const auto lb =
         replay.system(SchemeKind::Lowerbound).totalCycles();
     const auto mpkv = replay.system(SchemeKind::MpkVirt).totalCycles();

@@ -226,7 +226,7 @@ TEST(MultiReplay, FansOutToAllSchemes)
         TraceRecord::load(0, kBase, 8, true),
         TraceRecord::instBlock(0, 40),
     };
-    replay.replay(trace);
+    replay.replayBatch(trace);
     EXPECT_GT(replay.system(SchemeKind::NoProtection).totalCycles(), 0u);
     EXPECT_GT(replay.system(SchemeKind::Lowerbound).totalCycles(),
               replay.system(SchemeKind::NoProtection).totalCycles());
@@ -242,7 +242,7 @@ TEST(MultiReplay, OverheadComputation)
     trace.push_back(TraceRecord::instBlock(0, 27 * 4 * 100));
     for (int i = 0; i < 100; ++i)
         trace.push_back(TraceRecord::setPerm(0, 1, Perm::Read));
-    replay.replay(trace);
+    replay.replayBatch(trace);
     // Lowerbound adds 27 cycles x 100 over a 2700-cycle baseline:
     // 100% overhead.
     EXPECT_NEAR(replay.overheadOver(SchemeKind::Lowerbound,

@@ -437,10 +437,8 @@ TEST(Perfetto, EscapesQuotesAndHandlesEmptyDocument)
 
 TEST(Perfetto, ExecutorExportIsIdenticalAcrossWorkerCounts)
 {
-    auto records = std::make_shared<std::vector<TraceRecord>>(
-        captureAvl());
     exp::RawPointSpec spec;
-    spec.records = records;
+    spec.trace = trace::TraceBuffer::fromRecords(captureAvl());
     spec.config = sampledConfig();
     spec.schemes = {SchemeKind::NoProtection, SchemeKind::MpkVirt,
                     SchemeKind::DomainVirt};

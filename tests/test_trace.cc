@@ -1,13 +1,18 @@
 /**
  * @file
- * Unit tests for the trace substrate: records, sinks and file I/O.
+ * Unit tests for the trace substrate: records, sinks, the immutable
+ * TraceBuffer and v1/v2 file I/O (round-trips, zero-copy views,
+ * backward compatibility and corruption detection).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
+#include "trace/buffer.hh"
 #include "trace/record.hh"
 #include "trace/sinks.hh"
 #include "trace/trace_file.hh"
@@ -147,6 +152,37 @@ TEST(TeeCountingSink, CountsAndForwards)
     EXPECT_EQ(downstream.records().size(), 1u);
 }
 
+TEST(TraceBuffer, CopyIsAlignedAndSummarized)
+{
+    std::vector<TraceRecord> records{
+        TraceRecord::instBlock(0, 50),
+        TraceRecord::load(0, 0x1000, 8, true),
+        TraceRecord::store(0, 0x2000, 8, false),
+    };
+    const auto buf = TraceBuffer::copyOf(records);
+    ASSERT_EQ(buf->size(), records.size());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf->data()) %
+                  kTraceBufferAlign,
+              0u);
+    EXPECT_FALSE(buf->zeroCopy());
+    const TraceSummary &s = buf->summary();
+    EXPECT_EQ(s.totalRecords(), 3u);
+    EXPECT_EQ(s.count(RecordType::InstBlock), 1u);
+    EXPECT_EQ(s.count(RecordType::Load), 1u);
+    EXPECT_EQ(s.count(RecordType::Store), 1u);
+    EXPECT_EQ(s.instBlockInsts, 50u);
+    EXPECT_EQ(s.pmoAccesses, 1u);
+    EXPECT_NE(s.checksum, kFnvOffsetBasis); // Not the empty hash.
+}
+
+TEST(TraceBuffer, EmptyBufferIsValid)
+{
+    const auto buf = TraceBuffer::fromRecords({});
+    EXPECT_TRUE(buf->empty());
+    EXPECT_EQ(buf->summary().totalRecords(), 0u);
+    EXPECT_EQ(buf->summary().checksum, kFnvOffsetBasis);
+}
+
 class TraceFileTest : public ::testing::Test
 {
   protected:
@@ -159,19 +195,44 @@ class TraceFileTest : public ::testing::Test
 
     void TearDown() override { std::filesystem::remove(path_); }
 
+    /** A small but type-diverse record sequence. */
+    static std::vector<TraceRecord>
+    sampleRecords()
+    {
+        return {
+            TraceRecord::attach(0, 1, 0x10000, 0x4000,
+                                Perm::ReadWrite),
+            TraceRecord::setPerm(0, 1, Perm::ReadWrite),
+            TraceRecord::load(0, 0x10010, 8, true),
+            TraceRecord::store(0, 0x10018, 64, true),
+            TraceRecord::instBlock(0, 999),
+            TraceRecord::detach(0, 1),
+        };
+    }
+
+    /** Write @p records as a version-1 file (16-byte header). */
+    void
+    writeV1(const std::vector<TraceRecord> &records)
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::uint32_t magic = kTraceMagic;
+        const std::uint32_t version = kTraceVersionLegacy;
+        const std::uint64_t count = records.size();
+        std::fwrite(&magic, sizeof(magic), 1, f);
+        std::fwrite(&version, sizeof(version), 1, f);
+        std::fwrite(&count, sizeof(count), 1, f);
+        std::fwrite(records.data(), sizeof(TraceRecord),
+                    records.size(), f);
+        std::fclose(f);
+    }
+
     std::filesystem::path path_;
 };
 
-TEST_F(TraceFileTest, RoundTrip)
+TEST_F(TraceFileTest, RoundTripThroughView)
 {
-    std::vector<TraceRecord> records{
-        TraceRecord::attach(0, 1, 0x10000, 0x4000, Perm::ReadWrite),
-        TraceRecord::setPerm(0, 1, Perm::ReadWrite),
-        TraceRecord::load(0, 0x10010, 8, true),
-        TraceRecord::store(0, 0x10018, 64, true),
-        TraceRecord::instBlock(0, 999),
-        TraceRecord::detach(0, 1),
-    };
+    const auto records = sampleRecords();
     {
         TraceFileWriter writer(path_.string());
         for (const auto &rec : records)
@@ -180,9 +241,85 @@ TEST_F(TraceFileTest, RoundTrip)
         EXPECT_EQ(writer.recordsWritten(), records.size());
     }
     TraceFileReader reader(path_.string());
+    EXPECT_EQ(reader.version(), kTraceVersion);
     EXPECT_EQ(reader.recordCount(), records.size());
-    auto loaded = reader.readAll();
-    EXPECT_EQ(loaded, records);
+    ASSERT_NE(reader.headerSummary(), nullptr);
+    const auto buf = reader.view();
+    ASSERT_EQ(buf->size(), records.size());
+    EXPECT_TRUE(std::equal(records.begin(), records.end(),
+                           buf->records().begin()));
+    EXPECT_TRUE(buf->summary().matches(*reader.headerSummary()));
+}
+
+TEST_F(TraceFileTest, ViewIsZeroCopyAndAligned)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 100; ++i)
+            writer.put(TraceRecord::load(0, 0x1000 + i * 8, 8, true));
+    }
+    TraceFileReader reader(path_.string());
+    const auto buf = reader.view();
+    EXPECT_TRUE(buf->zeroCopy());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf->data()) %
+                  kTraceBufferAlign,
+              0u);
+    EXPECT_EQ(buf->size(), 100u);
+}
+
+TEST_F(TraceFileTest, ViewOutlivesReader)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 8; ++i)
+            writer.put(TraceRecord::opBegin(0));
+    }
+    std::shared_ptr<const TraceBuffer> buf;
+    {
+        TraceFileReader reader(path_.string());
+        buf = reader.view();
+    } // Reader (and its FILE*) gone; the mapping must survive.
+    ASSERT_EQ(buf->size(), 8u);
+    EXPECT_EQ(buf->records()[7].type, RecordType::OpBegin);
+}
+
+TEST_F(TraceFileTest, V1FileReadableViaFallback)
+{
+    const auto records = sampleRecords();
+    writeV1(records);
+    TraceFileReader reader(path_.string());
+    EXPECT_EQ(reader.version(), kTraceVersionLegacy);
+    EXPECT_EQ(reader.headerSummary(), nullptr); // v1 has no summary.
+    const auto buf = reader.view();
+    ASSERT_EQ(buf->size(), records.size());
+    EXPECT_TRUE(std::equal(records.begin(), records.end(),
+                           buf->records().begin()));
+    EXPECT_FALSE(buf->zeroCopy()); // Decode-on-load, not mmap.
+    // The recomputed summary is identical to what a v2 writer would
+    // have put in the header.
+    EXPECT_EQ(buf->summary().totalRecords(), records.size());
+    EXPECT_EQ(buf->summary().instBlockInsts, 999u);
+}
+
+TEST_F(TraceFileTest, V1ToV2ConversionPreservesRecords)
+{
+    const auto records = sampleRecords();
+    writeV1(records);
+    const auto v2path = path_.string() + ".v2";
+    {
+        TraceFileReader reader(path_.string());
+        const auto buf = reader.view();
+        TraceFileWriter writer(v2path);
+        for (const TraceRecord &rec : buf->records())
+            writer.put(rec);
+        writer.finish();
+    }
+    TraceFileReader reader(v2path);
+    EXPECT_EQ(reader.version(), kTraceVersion);
+    const auto buf = reader.view();
+    EXPECT_TRUE(std::equal(records.begin(), records.end(),
+                           buf->records().begin()));
+    std::filesystem::remove(v2path);
 }
 
 TEST_F(TraceFileTest, PumpIntoSink)
@@ -194,8 +331,27 @@ TEST_F(TraceFileTest, PumpIntoSink)
     } // Destructor finishes the file.
     TraceFileReader reader(path_.string());
     CountingSink sink;
+    // The deprecated shims must keep working for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_EQ(reader.pump(sink), 10u);
+#pragma GCC diagnostic pop
     EXPECT_EQ(sink.memAccesses(), 10u);
+}
+
+TEST_F(TraceFileTest, DeprecatedReadAllStillWorks)
+{
+    const auto records = sampleRecords();
+    {
+        TraceFileWriter writer(path_.string());
+        for (const auto &rec : records)
+            writer.put(rec);
+    }
+    TraceFileReader reader(path_.string());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EXPECT_EQ(reader.readAll(), records);
+#pragma GCC diagnostic pop
 }
 
 TEST_F(TraceFileTest, IterativeNext)
@@ -237,6 +393,121 @@ TEST_F(TraceFileTest, RejectsGarbageMagic)
     EXPECT_EXIT(TraceFileReader reader(path_.string()),
                 ::testing::ExitedWithCode(1), "magic");
 }
+
+TEST_F(TraceFileTest, RejectsUnsupportedVersion)
+{
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        const std::uint32_t magic = kTraceMagic;
+        const std::uint32_t version = 99;
+        const std::uint64_t count = 0;
+        std::fwrite(&magic, sizeof(magic), 1, f);
+        std::fwrite(&version, sizeof(version), 1, f);
+        std::fwrite(&count, sizeof(count), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileReader reader(path_.string()),
+                ::testing::ExitedWithCode(1), "unsupported version");
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedBody)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 16; ++i)
+            writer.put(TraceRecord::load(0, 0x1000 + i * 8, 8, true));
+    }
+    // Chop half a record off the end.
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 12);
+    EXPECT_EXIT(TraceFileReader reader(path_.string()),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST_F(TraceFileTest, RejectsChecksumMismatch)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 16; ++i)
+            writer.put(TraceRecord::load(0, 0x1000 + i * 8, 8, true));
+    }
+    // Flip one byte inside a record's addr field: the per-type counts
+    // still match, so only the checksum can catch it.
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, static_cast<long>(kTraceHeaderBytesV2) + 8, SEEK_SET);
+        const char byte = 0x5a;
+        std::fwrite(&byte, 1, 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(
+        {
+            TraceFileReader reader(path_.string());
+            reader.view();
+        },
+        ::testing::ExitedWithCode(1), "checksum");
+}
+
+TEST_F(TraceFileTest, RejectsHeaderCountDisagreement)
+{
+    {
+        TraceFileWriter writer(path_.string());
+        for (int i = 0; i < 4; ++i)
+            writer.put(TraceRecord::opBegin(0));
+    }
+    // Corrupt the per-type count table (OpBegin count at index 8) so
+    // it no longer sums to the header's record count.
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const std::uint64_t bogus = 7;
+        // Layout: magic+version (8) + count (8) + checksum (8), then
+        // typeCounts[10].
+        std::fseek(f, 24 + 8 * 8, SEEK_SET);
+        std::fwrite(&bogus, sizeof(bogus), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileReader reader(path_.string()),
+                ::testing::ExitedWithCode(1), "corrupt trace header");
+}
+
+TEST_F(TraceFileTest, WriteAfterFinishIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            TraceFileWriter writer(path_.string());
+            writer.put(TraceRecord::opBegin(0));
+            writer.finish();
+            writer.put(TraceRecord::opEnd(0));
+        },
+        ::testing::ExitedWithCode(1), "after finish");
+}
+
+#ifdef PMODV_TESTDATA_DIR
+TEST(TraceFixture, CommittedV1TraceStaysReadable)
+{
+    // A v1-format trace checked into the repo: the legacy
+    // decode-on-load fallback must keep working against real bytes
+    // written before the v2 format existed, not just files this test
+    // binary produced itself.
+    TraceFileReader reader(std::string(PMODV_TESTDATA_DIR) +
+                           "/micro_v1.trace");
+    EXPECT_EQ(reader.version(), kTraceVersionLegacy);
+    EXPECT_EQ(reader.recordCount(), 161u);
+    EXPECT_EQ(reader.headerSummary(), nullptr);
+    auto buf = reader.view();
+    ASSERT_EQ(buf->size(), 161u);
+    const TraceSummary &s = buf->summary();
+    EXPECT_EQ(s.count(RecordType::Attach), 2u);
+    EXPECT_EQ(s.count(RecordType::Load), 73u);
+    EXPECT_EQ(s.count(RecordType::Store), 16u);
+    EXPECT_EQ(s.count(RecordType::InstBlock), 64u);
+    EXPECT_EQ(buf->records()[0].type, RecordType::Attach);
+    EXPECT_EQ(buf->records()[0].aux, 1u);
+    EXPECT_EQ(buf->records()[0].addr, Addr{1} << 33);
+}
+#endif
 
 } // namespace
 } // namespace pmodv::trace

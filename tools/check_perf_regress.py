@@ -1,26 +1,42 @@
 #!/usr/bin/env python3
 """Gate the simulator's headline numbers against a committed baseline.
 
-The baseline (BENCH_baseline.json at the repo root) pins per-scheme
-total_cycles for the quick configurations of the headline experiments
-(fig7_average, table7_breakdown). Metrics are keyed
+The baseline (BENCH_baseline.json at the repo root) pins two kinds of
+metric:
 
-    <suite>:<benchmark>[/pmos=N]/<scheme>  ->  total_cycles
+  * model metrics — per-scheme total_cycles for the quick
+    configurations of the headline experiments (fig7_average,
+    table7_breakdown), keyed
 
-The simulator is deterministic, so on identical workload parameters a
-drift in these numbers means the *model* changed — which is sometimes
-intended (a PR that changes protection-cost modelling) and sometimes a
-regression smuggled in by a refactor. This gate makes the drift
-visible: CI runs it warn-only, release branches can run it strict.
+        <suite>:<benchmark>[/pmos=N]/<scheme>  ->  total_cycles
+
+    The simulator is deterministic, so on identical workload
+    parameters a drift here means the *model* changed — which is
+    sometimes intended (a PR that changes protection-cost modelling)
+    and sometimes a regression smuggled in by a refactor. Drift beyond
+    tolerance FAILS the gate (unless --warn-only).
+
+  * host-throughput metrics — replay-engine records/sec taken from
+    google-benchmark --benchmark_format=json reports (gbench_sim),
+    keyed
+
+        gbench:<BM name>/<scheme>/<working set>/records_per_sec
+
+    These measure the host, not the model, and CI runners are noisy;
+    drift here is always reported WARN-ONLY, whatever the flags. The
+    numbers exist so engine slowdowns are visible in CI logs, not to
+    block merges on scheduler jitter.
 
 Usage:
     check_perf_regress.py report.json... [--baseline FILE]
         [--tolerance-pct P] [--warn-only] [--update]
 
---update rewrites the baseline from the given reports instead of
-checking (commit the result alongside the model change that caused
-it). Exit status: 0 ok / 1 drift beyond tolerance (unless --warn-only)
-/ 2 usage or missing-metric errors.
+Reports may mix suite --json output and google-benchmark JSON; the
+format is auto-detected per file. --update rewrites the baseline from
+the given reports instead of checking (commit the result alongside
+the model change that caused it). Exit status: 0 ok / 1 model-metric
+drift beyond tolerance (unless --warn-only) / 2 usage or
+missing-metric errors.
 """
 
 import argparse
@@ -31,8 +47,36 @@ DEFAULT_BASELINE = "BENCH_baseline.json"
 DEFAULT_TOLERANCE_PCT = 2.0
 
 
+THROUGHPUT_SUFFIX = "/records_per_sec"
+
+
+def is_throughput(key):
+    """Throughput metrics measure the host and are never enforced."""
+    return key.endswith(THROUGHPUT_SUFFIX)
+
+
+def gbench_metric_keys(report):
+    """Yield (key, records_per_sec) for replay rows of a gbench report."""
+    for row in report.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name", "")
+        if "Replay" not in name or "items_per_second" not in row:
+            continue
+        # Prefer the human label ("mpk_virt/64K") over the raw
+        # argument encoding in the benchmark name.
+        base = name.split("/")[0]
+        label = row.get("label")
+        point = f"{base}/{label}" if label else name
+        yield f"gbench:{point}{THROUGHPUT_SUFFIX}", round(
+            row["items_per_second"])
+
+
 def metric_keys(report):
-    """Yield (key, total_cycles) for every row x scheme in a report."""
+    """Yield (key, value) for every metric in a report (either format)."""
+    if "benchmarks" in report:
+        yield from gbench_metric_keys(report)
+        return
     suite = report.get("suite", "unknown")
     for row in report.get("micro", []):
         bench = row.get("benchmark", "?")
@@ -103,7 +147,7 @@ def main():
     if tolerance is None:
         tolerance = baseline.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
 
-    drifted, missing, checked = [], [], 0
+    drifted, warned, missing, checked = [], [], [], 0
     for key, base in sorted(expected.items()):
         if key not in current:
             missing.append(key)
@@ -113,7 +157,8 @@ def main():
         drift_pct = (abs(now - base) / base * 100.0) if base else (
             0.0 if now == base else float("inf"))
         if drift_pct > tolerance:
-            drifted.append((key, base, now, drift_pct))
+            target = warned if is_throughput(key) else drifted
+            target.append((key, base, now, drift_pct))
 
     new = sorted(set(current) - set(expected))
     for key in new:
@@ -123,6 +168,10 @@ def main():
         print(f"note: baseline metric {key} missing from the given "
               f"reports")
 
+    for key, base, now, drift_pct in warned:
+        direction = "slower" if now < base else "faster"
+        print(f"warning: throughput {key}: {base} -> {now} "
+              f"({drift_pct:.2f}% {direction}, warn-only)")
     for key, base, now, drift_pct in drifted:
         direction = "slower" if now > base else "faster"
         print(f"DRIFT {key}: {base} -> {now} "
@@ -137,7 +186,8 @@ def main():
         print(f"FAIL: {verdict}", file=sys.stderr)
         return 1
     print(f"ok: {checked} metrics within {tolerance}% of "
-          f"{args.baseline}")
+          f"{args.baseline}" +
+          (f" ({len(warned)} throughput warnings)" if warned else ""))
     return 0
 
 

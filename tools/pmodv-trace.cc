@@ -8,6 +8,9 @@
  *       Print record counts, access mix and switch statistics.
  *   pmodv-trace dump <file.trc> [--limit N]
  *       Print records in human-readable form.
+ *   pmodv-trace convert <in.trc> <out.trc>
+ *       Rewrite a trace in the current (v2) format. Upgrades legacy
+ *       v1 files to the mmap-able checksummed layout.
  *   pmodv-trace replay <file.trc> [--scheme name]... [--jobs N]
  *                      [--trace-out out.json] [--epoch CYCLES]
  *                      [--progress]
@@ -48,6 +51,7 @@ usage()
         "[--pmos N] [--ops N]\n"
         "       pmodv-trace info <file.trc>\n"
         "       pmodv-trace dump <file.trc> [--limit N]\n"
+        "       pmodv-trace convert <in.trc> <out.trc>\n"
         "       pmodv-trace replay <file.trc> [--scheme name]...\n"
         "           [--jobs N] [--trace-out out.json] [--epoch CYCLES]\n"
         "           [--progress]\n");
@@ -88,8 +92,12 @@ cmdInfo(int argc, char **argv)
     if (argc < 3)
         return usage();
     trace::TraceFileReader reader(argv[2]);
+    // view() verifies the checksum for v2 files and hands back the
+    // one-pass summary; no per-record counting pass needed.
+    const auto buf = reader.view();
     trace::CountingSink counter;
-    reader.pump(counter);
+    counter.addSummary(buf->summary());
+    std::printf("format version:       %u\n", reader.version());
     std::printf("records:              %llu\n",
                 static_cast<unsigned long long>(reader.recordCount()));
     std::printf("instructions:         %llu\n",
@@ -141,6 +149,24 @@ cmdDump(int argc, char **argv)
 }
 
 int
+cmdConvert(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    trace::TraceFileReader reader(argv[2]);
+    const unsigned in_version = reader.version();
+    const auto buf = reader.view();
+    trace::TraceFileWriter writer(argv[3]);
+    for (const trace::TraceRecord &rec : buf->records())
+        writer.put(rec);
+    writer.finish();
+    std::printf("converted %llu records (v%u -> v%u) to %s\n",
+                static_cast<unsigned long long>(buf->size()), in_version,
+                trace::kTraceVersion, argv[3]);
+    return 0;
+}
+
+int
 cmdReplay(int argc, char **argv)
 {
     if (argc < 3)
@@ -184,17 +210,13 @@ cmdReplay(int argc, char **argv)
                        arch::SchemeKind::NoProtection);
     }
 
-    // Buffer the trace once, then fan the scheme pipelines out over
-    // the pool (one worker per System).
-    auto records = std::make_shared<std::vector<trace::TraceRecord>>();
-    {
-        trace::VectorSink buffer;
-        trace::TraceFileReader reader(argv[2]);
-        reader.pump(buffer);
-        *records = buffer.take();
-    }
+    // Load the trace once (zero-copy mmap for v2 files), then fan the
+    // scheme pipelines out over the pool (one worker per System).
     exp::RawPointSpec spec;
-    spec.records = records;
+    {
+        trace::TraceFileReader reader(argv[2]);
+        spec.trace = reader.view();
+    }
     spec.schemes = schemes;
     if (epoch != 0) {
         spec.config.samplingEpochCycles = epoch;
@@ -268,6 +290,8 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (cmd == "dump")
         return cmdDump(argc, argv);
+    if (cmd == "convert")
+        return cmdConvert(argc, argv);
     if (cmd == "replay")
         return cmdReplay(argc, argv);
     return usage();
