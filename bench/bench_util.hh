@@ -1,9 +1,9 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries: a tiny
- * CLI parser (--quick / --full / --ops N / --pmos a,b,c / --jobs N /
- * --json FILE / --dump-stats / --epoch N / --trace-out FILE /
- * --progress) and table formatting utilities.
+ * CLI parser (--quick / --full / --ops N / --pmos a,b,c /
+ * --cores a,b,c / --jobs N / --json FILE / --dump-stats / --epoch N /
+ * --trace-out FILE / --progress) and table formatting utilities.
  */
 
 #ifndef PMODV_BENCH_BENCH_UTIL_HH
@@ -31,6 +31,8 @@ struct Options
     bool full = false;     ///< Paper-scale run (slow).
     bool csv = false;      ///< Machine-readable output (plotting).
     std::vector<unsigned> pmoCounts;
+    /** Simulated core counts (--cores a,b,c); empty = single core. */
+    std::vector<unsigned> coreCounts;
     /** Worker threads for the experiment executor; 0 = hardware
      *  concurrency (the common::ThreadPool default). */
     unsigned jobs = 0;
@@ -45,6 +47,23 @@ struct Options
     /** Periodic replay progress on stderr. */
     bool progress = false;
 };
+
+/** Parse a comma-separated unsigned list ("1,2,4"). */
+inline std::vector<unsigned>
+parseUnsignedList(const std::string &list)
+{
+    std::vector<unsigned> out;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        auto comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        out.push_back(static_cast<unsigned>(
+            std::stoul(list.substr(pos, comma - pos))));
+        pos = comma + 1;
+    }
+    return out;
+}
 
 inline Options
 parseOptions(int argc, char **argv)
@@ -74,20 +93,13 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--progress") {
             opt.progress = true;
         } else if (arg == "--pmos" && i + 1 < argc) {
-            std::string list = argv[++i];
-            std::size_t pos = 0;
-            while (pos < list.size()) {
-                auto comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                opt.pmoCounts.push_back(static_cast<unsigned>(
-                    std::stoul(list.substr(pos, comma - pos))));
-                pos = comma + 1;
-            }
+            opt.pmoCounts = parseUnsignedList(argv[++i]);
+        } else if (arg == "--cores" && i + 1 < argc) {
+            opt.coreCounts = parseUnsignedList(argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick|--full] [--csv] [--ops N] "
-                        "[--pmos a,b,c] [--jobs N] [--json FILE] "
-                        "[--dump-stats] [--epoch CYCLES] "
+                        "[--pmos a,b,c] [--cores a,b,c] [--jobs N] "
+                        "[--json FILE] [--dump-stats] [--epoch CYCLES] "
                         "[--trace-out FILE] [--progress]\n",
                         argv[0]);
             std::exit(0);

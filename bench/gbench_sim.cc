@@ -138,6 +138,43 @@ BENCHMARK(BM_ReplayBatchThroughput)
     ->Args({static_cast<int>(SchemeKind::DomainVirt), 23});
 
 void
+BM_ReplayMultiCoreThroughput(benchmark::State &state)
+{
+    // The K-core batch engine: one round-robin-interleaved stream
+    // with a worker thread pinned per core, each hammering its own
+    // PMO under MPK virtualization. Records/sec here is the cost of
+    // the per-core context switch in the hot loop (core lookup +
+    // shootdown-bus checks); compare against the 1-core row to see
+    // the multi-core plumbing's engine overhead.
+    const auto cores = static_cast<unsigned>(state.range(0));
+    core::SimConfig cfg;
+    cfg.topology.numCores = cores;
+    core::System sys(cfg, SchemeKind::MpkVirt);
+    const Addr stride = Addr{16} << 20;
+    for (unsigned t = 0; t < cores; ++t) {
+        sys.put(TraceRecord::attach(t, t + 1, kBase + t * stride,
+                                    kSize, Perm::ReadWrite));
+        sys.put(TraceRecord::setPerm(t, t + 1, Perm::ReadWrite));
+    }
+    constexpr std::size_t kBatch = 65536;
+    std::vector<TraceRecord> records;
+    records.reserve(kBatch);
+    Rng rng(7);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        const auto t = static_cast<ThreadId>(i % cores);
+        records.push_back(TraceRecord::load(
+            t, kBase + t * stride + rng.next(kSize - 8), 8, true));
+    }
+    const auto buf = trace::TraceBuffer::fromRecords(std::move(records));
+    for (auto _ : state)
+        sys.replayBatch(buf->records());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf->size()));
+    state.SetLabel("mpk_virt/" + std::to_string(cores) + "core");
+}
+BENCHMARK(BM_ReplayMultiCoreThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
 BM_MultiDomainReplay(benchmark::State &state)
 {
     // The hot loop of the Figure 6 sweeps: accesses spread over many

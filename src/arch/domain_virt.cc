@@ -8,15 +8,17 @@ namespace pmodv::arch
 
 DomainVirtScheme::DomainVirtScheme(stats::Group *parent,
                                    const ProtParams &params,
+                                   const CoreTopology &topo,
                                    const tlb::AddressSpace &space)
-    : ProtectionScheme(parent, "domain_virt", params, space),
+    : ProtectionScheme(parent, "domain_virt", params, topo, space),
       drtWalks(this, "drt_walks", "DRT walks on TLB misses"),
       ptlbWritebacks(this, "ptlb_writebacks",
                      "dirty PTLB entries written back to the PT"),
       contextSwitches(this, "context_switches",
                       "context switches processed")
 {
-    ptlb_ = std::make_unique<Ptlb>(this, params_.ptlbEntries);
+    ptlbs_.push_back(std::make_unique<Ptlb>(this, params_.ptlbEntries));
+    curTid_.push_back(0);
     setFastCheck(&fastCheckThunk<DomainVirtScheme>);
 }
 
@@ -24,17 +26,23 @@ void
 DomainVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
 {
     ProtectionScheme::registerTimelineTracks(timeline);
-    timeline.track(ptlb_->misses, "ptlb_misses");
+    timeline.track(ptlbs_[0]->misses, "ptlb_misses");
     timeline.track(drtWalks, "drt_walks");
 }
 
 void
-DomainVirtScheme::setTlb(tlb::TlbHierarchy *tlb)
+DomainVirtScheme::onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb)
 {
-    ProtectionScheme::setTlb(tlb);
-    if (tlb_) {
+    if (!fillPolicyStorage_)
         fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
-        tlb_->setFillPolicy(fillPolicyStorage_.get());
+    tlb->setFillPolicy(fillPolicyStorage_.get());
+    // Core 0's PTLB is built in the constructor ("ptlb"); each
+    // further core gets a private one caching its running thread.
+    while (ptlbs_.size() <= core) {
+        ptlbs_.push_back(std::make_unique<Ptlb>(
+            this, params_.ptlbEntries,
+            "ptlb_core" + std::to_string(ptlbs_.size())));
+        curTid_.push_back(0);
     }
 }
 
@@ -68,13 +76,14 @@ Perm
 DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
                              Cycles &cycles)
 {
-    if (tid != currentThread_) {
-        // Accesses are normally issued by the running thread; a
-        // mismatch means the harness skipped the context switch, so
+    Ptlb &ptlb = *ptlbs_[activeCore_];
+    if (tid != curTid_[activeCore_]) {
+        // Accesses are normally issued by the core's running thread;
+        // a mismatch means the harness skipped the context switch, so
         // consult the PT directly (functional correctness first).
         return pt_.get(domain, tid);
     }
-    if (PtlbEntry *hit = ptlb_->lookup(domain))
+    if (PtlbEntry *hit = ptlb.lookup(domain))
         return hit->perm;
 
     // PTLB miss: fetch from the PT (Table II: 30 cycles including the
@@ -82,7 +91,7 @@ DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
     profile_.fillMiss(domain);
     cycles += params_.ptlbMissCycles;
     cycTableMiss += static_cast<double>(params_.ptlbMissCycles);
-    ptlb_->missLatency.sample(params_.ptlbMissCycles);
+    ptlb.missLatency.sample(params_.ptlbMissCycles);
     postEvent(trace::EventKind::PtlbRefill, tid, domain,
               params_.ptlbMissCycles);
 
@@ -94,7 +103,7 @@ DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
 
     PtlbEntry evicted;
     bool had_eviction = false;
-    ptlb_->insert(entry, evicted, had_eviction);
+    ptlb.insert(entry, evicted, had_eviction);
     cycles += params_.ptlbEntryOpCycles;
     cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
     if (had_eviction && evicted.dirty) {
@@ -120,7 +129,7 @@ DomainVirtScheme::checkAccess(const AccessContext &ctx)
 
     // The PTLB permission lookup adds latency to every domain access,
     // even when the data hits in the cache (paper §VI-A).
-    profile_.access(domain);
+    profile_.access(domain, activeCore_);
     Cycles cycles = params_.ptlbAccessCycles;
     cycAccessLatency += static_cast<double>(params_.ptlbAccessCycles);
 
@@ -145,11 +154,17 @@ DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 
     profile_.setPerm(domain);
 
-    // The PTLB caches the *running* thread's permissions only; a
-    // cross-thread permission update (an OS-assisted grant) goes
-    // straight to the in-memory PT.
-    if (tid != currentThread_) {
+    // Each PTLB caches its core's *running* thread's permissions
+    // only; a cross-thread permission update (an OS-assisted grant)
+    // goes straight to the in-memory PT — and if the target thread is
+    // running on another core, that core's cached entry is dropped so
+    // its next access refetches the new value.
+    Ptlb &ptlb = *ptlbs_[activeCore_];
+    if (tid != curTid_[activeCore_]) {
         pt_.set(domain, tid, perm);
+        for (CoreId c = 0; c < curTid_.size(); ++c)
+            if (curTid_[c] == tid)
+                ptlbs_[c]->invalidate(domain);
         return cycles;
     }
 
@@ -157,7 +172,7 @@ DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     // modified in place and marked dirty; on a miss a new dirty entry
     // is installed (the 2-bit permission is fully overwritten, so no
     // PT read is needed).
-    if (PtlbEntry *hit = ptlb_->lookup(domain)) {
+    if (PtlbEntry *hit = ptlb.lookup(domain)) {
         hit->perm = perm;
         hit->dirty = true;
         cycles += params_.ptlbEntryOpCycles;
@@ -173,7 +188,7 @@ DomainVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
 
     PtlbEntry evicted;
     bool had_eviction = false;
-    ptlb_->insert(entry, evicted, had_eviction);
+    ptlb.insert(entry, evicted, had_eviction);
     cycles += params_.ptlbEntryOpCycles;
     cycEntryChange += static_cast<double>(params_.ptlbEntryOpCycles);
     if (had_eviction && evicted.dirty) {
@@ -204,14 +219,14 @@ DomainVirtScheme::detach(ThreadId tid, DomainId domain)
     auto it = domains_.find(domain);
     if (it == domains_.end())
         return 0;
-    // Stale PTLB state for this thread is dropped (dirty values are
-    // dead: the domain is going away).
-    ptlb_->invalidate(domain);
+    // Stale PTLB state for this domain is dropped on every core
+    // (dirty values are dead: the domain is going away).
+    for (auto &p : ptlbs_)
+        p->invalidate(domain);
     pt_.dropDomain(domain);
-    // The unmap itself invalidates the translations (normal munmap
-    // shootdown, part of the detach syscall).
-    if (tlb_)
-        tlb_->flushRange(it->second->base, it->second->size);
+    // The unmap itself invalidates the translations on every core
+    // (normal munmap shootdown, part of the detach syscall).
+    flushRangeAllCores(it->second->base, it->second->size);
     (void)tid;
     drt_.remove(domain);
     domains_.erase(it);
@@ -223,18 +238,18 @@ DomainVirtScheme::contextSwitch(ThreadId, ThreadId to)
 {
     ++contextSwitches;
     Cycles cycles = 0;
-    // Dirty PTLB entries belong to the outgoing thread; write them
-    // back, then flush. The TLB itself keeps its (thread-agnostic)
-    // domain ids — the design's key win on switches.
+    // Dirty PTLB entries belong to the core's outgoing thread; write
+    // them back, then flush. The TLB itself keeps its
+    // (thread-agnostic) domain ids — the design's key win on switches.
     std::vector<PtlbEntry> dirty;
-    ptlb_->flushAll(dirty);
+    ptlbs_[activeCore_]->flushAll(dirty);
     for (const PtlbEntry &e : dirty) {
-        writeback(currentThread_, e);
+        writeback(curTid_[activeCore_], e);
         cycles += params_.contextSwitchWritebackCycles;
         cycEntryChange +=
             static_cast<double>(params_.contextSwitchWritebackCycles);
     }
-    currentThread_ = to;
+    curTid_[activeCore_] = to;
     return cycles;
 }
 
@@ -243,8 +258,10 @@ DomainVirtScheme::effectivePerm(ThreadId tid, DomainId domain) const
 {
     if (!domains_.count(domain))
         return Perm::ReadWrite; // Not a domain: page permission rules.
-    if (tid == currentThread_) {
-        if (const PtlbEntry *e = ptlb_->probe(domain))
+    for (CoreId c = 0; c < curTid_.size(); ++c) {
+        if (tid != curTid_[c])
+            continue;
+        if (const PtlbEntry *e = ptlbs_[c]->probe(domain))
             return e->perm;
     }
     return pt_.get(domain, tid);

@@ -70,9 +70,9 @@ class DomainVirtScheme : public ProtectionScheme
 {
   public:
     DomainVirtScheme(stats::Group *parent, const ProtParams &params,
+                     const CoreTopology &topo,
                      const tlb::AddressSpace &space);
 
-    void setTlb(tlb::TlbHierarchy *tlb) override;
     void registerTimelineTracks(stats::TimeSeries &timeline) override;
 
     CheckResult checkAccess(const AccessContext &ctx) override;
@@ -83,7 +83,10 @@ class DomainVirtScheme : public ProtectionScheme
     Cycles contextSwitch(ThreadId from, ThreadId to) override;
     Perm effectivePerm(ThreadId tid, DomainId domain) const override;
 
-    Ptlb &ptlb() { return *ptlb_; }
+    /** Core 0's PTLB (the only one on single-core machines). */
+    Ptlb &ptlb() { return *ptlbs_[0]; }
+    /** Core @p core's private PTLB. */
+    Ptlb &ptlbAt(CoreId core) { return *ptlbs_[core]; }
     const PermissionTable &pt() const { return pt_; }
     const VaRadixTree<DrtInfo> &drt() const { return drt_; }
 
@@ -93,6 +96,9 @@ class DomainVirtScheme : public ProtectionScheme
     stats::Scalar drtWalks;
     stats::Scalar ptlbWritebacks;
     stats::Scalar contextSwitches;
+
+  protected:
+    void onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb) override;
 
   private:
     class FillPolicy : public tlb::TlbFillPolicy
@@ -119,9 +125,10 @@ class DomainVirtScheme : public ProtectionScheme
     VaRadixTree<DrtInfo> drt_;
     std::unordered_map<DomainId, std::shared_ptr<DrtInfo>> domains_;
     PermissionTable pt_;
-    std::unique_ptr<Ptlb> ptlb_;
-    /** The thread whose permissions the PTLB currently caches. */
-    ThreadId currentThread_ = 0;
+    /** Per-core PTLBs; [0] exists from construction. */
+    std::vector<std::unique_ptr<Ptlb>> ptlbs_;
+    /** Per core: the thread whose permissions its PTLB caches. */
+    std::vector<ThreadId> curTid_;
 };
 
 } // namespace pmodv::arch

@@ -5,8 +5,8 @@
 namespace pmodv::arch
 {
 
-Dttlb::Dttlb(stats::Group *parent, unsigned entries)
-    : stats::Group(parent, "dttlb"),
+Dttlb::Dttlb(stats::Group *parent, unsigned entries, std::string name)
+    : stats::Group(parent, std::move(name)),
       hits(this, "hits", "VA lookups that matched"),
       misses(this, "misses", "VA lookups that missed"),
       evictions(this, "evictions", "slots evicted by capacity"),

@@ -12,6 +12,7 @@
 #ifndef PMODV_ARCH_DTTLB_HH
 #define PMODV_ARCH_DTTLB_HH
 
+#include <string>
 #include <vector>
 
 #include "common/plru.hh"
@@ -42,7 +43,9 @@ struct DttlbEntry
 class Dttlb : public stats::Group
 {
   public:
-    Dttlb(stats::Group *parent, unsigned entries);
+    /** @p name distinguishes per-core instances ("dttlb_core1", ...). */
+    Dttlb(stats::Group *parent, unsigned entries,
+          std::string name = "dttlb");
 
     unsigned numEntries() const
     {

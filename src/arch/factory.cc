@@ -11,22 +11,27 @@ namespace pmodv::arch
 
 std::unique_ptr<ProtectionScheme>
 makeScheme(SchemeKind kind, stats::Group *parent,
-           const ProtParams &params, const tlb::AddressSpace &space)
+           const ProtParams &params, const CoreTopology &topo,
+           const tlb::AddressSpace &space)
 {
     switch (kind) {
       case SchemeKind::NoProtection:
         return std::make_unique<NoProtectionScheme>(parent, params,
-                                                    space);
+                                                    topo, space);
       case SchemeKind::Lowerbound:
-        return std::make_unique<LowerboundScheme>(parent, params, space);
+        return std::make_unique<LowerboundScheme>(parent, params, topo,
+                                                  space);
       case SchemeKind::Mpk:
-        return std::make_unique<MpkScheme>(parent, params, space);
+        return std::make_unique<MpkScheme>(parent, params, topo, space);
       case SchemeKind::LibMpk:
-        return std::make_unique<LibMpkScheme>(parent, params, space);
+        return std::make_unique<LibMpkScheme>(parent, params, topo,
+                                              space);
       case SchemeKind::MpkVirt:
-        return std::make_unique<MpkVirtScheme>(parent, params, space);
+        return std::make_unique<MpkVirtScheme>(parent, params, topo,
+                                               space);
       case SchemeKind::DomainVirt:
-        return std::make_unique<DomainVirtScheme>(parent, params, space);
+        return std::make_unique<DomainVirtScheme>(parent, params, topo,
+                                                  space);
     }
     panic("unhandled scheme kind");
 }

@@ -1,13 +1,15 @@
 #include "arch/libmpk.hh"
 
+#include "arch/shootdown_bus.hh"
 #include "common/logging.hh"
 
 namespace pmodv::arch
 {
 
 LibMpkScheme::LibMpkScheme(stats::Group *parent, const ProtParams &params,
+                           const CoreTopology &topo,
                            const tlb::AddressSpace &space)
-    : ProtectionScheme(parent, "libmpk", params, space),
+    : ProtectionScheme(parent, "libmpk", params, topo, space),
       ptePatches(this, "pte_patches", "PTE pkey fields rewritten")
 {
     keyHolder_.fill(kNullDomain);
@@ -16,13 +18,11 @@ LibMpkScheme::LibMpkScheme(stats::Group *parent, const ProtParams &params,
 }
 
 void
-LibMpkScheme::setTlb(tlb::TlbHierarchy *tlb)
+LibMpkScheme::onCoreAttached(CoreId, tlb::TlbHierarchy *tlb)
 {
-    ProtectionScheme::setTlb(tlb);
-    if (tlb_) {
+    if (!fillPolicyStorage_)
         fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
-        tlb_->setFillPolicy(fillPolicyStorage_.get());
-    }
+    tlb->setFillPolicy(fillPolicyStorage_.get());
 }
 
 Cycles
@@ -90,19 +90,31 @@ LibMpkScheme::mapDomain(ThreadId tid, DomainState &st, DomainId domain)
 
         patched_pages += vst.size / 4096;
         // The kernel's PTE rewrites invalidate stale translations of
-        // both ranges on every core.
+        // both ranges on every core. With a shootdown bus the two
+        // ranges go out as one broadcast; responding cores that held
+        // stale entries each add an invalidation charge.
         ++shootdowns;
-        const Cycles inval =
-            params_.tlbInvalidationCycles * params_.numCores;
+        Cycles inval = 0;
+        std::uint64_t pages = 0;
+        if (bus_) {
+            const std::array<ShootdownRange, 2> ranges{
+                ShootdownRange{vst.base, vst.size},
+                ShootdownRange{st.base, st.size}};
+            const ShootdownResult res =
+                bus_->broadcast(activeCore_, tid, ranges);
+            inval = res.cycles;
+            pages = res.pages;
+        } else {
+            inval = topo_.tlbInvalidationCycles;
+            if (tlb_) {
+                pages += tlb_->flushRange(vst.base, vst.size);
+                pages += tlb_->flushRange(st.base, st.size);
+            }
+        }
         cycles += inval;
         cycTlbInvalidation += static_cast<double>(inval);
-        std::uint64_t pages = 0;
-        if (tlb_) {
-            pages += tlb_->flushRange(vst.base, vst.size);
-            pages += tlb_->flushRange(st.base, st.size);
-        }
         shootdownPages += static_cast<double>(pages);
-        profile_.eviction(victim_domain, pages);
+        profile_.eviction(victim_domain, pages, activeCore_);
         postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
                   victim);
         postEvent(trace::EventKind::Shootdown, tid, victim_domain,
@@ -145,7 +157,7 @@ LibMpkScheme::checkAccess(const AccessContext &ctx)
     if (key != kNullKey) {
         touchKey(key);
         if (keyHolder_[key] != kNullDomain)
-            profile_.access(keyHolder_[key]);
+            profile_.access(keyHolder_[key], activeCore_);
         domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
     }
     CheckResult res = judge(ctx, domain_perm, 0);
@@ -205,8 +217,8 @@ LibMpkScheme::detach(ThreadId, DomainId domain)
     if (st.key != kInvalidKey) {
         keyHolder_[st.key] = kNullDomain;
         keyAlloc_.free(st.key);
-        if (tlb_)
-            tlb_->flushRange(st.base, st.size);
+        // Functional munmap invalidation on every core; no IPI cost.
+        flushRangeAllCores(st.base, st.size);
     }
     domains_.erase(it);
     return 0;

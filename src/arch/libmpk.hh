@@ -28,9 +28,8 @@ class LibMpkScheme : public ProtectionScheme
 {
   public:
     LibMpkScheme(stats::Group *parent, const ProtParams &params,
+                 const CoreTopology &topo,
                  const tlb::AddressSpace &space);
-
-    void setTlb(tlb::TlbHierarchy *tlb) override;
 
     CheckResult checkAccess(const AccessContext &ctx) override;
     Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
@@ -44,6 +43,9 @@ class LibMpkScheme : public ProtectionScheme
     ProtKey keyOf(DomainId domain) const;
 
     stats::Scalar ptePatches;
+
+  protected:
+    void onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb) override;
 
   private:
     class FillPolicy : public tlb::TlbFillPolicy

@@ -6,8 +6,9 @@ namespace pmodv::arch
 {
 
 MpkScheme::MpkScheme(stats::Group *parent, const ProtParams &params,
+                     const CoreTopology &topo,
                      const tlb::AddressSpace &space)
-    : ProtectionScheme(parent, "mpk", params, space),
+    : ProtectionScheme(parent, "mpk", params, topo, space),
       keyExhausted(this, "key_exhausted",
                    "attaches that found no free protection key"),
       fillPolicy_(*this)
@@ -17,11 +18,11 @@ MpkScheme::MpkScheme(stats::Group *parent, const ProtParams &params,
 }
 
 void
-MpkScheme::setTlb(tlb::TlbHierarchy *tlb)
+MpkScheme::onCoreAttached(CoreId, tlb::TlbHierarchy *tlb)
 {
-    ProtectionScheme::setTlb(tlb);
-    if (tlb_)
-        tlb_->setFillPolicy(&fillPolicy_);
+    // The pkey stamped into a PTE is core-agnostic: every core's TLB
+    // fills through the same policy.
+    tlb->setFillPolicy(&fillPolicy_);
 }
 
 Cycles
@@ -40,7 +41,7 @@ MpkScheme::checkAccess(const AccessContext &ctx)
 {
     const ProtKey key = ctx.entry->key;
     if (key != kNullKey && keyHolder_[key] != kNullDomain)
-        profile_.access(keyHolder_[key]);
+        profile_.access(keyHolder_[key], activeCore_);
     // Domainless accesses skip the PKRU check but the page permission
     // still governs (an exhausted-attach PMO keeps its PTE rights).
     const Perm domain_perm =
@@ -102,14 +103,13 @@ MpkScheme::detach(ThreadId, DomainId domain)
     if (it->second != kNullKey) {
         keyAlloc_.free(it->second);
         keyHolder_[it->second] = kNullDomain;
-        if (tlb_)
-            tlb_->flushKey(it->second);
-    } else if (tlb_) {
+        flushKeyAllCores(it->second);
+    } else {
         // Domainless (exhausted) PMO: no key to flush by, but the
         // munmap behind detach still invalidates the range — without
         // it, stale translations keep the dead region's page rights.
         if (const tlb::Region *region = space_.findDomain(domain))
-            tlb_->flushRange(region->base, region->size);
+            flushRangeAllCores(region->base, region->size);
     }
     domainKey_.erase(it);
     return 0;

@@ -24,9 +24,7 @@ class MpkScheme : public ProtectionScheme
 {
   public:
     MpkScheme(stats::Group *parent, const ProtParams &params,
-              const tlb::AddressSpace &space);
-
-    void setTlb(tlb::TlbHierarchy *tlb) override;
+              const CoreTopology &topo, const tlb::AddressSpace &space);
 
     CheckResult checkAccess(const AccessContext &ctx) override;
     Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
@@ -46,6 +44,9 @@ class MpkScheme : public ProtectionScheme
 
     /** Attach requests that found no free key (went domainless). */
     stats::Scalar keyExhausted;
+
+  protected:
+    void onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb) override;
 
   private:
     class FillPolicy : public tlb::TlbFillPolicy

@@ -1,5 +1,6 @@
 #include "arch/mpk_virt.hh"
 
+#include "arch/shootdown_bus.hh"
 #include "common/logging.hh"
 #include "stats/timeseries.hh"
 
@@ -8,15 +9,17 @@ namespace pmodv::arch
 
 MpkVirtScheme::MpkVirtScheme(stats::Group *parent,
                              const ProtParams &params,
+                             const CoreTopology &topo,
                              const tlb::AddressSpace &space)
-    : ProtectionScheme(parent, "mpk_virt", params, space),
+    : ProtectionScheme(parent, "mpk_virt", params, topo, space),
       dttWalks(this, "dtt_walks", "DTT walks on DTTLB misses"),
       dttlbWritebacks(this, "dttlb_writebacks",
                       "dirty DTTLB entries written back to the DTT"),
       contextSwitches(this, "context_switches",
                       "context switches processed")
 {
-    dttlb_ = std::make_unique<Dttlb>(this, params_.dttlbEntries);
+    dttlbs_.push_back(std::make_unique<Dttlb>(this,
+                                              params_.dttlbEntries));
     keyHolder_.fill(kNullDomain);
     keyStamp_.fill(0);
     setFastCheck(&fastCheckThunk<MpkVirtScheme>);
@@ -26,18 +29,30 @@ void
 MpkVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
 {
     ProtectionScheme::registerTimelineTracks(timeline);
-    timeline.track(dttlb_->misses, "dttlb_misses");
+    timeline.track(dttlbs_[0]->misses, "dttlb_misses");
     timeline.track(dttWalks, "dtt_walks");
 }
 
 void
-MpkVirtScheme::setTlb(tlb::TlbHierarchy *tlb)
+MpkVirtScheme::onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb)
 {
-    ProtectionScheme::setTlb(tlb);
-    if (tlb_) {
+    if (!fillPolicyStorage_)
         fillPolicyStorage_ = std::make_unique<FillPolicy>(*this);
-        tlb_->setFillPolicy(fillPolicyStorage_.get());
+    tlb->setFillPolicy(fillPolicyStorage_.get());
+    // Core 0's DTTLB is built in the constructor ("dttlb"); each
+    // further core gets a private one.
+    while (dttlbs_.size() <= core) {
+        dttlbs_.push_back(std::make_unique<Dttlb>(
+            this, params_.dttlbEntries,
+            "dttlb_core" + std::to_string(dttlbs_.size())));
     }
+}
+
+void
+MpkVirtScheme::invalidateDomainAllDttlbs(DomainId domain)
+{
+    for (auto &d : dttlbs_)
+        d->invalidateDomain(domain);
 }
 
 Perm
@@ -74,9 +89,20 @@ MpkVirtScheme::bindKey(ThreadId tid, DttInfo &info, ProtKey key)
     info.key = key;
     keyHolder_[key] = info.domain;
     touchKey(key);
-    // PKRU of the running thread reflects the new domain immediately;
-    // other threads reconstruct on their next context switch in.
-    pkrus_.forThread(tid).setPerm(key, permOf(info, tid));
+    if (topo_.numCores > 1) {
+        // Threads on other cores keep running without a context
+        // switch, so the remap must be made globally coherent now:
+        // the key's old grants are wiped and every thread's stored
+        // permission for the new holder is reloaded from the DTT.
+        pkrus_.resetKey(key);
+        for (const auto &[t, p] : info.perms)
+            pkrus_.forThread(t).setPerm(key, p);
+    } else {
+        // PKRU of the running thread reflects the new domain
+        // immediately; other threads reconstruct on their next
+        // context switch in.
+        pkrus_.forThread(tid).setPerm(key, permOf(info, tid));
+    }
     ++keyRemaps;
 }
 
@@ -94,7 +120,7 @@ MpkVirtScheme::cacheInDttlb(const DttInfo &info)
 
     DttlbEntry evicted;
     bool had_eviction = false;
-    dttlb_->insert(entry, evicted, had_eviction);
+    dttlbs_[activeCore_]->insert(entry, evicted, had_eviction);
 
     Cycles cycles = params_.dttlbEntryOpCycles;
     cycEntryChange += static_cast<double>(params_.dttlbEntryOpCycles);
@@ -134,27 +160,39 @@ MpkVirtScheme::resolveKey(ThreadId tid, DttInfo &info)
         // invalid + dirty.
         vinfo.key = kInvalidKey;
         keyHolder_[victim] = kNullDomain;
-        if (DttlbEntry *ve = dttlb_->findDomain(victim_domain)) {
-            ve->valid = false;
-            ve->key = kNullKey;
-            ve->dirty = true;
+        for (auto &d : dttlbs_) {
+            if (DttlbEntry *ve = d->findDomain(victim_domain)) {
+                ve->valid = false;
+                ve->key = kNullKey;
+                ve->dirty = true;
+            }
         }
         cycles += params_.dttlbEntryOpCycles;
         cycEntryChange += static_cast<double>(params_.dttlbEntryOpCycles);
 
-        // Ranged TLB shootdown of the victim's pages on every core,
-        // so no stale VA->key mapping survives.
+        // Ranged TLB shootdown of the victim's pages, so no stale
+        // VA->key mapping survives. With a shootdown bus (multi-core
+        // replay) the broadcast charges the initiator plus each
+        // responding core that actually held stale entries; without
+        // one (single-core) the legacy flat cost applies.
         ++keyEvictions;
         ++shootdowns;
-        const Cycles inval = params_.tlbInvalidationCycles *
-                             params_.numCores;
+        Cycles inval = 0;
+        std::uint64_t pages = 0;
+        if (bus_) {
+            const ShootdownResult res = bus_->broadcast(
+                activeCore_, tid, vinfo.base, vinfo.size);
+            inval = res.cycles;
+            pages = res.pages;
+        } else {
+            inval = topo_.tlbInvalidationCycles;
+            if (tlb_)
+                pages = tlb_->flushRange(vinfo.base, vinfo.size);
+        }
         cycles += inval;
         cycTlbInvalidation += static_cast<double>(inval);
-        std::uint64_t pages = 0;
-        if (tlb_)
-            pages = tlb_->flushRange(vinfo.base, vinfo.size);
         shootdownPages += static_cast<double>(pages);
-        profile_.eviction(victim_domain, pages);
+        profile_.eviction(victim_domain, pages, activeCore_);
         postEvent(trace::EventKind::KeyEviction, tid, victim_domain,
                   victim);
         postEvent(trace::EventKind::Shootdown, tid, victim_domain,
@@ -182,8 +220,9 @@ MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
     MpkVirtScheme &s = owner_;
     Cycles cycles = 0;
 
+    Dttlb &dttlb = *s.dttlbs_[s.activeCore_];
     DttInfo *info = nullptr;
-    if (DttlbEntry *hit = s.dttlb_->lookupVa(va)) {
+    if (DttlbEntry *hit = dttlb.lookupVa(va)) {
         // DTTLB hit: its 1-cycle CAM lookup overlaps the page walk,
         // so no extra latency is charged (DESIGN.md §5).
         auto it = s.domains_.find(hit->domain);
@@ -195,7 +234,7 @@ MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
         cycles += s.params_.dttWalkCycles;
         s.profile_.fillMiss(region->domain);
         s.cycTableMiss += static_cast<double>(s.params_.dttWalkCycles);
-        s.dttlb_->missLatency.sample(s.params_.dttWalkCycles);
+        dttlb.missLatency.sample(s.params_.dttWalkCycles);
         auto walk = s.dtt_.walk(va);
         panic_if(!walk.found,
                  "mapped PMO region missing from the DTT");
@@ -219,7 +258,7 @@ MpkVirtScheme::checkAccess(const AccessContext &ctx)
     if (key != kNullKey) {
         touchKey(key);
         if (keyHolder_[key] != kNullDomain)
-            profile_.access(keyHolder_[key]);
+            profile_.access(keyHolder_[key], activeCore_);
         domain_perm = pkrus_.forThread(ctx.tid).permFor(key);
     }
     CheckResult res = judge(ctx, domain_perm, 0);
@@ -248,7 +287,7 @@ MpkVirtScheme::setPerm(ThreadId tid, DomainId domain, Perm perm)
     // Both micro-ops complete within SETPERM's own 27-cycle latency —
     // this is what makes the single-PMO case perform *identically* to
     // stock MPK (paper §VI-A).
-    dttlb_->invalidateDomain(domain);
+    invalidateDomainAllDttlbs(domain);
     if (info.key != kInvalidKey)
         pkrus_.forThread(tid).setPerm(info.key, perm);
     return cycles;
@@ -278,10 +317,11 @@ MpkVirtScheme::detach(ThreadId, DomainId domain)
     if (info.key != kInvalidKey) {
         keyHolder_[info.key] = kNullDomain;
         keyAlloc_.free(info.key);
-        if (tlb_)
-            tlb_->flushRange(info.base, info.size);
+        // The munmap behind detach invalidates every core's stale
+        // translations; functional, so no IPI cost is charged.
+        flushRangeAllCores(info.base, info.size);
     }
-    dttlb_->invalidateDomain(domain);
+    invalidateDomainAllDttlbs(domain);
     dtt_.remove(domain);
     domains_.erase(it);
     return 0;
@@ -295,9 +335,9 @@ MpkVirtScheme::contextSwitch(ThreadId, ThreadId to)
     Cycles cycles = 0;
 
     // Dirty DTTLB entries are written back to the DTT, then the
-    // (thread-specific) DTTLB is flushed.
+    // switching core's (thread-specific) DTTLB is flushed.
     std::vector<DttlbEntry> dirty;
-    dttlb_->flushAll(dirty);
+    dttlbs_[activeCore_]->flushAll(dirty);
     for (const DttlbEntry &e : dirty) {
         (void)e; // DTT payloads are kept in sync eagerly; charge only.
         ++dttlbWritebacks;

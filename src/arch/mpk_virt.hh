@@ -44,9 +44,9 @@ class MpkVirtScheme : public ProtectionScheme
 {
   public:
     MpkVirtScheme(stats::Group *parent, const ProtParams &params,
+                  const CoreTopology &topo,
                   const tlb::AddressSpace &space);
 
-    void setTlb(tlb::TlbHierarchy *tlb) override;
     void registerTimelineTracks(stats::TimeSeries &timeline) override;
 
     CheckResult checkAccess(const AccessContext &ctx) override;
@@ -64,7 +64,10 @@ class MpkVirtScheme : public ProtectionScheme
     ProtKey keyOf(DomainId domain) const;
 
     const Pkru &pkru(ThreadId tid) const { return pkrus_.forThread(tid); }
-    Dttlb &dttlb() { return *dttlb_; }
+    /** Core 0's DTTLB (the only one on single-core machines). */
+    Dttlb &dttlb() { return *dttlbs_[0]; }
+    /** Core @p core's private DTTLB. */
+    Dttlb &dttlbAt(CoreId core) { return *dttlbs_[core]; }
     const VaRadixTree<DttInfo> &dtt() const { return dtt_; }
 
     /** DTT memory footprint in bytes (Table VIII model). */
@@ -73,6 +76,9 @@ class MpkVirtScheme : public ProtectionScheme
     stats::Scalar dttWalks;
     stats::Scalar dttlbWritebacks;
     stats::Scalar contextSwitches;
+
+  protected:
+    void onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb) override;
 
   private:
     class FillPolicy : public tlb::TlbFillPolicy
@@ -101,8 +107,11 @@ class MpkVirtScheme : public ProtectionScheme
     /** Mark @p key most recently used. */
     void touchKey(ProtKey key);
 
-    /** Install/update the DTTLB entry for @p info; returns cycles. */
+    /** Install/update the active core's DTTLB entry; returns cycles. */
     Cycles cacheInDttlb(const DttInfo &info);
+
+    /** Invalidate @p domain in EVERY core's DTTLB. */
+    void invalidateDomainAllDttlbs(DomainId domain);
 
     Perm permOf(const DttInfo &info, ThreadId tid) const;
 
@@ -110,7 +119,8 @@ class MpkVirtScheme : public ProtectionScheme
     VaRadixTree<DttInfo> dtt_;
     /** Owning index of all DTT payloads by domain. */
     std::unordered_map<DomainId, std::shared_ptr<DttInfo>> domains_;
-    std::unique_ptr<Dttlb> dttlb_;
+    /** Per-core DTTLBs; [0] exists from construction. */
+    std::vector<std::unique_ptr<Dttlb>> dttlbs_;
     KeyAllocator keyAlloc_;
     PkruFile pkrus_;
     std::array<DomainId, kNumProtKeys> keyHolder_{};

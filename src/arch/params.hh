@@ -45,8 +45,6 @@ struct ProtParams
     Cycles dttWalkCycles = 30;     ///< DTTLB miss: walk the DTT.
     Cycles freeKeyCheckCycles = 1;
     Cycles pkruUpdateCycles = 1;
-    Cycles tlbInvalidationCycles = 286; ///< Ranged shootdown, per core.
-    unsigned numCores = 1; ///< Cores receiving each shootdown.
 
     // --- hardware domain virtualization ---
     unsigned ptlbEntries = 16;
@@ -65,6 +63,29 @@ struct ProtParams
     Cycles libmpkPtePatchCycles = 1;
     /** User-level bookkeeping on the libmpk fast path (hash lookup). */
     Cycles libmpkFastPathCycles = 12;
+};
+
+/** A core identifier inside one simulated machine (0..numCores-1). */
+using CoreId = unsigned;
+
+/** Hard ceiling on the modelled core count (sizing sanity check). */
+inline constexpr unsigned kMaxCores = 256;
+
+/**
+ * The machine's core layout and cross-core invalidation cost — the
+ * validated configuration section that replaced the free-floating
+ * `ProtParams::numCores` multiplier. With more than one core, replay
+ * schedules trace streams core-affinely and shootdowns become
+ * broadcast IPIs charged per responding core (arch::ShootdownBus).
+ */
+struct CoreTopology
+{
+    unsigned numCores = 1;
+    /** Ranged TLB shootdown cost, per core that must invalidate. */
+    Cycles tlbInvalidationCycles = 286;
+
+    /** fatal() with a clear message unless 1 <= numCores <= 256. */
+    void validate() const;
 };
 
 } // namespace pmodv::arch

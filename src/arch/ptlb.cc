@@ -5,8 +5,8 @@
 namespace pmodv::arch
 {
 
-Ptlb::Ptlb(stats::Group *parent, unsigned entries)
-    : stats::Group(parent, "ptlb"),
+Ptlb::Ptlb(stats::Group *parent, unsigned entries, std::string name)
+    : stats::Group(parent, std::move(name)),
       hits(this, "hits", "domain lookups that matched"),
       misses(this, "misses", "domain lookups that missed"),
       evictions(this, "evictions", "slots evicted by capacity"),

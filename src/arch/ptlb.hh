@@ -11,6 +11,7 @@
 #ifndef PMODV_ARCH_PTLB_HH
 #define PMODV_ARCH_PTLB_HH
 
+#include <string>
 #include <vector>
 
 #include "common/plru.hh"
@@ -33,7 +34,9 @@ struct PtlbEntry
 class Ptlb : public stats::Group
 {
   public:
-    Ptlb(stats::Group *parent, unsigned entries);
+    /** @p name distinguishes per-core instances ("ptlb_core1", ...). */
+    Ptlb(stats::Group *parent, unsigned entries,
+         std::string name = "ptlb");
 
     unsigned numEntries() const
     {

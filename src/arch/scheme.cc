@@ -46,6 +46,7 @@ schemeFromName(const std::string &name)
 
 ProtectionScheme::ProtectionScheme(stats::Group *parent, std::string name,
                                    const ProtParams &params,
+                                   const CoreTopology &topo,
                                    const tlb::AddressSpace &space)
     : stats::Group(parent, name),
       cycPermissionChange(this, "cyc_permission_change",
@@ -70,8 +71,60 @@ ProtectionScheme::ProtectionScheme(stats::Group *parent, std::string name,
       shootdownPages(this, "shootdown_pages",
                      "TLB entries invalidated by shootdowns"),
       protectionFaults(this, "protection_faults", "accesses denied"),
-      params_(params), space_(space), label_(std::move(name))
+      params_(params), topo_(topo), space_(space),
+      label_(std::move(name))
 {
+    topo_.validate();
+    profile_.setNumCores(topo_.numCores);
+}
+
+void
+ProtectionScheme::attachCore(CoreId core, tlb::TlbHierarchy *tlb)
+{
+    fatal_if(core >= topo_.numCores,
+             "attachCore: core %u out of range (topology has %u)", core,
+             topo_.numCores);
+    if (core >= coreTlbs_.size())
+        coreTlbs_.resize(core + 1, nullptr);
+    fatal_if(coreTlbs_[core] != nullptr,
+             "attachCore: core %u attached twice", core);
+    coreTlbs_[core] = tlb;
+    if (core == 0)
+        tlb_ = tlb;
+    onCoreAttached(core, tlb);
+}
+
+void
+ProtectionScheme::onCoreAttached(CoreId, tlb::TlbHierarchy *)
+{
+}
+
+tlb::TlbHierarchy &
+ProtectionScheme::tlbAt(CoreId core) const
+{
+    fatal_if(core >= coreTlbs_.size() || !coreTlbs_[core],
+             "no TLB attached for core %u", core);
+    return *coreTlbs_[core];
+}
+
+std::uint64_t
+ProtectionScheme::flushRangeAllCores(Addr base, Addr size)
+{
+    std::uint64_t flushed = 0;
+    for (tlb::TlbHierarchy *tlb : coreTlbs_) {
+        if (tlb)
+            flushed += tlb->flushRange(base, size);
+    }
+    return flushed;
+}
+
+void
+ProtectionScheme::flushKeyAllCores(ProtKey key)
+{
+    for (tlb::TlbHierarchy *tlb : coreTlbs_) {
+        if (tlb)
+            tlb->flushKey(key);
+    }
 }
 
 void

@@ -14,6 +14,7 @@
 #define PMODV_ARCH_SCHEME_HH
 
 #include <string>
+#include <vector>
 
 #include "arch/domain_profile.hh"
 #include "arch/params.hh"
@@ -24,6 +25,8 @@
 
 namespace pmodv::arch
 {
+
+class ShootdownBus;
 
 /** Why an access was denied. */
 enum class FaultKind : std::uint8_t
@@ -56,14 +59,18 @@ struct AccessContext
  * Base class of all protection schemes.
  *
  * Lifecycle: the System constructs the scheme with the shared
- * AddressSpace; then hands it the TLB hierarchy via setTlb() (needed
- * for shootdowns and for installing the scheme's fill policy).
+ * AddressSpace and core topology, then attaches each core's private
+ * TLB hierarchy via attachCore() (core 0 first). Schemes that stamp
+ * keys/domains into TLB entries, or keep per-core translation caches
+ * (DTTLB/PTLB), hook onCoreAttached(). Multi-core machines also
+ * connect the shared ShootdownBus; single-core machines don't, and
+ * schemes keep the legacy in-line flush path there.
  */
 class ProtectionScheme : public stats::Group
 {
   public:
     ProtectionScheme(stats::Group *parent, std::string name,
-                     const ProtParams &params,
+                     const ProtParams &params, const CoreTopology &topo,
                      const tlb::AddressSpace &space);
     ~ProtectionScheme() override = default;
 
@@ -109,11 +116,30 @@ class ProtectionScheme : public stats::Group
     void setEventRing(trace::EventRing *ring) { events_ = ring; }
 
     /**
-     * Connect the data TLB (not owned). The default implementation
-     * installs no fill policy; schemes that stamp keys/domains into
-     * TLB entries override and call tlb->setFillPolicy().
+     * Connect core @p core's private data TLB (not owned). Core 0's
+     * TLB doubles as the legacy single-TLB alias used by every
+     * single-core path. Calls onCoreAttached() so schemes can install
+     * their fill policy and build per-core structures.
      */
-    virtual void setTlb(tlb::TlbHierarchy *tlb) { tlb_ = tlb; }
+    void attachCore(CoreId core, tlb::TlbHierarchy *tlb);
+
+    /**
+     * Connect the shared shootdown fabric (multi-core machines only;
+     * not owned). Schemes that evict keys route their charged
+     * invalidations through it when present.
+     */
+    void setShootdownBus(ShootdownBus *bus) { bus_ = bus; }
+
+    /**
+     * Tell the scheme which core issues the next calls. The replay
+     * scheduler sets this before dispatching each record; single-core
+     * replay never calls it (core 0 is the default).
+     */
+    void setActiveCore(CoreId core) { activeCore_ = core; }
+
+    CoreId activeCore() const { return activeCore_; }
+
+    const CoreTopology &topology() const { return topo_; }
 
     /**
      * Check one memory access against the domain permissions. Page
@@ -210,6 +236,33 @@ class ProtectionScheme : public stats::Group
     /** As chargeSetPerm(), for a raw WRPKRU. */
     Cycles chargeWrpkru();
 
+    /**
+     * Hook for attachCore(): @p tlb is core @p core's hierarchy,
+     * already recorded in coreTlbs_ (and tlb_ for core 0). Default
+     * does nothing.
+     */
+    virtual void onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb);
+
+    /** Core @p core's TLB hierarchy (fatal if unattached). */
+    tlb::TlbHierarchy &tlbAt(CoreId core) const;
+
+    /** Number of cores whose TLBs have been attached. */
+    unsigned
+    numAttachedCores() const
+    {
+        return static_cast<unsigned>(coreTlbs_.size());
+    }
+
+    /**
+     * Functionally flush [base, base+size) from EVERY core's TLB,
+     * uncharged — the munmap/detach coherence path, not a modelled
+     * shootdown. Returns the total entries flushed.
+     */
+    std::uint64_t flushRangeAllCores(Addr base, Addr size);
+
+    /** As flushRangeAllCores(), for a protection key. */
+    void flushKeyAllCores(ProtKey key);
+
     /** Post to the event ring (no-op when none is connected). */
     void
     postEvent(trace::EventKind kind, ThreadId tid,
@@ -220,8 +273,14 @@ class ProtectionScheme : public stats::Group
     }
 
     ProtParams params_;
+    CoreTopology topo_;
     const tlb::AddressSpace &space_;
+    /** Core 0's TLB — the alias every single-core path uses. */
     tlb::TlbHierarchy *tlb_ = nullptr;
+    /** All attached cores' TLBs, indexed by CoreId. */
+    std::vector<tlb::TlbHierarchy *> coreTlbs_;
+    ShootdownBus *bus_ = nullptr;
+    CoreId activeCore_ = 0;
     trace::EventRing *events_ = nullptr;
     DomainProfile profile_;
 
@@ -249,8 +308,9 @@ class NoProtectionScheme : public ProtectionScheme
 {
   public:
     NoProtectionScheme(stats::Group *parent, const ProtParams &params,
+                       const CoreTopology &topo,
                        const tlb::AddressSpace &space)
-        : ProtectionScheme(parent, "none", params, space)
+        : ProtectionScheme(parent, "none", params, topo, space)
     {
         setAlwaysAllows();
     }
@@ -285,8 +345,9 @@ class LowerboundScheme : public ProtectionScheme
 {
   public:
     LowerboundScheme(stats::Group *parent, const ProtParams &params,
+                     const CoreTopology &topo,
                      const tlb::AddressSpace &space)
-        : ProtectionScheme(parent, "lowerbound", params, space)
+        : ProtectionScheme(parent, "lowerbound", params, topo, space)
     {
         setAlwaysAllows();
     }

@@ -6,8 +6,9 @@ namespace pmodv::core
 void
 printConfig(std::ostream &os, const SimConfig &c)
 {
-    os << "Processor              " << c.freqGhz << " GHz, "
-       << c.issueWidth
+    os << "Processor              " << c.topology.numCores << " core"
+       << (c.topology.numCores == 1 ? "" : "s") << ", " << c.freqGhz
+       << " GHz, " << c.issueWidth
        << "-way issue out-of-order abstraction (overlap factor "
        << c.memOverlap << ")\n";
     os << "Cache                  L1D " << c.memory.l1.sizeBytes / 1024
@@ -27,8 +28,8 @@ printConfig(std::ostream &os, const SimConfig &c)
        << " entries; DTTLB miss " << c.prot.dttWalkCycles
        << " cycles; entry ops " << c.prot.dttlbEntryOpCycles
        << " cycle; PKRU update " << c.prot.pkruUpdateCycles
-       << " cycle; TLB invalidation " << c.prot.tlbInvalidationCycles
-       << " cycles\n";
+       << " cycle; TLB invalidation " << c.topology.tlbInvalidationCycles
+       << " cycles/core\n";
     os << "Domain Virtualization  PTLB " << c.prot.ptlbEntries
        << " entries; access " << c.prot.ptlbAccessCycles
        << " cycle; miss " << c.prot.ptlbMissCycles

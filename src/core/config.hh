@@ -40,6 +40,14 @@ struct SimConfig
     arch::ProtParams prot{};
 
     /**
+     * Core count and cross-core invalidation cost. One core (the
+     * default) replays exactly the legacy single-pipeline model;
+     * more cores give each core a private TLB/cache/PTLB state and
+     * route shootdowns over an IPI broadcast bus.
+     */
+    arch::CoreTopology topology{};
+
+    /**
      * Epoch width of the System's timeline sampler in cycles; 0 (the
      * default) disables sampling entirely, reducing the hot-path cost
      * to one compare per trace record (bench/gbench_sim.cc).

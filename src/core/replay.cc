@@ -35,12 +35,6 @@ MultiReplay::replayBatch(std::span<const trace::TraceRecord> records)
     }
 }
 
-void
-MultiReplay::replay(const std::vector<trace::TraceRecord> &records)
-{
-    replayBatch(records);
-}
-
 System &
 MultiReplay::system(arch::SchemeKind kind)
 {

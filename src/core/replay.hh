@@ -42,14 +42,6 @@ class MultiReplay
     /** As replayBuffer(), for records without a TraceBuffer. */
     void replayBatch(std::span<const trace::TraceRecord> records);
 
-    /**
-     * Replay a buffered trace through every system.
-     * @deprecated Use replayBuffer()/replayBatch(); this shim
-     * forwards to the batch engine.
-     */
-    [[deprecated("use replayBuffer()/replayBatch() instead")]]
-    void replay(const std::vector<trace::TraceRecord> &records);
-
     System &system(arch::SchemeKind kind);
     const System &system(arch::SchemeKind kind) const;
 

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -26,6 +27,25 @@ virtualCheck(arch::ProtectionScheme &scheme,
 }
 
 } // namespace
+
+CoreContext::CoreContext(stats::Group *parent, unsigned idx,
+                         const SimConfig &config,
+                         tlb::AddressSpace &space)
+    : stats::Group(parent, "core" + std::to_string(idx)),
+      cycles(this, "cycles", "cycles accumulated on this core"),
+      instructions(this, "instructions",
+                   "instructions issued on this core"),
+      memAccesses(this, "mem_accesses", "loads + stores on this core"),
+      ctxSwitches(this, "ctx_switches", "context switches on this core"),
+      ipisResponded(this, "ipis_responded",
+                    "shootdown IPIs answered with stale entries"),
+      ipisFiltered(this, "ipis_filtered",
+                   "shootdown IPIs with nothing to flush"),
+      index(idx)
+{
+    tlb = std::make_unique<tlb::TlbHierarchy>(this, config.tlb, space);
+    caches = std::make_unique<mem::CacheHierarchy>(this, config.memory);
+}
 
 System::System(const SimConfig &config, arch::SchemeKind scheme,
                std::string name)
@@ -63,13 +83,37 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
       config_(config), schemeKind_(scheme),
       events_(this, "events", config.eventRingCapacity)
 {
+    config_.topology.validate();
     events_.bindClock(&cycleCount_);
-    tlb_ = std::make_unique<tlb::TlbHierarchy>(this, config_.tlb,
-                                               space_);
-    caches_ = std::make_unique<mem::CacheHierarchy>(this,
-                                                    config_.memory);
-    scheme_ = arch::makeScheme(scheme, this, config_.prot, space_);
-    scheme_->setTlb(tlb_.get());
+    const unsigned num_cores = config_.topology.numCores;
+    if (num_cores == 1) {
+        // The legacy flat machine: one TLB/cache pair directly under
+        // the System, no bus — bit-identical to the pre-topology
+        // model (tests/test_golden_k1.cc).
+        tlb_ = std::make_unique<tlb::TlbHierarchy>(this, config_.tlb,
+                                                   space_);
+        caches_ = std::make_unique<mem::CacheHierarchy>(this,
+                                                        config_.memory);
+        scheme_ = arch::makeScheme(scheme, this, config_.prot,
+                                   config_.topology, space_);
+        scheme_->attachCore(0, tlb_.get());
+    } else {
+        for (unsigned k = 0; k < num_cores; ++k)
+            cores_.push_back(std::make_unique<CoreContext>(
+                this, k, config_, space_));
+        scheme_ = arch::makeScheme(scheme, this, config_.prot,
+                                   config_.topology, space_);
+        for (unsigned k = 0; k < num_cores; ++k)
+            scheme_->attachCore(k, cores_[k]->tlb.get());
+        bus_ = std::make_unique<arch::ShootdownBus>(this,
+                                                    config_.topology);
+        for (unsigned k = 0; k < num_cores; ++k)
+            bus_->attachCore(k, cores_[k]->tlb.get(),
+                             &cores_[k]->ipisResponded,
+                             &cores_[k]->ipisFiltered);
+        bus_->setEventRing(&events_);
+        scheme_->setShootdownBus(bus_.get());
+    }
     scheme_->setEventRing(&events_);
 
     // The visible-latency formula depends only on the (integer)
@@ -91,7 +135,7 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
         timeline.track(cycProtFill, "cyc_prot_fill");
         timeline.track(cycProtCheck, "cyc_prot_check");
         timeline.track(cycPermInstr, "cyc_perm_instr");
-        timeline.track(tlb_->l1().misses, "dtlb_l1_misses");
+        timeline.track(tlbs().l1().misses, "dtlb_l1_misses");
         scheme_->registerTimelineTracks(timeline);
     }
 }
@@ -102,6 +146,17 @@ void
 System::finish()
 {
     timeline.finalize(cycleCount_);
+}
+
+Cycles
+System::makespanCycles() const
+{
+    if (cores_.empty())
+        return cycleCount_;
+    Cycles makespan = 0;
+    for (const auto &core : cores_)
+        makespan = std::max(makespan, core->cycleCount);
+    return makespan;
 }
 
 void
@@ -150,9 +205,155 @@ System::doAccess(const trace::TraceRecord &rec)
 }
 
 void
+System::doAccessMulti(const trace::TraceRecord &rec, CoreContext &core)
+{
+    const auto type = rec.type == trace::RecordType::Load
+                          ? AccessType::Read
+                          : AccessType::Write;
+    ++memAccesses;
+    ++core.memAccesses;
+    instructions += 1;
+    core.instructions += 1;
+    if (rec.isPmoAccess())
+        ++pmoAccesses;
+
+    scheme_->setActiveCore(core.index);
+    auto xlate = core.tlb->translate(rec.tid, rec.addr);
+
+    arch::AccessContext ctx;
+    ctx.tid = rec.tid;
+    ctx.va = rec.addr;
+    ctx.type = type;
+    ctx.entry = xlate.entry;
+    auto check = scheme_->checkAccess(ctx);
+    if (!check.allowed)
+        ++deniedAccesses;
+
+    Cycles mem_latency = config_.memory.l1.hitLatency;
+    if (check.allowed) {
+        const MemClass cls = rec.isPmoAccess() ? MemClass::Nvm
+                                               : xlate.entry->memClass;
+        mem_latency = core.caches->access(rec.addr, type, cls).latency;
+    }
+
+    const Cycles lat = xlate.latency + mem_latency;
+    const Cycles vis =
+        lat < visTable_.size() ? visTable_[lat] : visibleCycles(lat);
+    addCoreCycles(core, vis, cycMem);
+    addCoreCycles(core, xlate.fillExtra, cycProtFill);
+    addCoreCycles(core, check.extraCycles, cycProtCheck);
+}
+
+void
+System::putMulti(const trace::TraceRecord &rec)
+{
+    using trace::RecordType;
+    // Threads are pinned: thread t runs on core t % K and never
+    // migrates, so every record is core-affine by its tid.
+    const unsigned num_cores = config_.topology.numCores;
+    switch (rec.type) {
+      case RecordType::InstBlock: {
+        CoreContext &core = *cores_[rec.tid % num_cores];
+        instructions += static_cast<double>(rec.aux);
+        core.instructions += static_cast<double>(rec.aux);
+        const Cycles c = (rec.aux + config_.issueWidth - 1) /
+                         config_.issueWidth;
+        addCoreCycles(core, c, cycIssue);
+        break;
+      }
+      case RecordType::Load:
+      case RecordType::Store:
+        doAccessMulti(rec, *cores_[rec.tid % num_cores]);
+        break;
+      case RecordType::SetPerm: {
+        CoreContext &core = *cores_[rec.tid % num_cores];
+        scheme_->setActiveCore(core.index);
+        instructions += 1;
+        core.instructions += 1;
+        addCoreCycles(core, scheme_->setPerm(rec.tid, rec.aux,
+                                             rec.perm()),
+                      cycPermInstr);
+        break;
+      }
+      case RecordType::Wrpkru: {
+        CoreContext &core = *cores_[rec.tid % num_cores];
+        scheme_->setActiveCore(core.index);
+        instructions += 1;
+        core.instructions += 1;
+        addCoreCycles(core, scheme_->wrpkruRaw(
+                                rec.tid,
+                                static_cast<ProtKey>(rec.aux),
+                                rec.perm()),
+                      cycPermInstr);
+        break;
+      }
+      case RecordType::Attach: {
+        CoreContext &core = *cores_[rec.tid % num_cores];
+        scheme_->setActiveCore(core.index);
+        tlb::Region region;
+        region.base = rec.addr;
+        region.size = rec.value;
+        region.domain = rec.aux;
+        region.pagePerm = rec.perm();
+        region.memClass = MemClass::Nvm;
+        region.pageSize = rec.pageSize();
+        space_.map(region);
+        addCoreCycles(core,
+                      scheme_->attach(rec.tid, rec.aux, rec.addr,
+                                      rec.value, rec.perm()),
+                      cycSyscall);
+        break;
+      }
+      case RecordType::Detach: {
+        CoreContext &core = *cores_[rec.tid % num_cores];
+        scheme_->setActiveCore(core.index);
+        addCoreCycles(core, scheme_->detach(rec.tid, rec.aux),
+                      cycSyscall);
+        space_.unmapDomain(rec.aux);
+        break;
+      }
+      case RecordType::ThreadSwitch: {
+        // A thread-switch marker is core-affine scheduling: the named
+        // thread is (re)scheduled on its home core. If it is already
+        // running there the marker is a no-op — the other cores keep
+        // executing undisturbed.
+        const ThreadId to = rec.aux;
+        CoreContext &core = *cores_[to % num_cores];
+        if (core.curTid != to) {
+            scheme_->setActiveCore(core.index);
+            ++core.ctxSwitches;
+            addCoreCycles(core, scheme_->contextSwitch(core.curTid, to),
+                          cycCtxSwitch);
+            core.curTid = to;
+        }
+        break;
+      }
+      case RecordType::OpBegin:
+        opStart_ = cycleCount_;
+        opInFlight_ = true;
+        break;
+      case RecordType::OpEnd:
+        ++operations;
+        if (opInFlight_) {
+            opCycles.sample(cycleCount_ - opStart_);
+            events_.post(trace::EventKind::TxnCommit, rec.tid,
+                         static_cast<std::uint32_t>(rec.aux),
+                         cycleCount_ - opStart_);
+            opInFlight_ = false;
+        }
+        break;
+    }
+}
+
+void
 System::put(const trace::TraceRecord &rec)
 {
     using trace::RecordType;
+    if (config_.topology.numCores > 1) {
+        putMulti(rec);
+        timeline.tick(cycleCount_);
+        return;
+    }
     switch (rec.type) {
       case RecordType::InstBlock: {
         instructions += static_cast<double>(rec.aux);
@@ -255,6 +456,17 @@ void
 System::replayBatch(std::span<const trace::TraceRecord> records)
 {
     using trace::RecordType;
+
+    if (config_.topology.numCores > 1) {
+        // Multi-core replay interleaves the per-core streams record
+        // by record; the single-core batch fast path below stays
+        // untouched so K=1 remains bit-identical to the legacy loop.
+        for (const trace::TraceRecord &rec : records) {
+            putMulti(rec);
+            timeline.tick(cycleCount_);
+        }
+        return;
+    }
 
     // Invariants hoisted out of the record loop.
     tlb::TlbHierarchy *const tlb = tlb_.get();

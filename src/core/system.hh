@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/factory.hh"
+#include "arch/shootdown_bus.hh"
 #include "core/config.hh"
 #include "mem/hierarchy.hh"
 #include "stats/stats.hh"
@@ -27,6 +28,38 @@
 
 namespace pmodv::core
 {
+
+/**
+ * Private replay state of one core on a multi-core machine: its own
+ * TLB hierarchy, caches, running thread and cycle attribution. The
+ * PMO/domain registry, page tables, DTT/DRT, key-allocation state and
+ * shootdown bus stay shared, inside the scheme / System. Single-core
+ * machines skip this wrapper entirely and keep the legacy flat
+ * layout, which is what the golden-replay tests pin down.
+ */
+class CoreContext : public stats::Group
+{
+  public:
+    CoreContext(stats::Group *parent, unsigned idx,
+                const SimConfig &config, tlb::AddressSpace &space);
+
+    stats::Scalar cycles;        ///< Cycles accumulated on this core.
+    stats::Scalar instructions;  ///< Instructions issued here.
+    stats::Scalar memAccesses;   ///< Loads + stores replayed here.
+    stats::Scalar ctxSwitches;   ///< Context switches taken here.
+    stats::Scalar ipisResponded; ///< Shootdown IPIs answered w/ stale entries.
+    stats::Scalar ipisFiltered;  ///< Shootdown IPIs with nothing to flush.
+
+    std::unique_ptr<tlb::TlbHierarchy> tlb;
+    std::unique_ptr<mem::CacheHierarchy> caches;
+
+    /** This core's id (== its position in System's core list). */
+    const arch::CoreId index;
+    /** The thread currently scheduled on this core. */
+    ThreadId curTid = 0;
+    /** This core's private cycle counter (makespan input). */
+    Cycles cycleCount = 0;
+};
 
 /** A full machine replaying a trace under one protection scheme. */
 class System : public stats::Group, public trace::TraceSink
@@ -61,19 +94,35 @@ class System : public stats::Group, public trace::TraceSink
      */
     void replayBatch(std::span<const trace::TraceRecord> records);
 
-    /** Total cycles accumulated so far. */
+    /** Total cycles accumulated so far (summed over all cores). */
     Cycles totalCycles() const { return cycleCount_; }
 
-    /** Simulated seconds at the configured clock. */
-    double seconds() const { return config_.secondsFor(cycleCount_); }
+    /**
+     * Wall-clock makespan in cycles: the busiest core's counter on a
+     * multi-core machine, the plain total on a single core.
+     */
+    Cycles makespanCycles() const;
+
+    /** Simulated seconds of makespan at the configured clock. */
+    double seconds() const { return config_.secondsFor(makespanCycles()); }
 
     const SimConfig &config() const { return config_; }
     arch::SchemeKind schemeKind() const { return schemeKind_; }
     arch::ProtectionScheme &scheme() { return *scheme_; }
     const arch::ProtectionScheme &scheme() const { return *scheme_; }
-    tlb::TlbHierarchy &tlbs() { return *tlb_; }
-    mem::CacheHierarchy &caches() { return *caches_; }
+    tlb::TlbHierarchy &tlbs() { return numCores() == 1 ? *tlb_ : *cores_[0]->tlb; }
+    mem::CacheHierarchy &caches() { return numCores() == 1 ? *caches_ : *cores_[0]->caches; }
     tlb::AddressSpace &addressSpace() { return space_; }
+
+    /** Core count of this machine. */
+    unsigned numCores() const { return config_.topology.numCores; }
+
+    /** Core @p k's private state (multi-core machines only). */
+    CoreContext &coreAt(arch::CoreId k) { return *cores_.at(k); }
+
+    /** The IPI broadcast fabric (null on single-core machines). */
+    arch::ShootdownBus *shootdownBus() { return bus_.get(); }
+    const arch::ShootdownBus *shootdownBus() const { return bus_.get(); }
 
     /** The protection layer's flight recorder. */
     trace::EventRing &events() { return events_; }
@@ -143,6 +192,20 @@ class System : public stats::Group, public trace::TraceSink
         bucket += static_cast<double>(c);
     }
 
+    /** Charge @p c to @p core's clock and the machine-wide buckets. */
+    void addCoreCycles(CoreContext &core, Cycles c, stats::Scalar &bucket)
+    {
+        cycleCount_ += c;
+        core.cycleCount += c;
+        cycles += static_cast<double>(c);
+        core.cycles += static_cast<double>(c);
+        bucket += static_cast<double>(c);
+    }
+
+    /** Multi-core record dispatch (put() and replayBatch() at K>1). */
+    void putMulti(const trace::TraceRecord &rec);
+    void doAccessMulti(const trace::TraceRecord &rec, CoreContext &core);
+
     /** Drain @p d into the Scalars (and reset it). */
     void flushBatch(BatchCounters &d);
 
@@ -153,8 +216,12 @@ class System : public stats::Group, public trace::TraceSink
     arch::SchemeKind schemeKind_;
     trace::EventRing events_;
     tlb::AddressSpace space_;
+    /** Single-core layout: TLB/caches directly under the System. */
     std::unique_ptr<tlb::TlbHierarchy> tlb_;
     std::unique_ptr<mem::CacheHierarchy> caches_;
+    /** Multi-core layout: one CoreContext per core instead. */
+    std::vector<std::unique_ptr<CoreContext>> cores_;
+    std::unique_ptr<arch::ShootdownBus> bus_;
     std::unique_ptr<arch::ProtectionScheme> scheme_;
     Cycles cycleCount_ = 0;
     ThreadId currentThread_ = 0;

@@ -280,6 +280,7 @@ reduceMicro(const MicroPointSpec &spec, const PointRun &run)
     MicroPoint point;
     point.benchmark = spec.benchmark;
     point.numPmos = spec.params.numPmos;
+    point.cores = spec.config.topology.numCores;
 
     const auto &baseline = systemOf(run, SchemeKind::NoProtection);
     const double seconds = baseline.seconds();
@@ -301,6 +302,8 @@ reduceMicro(const MicroPointSpec &spec, const PointRun &run)
             overheadOver(run, k, SchemeKind::Lowerbound) * 100.0;
         point.breakdown[k] = computeBreakdown(sys, baseline);
         point.keyRemaps[k] = sys.scheme().keyRemaps.value();
+        const auto *bus = sys.shootdownBus();
+        point.ipisResponded[k] = bus ? bus->ipisResponded.value() : 0;
     }
     captureObservability(run, point.statsJson, point.eventsJson,
                          point.hotDomainsJson);

@@ -78,6 +78,8 @@ struct MicroPoint
 {
     std::string benchmark;
     unsigned numPmos = 0;
+    /** Simulated cores of the point's machine (config.topology). */
+    unsigned cores = 1;
     double switchesPerSec = 0;
     double lowerboundOverheadPct = 0; ///< Over the unprotected baseline.
     /** Overhead over lowerbound, percent, per scheme. */
@@ -86,6 +88,8 @@ struct MicroPoint
     std::map<arch::SchemeKind, Breakdown> breakdown;
     /** Eviction/shootdown counts per scheme (diagnostics). */
     std::map<arch::SchemeKind, double> keyRemaps;
+    /** Remote cores charged by shootdown broadcasts (0 on 1 core). */
+    std::map<arch::SchemeKind, double> ipisResponded;
     /** Raw cycle counts per scheme (incl. baseline and lowerbound). */
     std::map<arch::SchemeKind, Cycles> totalCycles;
     /** Full stats tree per scheme, serialized as compact JSON. */

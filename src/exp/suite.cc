@@ -14,17 +14,26 @@ SweepSpec::points() const
 {
     const std::vector<std::string> &names =
         benchmarks.empty() ? workloads::microNames() : benchmarks;
+    // An empty core axis means "whatever the config says" — one grid.
+    const std::vector<unsigned> cores =
+        coreCounts.empty() ? std::vector<unsigned>{0} : coreCounts;
     std::vector<MicroPointSpec> out;
-    out.reserve(names.size() * pmoCounts.size());
+    out.reserve(names.size() * pmoCounts.size() * cores.size());
     for (const std::string &name : names) {
         for (unsigned pmos : pmoCounts) {
-            MicroPointSpec spec;
-            spec.benchmark = name;
-            spec.params = base;
-            spec.params.numPmos = pmos;
-            spec.config = config;
-            spec.schemes = schemes;
-            out.push_back(std::move(spec));
+            for (unsigned k : cores) {
+                MicroPointSpec spec;
+                spec.benchmark = name;
+                spec.params = base;
+                spec.params.numPmos = pmos;
+                spec.config = config;
+                if (k != 0) {
+                    spec.config.topology.numCores = k;
+                    spec.params.numThreads = k;
+                }
+                spec.schemes = schemes;
+                out.push_back(std::move(spec));
+            }
         }
     }
     return out;
@@ -137,12 +146,15 @@ writeMicroRow(std::ostream &os, const MicroPoint &pt)
 {
     os << "    {\"benchmark\": \"" << jsonEscape(pt.benchmark)
        << "\", \"pmos\": " << pt.numPmos
+       << ", \"cores\": " << pt.cores
        << ", \"switches_per_sec\": " << pt.switchesPerSec
        << ", \"lowerbound_overhead_pct\": " << pt.lowerboundOverheadPct
        << ",\n     \"overhead_pct\": ";
     writeSchemeDoubles(os, pt.overheadPct);
     os << ",\n     \"key_remaps\": ";
     writeSchemeDoubles(os, pt.keyRemaps);
+    os << ",\n     \"ipis_responded\": ";
+    writeSchemeDoubles(os, pt.ipisResponded);
     os << ",\n     \"total_cycles\": ";
     writeSchemeCycles(os, pt.totalCycles);
     os << ",\n     \"breakdown\": {";

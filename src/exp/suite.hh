@@ -42,6 +42,14 @@ struct SweepSpec
     /** Microbenchmark names; empty means the full Table IV suite. */
     std::vector<std::string> benchmarks;
     std::vector<unsigned> pmoCounts;
+    /**
+     * Optional third sweep axis: simulated core counts. Each entry
+     * overrides config.topology.numCores AND sets base.numThreads to
+     * the same value (one worker thread pinned per core), so every
+     * core replays a live stream. Empty (the default) keeps the
+     * config's own topology — the classic single-core grid.
+     */
+    std::vector<unsigned> coreCounts;
     workloads::MicroParams base;
     core::SimConfig config;
     std::vector<arch::SchemeKind> schemes;

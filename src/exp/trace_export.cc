@@ -1,6 +1,7 @@
 #include "exp/trace_export.hh"
 
 #include <iomanip>
+#include <map>
 #include <ostream>
 
 namespace pmodv::exp
@@ -23,6 +24,22 @@ appendSystemTrack(trace::PerfettoExporter &exporter,
     // The whole replay as one background span.
     exporter.span(track, "replay", 0, sys.totalCycles(), 0,
                   {{"cycles", static_cast<double>(sys.totalCycles())}});
+
+    // Shootdown IPIs land on per-responding-core subtracks so a
+    // multi-core replay shows which cores keep paying for evictions.
+    std::map<std::uint32_t, int> ipiTracks;
+    const auto ipiTrack = [&](std::uint32_t core) {
+        auto it = ipiTracks.find(core);
+        if (it == ipiTracks.end()) {
+            it = ipiTracks
+                     .emplace(core,
+                              exporter.addTrack(
+                                  label + "/core" +
+                                  std::to_string(core) + "/ipi"))
+                     .first;
+        }
+        return it->second;
+    };
 
     for (const trace::Event &ev : sys.events().snapshot()) {
         const double arg = static_cast<double>(ev.arg);
@@ -48,6 +65,11 @@ appendSystemTrack(trace::PerfettoExporter &exporter,
             exporter.instant(track, trace::eventKindName(ev.kind),
                              ev.cycle, ev.tid,
                              {{"domain", arg}, {"cycles", value}});
+            break;
+          case trace::EventKind::Ipi:
+            // arg = responding core, value = stale pages it flushed.
+            exporter.instant(ipiTrack(ev.arg), "ipi", ev.cycle, ev.tid,
+                             {{"core", arg}, {"pages", value}});
             break;
         }
     }

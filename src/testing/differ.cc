@@ -36,11 +36,13 @@ eventAllowed(arch::SchemeKind kind, trace::EventKind ev)
         return false;
       case arch::SchemeKind::LibMpk:
         return ev == trace::EventKind::KeyEviction ||
-               ev == trace::EventKind::Shootdown;
+               ev == trace::EventKind::Shootdown ||
+               ev == trace::EventKind::Ipi;
       case arch::SchemeKind::MpkVirt:
         return ev == trace::EventKind::KeyEviction ||
                ev == trace::EventKind::Shootdown ||
-               ev == trace::EventKind::DttlbRefill;
+               ev == trace::EventKind::DttlbRefill ||
+               ev == trace::EventKind::Ipi;
       case arch::SchemeKind::DomainVirt:
         return ev == trace::EventKind::PtlbRefill;
     }
@@ -68,17 +70,34 @@ allSchemeKinds()
 }
 
 Machine::Machine(arch::SchemeKind kind, const arch::ProtParams &params,
-                 BugInjection inject)
-    : kind_(kind), inject_(inject),
+                 const arch::CoreTopology &topo, BugInjection inject)
+    : kind_(kind), topo_(topo), inject_(inject),
       root_(nullptr, std::string("diff_") + arch::schemeName(kind))
 {
-    tlb_ = std::make_unique<tlb::TlbHierarchy>(
-        &root_, tlb::TlbHierarchyParams{}, space_);
+    topo_.validate();
     ring_ = std::make_unique<trace::EventRing>(&root_, "events",
                                                std::size_t{1} << 16);
     ring_->bindClock(&totalCycles_);
-    scheme_ = arch::makeScheme(kind, &root_, params, space_);
-    scheme_->setTlb(tlb_.get());
+    scheme_ = arch::makeScheme(kind, &root_, params, topo_, space_);
+    for (unsigned k = 0; k < topo_.numCores; ++k) {
+        stats::Group *parent = &root_;
+        if (topo_.numCores > 1) {
+            coreGroups_.push_back(std::make_unique<stats::Group>(
+                &root_, "core" + std::to_string(k)));
+            parent = coreGroups_.back().get();
+        }
+        tlbs_.push_back(std::make_unique<tlb::TlbHierarchy>(
+            parent, tlb::TlbHierarchyParams{}, space_));
+        scheme_->attachCore(k, tlbs_.back().get());
+        curTid_.push_back(0);
+    }
+    if (topo_.numCores > 1) {
+        bus_ = std::make_unique<arch::ShootdownBus>(&root_, topo_);
+        for (unsigned k = 0; k < topo_.numCores; ++k)
+            bus_->attachCore(k, tlbs_[k].get(), nullptr, nullptr);
+        bus_->setEventRing(ring_.get());
+        scheme_->setShootdownBus(bus_.get());
+    }
     scheme_->setEventRing(ring_.get());
 }
 
@@ -93,11 +112,13 @@ Machine::attach(ThreadId tid, DomainId domain, Addr base, Addr size,
     region.pagePerm = page_perm;
     region.memClass = MemClass::Nvm;
     space_.map(region);
+    scheme_->setActiveCore(tid % topo_.numCores);
     addSchemeCycles(scheme_->attach(tid, domain, base, size, page_perm));
     // The mmap behind attach invalidates prior translations of the
-    // range on every scheme (stale domainless entries would otherwise
-    // differ only by access history, not by scheme).
-    tlb_->flushRange(base, size);
+    // range on every scheme and every core (stale domainless entries
+    // would otherwise differ only by access history, not by scheme).
+    for (auto &t : tlbs_)
+        t->flushRange(base, size);
 }
 
 void
@@ -108,10 +129,13 @@ Machine::detach(ThreadId tid, DomainId domain)
         base = region->base;
         size = region->size;
     }
+    scheme_->setActiveCore(tid % topo_.numCores);
     addSchemeCycles(scheme_->detach(tid, domain));
     space_.unmapDomain(domain);
-    if (size) // munmap shootdown, uniform across schemes.
-        tlb_->flushRange(base, size);
+    if (size) { // munmap shootdown, uniform across schemes and cores.
+        for (auto &t : tlbs_)
+            t->flushRange(base, size);
+    }
 }
 
 void
@@ -120,13 +144,16 @@ Machine::setPerm(ThreadId tid, DomainId domain, Perm perm)
     if (inject_ == BugInjection::MpkDropRevoke &&
         kind_ == arch::SchemeKind::Mpk && perm == Perm::None)
         return; // Planted defect: the revoke never reaches the scheme.
+    scheme_->setActiveCore(tid % topo_.numCores);
     addSchemeCycles(scheme_->setPerm(tid, domain, perm));
 }
 
 arch::CheckResult
 Machine::access(ThreadId tid, Addr va, AccessType type)
 {
-    auto xlate = tlb_->translate(tid, va);
+    const arch::CoreId core = tid % topo_.numCores;
+    scheme_->setActiveCore(core);
+    auto xlate = tlbs_[core]->translate(tid, va);
     totalCycles_ += xlate.latency;
     addSchemeCycles(xlate.fillExtra);
     arch::AccessContext ctx;
@@ -142,7 +169,18 @@ Machine::access(ThreadId tid, Addr va, AccessType type)
 void
 Machine::contextSwitch(ThreadId from, ThreadId to)
 {
-    addSchemeCycles(scheme_->contextSwitch(from, to));
+    if (topo_.numCores == 1) {
+        addSchemeCycles(scheme_->contextSwitch(from, to));
+        return;
+    }
+    // Core-affine scheduling: `to` lands on its home core; a switch
+    // only happens if that core runs a different thread.
+    const arch::CoreId core = to % topo_.numCores;
+    if (curTid_[core] == to)
+        return;
+    scheme_->setActiveCore(core);
+    addSchemeCycles(scheme_->contextSwitch(curTid_[core], to));
+    curTid_[core] = to;
 }
 
 std::string
@@ -181,8 +219,8 @@ class Runner
         const auto kinds =
             cfg.schemes.empty() ? allSchemeKinds() : cfg.schemes;
         for (arch::SchemeKind kind : kinds) {
-            machines_.push_back(
-                std::make_unique<Machine>(kind, cfg.params, cfg.inject));
+            machines_.push_back(std::make_unique<Machine>(
+                kind, cfg.params, cfg.topology, cfg.inject));
             eventCounts_.push_back({});
         }
     }
@@ -440,6 +478,16 @@ class Runner
                        << s.shootdowns.value() << " shootdowns";
                 violate("events", m.name(), detail.str());
             }
+            const auto ipis = counts[static_cast<std::size_t>(
+                trace::EventKind::Ipi)];
+            const double responded =
+                m.bus() ? m.bus()->ipisResponded.value() : 0.0;
+            if (static_cast<double>(ipis) != responded) {
+                std::ostringstream detail;
+                detail << ipis << " Ipi events vs " << responded
+                       << " bus ipis_responded";
+                violate("events", m.name(), detail.str());
+            }
             if (m.events().dropped.value() != 0)
                 violate("events", m.name(),
                         "event ring dropped events mid-run");
@@ -450,7 +498,7 @@ class Runner
     const DiffConfig &cfg_;
     std::vector<std::unique_ptr<Machine>> machines_;
     /** Per-machine posted-event counts, indexed by EventKind. */
-    std::vector<std::array<std::uint64_t, 5>> eventCounts_;
+    std::vector<std::array<std::uint64_t, 6>> eventCounts_;
     ReferenceModel ref_;
     ThreadId currentTid_ = 0;
     std::size_t opIndex_ = 0;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "arch/factory.hh"
+#include "arch/shootdown_bus.hh"
 #include "testing/ops.hh"
 #include "testing/reference.hh"
 #include "trace/event_ring.hh"
@@ -61,6 +62,7 @@ class Machine
 {
   public:
     Machine(arch::SchemeKind kind, const arch::ProtParams &params,
+            const arch::CoreTopology &topo = {},
             BugInjection inject = BugInjection::None);
 
     arch::SchemeKind kind() const { return kind_; }
@@ -77,6 +79,10 @@ class Machine
     const arch::ProtectionScheme &scheme() const { return *scheme_; }
     trace::EventRing &events() { return *ring_; }
 
+    /** The IPI fabric (null on single-core machines). */
+    arch::ShootdownBus *bus() { return bus_.get(); }
+    const arch::ShootdownBus *bus() const { return bus_.get(); }
+
     /** Cycles attributable to the protection scheme itself. */
     Cycles schemeCycles() const { return schemeCycles_; }
     /** schemeCycles() plus TLB translation latency. */
@@ -90,12 +96,19 @@ class Machine
     }
 
     arch::SchemeKind kind_;
+    arch::CoreTopology topo_;
     BugInjection inject_;
     stats::Group root_;
     tlb::AddressSpace space_;
-    std::unique_ptr<tlb::TlbHierarchy> tlb_;
+    /** Per-core stats groups (multi-core only; avoids "dtlb" clashes). */
+    std::vector<std::unique_ptr<stats::Group>> coreGroups_;
+    /** One TLB hierarchy per core ([0] is the whole machine at K=1). */
+    std::vector<std::unique_ptr<tlb::TlbHierarchy>> tlbs_;
     std::unique_ptr<trace::EventRing> ring_;
+    std::unique_ptr<arch::ShootdownBus> bus_;
     std::unique_ptr<arch::ProtectionScheme> scheme_;
+    /** Per core: the thread it currently runs (tid % K pinning). */
+    std::vector<ThreadId> curTid_;
     Cycles schemeCycles_ = 0;
     Cycles totalCycles_ = 0;
 };
@@ -129,6 +142,8 @@ struct DiffResult
 struct DiffConfig
 {
     arch::ProtParams params;
+    /** Core count + invalidation cost; 1 core = legacy machines. */
+    arch::CoreTopology topology;
     /** Schemes to fleet up; empty = all six. */
     std::vector<arch::SchemeKind> schemes;
     BugInjection inject = BugInjection::None;

@@ -19,6 +19,8 @@ eventKindName(EventKind kind)
         return "dttlb_refill";
       case EventKind::TxnCommit:
         return "txn_commit";
+      case EventKind::Ipi:
+        return "ipi";
     }
     return "unknown";
 }

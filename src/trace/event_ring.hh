@@ -45,6 +45,13 @@ enum class EventKind : std::uint8_t
      * (trace::PerfettoExporter).
      */
     TxnCommit = 4,
+    /**
+     * A remote core answered a shootdown broadcast and invalidated
+     * stale entries (multi-core replay only). `arg` is the responding
+     * core id, `value` the number of pages it flushed; `tid` is the
+     * thread whose eviction initiated the broadcast.
+     */
+    Ipi = 5,
 };
 
 /** Stable snake_case name of @p kind (used in JSON reports). */

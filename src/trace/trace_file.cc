@@ -267,28 +267,4 @@ TraceFileReader::next(TraceRecord &rec)
     return true;
 }
 
-std::uint64_t
-TraceFileReader::pump(TraceSink &sink)
-{
-    TraceRecord rec;
-    std::uint64_t n = 0;
-    while (next(rec)) {
-        sink.put(rec);
-        ++n;
-    }
-    sink.finish();
-    return n;
-}
-
-std::vector<TraceRecord>
-TraceFileReader::readAll()
-{
-    std::vector<TraceRecord> out;
-    out.reserve(count_ - readSoFar_);
-    TraceRecord rec;
-    while (next(rec))
-        out.push_back(rec);
-    return out;
-}
-
 } // namespace pmodv::trace

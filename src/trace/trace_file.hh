@@ -124,21 +124,6 @@ class TraceFileReader
     /** Read the next record into @p rec; false at end of trace. */
     bool next(TraceRecord &rec);
 
-    /**
-     * Stream every remaining record into @p sink (calls finish()).
-     * @deprecated Replay paths should use view() + replayBatch.
-     */
-    [[deprecated("use view() and the batch replay API instead")]]
-    std::uint64_t pump(TraceSink &sink);
-
-    /**
-     * Read the whole remaining trace into a vector.
-     * @deprecated Use view(); it shares one immutable buffer instead
-     * of copying per caller.
-     */
-    [[deprecated("use view() instead")]]
-    std::vector<TraceRecord> readAll();
-
   private:
     std::shared_ptr<const TraceBuffer> loadIntoArena();
 

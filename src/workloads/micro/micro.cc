@@ -1,5 +1,7 @@
 #include "workloads/micro/micro.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "workloads/micro/workloads.hh"
 
@@ -12,13 +14,18 @@ MicroWorkload::run(TraceCtx &ctx)
     SyntheticSpace space(ctx, params_.numPmos, params_.pmoBytes,
                          Perm::ReadWrite, params_.pageSize);
 
-    // Every domain gets read/write permission up front: operations
-    // update pointers in whichever PMOs the structure's neighbouring
-    // nodes live in. The per-operation SETPERM pair below reproduces
-    // the paper's permission-switch pattern (2 switches/op) on the
-    // operation's primary PMO.
-    for (unsigned i = 0; i < params_.numPmos; ++i)
-        ctx.setPerm(space.pmo(i).domain(), Perm::ReadWrite);
+    // Every domain gets read/write permission up front — for every
+    // worker thread: operations update pointers in whichever PMOs the
+    // structure's neighbouring nodes live in. The per-operation
+    // SETPERM pair below reproduces the paper's permission-switch
+    // pattern (2 switches/op) on the operation's primary PMO.
+    const unsigned threads = std::max(1u, params_.numThreads);
+    for (unsigned t = 0; t < threads; ++t) {
+        ctx.setThread(static_cast<ThreadId>(t));
+        for (unsigned i = 0; i < params_.numPmos; ++i)
+            ctx.setPerm(space.pmo(i).domain(), Perm::ReadWrite);
+    }
+    ctx.setThread(0);
 
     // Build the initial structure (unmeasured).
     ctx.setMuted(true);
@@ -26,6 +33,8 @@ MicroWorkload::run(TraceCtx &ctx)
     ctx.setMuted(false);
 
     for (std::uint64_t i = 0; i < params_.numOps; ++i) {
+        if (threads > 1)
+            ctx.setThread(static_cast<ThreadId>(i % threads));
         const unsigned primary =
             static_cast<unsigned>(ctx.rng().next(params_.numPmos));
         const DomainId domain = space.pmo(primary).domain();

@@ -42,6 +42,12 @@ struct MicroParams
     /** Mapping granularity of the attach syscall (paper §IV-A:
      *  4KB / 2MB / 1GB page-table levels). */
     PageSize pageSize = PageSize::Size4K;
+    /**
+     * Worker threads the operations round-robin over; thread t runs
+     * on core t % K of a multi-core replay. 1 (the default) emits the
+     * classic single-thread trace, record for record.
+     */
+    unsigned numThreads = 1;
 };
 
 /** Base class of the five microbenchmarks. */

@@ -34,13 +34,14 @@ class SchemeHarness
 {
   public:
     explicit SchemeHarness(arch::SchemeKind kind,
-                           arch::ProtParams params = {})
+                           arch::ProtParams params = {},
+                           arch::CoreTopology topo = {})
         : root_(nullptr, "test")
     {
         tlb_ = std::make_unique<tlb::TlbHierarchy>(
             &root_, tlb::TlbHierarchyParams{}, space_);
-        scheme_ = arch::makeScheme(kind, &root_, params, space_);
-        scheme_->setTlb(tlb_.get());
+        scheme_ = arch::makeScheme(kind, &root_, params, topo, space_);
+        scheme_->attachCore(0, tlb_.get());
     }
 
     /** Attach a PMO: map the region and notify the scheme. */

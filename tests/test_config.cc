@@ -40,7 +40,8 @@ TEST(SimConfig, TableIIDefaults)
     EXPECT_EQ(c.prot.wrpkruCycles, 27u);
     EXPECT_EQ(c.prot.dttlbEntries, 16u);
     EXPECT_EQ(c.prot.dttWalkCycles, 30u);
-    EXPECT_EQ(c.prot.tlbInvalidationCycles, 286u);
+    EXPECT_EQ(c.topology.numCores, 1u);
+    EXPECT_EQ(c.topology.tlbInvalidationCycles, 286u);
     EXPECT_EQ(c.prot.ptlbEntries, 16u);
     EXPECT_EQ(c.prot.ptlbAccessCycles, 1u);
     EXPECT_EQ(c.prot.ptlbMissCycles, 30u);

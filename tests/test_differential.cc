@@ -132,6 +132,29 @@ TEST(Differential, CorpusRegressionsStayFixed)
     EXPECT_GE(replayed, 4u) << "corpus went missing";
 }
 
+/**
+ * The whole corpus also holds on a two-core machine, where evictions
+ * broadcast over the shootdown bus and the Ipi-event oracle is live.
+ */
+TEST(Differential, CorpusHoldsOnTwoCores)
+{
+    const std::filesystem::path dir(PMODV_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+    DiffConfig diff;
+    diff.topology.numCores = 2;
+    unsigned replayed = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".ops")
+            continue;
+        const std::vector<Op> ops = loadOpsFile(entry.path().string());
+        const DiffResult result = runDifferential(ops, diff);
+        EXPECT_TRUE(result.ok())
+            << entry.path() << ": " << result.summary();
+        ++replayed;
+    }
+    EXPECT_GE(replayed, 5u) << "multicore corpus entry went missing";
+}
+
 TEST(Differential, GeneratorIsDeterministic)
 {
     const GenConfig cfg = smallConfig();

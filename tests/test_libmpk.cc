@@ -66,7 +66,7 @@ TEST(LibMpk, EvictionCostScalesWithVictimSize)
     const std::uint64_t pages = kSize / 4096;
     EXPECT_GE(cost, params.libmpkSyscallCycles +
                         params.libmpkPtePatchCycles * pages +
-                        params.tlbInvalidationCycles);
+                        arch::CoreTopology{}.tlbInvalidationCycles);
     EXPECT_GE(lib.ptePatches.value(), static_cast<double>(pages));
 }
 

@@ -175,7 +175,6 @@ TEST(MpkVirt, EvictionRemapsAndShootsDown)
 TEST(MpkVirt, EvictionCostsMatchConfig)
 {
     arch::ProtParams params;
-    params.tlbInvalidationCycles = 286;
     params.dttWalkCycles = 30;
     SchemeHarness h(SchemeKind::MpkVirt, params);
     for (unsigned i = 0; i < 16; ++i)

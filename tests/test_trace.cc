@@ -322,7 +322,7 @@ TEST_F(TraceFileTest, V1ToV2ConversionPreservesRecords)
     std::filesystem::remove(v2path);
 }
 
-TEST_F(TraceFileTest, PumpIntoSink)
+TEST_F(TraceFileTest, ViewFeedsSinkBatch)
 {
     {
         TraceFileWriter writer(path_.string());
@@ -330,16 +330,15 @@ TEST_F(TraceFileTest, PumpIntoSink)
             writer.put(TraceRecord::load(0, 0x1000 + i * 8, 8, true));
     } // Destructor finishes the file.
     TraceFileReader reader(path_.string());
+    const auto buf = reader.view();
+    ASSERT_EQ(buf->size(), 10u);
     CountingSink sink;
-    // The deprecated shims must keep working for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    EXPECT_EQ(reader.pump(sink), 10u);
-#pragma GCC diagnostic pop
+    sink.addBatch(buf->records());
+    sink.finish();
     EXPECT_EQ(sink.memAccesses(), 10u);
 }
 
-TEST_F(TraceFileTest, DeprecatedReadAllStillWorks)
+TEST_F(TraceFileTest, ViewMatchesWrittenRecords)
 {
     const auto records = sampleRecords();
     {
@@ -348,10 +347,10 @@ TEST_F(TraceFileTest, DeprecatedReadAllStillWorks)
             writer.put(rec);
     }
     TraceFileReader reader(path_.string());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    EXPECT_EQ(reader.readAll(), records);
-#pragma GCC diagnostic pop
+    const auto buf = reader.view();
+    ASSERT_EQ(buf->size(), records.size());
+    EXPECT_TRUE(std::equal(records.begin(), records.end(),
+                           buf->records().begin()));
 }
 
 TEST_F(TraceFileTest, IterativeNext)

@@ -8,7 +8,10 @@ metric:
     configurations of the headline experiments (fig7_average,
     table7_breakdown), keyed
 
-        <suite>:<benchmark>[/pmos=N]/<scheme>  ->  total_cycles
+        <suite>:<benchmark>[/pmos=N][/cores=K]/<scheme>  ->  total_cycles
+
+    (the /cores=K component appears only for multi-core sweep rows,
+    so single-core baselines keep their historical keys).
 
     The simulator is deterministic, so on identical workload
     parameters a drift here means the *model* changed — which is
@@ -82,6 +85,9 @@ def metric_keys(report):
         bench = row.get("benchmark", "?")
         pmos = row.get("pmos")
         point = f"{bench}/pmos={pmos}" if pmos is not None else bench
+        cores = row.get("cores", 1)
+        if cores != 1:
+            point += f"/cores={cores}"
         for scheme, cycles in sorted(row.get("total_cycles", {}).items()):
             yield f"{suite}:{point}/{scheme}", cycles
     for row in report.get("whisper", []):

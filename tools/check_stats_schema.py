@@ -5,7 +5,12 @@ Checks, for every micro/whisper row and every scheme:
 
   * the embedded stats tree has the expected shape: the System-level
     counters and cycle-attribution scalars, the dtlb/dcache/events
-    child groups, and a child group named after the scheme;
+    child groups, and a child group named after the scheme. Rows from
+    a multi-core sweep (row key "cores" > 1) instead carry one
+    core<k> child group per core — each with the private dtlb/dcache
+    hierarchies and the per-core scalars — plus the shared
+    shootdown_bus group, and the per-core cycles must sum back to the
+    System total;
   * the seven cyc_* attribution buckets account for at least 95% of
     the scheme's total cycles (the paper's Table VII methodology
     requires the breakdown to explain where the time went — this
@@ -62,6 +67,28 @@ ATTRIBUTION = [
 
 REQUIRED_CHILDREN = ["dtlb", "dcache", "events"]
 
+# Per-core context scalars (core<k> groups of a multi-core tree).
+CORE_SCALARS = [
+    "cycles",
+    "instructions",
+    "mem_accesses",
+    "ctx_switches",
+    "ipis_responded",
+    "ipis_filtered",
+]
+
+# Private per-core hierarchies inside each core<k> group.
+CORE_CHILDREN = ["dtlb", "dcache"]
+
+# Shared shootdown-bus counters (multi-core trees only).
+BUS_SCALARS = [
+    "broadcasts",
+    "ipis_sent",
+    "ipis_responded",
+    "ipis_filtered",
+    "pages_invalidated",
+]
+
 # Fraction of total cycles the named attribution buckets must explain.
 MIN_ATTRIBUTED = 0.95
 
@@ -72,13 +99,17 @@ def fail(path, message):
     errors.append(f"{path}: {message}")
 
 
-def check_stats_tree(path, scheme, stats, expected_total):
+def check_stats_tree(path, scheme, stats, expected_total, cores=1):
     for key in REQUIRED_SCALARS:
         if key not in stats:
             fail(path, f"missing scalar '{key}'")
-    for child in REQUIRED_CHILDREN:
-        if not isinstance(stats.get(child), dict):
-            fail(path, f"missing child group '{child}'")
+    if cores > 1:
+        check_multicore_tree(path, stats, cores)
+    else:
+        # Single-core trees keep the private hierarchies at top level.
+        for child in REQUIRED_CHILDREN:
+            if not isinstance(stats.get(child), dict):
+                fail(path, f"missing child group '{child}'")
     # Every scheme's stats subtree is attached under its scheme name
     # (NoProtection is named "none" etc. — same name as the JSON key).
     if not isinstance(stats.get(scheme), dict):
@@ -99,6 +130,47 @@ def check_stats_tree(path, scheme, stats, expected_total):
             fail(path, "event ring dropped more than it recorded")
 
     check_timeline(path, stats)
+
+
+def check_multicore_tree(path, stats, cores):
+    """Shape of a K-core tree: core<k> groups + the shootdown bus.
+
+    The per-core hierarchies move under their core<k> group, the
+    events ring stays shared at System level, and the per-core cycle
+    counters must sum back to the System total (replayBatch charges
+    every cycle to exactly one core).
+    """
+    if not isinstance(stats.get("events"), dict):
+        fail(path, "missing child group 'events'")
+    per_core_cycles = 0
+    for k in range(cores):
+        name = f"core{k}"
+        core = stats.get(name)
+        if not isinstance(core, dict):
+            fail(path, f"missing per-core group '{name}'")
+            continue
+        for key in CORE_SCALARS:
+            if key not in core:
+                fail(f"{path}.{name}", f"missing scalar '{key}'")
+        for child in CORE_CHILDREN:
+            if not isinstance(core.get(child), dict):
+                fail(f"{path}.{name}", f"missing child group '{child}'")
+        per_core_cycles += core.get("cycles", 0)
+    total = stats.get("cycles", 0)
+    if per_core_cycles != total:
+        fail(path, f"per-core cycles sum to {per_core_cycles}, "
+                   f"System total is {total}")
+    bus = stats.get("shootdown_bus")
+    if not isinstance(bus, dict):
+        fail(path, "missing child group 'shootdown_bus'")
+    else:
+        for key in BUS_SCALARS:
+            if key not in bus:
+                fail(f"{path}.shootdown_bus", f"missing scalar '{key}'")
+        if bus.get("ipis_responded", 0) + bus.get("ipis_filtered", 0) \
+                != bus.get("ipis_sent", 0):
+            fail(f"{path}.shootdown_bus",
+                 "ipis_responded + ipis_filtered != ipis_sent")
 
 
 def check_timeline(path, stats):
@@ -159,9 +231,25 @@ def check_row(path, row):
         fail(path, "row has no embedded stats trees")
         return
     totals = row.get("total_cycles", {})
+    cores = row.get("cores", 1)
+    if not isinstance(cores, int) or cores < 1:
+        fail(path, f"bad 'cores' value {cores!r}")
+        cores = 1
     for scheme, tree in stats.items():
         check_stats_tree(f"{path}.stats.{scheme}", scheme, tree,
-                         totals.get(scheme))
+                         totals.get(scheme), cores)
+    # The row-level IPI aggregate is lifted straight off the bus.
+    # Baseline trees (none/lowerbound) ride along in `stats` without a
+    # row entry, so only cross-check the schemes the sweep reported.
+    ipis = row.get("ipis_responded", {})
+    if cores > 1:
+        for scheme, reported in ipis.items():
+            bus = stats.get(scheme, {}).get("shootdown_bus", {})
+            if isinstance(bus, dict) and \
+                    reported != bus.get("ipis_responded"):
+                fail(f"{path}.ipis_responded.{scheme}",
+                     f"row says {reported!r}, bus says "
+                     f"{bus.get('ipis_responded')!r}")
     events = row.get("events")
     if not isinstance(events, dict):
         fail(path, "row has no embedded event arrays")

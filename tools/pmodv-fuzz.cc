@@ -4,6 +4,7 @@
  *
  *   pmodv-fuzz [--iters N] [--ops N] [--seed S] [--threads N]
  *              [--domains N] [--max-live N] [--max-pages N]
+ *              [--cores K]
  *              [--inject-bug none|mpk-drop-revoke]
  *              [--out FILE] [--print-ops] [--quiet]
  *       Run N generated episodes (episode i uses seed S+i) through
@@ -40,7 +41,7 @@ usage()
         stderr,
         "usage: pmodv-fuzz [--iters N] [--ops N] [--seed S]\n"
         "                  [--threads N] [--domains N] [--max-live N]\n"
-        "                  [--max-pages N]\n"
+        "                  [--max-pages N] [--cores K]\n"
         "                  [--inject-bug none|mpk-drop-revoke]\n"
         "                  [--out FILE] [--print-ops] [--quiet]\n"
         "       pmodv-fuzz --replay FILE [--inject-bug ...]\n");
@@ -133,6 +134,9 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--max-pages"))
             opt.gen.maxPages = static_cast<std::uint32_t>(
                 std::strtoul(need("--max-pages"), nullptr, 10));
+        else if (!std::strcmp(argv[i], "--cores"))
+            opt.diff.topology.numCores = static_cast<unsigned>(
+                std::strtoul(need("--cores"), nullptr, 10));
         else if (!std::strcmp(argv[i], "--inject-bug"))
             opt.diff.inject = injectionFromName(need("--inject-bug"));
         else if (!std::strcmp(argv[i], "--replay"))
@@ -146,7 +150,9 @@ main(int argc, char **argv)
         else
             return usage();
     }
-    if (!opt.gen.numOps || !opt.gen.numThreads || !opt.gen.domainPool)
+    if (!opt.gen.numOps || !opt.gen.numThreads || !opt.gen.domainPool ||
+        !opt.diff.topology.numCores ||
+        opt.diff.topology.numCores > arch::kMaxCores)
         return usage();
 
     if (!opt.replayPath.empty()) {
