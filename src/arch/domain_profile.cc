@@ -7,10 +7,9 @@ namespace pmodv::arch
 {
 
 DomainCounters &
-DomainProfile::at(DomainId d)
+DomainProfile::grow(DomainId d)
 {
-    if (d >= table_.size())
-        table_.resize(static_cast<std::size_t>(d) + 1);
+    table_.resize(static_cast<std::size_t>(d) + 1);
     return table_[d];
 }
 

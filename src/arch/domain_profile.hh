@@ -143,7 +143,16 @@ class DomainProfile
     std::vector<HotDomain> topN(std::size_t n) const;
 
   private:
-    DomainCounters &at(DomainId d);
+    DomainCounters &
+    at(DomainId d)
+    {
+        if (d < table_.size()) [[likely]]
+            return table_[d];
+        return grow(d);
+    }
+
+    /** Out-of-line resize for first-touch of a new domain id. */
+    DomainCounters &grow(DomainId d);
 
     std::vector<DomainCounters> table_; ///< Indexed by DomainId.
     std::vector<CoreAttribution> perCore_; ///< Indexed by CoreId (K>1).

@@ -31,6 +31,30 @@ DomainVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
 }
 
 void
+DomainVirtScheme::setStatsDeferred(bool defer)
+{
+    ProtectionScheme::setStatsDeferred(defer);
+    if (!defer && pendDrtWalks_) {
+        drtWalks += pendDrtWalks_;
+        pendDrtWalks_ = 0;
+    }
+    for (auto &p : ptlbs_)
+        p->setStatsDeferred(defer);
+}
+
+void
+DomainVirtScheme::flushDeferredStats()
+{
+    ProtectionScheme::flushDeferredStats();
+    if (pendDrtWalks_) {
+        drtWalks += pendDrtWalks_;
+        pendDrtWalks_ = 0;
+    }
+    for (auto &p : ptlbs_)
+        p->flushDeferredStats();
+}
+
+void
 DomainVirtScheme::onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb)
 {
     if (!fillPolicyStorage_)
@@ -58,7 +82,10 @@ DomainVirtScheme::FillPolicy::fill(ThreadId, Addr va,
     }
     // DRT walk, performed in parallel with the page table walk; the
     // DRT is shallower than the page table, so no extra latency.
-    ++s.drtWalks;
+    if (s.statsDeferred())
+        ++s.pendDrtWalks_;
+    else
+        ++s.drtWalks;
     auto walk = s.drt_.walk(va);
     entry.domain = walk.found ? walk.domain : kNullDomain;
     entry.key = kNullKey; // This design has no protection keys.
@@ -90,7 +117,7 @@ DomainVirtScheme::lookupPerm(ThreadId tid, DomainId domain,
     // table lookup), then install the entry.
     profile_.fillMiss(domain);
     cycles += params_.ptlbMissCycles;
-    cycTableMiss += static_cast<double>(params_.ptlbMissCycles);
+    chargeTableMissCyc(params_.ptlbMissCycles);
     ptlb.missLatency.sample(params_.ptlbMissCycles);
     postEvent(trace::EventKind::PtlbRefill, tid, domain,
               params_.ptlbMissCycles);
@@ -131,7 +158,7 @@ DomainVirtScheme::checkAccess(const AccessContext &ctx)
     // even when the data hits in the cache (paper §VI-A).
     profile_.access(domain, activeCore_);
     Cycles cycles = params_.ptlbAccessCycles;
-    cycAccessLatency += static_cast<double>(params_.ptlbAccessCycles);
+    chargeAccessLatencyCyc(params_.ptlbAccessCycles);
 
     const Perm domain_perm = lookupPerm(ctx.tid, domain, cycles);
     CheckResult res = judge(ctx, domain_perm, cycles);

@@ -12,7 +12,8 @@ Dttlb::Dttlb(stats::Group *parent, unsigned entries, std::string name)
       evictions(this, "evictions", "slots evicted by capacity"),
       missLatency(this, "miss_latency",
                   "cycles spent servicing each DTTLB miss"),
-      slots_(entries), plru_(entries)
+      slots_(entries), plru_(entries),
+      touchLut_(TreePlru::makeTouchLut(entries))
 {
     fatal_if(entries == 0, "DTTLB needs at least one entry");
 }
@@ -20,14 +21,34 @@ Dttlb::Dttlb(stats::Group *parent, unsigned entries, std::string name)
 DttlbEntry *
 Dttlb::lookupVa(Addr va)
 {
+    // L0 fast path: consecutive accesses inside the same PMO range
+    // re-verify the memoized slot instead of scanning the CAM.
+    if (l0Gen_ == gen_ && slots_[l0Slot_].contains(va)) {
+        ++l0Hits_;
+        if (defer_)
+            ++pend_.hits;
+        else
+            ++hits;
+        touchSlot(l0Slot_);
+        return &slots_[l0Slot_];
+    }
+
     for (unsigned i = 0; i < slots_.size(); ++i) {
         if (slots_[i].contains(va)) {
-            ++hits;
-            plru_.touch(i);
+            if (defer_)
+                ++pend_.hits;
+            else
+                ++hits;
+            touchSlot(i);
+            l0Gen_ = gen_;
+            l0Slot_ = i;
             return &slots_[i];
         }
     }
-    ++misses;
+    if (defer_)
+        ++pend_.misses;
+    else
+        ++misses;
     return nullptr;
 }
 
@@ -61,11 +82,17 @@ Dttlb::insert(const DttlbEntry &entry, DttlbEntry &evicted,
         slot = plru_.victim();
         evicted = slots_[slot];
         had_eviction = true;
-        ++evictions;
+        if (defer_)
+            ++pend_.evictions;
+        else
+            ++evictions;
     }
     slots_[slot] = entry;
     slots_[slot].used = true;
-    plru_.touch(slot);
+    touchSlot(slot);
+    ++gen_;
+    l0Gen_ = gen_;
+    l0Slot_ = slot;
     return slots_[slot];
 }
 
@@ -75,6 +102,7 @@ Dttlb::invalidateDomain(DomainId domain)
     for (auto &slot : slots_) {
         if (slot.used && slot.domain == domain) {
             slot = DttlbEntry{};
+            ++gen_;
             return true;
         }
     }
@@ -90,6 +118,7 @@ Dttlb::flushAll(std::vector<DttlbEntry> &dirty_out)
         slot = DttlbEntry{};
     }
     plru_.reset();
+    ++gen_;
 }
 
 unsigned
@@ -101,6 +130,31 @@ Dttlb::usedCount() const
             ++n;
     }
     return n;
+}
+
+void
+Dttlb::setStatsDeferred(bool defer)
+{
+    if (!defer && defer_)
+        flushDeferredStats();
+    defer_ = defer;
+}
+
+void
+Dttlb::flushDeferredStats()
+{
+    if (pend_.hits) {
+        hits += pend_.hits;
+        pend_.hits = 0;
+    }
+    if (pend_.misses) {
+        misses += pend_.misses;
+        pend_.misses = 0;
+    }
+    if (pend_.evictions) {
+        evictions += pend_.evictions;
+        pend_.evictions = 0;
+    }
 }
 
 } // namespace pmodv::arch

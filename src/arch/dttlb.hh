@@ -32,6 +32,12 @@ struct DttlbEntry
     ProtKey key = kNullKey;
     bool valid = false; ///< Domain currently maps to `key`.
     bool dirty = false; ///< Mapping differs from the in-memory DTT.
+    /**
+     * Scheme-private memo riding along with the entry (mpk_virt
+     * caches its per-domain bookkeeping pointer here so a DTTLB hit
+     * skips the domain-map lookup). Never part of the modeled state.
+     */
+    void *payload = nullptr;
 
     bool contains(Addr va) const
     {
@@ -83,14 +89,58 @@ class Dttlb : public stats::Group
     /** Occupied slot count. */
     unsigned usedCount() const;
 
+    /** Defer hot counters into packed locals; disabling flushes. */
+    void setStatsDeferred(bool defer);
+
+    /** Flush deferred counters into the stats tree now. */
+    void flushDeferredStats();
+
+    /** Lookups answered by the one-entry L0 filter (raw counter). */
+    std::uint64_t l0Hits() const { return l0Hits_; }
+
+    /** Monotonic structure generation (L0 self-invalidation). */
+    std::uint64_t generation() const { return gen_; }
+
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar evictions;
     stats::Histogram missLatency; ///< Cycles per miss (DTT walk).
 
   private:
+    void touchSlot(unsigned slot)
+    {
+        if (!touchLut_.empty())
+            plru_.touchMasked(touchLut_[slot]);
+        else
+            plru_.touch(slot);
+    }
+
     std::vector<DttlbEntry> slots_;
     TreePlru plru_;
+    std::vector<TreePlru::TouchOp> touchLut_;
+
+    /**
+     * L0 filter: the slot that matched the previous VA lookup,
+     * re-verified with contains() before use. Used slots tag disjoint
+     * VA ranges (AddressSpace rejects overlapping maps), so a
+     * containing slot is unique and index order cannot matter.
+     * In-place key/valid/dirty mutation through returned pointers
+     * leaves the range->slot mapping intact; structural changes
+     * (insert/invalidate/flush) bump gen_.
+     */
+    std::uint64_t gen_ = 1;
+    std::uint64_t l0Gen_ = 0;
+    unsigned l0Slot_ = 0;
+    std::uint64_t l0Hits_ = 0;
+
+    struct Pending
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+    Pending pend_;
+    bool defer_ = false;
 };
 
 } // namespace pmodv::arch

@@ -34,6 +34,30 @@ MpkVirtScheme::registerTimelineTracks(stats::TimeSeries &timeline)
 }
 
 void
+MpkVirtScheme::setStatsDeferred(bool defer)
+{
+    ProtectionScheme::setStatsDeferred(defer);
+    if (!defer && pendDttWalks_) {
+        dttWalks += pendDttWalks_;
+        pendDttWalks_ = 0;
+    }
+    for (auto &d : dttlbs_)
+        d->setStatsDeferred(defer);
+}
+
+void
+MpkVirtScheme::flushDeferredStats()
+{
+    ProtectionScheme::flushDeferredStats();
+    if (pendDttWalks_) {
+        dttWalks += pendDttWalks_;
+        pendDttWalks_ = 0;
+    }
+    for (auto &d : dttlbs_)
+        d->flushDeferredStats();
+}
+
+void
 MpkVirtScheme::onCoreAttached(CoreId core, tlb::TlbHierarchy *tlb)
 {
     if (!fillPolicyStorage_)
@@ -107,7 +131,7 @@ MpkVirtScheme::bindKey(ThreadId tid, DttInfo &info, ProtKey key)
 }
 
 Cycles
-MpkVirtScheme::cacheInDttlb(const DttInfo &info)
+MpkVirtScheme::cacheInDttlb(DttInfo &info)
 {
     DttlbEntry entry;
     entry.used = true;
@@ -117,6 +141,10 @@ MpkVirtScheme::cacheInDttlb(const DttInfo &info)
     entry.key = info.key == kInvalidKey ? kNullKey : info.key;
     entry.valid = info.key != kInvalidKey;
     entry.dirty = true;
+    // Host-perf memo: a later DTTLB hit reaches the payload without
+    // the domain-map lookup. Invalidation paths drop the whole entry,
+    // so the pointer can never outlive the DttInfo it names.
+    entry.payload = &info;
 
     DttlbEntry evicted;
     bool had_eviction = false;
@@ -225,15 +253,23 @@ MpkVirtScheme::FillPolicy::fill(ThreadId tid, Addr va,
     if (DttlbEntry *hit = dttlb.lookupVa(va)) {
         // DTTLB hit: its 1-cycle CAM lookup overlaps the page walk,
         // so no extra latency is charged (DESIGN.md §5).
-        auto it = s.domains_.find(hit->domain);
-        panic_if(it == s.domains_.end(), "DTTLB caches unknown domain");
-        info = it->second.get();
+        info = static_cast<DttInfo *>(hit->payload);
+        if (!info) {
+            auto it = s.domains_.find(hit->domain);
+            panic_if(it == s.domains_.end(),
+                     "DTTLB caches unknown domain");
+            info = it->second.get();
+            hit->payload = info;
+        }
     } else {
         // DTTLB miss: walk the DTT (Table II: 30 cycles).
-        ++s.dttWalks;
+        if (s.statsDeferred())
+            ++s.pendDttWalks_;
+        else
+            ++s.dttWalks;
         cycles += s.params_.dttWalkCycles;
         s.profile_.fillMiss(region->domain);
-        s.cycTableMiss += static_cast<double>(s.params_.dttWalkCycles);
+        s.chargeTableMissCyc(s.params_.dttWalkCycles);
         dttlb.missLatency.sample(s.params_.dttWalkCycles);
         auto walk = s.dtt_.walk(va);
         panic_if(!walk.found,

@@ -49,6 +49,9 @@ class MpkVirtScheme : public ProtectionScheme
 
     void registerTimelineTracks(stats::TimeSeries &timeline) override;
 
+    void setStatsDeferred(bool defer) override;
+    void flushDeferredStats() override;
+
     CheckResult checkAccess(const AccessContext &ctx) override;
     Cycles setPerm(ThreadId tid, DomainId domain, Perm perm) override;
     Cycles attach(ThreadId tid, DomainId domain, Addr base, Addr size,
@@ -108,7 +111,7 @@ class MpkVirtScheme : public ProtectionScheme
     void touchKey(ProtKey key);
 
     /** Install/update the active core's DTTLB entry; returns cycles. */
-    Cycles cacheInDttlb(const DttInfo &info);
+    Cycles cacheInDttlb(DttInfo &info);
 
     /** Invalidate @p domain in EVERY core's DTTLB. */
     void invalidateDomainAllDttlbs(DomainId domain);
@@ -128,6 +131,8 @@ class MpkVirtScheme : public ProtectionScheme
     std::array<std::uint64_t, kNumProtKeys> keyStamp_{};
     std::uint64_t keyClock_ = 0;
     ThreadId currentThread_ = 0;
+    /** Deferred DTT-walk count (see setStatsDeferred). */
+    std::uint64_t pendDttWalks_ = 0;
 };
 
 } // namespace pmodv::arch

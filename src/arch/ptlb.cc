@@ -12,7 +12,8 @@ Ptlb::Ptlb(stats::Group *parent, unsigned entries, std::string name)
       evictions(this, "evictions", "slots evicted by capacity"),
       missLatency(this, "miss_latency",
                   "cycles spent servicing each PTLB miss"),
-      slots_(entries), plru_(entries)
+      slots_(entries), tags_(entries + simd::kTagPad, 0), plru_(entries),
+      touchLut_(TreePlru::makeTouchLut(entries))
 {
     fatal_if(entries == 0, "PTLB needs at least one entry");
 }
@@ -20,25 +21,46 @@ Ptlb::Ptlb(stats::Group *parent, unsigned entries, std::string name)
 PtlbEntry *
 Ptlb::lookup(DomainId domain)
 {
-    for (unsigned i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].used && slots_[i].domain == domain) {
+    // L0 fast path: the single-hot-domain case (one tenant touching
+    // one PMO repeatedly) never rescans the slot array.
+    if (l0Gen_ == gen_ && l0Domain_ == domain) {
+        ++l0Hits_;
+        if (defer_)
+            ++pend_.hits;
+        else
             ++hits;
-            plru_.touch(i);
-            return &slots_[i];
-        }
+        touchSlot(l0Slot_);
+        return &slots_[l0Slot_];
     }
-    ++misses;
+
+    const int i = simd::findU64(tags_.data(),
+                                static_cast<unsigned>(slots_.size()),
+                                packTag(domain));
+    if (i >= 0) {
+        if (defer_)
+            ++pend_.hits;
+        else
+            ++hits;
+        touchSlot(static_cast<unsigned>(i));
+        l0Gen_ = gen_;
+        l0Domain_ = domain;
+        l0Slot_ = static_cast<unsigned>(i);
+        return &slots_[i];
+    }
+    if (defer_)
+        ++pend_.misses;
+    else
+        ++misses;
     return nullptr;
 }
 
 const PtlbEntry *
 Ptlb::probe(DomainId domain) const
 {
-    for (const auto &slot : slots_) {
-        if (slot.used && slot.domain == domain)
-            return &slot;
-    }
-    return nullptr;
+    const int i = simd::findU64(tags_.data(),
+                                static_cast<unsigned>(slots_.size()),
+                                packTag(domain));
+    return i >= 0 ? &slots_[i] : nullptr;
 }
 
 PtlbEntry &
@@ -46,48 +68,55 @@ Ptlb::insert(const PtlbEntry &entry, PtlbEntry &evicted,
              bool &had_eviction)
 {
     had_eviction = false;
-    unsigned slot = static_cast<unsigned>(slots_.size());
-    for (unsigned i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].used && slots_[i].domain == entry.domain) {
-            slot = i;
-            break;
-        }
-        if (slot == slots_.size() && !slots_[i].used)
-            slot = i;
-    }
-    if (slot == slots_.size()) {
-        slot = plru_.victim();
+    const unsigned n = static_cast<unsigned>(slots_.size());
+    int slot = simd::findU64(tags_.data(), n, packTag(entry.domain));
+    if (slot < 0)
+        slot = simd::findU64(tags_.data(), n, 0);
+    if (slot < 0) {
+        slot = static_cast<int>(plru_.victim());
         evicted = slots_[slot];
         had_eviction = true;
-        ++evictions;
+        if (defer_)
+            ++pend_.evictions;
+        else
+            ++evictions;
     }
     slots_[slot] = entry;
     slots_[slot].used = true;
-    plru_.touch(slot);
+    tags_[slot] = packTag(entry.domain);
+    touchSlot(static_cast<unsigned>(slot));
+    ++gen_;
+    l0Gen_ = gen_;
+    l0Domain_ = entry.domain;
+    l0Slot_ = static_cast<unsigned>(slot);
     return slots_[slot];
 }
 
 bool
 Ptlb::invalidate(DomainId domain)
 {
-    for (auto &slot : slots_) {
-        if (slot.used && slot.domain == domain) {
-            slot = PtlbEntry{};
-            return true;
-        }
-    }
-    return false;
+    const int i = simd::findU64(tags_.data(),
+                                static_cast<unsigned>(slots_.size()),
+                                packTag(domain));
+    if (i < 0)
+        return false;
+    slots_[i] = PtlbEntry{};
+    tags_[i] = 0;
+    ++gen_;
+    return true;
 }
 
 void
 Ptlb::flushAll(std::vector<PtlbEntry> &dirty_out)
 {
-    for (auto &slot : slots_) {
-        if (slot.used && slot.dirty)
-            dirty_out.push_back(slot);
-        slot = PtlbEntry{};
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].used && slots_[i].dirty)
+            dirty_out.push_back(slots_[i]);
+        slots_[i] = PtlbEntry{};
+        tags_[i] = 0;
     }
     plru_.reset();
+    ++gen_;
 }
 
 unsigned
@@ -99,6 +128,31 @@ Ptlb::usedCount() const
             ++n;
     }
     return n;
+}
+
+void
+Ptlb::setStatsDeferred(bool defer)
+{
+    if (!defer && defer_)
+        flushDeferredStats();
+    defer_ = defer;
+}
+
+void
+Ptlb::flushDeferredStats()
+{
+    if (pend_.hits) {
+        hits += pend_.hits;
+        pend_.hits = 0;
+    }
+    if (pend_.misses) {
+        misses += pend_.misses;
+        pend_.misses = 0;
+    }
+    if (pend_.evictions) {
+        evictions += pend_.evictions;
+        pend_.evictions = 0;
+    }
 }
 
 } // namespace pmodv::arch

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/plru.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -64,14 +65,65 @@ class Ptlb : public stats::Group
 
     unsigned usedCount() const;
 
+    /** Defer hot counters into packed locals; disabling flushes. */
+    void setStatsDeferred(bool defer);
+
+    /** Flush deferred counters into the stats tree now. */
+    void flushDeferredStats();
+
+    /** Lookups answered by the one-entry L0 filter (raw counter). */
+    std::uint64_t l0Hits() const { return l0Hits_; }
+
+    /** Monotonic structure generation (L0 self-invalidation). */
+    std::uint64_t generation() const { return gen_; }
+
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar evictions;
     stats::Histogram missLatency; ///< Cycles per miss (PT lookup).
 
   private:
+    /** Packed probe tag mirrored per slot (0 = unused slot). */
+    static std::uint64_t packTag(DomainId domain)
+    {
+        return (static_cast<std::uint64_t>(domain) << 1) | 1;
+    }
+
+    void touchSlot(unsigned slot)
+    {
+        if (!touchLut_.empty())
+            plru_.touchMasked(touchLut_[slot]);
+        else
+            plru_.touch(slot);
+    }
+
     std::vector<PtlbEntry> slots_;
+    /** Packed tag per slot (+simd::kTagPad zero slots). */
+    std::vector<std::uint64_t> tags_;
     TreePlru plru_;
+    std::vector<TreePlru::TouchOp> touchLut_;
+
+    /**
+     * L0 filter: the last domain hit or inserted. At most one used
+     * slot per domain exists (insert dedupes), so a generation-valid
+     * tag match provably lands on the same slot a full scan would.
+     * In-place perm/dirty mutation through lookup()'s pointer leaves
+     * the domain->slot mapping intact, so no bump is needed there.
+     */
+    std::uint64_t gen_ = 1;
+    std::uint64_t l0Gen_ = 0;
+    DomainId l0Domain_ = kNullDomain;
+    unsigned l0Slot_ = 0;
+    std::uint64_t l0Hits_ = 0;
+
+    struct Pending
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+    Pending pend_;
+    bool defer_ = false;
 };
 
 } // namespace pmodv::arch

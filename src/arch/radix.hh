@@ -102,25 +102,42 @@ class VaRadixTree
         }
     }
 
-    /** Walk the tree for @p va (the hardware walker's algorithm). */
+    /**
+     * Walk the tree for @p va (the hardware walker's algorithm).
+     *
+     * The last walk is memoized by its slot path: every VA sharing the
+     * index path down to the level the walk stopped at resolves to the
+     * same slot, hence the same result (found or not). Any mutation
+     * invalidates the memo, so this is purely a pointer-chase saver —
+     * results are identical to an uncached walk.
+     */
     WalkResult
     walk(Addr va) const
     {
+        if (memoValid_ && (va >> memoShift_) == memoKey_)
+            return memoRes_;
         WalkResult res;
         const Node *node = root_.get();
-        for (unsigned level = 0; level < kRadixLevels; ++level) {
+        unsigned level = 0;
+        for (; level < kRadixLevels; ++level) {
             ++res.depth;
             const Slot &slot = node->slots[radixSlotIndex(va, level)];
             if (!slot.valid)
-                return res;
+                break;
             if (!slot.nextLevel) {
                 res.found = true;
                 res.domain = slot.domain;
                 res.payload = slot.payload.get();
-                return res;
+                break;
             }
             node = slot.child.get();
         }
+        memoShift_ = radixSlotShift(level < kRadixLevels
+                                        ? level
+                                        : kRadixLevels - 1);
+        memoKey_ = va >> memoShift_;
+        memoRes_ = res;
+        memoValid_ = true;
         return res;
     }
 
@@ -131,6 +148,7 @@ class VaRadixTree
     unsigned
     remove(DomainId domain)
     {
+        memoValid_ = false;
         return removeRec(*root_, domain);
     }
 
@@ -169,6 +187,7 @@ class VaRadixTree
     installRoot(Addr va, unsigned level, DomainId domain,
                 std::shared_ptr<Payload> payload)
     {
+        memoValid_ = false;
         Node *node = root_.get();
         for (unsigned l = 0; l < level; ++l) {
             Slot &slot = node->slots[radixSlotIndex(va, l)];
@@ -247,6 +266,12 @@ class VaRadixTree
     }
 
     std::unique_ptr<Node> root_;
+
+    // Last-walk memo (see walk()); logically const, hence mutable.
+    mutable bool memoValid_ = false;
+    mutable unsigned memoShift_ = 0;
+    mutable Addr memoKey_ = 0;
+    mutable WalkResult memoRes_{};
 };
 
 } // namespace pmodv::arch

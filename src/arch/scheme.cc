@@ -136,6 +136,27 @@ ProtectionScheme::registerTimelineTracks(stats::TimeSeries &timeline)
     timeline.track(permChanges, "perm_changes");
 }
 
+void
+ProtectionScheme::setStatsDeferred(bool defer)
+{
+    if (!defer && statsDeferred_)
+        ProtectionScheme::flushDeferredStats();
+    statsDeferred_ = defer;
+}
+
+void
+ProtectionScheme::flushDeferredStats()
+{
+    if (pendCycAccessLatency_) {
+        cycAccessLatency += pendCycAccessLatency_;
+        pendCycAccessLatency_ = 0;
+    }
+    if (pendCycTableMiss_) {
+        cycTableMiss += pendCycTableMiss_;
+        pendCycTableMiss_ = 0;
+    }
+}
+
 Cycles
 ProtectionScheme::chargeSetPerm()
 {

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Packed exact-LRU recency state: one 64-bit word per set holding a
+ * 4-bit rank per way (assoc - 1 = most recent, 0 = least recent).
+ *
+ * This is victim-for-victim identical to the classic per-way
+ * timestamp scan. Victims are only ever consulted when the set is
+ * full, and a full set implies every way has been touched at least
+ * once (each install touches its way); by induction over touches the
+ * packed ranks are then exactly the recency permutation of last-touch
+ * order, so rank 0 names the same way the earliest-stamp scan would.
+ * Unlike the stamp scan it needs no per-set clock, no O(ways) victim
+ * scan, and only one cache line of state per eight sets.
+ *
+ * All ops are plain scalar bit twiddling (SWAR over nibbles), so the
+ * behaviour is identical under PMODV_FORCE_SCALAR builds.
+ */
+
+#ifndef PMODV_COMMON_LRURANK_HH
+#define PMODV_COMMON_LRURANK_HH
+
+#include <cstdint>
+
+namespace pmodv::lru
+{
+
+/** Widest associativity the packed representation supports. */
+inline constexpr unsigned kMaxPackedWays = 16;
+
+/** OR-mask forcing unused high nibbles non-zero in the victim scan. */
+inline std::uint64_t
+rankHighMask(unsigned ways)
+{
+    return ways >= kMaxPackedWays ? 0 : ~((1ull << (4 * ways)) - 1);
+}
+
+/**
+ * Mark @p way most recent: every rank above way's old rank slides
+ * down one, way's rank becomes ways - 1. The nibble compares run as
+ * SWAR over the even and odd nibble lanes (each widened to a byte
+ * lane, so the +127-r carry trick flags exactly the nibbles > r).
+ */
+inline std::uint64_t
+touchRank(std::uint64_t s, unsigned way, unsigned ways)
+{
+    constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+    constexpr std::uint64_t kNib = 0x0F0F0F0F0F0F0F0FULL;
+    constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+    const unsigned r = (s >> (4 * way)) & 15;
+    std::uint64_t e = s & kNib;
+    std::uint64_t o = (s >> 4) & kNib;
+    // Byte lanes hold 0..15, addend <= 127: no cross-lane carries, and
+    // bit 7 of (v + 127 - r) is set exactly when v > r.
+    const std::uint64_t add = kLo * (127 - r);
+    e -= ((e + add) & kHi) >> 7;
+    o -= ((o + add) & kHi) >> 7;
+    s = e | (o << 4);
+    return (s & ~(0xFull << (4 * way))) |
+           (static_cast<std::uint64_t>(ways - 1) << (4 * way));
+}
+
+/**
+ * Way holding rank 0. Only meaningful when the set is full (exactly
+ * one live nibble is zero then); @p high_mask must be
+ * rankHighMask(ways) so dead high nibbles can't match.
+ */
+inline unsigned
+victimRank(std::uint64_t s, std::uint64_t high_mask)
+{
+    constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+    constexpr std::uint64_t kNib = 0x0F0F0F0F0F0F0F0FULL;
+    constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+    s |= high_mask;
+    const std::uint64_t e = s & kNib;
+    const std::uint64_t o = (s >> 4) & kNib;
+    // Classic zero-byte finder; borrow-induced false flags can only
+    // appear above a true zero, and ctz picks the first flag. The lane
+    // without the zero nibble produces no flags at all.
+    const std::uint64_t ze = (e - kLo) & ~e & kHi;
+    const std::uint64_t zo = (o - kLo) & ~o & kHi;
+    return ze ? (static_cast<unsigned>(__builtin_ctzll(ze)) >> 3) * 2
+              : (static_cast<unsigned>(__builtin_ctzll(zo)) >> 3) * 2 + 1;
+}
+
+} // namespace pmodv::lru
+
+#endif // PMODV_COMMON_LRURANK_HH

@@ -39,6 +39,66 @@ TreePlru::touch(unsigned way)
     }
 }
 
+std::vector<TreePlru::TouchOp>
+TreePlru::makeTouchLut(unsigned num_ways)
+{
+    panic_if(num_ways == 0 || num_ways > kMaxWays,
+             "TreePlru LUT for invalid way count %u", num_ways);
+    const unsigned tree_ways = 1u << ceilLog2(num_ways);
+    if (tree_ways > 64)
+        return {}; // Path nodes would spill past bits_[0].
+    std::vector<TouchOp> lut(num_ways);
+    for (unsigned way = 0; way < num_ways; ++way) {
+        unsigned node = 0;
+        unsigned lo = 0;
+        unsigned span = tree_ways;
+        while (span > 1) {
+            const unsigned half = span / 2;
+            const bool right = way >= lo + half;
+            lut[way].mask |= std::uint64_t{1} << node;
+            if (!right)
+                lut[way].value |= std::uint64_t{1} << node;
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo += half;
+            span = half;
+        }
+    }
+    return lut;
+}
+
+TreePlru::VictimLut
+TreePlru::makeVictimLut(unsigned num_ways)
+{
+    panic_if(num_ways == 0 || num_ways > kMaxWays,
+             "TreePlru victim LUT for invalid way count %u", num_ways);
+    const unsigned tree_ways = 1u << ceilLog2(num_ways);
+    VictimLut lut;
+    if (tree_ways < 2 || tree_ways > 16)
+        return lut; // Degenerate, or the table would get too big.
+    // victim() only reads the root-to-leaf path nodes, all of which
+    // have indices below tree_ways - 1; enumerate every bit pattern
+    // and record where the walk lands.
+    const unsigned bits = tree_ways - 1;
+    lut.mask = (std::uint64_t{1} << bits) - 1;
+    lut.table.resize(std::size_t{1} << bits);
+    for (std::uint64_t pat = 0; pat <= lut.mask; ++pat) {
+        unsigned node = 0;
+        unsigned lo = 0;
+        unsigned span = tree_ways;
+        while (span > 1) {
+            const unsigned half = span / 2;
+            const bool right = (pat >> node) & 1;
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo += half;
+            span = half;
+        }
+        lut.table[pat] = static_cast<std::uint8_t>(lo % num_ways);
+    }
+    return lut;
+}
+
 unsigned
 TreePlru::victim() const
 {

@@ -33,6 +33,19 @@ class TreePlru
     /** Largest supported way count (kMaxWays-1 inline tree bits). */
     static constexpr unsigned kMaxWays = 256;
 
+    /**
+     * Precomputed branchless form of touch(way): the tree bits a
+     * touch writes are a pure function of the way, so the whole
+     * root-to-leaf walk collapses to one masked word update when all
+     * tree bits fit in a single 64-bit word (tree ways <= 64, i.e.
+     * every set-associativity in the model). See makeTouchLut().
+     */
+    struct TouchOp
+    {
+        std::uint64_t mask = 0;  ///< Bits on the root-to-leaf path.
+        std::uint64_t value = 0; ///< Their post-touch values.
+    };
+
     explicit TreePlru(unsigned num_ways);
 
     /** Number of ways this tracker covers. */
@@ -40,6 +53,42 @@ class TreePlru
 
     /** Mark @p way as most-recently-used. */
     void touch(unsigned way);
+
+    /**
+     * Per-way TouchOps for a tracker of @p num_ways, or an empty
+     * vector when the tree spills past one word and no branchless
+     * form exists. Shared across all sets of a component (the LUT
+     * depends only on the way count).
+     */
+    static std::vector<TouchOp> makeTouchLut(unsigned num_ways);
+
+    /** Apply a precomputed TouchOp; equivalent to touch(way). */
+    void touchMasked(const TouchOp &op)
+    {
+        bits_[0] = (bits_[0] & ~op.mask) | op.value;
+    }
+
+    /**
+     * Precomputed victim() results indexed by the tree-bit word: the
+     * whole root-to-leaf walk collapses to one table load. Only built
+     * for small trees (<= 16 tree ways, i.e. <= 15 tree bits); check
+     * valid() and fall back to victim() otherwise. Shared across all
+     * sets of a component.
+     */
+    struct VictimLut
+    {
+        std::vector<std::uint8_t> table; ///< Victim way per bit pattern.
+        std::uint64_t mask = 0;          ///< Tree-bit extraction mask.
+        bool valid() const { return !table.empty(); }
+    };
+
+    static VictimLut makeVictimLut(unsigned num_ways);
+
+    /** Table-driven victim(); @p lut must be for this way count. */
+    unsigned victimMasked(const VictimLut &lut) const
+    {
+        return lut.table[bits_[0] & lut.mask];
+    }
 
     /** Return the pseudo-least-recently-used way. */
     unsigned victim() const;

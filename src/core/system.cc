@@ -453,6 +453,36 @@ System::flushBatch(BatchCounters &d)
 }
 
 void
+System::setComponentStatsDeferred(bool defer)
+{
+    if (config_.topology.numCores == 1) {
+        tlb_->setStatsDeferred(defer);
+        caches_->setStatsDeferred(defer);
+    } else {
+        for (auto &core : cores_) {
+            core->tlb->setStatsDeferred(defer);
+            core->caches->setStatsDeferred(defer);
+        }
+    }
+    scheme_->setStatsDeferred(defer);
+}
+
+void
+System::flushComponentStats()
+{
+    if (config_.topology.numCores == 1) {
+        tlb_->flushDeferredStats();
+        caches_->flushDeferredStats();
+    } else {
+        for (auto &core : cores_) {
+            core->tlb->flushDeferredStats();
+            core->caches->flushDeferredStats();
+        }
+    }
+    scheme_->flushDeferredStats();
+}
+
+void
 System::replayBatch(std::span<const trace::TraceRecord> records)
 {
     using trace::RecordType;
@@ -461,10 +491,18 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
         // Multi-core replay interleaves the per-core streams record
         // by record; the single-core batch fast path below stays
         // untouched so K=1 remains bit-identical to the legacy loop.
+        // Component counters can still be deferred — but only when the
+        // timeline is off, since putMulti ticks after every record and
+        // an epoch snapshot must see exact component values.
+        const bool defer = !timeline.enabled();
+        if (defer)
+            setComponentStatsDeferred(true);
         for (const trace::TraceRecord &rec : records) {
             putMulti(rec);
             timeline.tick(cycleCount_);
         }
+        if (defer)
+            setComponentStatsDeferred(false);
         return;
     }
 
@@ -480,6 +518,7 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
 
     BatchCounters d;
     std::uint64_t boundary = timeline.nextBoundary();
+    setComponentStatsDeferred(true);
 
     for (const trace::TraceRecord &rec : records) {
         switch (rec.type) {
@@ -603,11 +642,13 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
         // Scalar values.
         if (cycleCount_ >= boundary) [[unlikely]] {
             flushBatch(d);
+            flushComponentStats();
             timeline.tick(cycleCount_);
             boundary = timeline.nextBoundary();
         }
     }
     flushBatch(d);
+    setComponentStatsDeferred(false);
 }
 
 } // namespace pmodv::core

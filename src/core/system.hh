@@ -209,6 +209,20 @@ class System : public stats::Group, public trace::TraceSink
     /** Drain @p d into the Scalars (and reset it). */
     void flushBatch(BatchCounters &d);
 
+    /**
+     * Switch every owned component (TLBs, caches, memory, scheme) in
+     * or out of deferred-stats mode. Disabling flushes any pending
+     * counts, so toggling is always exact.
+     */
+    void setComponentStatsDeferred(bool defer);
+
+    /**
+     * Flush the components' deferred counters into their Scalars
+     * without leaving deferred mode. Must run before every
+     * timeline.tick() so epoch snapshots see exact values.
+     */
+    void flushComponentStats();
+
     /** The visible-latency formula (slow path / table filler). */
     Cycles visibleCycles(Cycles lat) const;
 

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/lrurank.hh"
 
 namespace pmodv::mem
 {
@@ -36,116 +37,206 @@ Cache::Cache(stats::Group *parent, const CacheParams &params)
     lineShift_ = floorLog2(params_.lineBytes);
 
     lines_.resize(std::size_t{numSets_} * params_.assoc);
+    tags_.assign(lines_.size() + simd::kTagPad, 0);
+    setValid_.assign(numSets_, 0);
     if (params_.repl == ReplPolicy::Lru) {
-        stamps_.assign(lines_.size(), 0);
-        clocks_.assign(numSets_, 0);
+        if (params_.assoc <= lru::kMaxPackedWays) {
+            lruRank_.assign(numSets_, 0);
+            lruHighMask_ = lru::rankHighMask(params_.assoc);
+        } else {
+            stamps_.assign(lines_.size(), 0);
+            clocks_.assign(numSets_, 0);
+        }
     } else {
         plru_.assign(numSets_, TreePlru(params_.assoc));
+        touchLut_ = TreePlru::makeTouchLut(params_.assoc);
+        victimLut_ = TreePlru::makeVictimLut(params_.assoc);
     }
 }
 
 unsigned
 Cache::victimWay(std::size_t si) const
 {
-    // Prefer an invalid way before consulting the replacement state.
-    const Line *ways = setWays(si);
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!ways[w].valid)
-            return w;
+    // Prefer an invalid way before consulting the replacement state;
+    // a full set (the steady state) skips the probe outright.
+    if (setValid_[si] < params_.assoc) {
+        const int invalid = simd::findU64(
+            tags_.data() + si * params_.assoc, params_.assoc, 0);
+        if (invalid >= 0)
+            return static_cast<unsigned>(invalid);
     }
-    if (params_.repl == ReplPolicy::TreePlru)
-        return plru_[si].victim();
-    // Exact LRU: earliest stamp wins, ties broken by lowest index.
-    const std::uint64_t *stamps = stamps_.data() + si * params_.assoc;
-    unsigned best = 0;
-    for (unsigned w = 1; w < params_.assoc; ++w) {
-        if (stamps[w] < stamps[best])
-            best = w;
+    if (params_.repl == ReplPolicy::TreePlru) {
+        return victimLut_.valid() ? plru_[si].victimMasked(victimLut_)
+                                  : plru_[si].victim();
     }
-    return best;
+    // Exact LRU: the packed rank word names the least-recent way in a
+    // couple of ALU ops; wide configs scan stamps (earliest wins).
+    if (!lruRank_.empty())
+        return lru::victimRank(lruRank_[si], lruHighMask_);
+    return simd::argminU64(stamps_.data() + si * params_.assoc,
+                           params_.assoc);
 }
 
 void
 Cache::touchWay(std::size_t si, unsigned way)
 {
-    if (params_.repl == ReplPolicy::TreePlru)
-        plru_[si].touch(way);
-    else
+    if (params_.repl == ReplPolicy::TreePlru) {
+        if (!touchLut_.empty())
+            plru_[si].touchMasked(touchLut_[way]);
+        else
+            plru_[si].touch(way);
+    } else if (!lruRank_.empty()) {
+        lruRank_[si] = lru::touchRank(lruRank_[si], way, params_.assoc);
+    } else {
         stamps_[si * params_.assoc + way] = ++clocks_[si];
+    }
 }
 
 CacheResult
 Cache::access(Addr addr, AccessType type)
 {
-    const std::size_t si = setIndex(addr);
-    Line *ways = setWays(si);
     const Addr tag = lineTag(addr);
+    const std::uint64_t ptag = packTag(tag);
 
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = ways[w];
-        if (line.valid && line.tag == tag) {
+    // L0 fast path: same line as the previous access. The packed tag
+    // carries the set bits, so equality pins the exact line; gen_
+    // guards against any intervening fill/invalidate.
+    if (l0Gen_ == gen_ && l0Tag_ == ptag) {
+        ++l0Hits_;
+        if (defer_)
+            ++pend_.hits;
+        else
             ++hits;
-            if (type == AccessType::Write)
-                line.dirty = true;
-            touchWay(si, w);
-            return {true, false};
-        }
+        if (type == AccessType::Write)
+            lines_[l0Flat_].dirty = true;
+        touchWay(l0Si_, l0Way_);
+        return {true, false};
     }
 
-    ++misses;
+    const std::size_t si = setIndex(addr);
+    const int w = simd::findU64(tags_.data() + si * params_.assoc,
+                                params_.assoc, ptag);
+    if (w >= 0) {
+        if (defer_)
+            ++pend_.hits;
+        else
+            ++hits;
+        const std::size_t flat = si * params_.assoc + w;
+        if (type == AccessType::Write)
+            lines_[flat].dirty = true;
+        touchWay(si, static_cast<unsigned>(w));
+        l0Gen_ = gen_;
+        l0Tag_ = ptag;
+        l0Flat_ = flat;
+        l0Si_ = si;
+        l0Way_ = static_cast<unsigned>(w);
+        return {true, false};
+    }
+
+    if (defer_)
+        ++pend_.misses;
+    else
+        ++misses;
     const unsigned victim = victimWay(si);
-    Line &line = ways[victim];
-    if (line.valid)
-        ++evictions;
+    const std::size_t flat = si * params_.assoc + victim;
+    Line &line = lines_[flat];
+    if (line.valid) {
+        if (defer_)
+            ++pend_.evictions;
+        else
+            ++evictions;
+    }
     const bool wb = line.valid && line.dirty;
-    if (wb)
-        ++writebacks;
+    if (wb) {
+        if (defer_)
+            ++pend_.writebacks;
+        else
+            ++writebacks;
+    }
+    if (!line.valid)
+        ++setValid_[si];
     line.valid = true;
     line.dirty = (type == AccessType::Write);
-    line.tag = tag;
+    tags_[flat] = ptag;
     touchWay(si, victim);
+    ++gen_;
+    l0Gen_ = gen_;
+    l0Tag_ = ptag;
+    l0Flat_ = flat;
+    l0Si_ = si;
+    l0Way_ = victim;
     return {false, wb};
 }
 
 bool
 Cache::probe(Addr addr) const
 {
-    const Line *ways = setWays(setIndex(addr));
-    const Addr tag = lineTag(addr);
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
-            return true;
-    }
-    return false;
+    const std::size_t si = setIndex(addr);
+    return simd::findU64(tags_.data() + si * params_.assoc,
+                         params_.assoc, packTag(lineTag(addr))) >= 0;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (Line &line : lines_) {
+    for (std::size_t flat = 0; flat < lines_.size(); ++flat) {
+        Line &line = lines_[flat];
         if (line.valid) {
             line.valid = false;
             line.dirty = false;
+            tags_[flat] = 0;
+            --setValid_[flat / params_.assoc];
             ++invalidations;
         }
     }
+    ++gen_;
 }
 
 bool
 Cache::invalidate(Addr addr)
 {
-    Line *ways = setWays(setIndex(addr));
-    const Addr tag = lineTag(addr);
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = ways[w];
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
-            line.dirty = false;
-            ++invalidations;
-            return true;
-        }
+    const std::size_t si = setIndex(addr);
+    const int w = simd::findU64(tags_.data() + si * params_.assoc,
+                                params_.assoc, packTag(lineTag(addr)));
+    if (w < 0)
+        return false;
+    const std::size_t flat = si * params_.assoc + w;
+    lines_[flat].valid = false;
+    lines_[flat].dirty = false;
+    tags_[flat] = 0;
+    --setValid_[si];
+    ++invalidations;
+    ++gen_;
+    return true;
+}
+
+void
+Cache::setStatsDeferred(bool defer)
+{
+    if (!defer && defer_)
+        flushDeferredStats();
+    defer_ = defer;
+}
+
+void
+Cache::flushDeferredStats()
+{
+    if (pend_.hits) {
+        hits += pend_.hits;
+        pend_.hits = 0;
     }
-    return false;
+    if (pend_.misses) {
+        misses += pend_.misses;
+        pend_.misses = 0;
+    }
+    if (pend_.evictions) {
+        evictions += pend_.evictions;
+        pend_.evictions = 0;
+    }
+    if (pend_.writebacks) {
+        writebacks += pend_.writebacks;
+        pend_.writebacks = 0;
+    }
 }
 
 } // namespace pmodv::mem

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/plru.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -77,6 +78,18 @@ class Cache : public stats::Group
     /** Invalidate the line containing @p addr if present. */
     bool invalidate(Addr addr);
 
+    /** Defer hot counters into packed locals; disabling flushes. */
+    void setStatsDeferred(bool defer);
+
+    /** Flush deferred counters into the stats tree now. */
+    void flushDeferredStats();
+
+    /** Accesses answered by the one-entry L0 filter (raw counter). */
+    std::uint64_t l0Hits() const { return l0Hits_; }
+
+    /** Monotonic structure generation (L0 self-invalidation). */
+    std::uint64_t generation() const { return gen_; }
+
     // Stats (public so formulas above can reference them).
     stats::Scalar hits;
     stats::Scalar misses;
@@ -86,11 +99,13 @@ class Cache : public stats::Group
     stats::Formula missRate;
 
   private:
+    // The line tag itself lives only in the packed tags_ array (the
+    // probe path's working set); per-line state is just two flags, so
+    // the flat line array stays tiny and host-cache friendly.
     struct Line
     {
         bool valid = false;
         bool dirty = false;
-        Addr tag = 0;
     };
 
     Addr lineTag(Addr addr) const { return addr >> lineShift_; }
@@ -98,6 +113,9 @@ class Cache : public stats::Group
     {
         return (addr >> lineShift_) & (numSets_ - 1);
     }
+
+    /** Packed probe tag mirrored per way in tags_ (0 = invalid). */
+    static std::uint64_t packTag(Addr tag) { return (tag << 1) | 1; }
 
     /** First way of set @p si in the flat line array. */
     Line *setWays(std::size_t si)
@@ -116,11 +134,55 @@ class Cache : public stats::Group
     unsigned numSets_;
     unsigned lineShift_;
     std::vector<Line> lines_; ///< numSets_ x assoc, set-major.
+    /** Packed tag per way (+simd::kTagPad zero slots), set-major. */
+    std::vector<std::uint64_t> tags_;
     // Exactly one of the two replacement representations is active,
     // selected by params_.repl.
-    std::vector<std::uint64_t> stamps_; ///< Lru: per-way touch stamps.
-    std::vector<std::uint64_t> clocks_; ///< Lru: per-set logical clock.
+    //
+    // Exact LRU keeps one packed word per set: a 4-bit recency rank
+    // per way (assoc - 1 = MRU, 0 = LRU). This is victim-for-victim
+    // identical to per-way timestamp scans — victims are only
+    // consulted when the set is full, by which point every way has
+    // been touched and the ranks are exactly the recency permutation
+    // of last-touch order — but costs one cache line per set instead
+    // of three (stamp row + clock). Associativities above 16 fall
+    // back to wide per-way stamps.
+    std::vector<std::uint64_t> lruRank_; ///< Lru, assoc<=16: packed ranks.
+    std::vector<std::uint64_t> stamps_; ///< Lru, assoc>16: touch stamps.
+    std::vector<std::uint64_t> clocks_; ///< Lru, assoc>16: set clocks.
     std::vector<TreePlru> plru_;        ///< TreePlru: per-set tracker.
+    /** Forces unused high nibbles non-zero in the victim search. */
+    std::uint64_t lruHighMask_ = 0;
+    /** Branchless touch ops (TreePlru only; empty under Lru). */
+    std::vector<TreePlru::TouchOp> touchLut_;
+    /** Table-driven victim() (TreePlru only; invalid under Lru). */
+    TreePlru::VictimLut victimLut_;
+    /** Valid-way count per set: a full set skips the free-way probe. */
+    std::vector<std::uint8_t> setValid_;
+
+    /**
+     * L0 filter: the last line hit or filled, keyed by (generation,
+     * packed tag). The packed tag embeds the full line tag — which
+     * includes the set bits — so tag equality implies same line.
+     */
+    std::uint64_t gen_ = 1;
+    std::uint64_t l0Gen_ = 0;
+    std::uint64_t l0Tag_ = 0;
+    std::size_t l0Flat_ = 0;
+    std::size_t l0Si_ = 0;
+    unsigned l0Way_ = 0;
+    std::uint64_t l0Hits_ = 0;
+
+    /** Packed deferred counters (see setStatsDeferred). */
+    struct Pending
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t writebacks = 0;
+    };
+    Pending pend_;
+    bool defer_ = false;
 };
 
 } // namespace pmodv::mem

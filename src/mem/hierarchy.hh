@@ -51,6 +51,12 @@ class CacheHierarchy : public stats::Group
     /** Drop every cached line (e.g. between independent runs). */
     void invalidateAll();
 
+    /** Defer hot counters in both levels and main memory. */
+    void setStatsDeferred(bool defer);
+
+    /** Flush deferred counters now. */
+    void flushDeferredStats();
+
   private:
     HierarchyParams params_;
     std::unique_ptr<Cache> l1_;

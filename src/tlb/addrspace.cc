@@ -35,12 +35,14 @@ AddressSpace::map(const Region &region)
 bool
 AddressSpace::unmap(Addr base)
 {
+    lastFind_ = nullptr;
     return regions_.erase(base) > 0;
 }
 
 unsigned
 AddressSpace::unmapDomain(DomainId domain)
 {
+    lastFind_ = nullptr;
     unsigned n = 0;
     for (auto it = regions_.begin(); it != regions_.end();) {
         if (it->second.domain == domain) {
@@ -56,11 +58,16 @@ AddressSpace::unmapDomain(DomainId domain)
 const Region *
 AddressSpace::find(Addr addr) const
 {
+    if (lastFind_ && lastFind_->contains(addr))
+        return lastFind_;
     auto it = regions_.upper_bound(addr);
     if (it == regions_.begin())
         return nullptr;
     --it;
-    return it->second.contains(addr) ? &it->second : nullptr;
+    if (!it->second.contains(addr))
+        return nullptr;
+    lastFind_ = &it->second;
+    return lastFind_;
 }
 
 const Region *

@@ -77,6 +77,15 @@ class AddressSpace
   private:
     /** Keyed by region base address. */
     std::map<Addr, Region> regions_;
+
+    /**
+     * Memo of the last positive find(). std::map nodes are stable, so
+     * the pointer survives unrelated map()s; regions never overlap,
+     * so a contains() re-check fully validates it. Cleared on any
+     * unmap. One System drives one AddressSpace from one thread, so
+     * the mutable memo needs no synchronization.
+     */
+    mutable const Region *lastFind_ = nullptr;
 };
 
 } // namespace pmodv::tlb

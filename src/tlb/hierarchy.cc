@@ -31,15 +31,18 @@ TlbHierarchy::translate(ThreadId tid, Addr va)
 
     res.latency += params_.l2.accessLatency;
     if (TlbEntry *e = l2_->lookup(va)) {
-        // Promote into L1.
-        res.entry = &l1_->insert(*e);
+        // Promote into L1 (fresh: the L1 lookup above just missed).
+        res.entry = &l1_->insertFresh(*e);
         res.l2Hit = true;
         missLatency.sample(res.latency);
         return res;
     }
 
     // Full miss: page walk.
-    ++walks;
+    if (defer_)
+        ++pendWalks_;
+    else
+        ++walks;
     res.walked = true;
     res.latency += params_.walkLatency;
 
@@ -64,8 +67,10 @@ TlbHierarchy::translate(ThreadId tid, Addr va)
 
     res.fillExtra = fillPolicy_->fill(tid, va, region, entry);
 
-    l2_->insert(entry);
-    res.entry = &l1_->insert(entry);
+    // Fresh in both levels: the lookups above just missed this page,
+    // and the fill policy can only have *removed* entries since.
+    l2_->insertFresh(entry);
+    res.entry = &l1_->insertFresh(entry);
     missLatency.sample(res.latency + res.fillExtra);
     return res;
 }
@@ -86,6 +91,27 @@ unsigned
 TlbHierarchy::flushAll()
 {
     return l1_->flushAll() + l2_->flushAll();
+}
+
+void
+TlbHierarchy::setStatsDeferred(bool defer)
+{
+    if (!defer && defer_)
+        flushDeferredStats();
+    defer_ = defer;
+    l1_->setStatsDeferred(defer);
+    l2_->setStatsDeferred(defer);
+}
+
+void
+TlbHierarchy::flushDeferredStats()
+{
+    if (pendWalks_) {
+        walks += pendWalks_;
+        pendWalks_ = 0;
+    }
+    l1_->flushDeferredStats();
+    l2_->flushDeferredStats();
 }
 
 } // namespace pmodv::tlb

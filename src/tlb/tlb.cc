@@ -31,12 +31,32 @@ Tlb::Tlb(stats::Group *parent, const TlbParams &params)
              "tlb '%s': set count must be a power of two",
              params_.name.c_str());
     ways_.resize(std::size_t{numSets_} * params_.assoc);
+    tags_.assign(ways_.size() + simd::kTagPad, 0);
     plru_.assign(numSets_, TreePlru(params_.assoc));
+    touchLut_ = TreePlru::makeTouchLut(params_.assoc);
+    victimLut_ = TreePlru::makeVictimLut(params_.assoc);
+    setValid_.assign(numSets_, 0);
 }
 
+template <unsigned A>
 TlbEntry *
-Tlb::lookup(Addr va)
+Tlb::lookupImpl(Addr va)
 {
+    const unsigned assoc = A ? A : params_.assoc;
+    // L0 fast path: repeated access to the last-translated 4K page
+    // skips the set probes. Any structural change bumps gen_, so a
+    // stale filter can never hit.
+    const Addr vpn4k = va >> pageShift(PageSize::Size4K);
+    const std::uint64_t tag4k = packTag(vpn4k, PageSize::Size4K);
+    if (l0Gen_ == gen_ && l0Tag_ == tag4k) {
+        ++l0Hits_;
+        bumpHit();
+        // Replacement state must still be modeled: another way may
+        // have been touched since the filter was last refreshed.
+        touchWay(l0Si_, l0Way_);
+        return &ways_[l0Flat_];
+    }
+
     // Pages of different sizes index differently; try each supported
     // size (smallest first — by far the common case). Sizes with no
     // valid entry anywhere are skipped outright.
@@ -46,18 +66,44 @@ Tlb::lookup(Addr va)
             continue;
         const Addr vpn = va >> pageShift(ps);
         const std::size_t si = setIndexFor(vpn);
-        TlbEntry *ways = setWays(si);
-        for (unsigned w = 0; w < params_.assoc; ++w) {
-            TlbEntry &e = ways[w];
-            if (e.valid && e.pageSize == ps && e.vpn == vpn) {
-                ++hits;
-                plru_[si].touch(w);
-                return &e;
+        const int w = simd::findU64(tags_.data() + si * assoc, assoc,
+                                    packTag(vpn, ps));
+        if (w >= 0) {
+            bumpHit();
+            touchWay(si, static_cast<unsigned>(w));
+            const std::size_t flat = si * assoc + w;
+            if (ps == PageSize::Size4K) {
+                l0Gen_ = gen_;
+                l0Tag_ = tag4k;
+                l0Flat_ = flat;
+                l0Si_ = si;
+                l0Way_ = static_cast<unsigned>(w);
             }
+            return &ways_[flat];
         }
     }
-    ++misses;
+    if (defer_)
+        ++pend_.misses;
+    else
+        ++misses;
     return nullptr;
+}
+
+TlbEntry *
+Tlb::lookup(Addr va)
+{
+    // Dispatch once on the configured width so the probe loops above
+    // compile with constant trip counts for the common geometries.
+    switch (params_.assoc) {
+      case 4:
+        return lookupImpl<4>(va);
+      case 6:
+        return lookupImpl<6>(va);
+      case 8:
+        return lookupImpl<8>(va);
+      default:
+        return lookupImpl<0>(va);
+    }
 }
 
 const TlbEntry *
@@ -68,46 +114,95 @@ Tlb::probe(Addr va) const
         if (sizeValid_[static_cast<unsigned>(ps)] == 0)
             continue;
         const Addr vpn = va >> pageShift(ps);
-        const TlbEntry *ways = setWays(setIndexFor(vpn));
-        for (unsigned w = 0; w < params_.assoc; ++w) {
-            const TlbEntry &e = ways[w];
-            if (e.valid && e.pageSize == ps && e.vpn == vpn)
-                return &e;
-        }
+        const std::size_t si = setIndexFor(vpn);
+        const int w = simd::findU64(tags_.data() + si * params_.assoc,
+                                    params_.assoc, packTag(vpn, ps));
+        if (w >= 0)
+            return &ways_[si * params_.assoc + w];
     }
     return nullptr;
+}
+
+template <bool Dedupe, unsigned A>
+TlbEntry &
+Tlb::insertImpl(const TlbEntry &entry)
+{
+    const unsigned assoc = A ? A : params_.assoc;
+    const std::size_t si = setIndexFor(entry.vpn);
+    const std::uint64_t *row = tags_.data() + si * assoc;
+    // Reuse an existing entry for the same page, else an invalid way,
+    // else the pseudo-LRU victim. A full set (the steady state) skips
+    // the free-way probe via the per-set valid count.
+    int victim = -1;
+    if constexpr (Dedupe) {
+        victim = simd::findU64(row, assoc,
+                               packTag(entry.vpn, entry.pageSize));
+    }
+    if (victim < 0 && setValid_[si] < assoc)
+        victim = simd::findU64(row, assoc, 0);
+    if (victim < 0) {
+        victim = static_cast<int>(victimLut_.valid()
+                                      ? plru_[si].victimMasked(victimLut_)
+                                      : plru_[si].victim());
+        if (defer_)
+            ++pend_.evictions;
+        else
+            ++evictions;
+    }
+    const std::size_t flat = si * assoc + victim;
+    // Overwriting a valid way: only the per-size count needs fixing
+    // (the slot stays valid, the set count is unchanged); the full
+    // dropEntry stores would be overwritten right below anyway.
+    TlbEntry &slot = ways_[flat];
+    if (slot.valid)
+        --sizeValid_[static_cast<unsigned>(slot.pageSize)];
+    else
+        ++setValid_[si];
+    slot = entry;
+    slot.valid = true;
+    tags_[flat] = packTag(entry.vpn, entry.pageSize);
+    ++sizeValid_[static_cast<unsigned>(entry.pageSize)];
+    touchWay(si, static_cast<unsigned>(victim));
+    ++gen_;
+    if (entry.pageSize == PageSize::Size4K) {
+        // The freshly filled page is the likeliest next lookup.
+        l0Gen_ = gen_;
+        l0Tag_ = tags_[flat];
+        l0Flat_ = flat;
+        l0Si_ = si;
+        l0Way_ = static_cast<unsigned>(victim);
+    }
+    return ways_[flat];
 }
 
 TlbEntry &
 Tlb::insert(const TlbEntry &entry)
 {
-    const std::size_t si = setIndexFor(entry.vpn);
-    TlbEntry *ways = setWays(si);
-    // Reuse an existing entry for the same page, else an invalid way,
-    // else the pseudo-LRU victim.
-    unsigned victim = params_.assoc;
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        TlbEntry &e = ways[w];
-        if (e.valid && e.vpn == entry.vpn &&
-            e.pageSize == entry.pageSize) {
-            victim = w;
-            break;
-        }
-        if (victim == params_.assoc && !e.valid)
-            victim = w;
+    switch (params_.assoc) {
+      case 4:
+        return insertImpl<true, 4>(entry);
+      case 6:
+        return insertImpl<true, 6>(entry);
+      case 8:
+        return insertImpl<true, 8>(entry);
+      default:
+        return insertImpl<true, 0>(entry);
     }
-    if (victim == params_.assoc) {
-        victim = plru_[si].victim();
-        if (ways[victim].valid)
-            ++evictions;
+}
+
+TlbEntry &
+Tlb::insertFresh(const TlbEntry &entry)
+{
+    switch (params_.assoc) {
+      case 4:
+        return insertImpl<false, 4>(entry);
+      case 6:
+        return insertImpl<false, 6>(entry);
+      case 8:
+        return insertImpl<false, 8>(entry);
+      default:
+        return insertImpl<false, 0>(entry);
     }
-    if (ways[victim].valid)
-        dropEntry(ways[victim]);
-    ways[victim] = entry;
-    ways[victim].valid = true;
-    ++sizeValid_[static_cast<unsigned>(entry.pageSize)];
-    plru_[si].touch(victim);
-    return ways[victim];
 }
 
 template <typename Pred>
@@ -115,13 +210,17 @@ unsigned
 Tlb::flushIf(Pred pred)
 {
     unsigned n = 0;
-    for (TlbEntry &e : ways_) {
-        if (e.valid && pred(e)) {
-            dropEntry(e);
+    for (std::size_t flat = 0; flat < ways_.size(); ++flat) {
+        if (ways_[flat].valid && pred(ways_[flat])) {
+            dropEntry(flat, flat / params_.assoc);
             ++n;
         }
     }
-    flushedEntries += n;
+    if (defer_)
+        pend_.flushed += n;
+    else
+        flushedEntries += n;
+    ++gen_;
     return n;
 }
 
@@ -163,6 +262,35 @@ Tlb::validCount() const
             ++n;
     }
     return n;
+}
+
+void
+Tlb::setStatsDeferred(bool defer)
+{
+    if (!defer && defer_)
+        flushDeferredStats();
+    defer_ = defer;
+}
+
+void
+Tlb::flushDeferredStats()
+{
+    if (pend_.hits) {
+        hits += pend_.hits;
+        pend_.hits = 0;
+    }
+    if (pend_.misses) {
+        misses += pend_.misses;
+        pend_.misses = 0;
+    }
+    if (pend_.evictions) {
+        evictions += pend_.evictions;
+        pend_.evictions = 0;
+    }
+    if (pend_.flushed) {
+        flushedEntries += pend_.flushed;
+        pend_.flushed = 0;
+    }
 }
 
 } // namespace pmodv::tlb

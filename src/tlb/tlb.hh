@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/plru.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -82,6 +83,13 @@ class Tlb : public stats::Group
      */
     TlbEntry &insert(const TlbEntry &entry);
 
+    /**
+     * insert() for callers that just took a miss on the same page:
+     * skips the duplicate-tag probe, which a preceding failed lookup
+     * has already proven fruitless. Behaviour is otherwise identical.
+     */
+    TlbEntry &insertFresh(const TlbEntry &entry);
+
     /** Invalidate everything; returns the number of valid entries. */
     unsigned flushAll();
 
@@ -97,6 +105,24 @@ class Tlb : public stats::Group
     /** Number of currently valid entries (O(entries)). */
     unsigned validCount() const;
 
+    /**
+     * Defer hot counters (hits/misses/evictions/flushed) into packed
+     * locals instead of the stats tree; disabling flushes. The final
+     * Scalar values are identical either way (exact integer sums).
+     */
+    void setStatsDeferred(bool defer);
+
+    /** Flush deferred counters into the stats tree now. */
+    void flushDeferredStats();
+
+    /** Lookups answered by the one-entry L0 filter (raw, unregistered
+     *  host-perf counter — never part of the dumped stats tree). */
+    std::uint64_t l0Hits() const { return l0Hits_; }
+
+    /** Monotonic structure generation; bumped on any insert/flush so
+     *  the L0 filter self-invalidates. Exposed for regression tests. */
+    std::uint64_t generation() const { return gen_; }
+
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar evictions; ///< Valid entries displaced by capacity.
@@ -109,6 +135,18 @@ class Tlb : public stats::Group
         return vpn & (numSets_ - 1);
     }
 
+    /**
+     * Packed probe tag mirrored per way in tags_: vpn | page-size
+     * index | valid bit. Zero always means "invalid slot", so the
+     * SIMD row probe needs no separate valid mask and the padding
+     * tail never matches.
+     */
+    static std::uint64_t packTag(Addr vpn, PageSize ps)
+    {
+        return (vpn << 3) |
+               (static_cast<std::uint64_t>(ps) << 1) | 1;
+    }
+
     /** First way of set @p si in the flat way array. */
     TlbEntry *setWays(std::size_t si)
     {
@@ -119,10 +157,40 @@ class Tlb : public stats::Group
         return ways_.data() + si * params_.assoc;
     }
 
-    void dropEntry(TlbEntry &e)
+    void dropEntry(std::size_t flat, std::size_t si)
     {
-        e.valid = false;
-        --sizeValid_[static_cast<unsigned>(e.pageSize)];
+        ways_[flat].valid = false;
+        tags_[flat] = 0;
+        --sizeValid_[static_cast<unsigned>(ways_[flat].pageSize)];
+        --setValid_[si];
+    }
+
+    /**
+     * Bodies of lookup()/insert()/insertFresh(), specialized on the
+     * associativity (A == 0 reads params_.assoc at runtime). The
+     * public entry points dispatch on the common widths so the SIMD
+     * probe loops fully unroll with compile-time trip counts.
+     */
+    template <unsigned A> TlbEntry *lookupImpl(Addr va);
+
+    /** Shared body of insert()/insertFresh(). */
+    template <bool Dedupe, unsigned A>
+    TlbEntry &insertImpl(const TlbEntry &entry);
+
+    void touchWay(std::size_t si, unsigned way)
+    {
+        if (!touchLut_.empty())
+            plru_[si].touchMasked(touchLut_[way]);
+        else
+            plru_[si].touch(way);
+    }
+
+    void bumpHit()
+    {
+        if (defer_)
+            ++pend_.hits;
+        else
+            ++hits;
     }
 
     template <typename Pred>
@@ -131,9 +199,42 @@ class Tlb : public stats::Group
     TlbParams params_;
     unsigned numSets_;
     std::vector<TlbEntry> ways_; ///< numSets_ x assoc, set-major.
+    /** Packed tag per way (+simd::kTagPad zero slots), set-major. */
+    std::vector<std::uint64_t> tags_;
     std::vector<TreePlru> plru_; ///< One tracker per set, by value.
+    /** Branchless touch ops shared by every set (same way count). */
+    std::vector<TreePlru::TouchOp> touchLut_;
+    /** Table-driven victim() shared by every set. */
+    TreePlru::VictimLut victimLut_;
     /** Valid-entry count per PageSize (indexed by the enum value). */
     unsigned sizeValid_[3] = {0, 0, 0};
+    /** Valid-way count per set: a full set skips the free-way probe. */
+    std::vector<std::uint8_t> setValid_;
+
+    /**
+     * L0 filter: the last 4K translation, keyed by (generation,
+     * packed tag). Only 4K entries are cached — the full lookup
+     * probes 4K first and at most one valid 4K entry exists per vpn,
+     * so an L0 hit provably returns what the full probe would.
+     */
+    std::uint64_t gen_ = 1;
+    std::uint64_t l0Gen_ = 0;
+    std::uint64_t l0Tag_ = 0;
+    std::size_t l0Flat_ = 0;
+    std::size_t l0Si_ = 0;
+    unsigned l0Way_ = 0;
+    std::uint64_t l0Hits_ = 0;
+
+    /** Packed deferred counters (see setStatsDeferred). */
+    struct Pending
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t flushed = 0;
+    };
+    Pending pend_;
+    bool defer_ = false;
 };
 
 } // namespace pmodv::tlb

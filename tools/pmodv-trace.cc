@@ -155,13 +155,18 @@ cmdConvert(int argc, char **argv)
         return usage();
     trace::TraceFileReader reader(argv[2]);
     const unsigned in_version = reader.version();
-    const auto buf = reader.view();
     trace::TraceFileWriter writer(argv[3]);
-    for (const trace::TraceRecord &rec : buf->records())
+    // Stream record by record: converting must not materialize the
+    // whole input in memory (v1 traces can be arbitrarily large).
+    trace::TraceRecord rec;
+    std::uint64_t n = 0;
+    while (reader.next(rec)) {
         writer.put(rec);
+        ++n;
+    }
     writer.finish();
     std::printf("converted %llu records (v%u -> v%u) to %s\n",
-                static_cast<unsigned long long>(buf->size()), in_version,
+                static_cast<unsigned long long>(n), in_version,
                 trace::kTraceVersion, argv[3]);
     return 0;
 }
