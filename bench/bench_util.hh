@@ -31,6 +31,8 @@ struct Options
     bool full = false;     ///< Paper-scale run (slow).
     bool csv = false;      ///< Machine-readable output (plotting).
     std::vector<unsigned> pmoCounts;
+    /** Tenant counts for server sweeps (--tenants a,b,c). */
+    std::vector<unsigned> tenantCounts;
     /** Simulated core counts (--cores a,b,c); empty = single core. */
     std::vector<unsigned> coreCounts;
     /** Worker threads for the experiment executor; 0 = hardware
@@ -94,11 +96,14 @@ parseOptions(int argc, char **argv)
             opt.progress = true;
         } else if (arg == "--pmos" && i + 1 < argc) {
             opt.pmoCounts = parseUnsignedList(argv[++i]);
+        } else if (arg == "--tenants" && i + 1 < argc) {
+            opt.tenantCounts = parseUnsignedList(argv[++i]);
         } else if (arg == "--cores" && i + 1 < argc) {
             opt.coreCounts = parseUnsignedList(argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick|--full] [--csv] [--ops N] "
-                        "[--pmos a,b,c] [--cores a,b,c] [--jobs N] "
+                        "[--pmos a,b,c] [--tenants a,b,c] "
+                        "[--cores a,b,c] [--jobs N] "
                         "[--json FILE] [--dump-stats] [--epoch CYCLES] "
                         "[--trace-out FILE] [--progress]\n",
                         argv[0]);
@@ -225,6 +230,13 @@ dumpStatsIfRequested(const exp::ExperimentSuite &suite,
     for (const exp::WhisperRow &row : suite.whisperRows()) {
         for (const auto &[kind, json] : row.statsJson) {
             std::printf("# stats %s %s\n%s\n", row.benchmark.c_str(),
+                        arch::schemeName(kind), json.c_str());
+        }
+    }
+    for (const exp::ServerRow &row : suite.serverRows()) {
+        for (const auto &[kind, json] : row.statsJson) {
+            std::printf("# stats %s tenants=%u %s\n%s\n",
+                        row.benchmark.c_str(), row.numTenants,
                         arch::schemeName(kind), json.c_str());
         }
     }

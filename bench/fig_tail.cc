@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tail latency of the open-loop multi-tenant KV server: scheme x
+ * tenant-count (x cores) request-latency quantiles.
+ *
+ * The experiment the closed-loop figures can't show: requests arrive
+ * on a seeded open-loop process (the arrival stamps are part of the
+ * captured trace, identical for every scheme), so a scheme whose
+ * per-request service time inflates — libmpk and MPK virtualization
+ * re-keying on nearly every permission switch once the tenant count
+ * is far past the 16-key limit — doesn't just run longer, it *falls
+ * behind the arrival process* and queues. The p99/p50 ratio then
+ * diverges while domain virtualization, whose service time is
+ * tenant-count-independent, stays near-flat. Queue_p99 shows the
+ * queueing component directly.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "exp/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmodv;
+    using arch::SchemeKind;
+    const auto opt = bench::parseOptions(argc, argv);
+
+    exp::ServerSweepSpec sweep;
+    sweep.tenantCounts =
+        !opt.tenantCounts.empty()
+            ? opt.tenantCounts
+            : (opt.quick
+                   ? std::vector<unsigned>{16, 256}
+                   : std::vector<unsigned>{16, 64, 256, 1024, 4096});
+    if (!opt.coreCounts.empty())
+        sweep.coreCounts = opt.coreCounts;
+    sweep.base.numRequests =
+        opt.ops ? opt.ops : (opt.quick ? 4'000 : 20'000);
+    sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
+                     SchemeKind::DomainVirt};
+    bench::applyObservability(sweep.config, opt);
+
+    exp::ExperimentSuite suite("fig_tail");
+    suite.add(sweep);
+    common::ThreadPool pool(opt.jobs);
+    bench::Profiler profiler(suite, sweep.config, opt);
+    suite.run(pool);
+
+    std::printf("=== Open-loop KV server tail latency: arrival-to-"
+                "completion cycles vs #tenants (%llu requests/point, "
+                "mean gap %.0f cyc) ===\n",
+                static_cast<unsigned long long>(sweep.base.numRequests),
+                sweep.base.meanInterArrivalCycles);
+
+    const std::vector<SchemeKind> cols{
+        SchemeKind::NoProtection, SchemeKind::LibMpk,
+        SchemeKind::MpkVirt, SchemeKind::DomainVirt};
+
+    if (opt.csv) {
+        std::printf("tenants,cores,scheme,class,samples,p50,p99,p999,"
+                    "queue_p50,queue_p99\n");
+        for (const exp::ServerRow &row : suite.serverRows()) {
+            for (SchemeKind k : cols) {
+                const exp::ServerLatency &lat = row.latency.at(k);
+                std::printf("%u,%u,%s,all,%llu,%.0f,%.0f,%.0f,%.0f,"
+                            "%.0f\n",
+                            row.numTenants, row.cores,
+                            arch::schemeName(k),
+                            static_cast<unsigned long long>(lat.samples),
+                            lat.p50, lat.p99, lat.p999, lat.queueP50,
+                            lat.queueP99);
+                for (const exp::ServerClassLatency &cls : lat.classes) {
+                    std::printf(
+                        "%u,%u,%s,%s,%llu,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+                        row.numTenants, row.cores, arch::schemeName(k),
+                        cls.name.c_str(),
+                        static_cast<unsigned long long>(cls.samples),
+                        cls.p50, cls.p99, cls.p999, cls.queueP50,
+                        cls.queueP99);
+                }
+            }
+        }
+    } else {
+        for (const exp::ServerRow &row : suite.serverRows()) {
+            std::printf("\n-- %u tenants, %u core%s --\n",
+                        row.numTenants, row.cores,
+                        row.cores == 1 ? "" : "s");
+            std::printf("%12s %10s %10s %10s %9s %10s\n", "scheme",
+                        "p50", "p99", "p999", "p99/p50", "queue_p99");
+            bench::rule(66);
+            for (SchemeKind k : cols) {
+                const exp::ServerLatency &lat = row.latency.at(k);
+                std::printf("%12s %10.0f %10.0f %10.0f %9.2f %10.0f\n",
+                            arch::schemeName(k), lat.p50, lat.p99,
+                            lat.p999,
+                            lat.p50 == 0 ? 0.0 : lat.p99 / lat.p50,
+                            lat.queueP99);
+            }
+        }
+        std::printf(
+            "\nReading the table: arrivals are stamped into the trace, "
+            "so every scheme serves the\nidentical request stream. "
+            "Past 16 tenants the MPK-keyed schemes re-key on nearly\n"
+            "every request; their service time inflates until the "
+            "server falls behind the open-\nloop arrivals and "
+            "queueing delay — not service time — dominates p99. "
+            "Domain\nvirtualization's switch cost is "
+            "tenant-count-independent, so its tail stays flat.\n");
+    }
+    // stderr so the stdout table is byte-identical across --jobs.
+    std::fprintf(stderr, "(sweep wall-clock: %.2f s on %u worker%s)\n",
+                 suite.wallSeconds(), suite.jobs(),
+                 suite.jobs() == 1 ? "" : "s");
+    bench::writeJsonIfRequested(suite, opt);
+    bench::dumpStatsIfRequested(suite, opt);
+    profiler.writeTrace();
+    return 0;
+}

@@ -8,9 +8,11 @@
 #ifndef PMODV_COMMON_RNG_HH
 #define PMODV_COMMON_RNG_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <vector>
 
 namespace pmodv
 {
@@ -81,6 +83,67 @@ class Rng
 
   private:
     std::mt19937_64 engine_;
+};
+
+/**
+ * An *exact* Zipf distribution over ranks [0, n) with a precomputed
+ * cumulative table: P(rank r) proportional to 1/(r+1)^theta. Building
+ * the table is O(n) once; every draw is a single uniform variate plus
+ * an O(log n) binary search. (Rng::zipf's inverse-power approximation
+ * stays for the YCSB-style workloads, but recomputing a harmonic sum
+ * per draw — the naive exact approach — is O(n) per sample and would
+ * dominate 4096-tenant server runs.)
+ *
+ * theta = 0 degenerates to uniform; theta ~ 0.99 is the classic
+ * YCSB/web skew where a handful of hot ranks absorb most draws.
+ */
+class ZipfDist
+{
+  public:
+    ZipfDist(std::uint64_t n, double theta) : theta_(theta)
+    {
+        cdf_.reserve(static_cast<std::size_t>(n));
+        double sum = 0.0;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+            cdf_.push_back(sum);
+        }
+        total_ = sum;
+    }
+
+    std::uint64_t size() const { return cdf_.size(); }
+
+    /** Draw a rank using @p rng (one real() consumed per draw). */
+    std::uint64_t
+    operator()(Rng &rng) const
+    {
+        return sample(rng.real());
+    }
+
+    /** Map a uniform variate @p u in [0, 1) onto a rank. */
+    std::uint64_t
+    sample(double u) const
+    {
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(),
+                                         u * total_);
+        const auto idx = static_cast<std::uint64_t>(it - cdf_.begin());
+        return idx >= cdf_.size() ? cdf_.size() - 1 : idx;
+    }
+
+    /** Exact probability mass of @p rank (tests / chi-square). */
+    double
+    rankMass(std::uint64_t rank) const
+    {
+        if (rank >= cdf_.size() || total_ == 0.0)
+            return 0.0;
+        return 1.0 /
+               (std::pow(static_cast<double>(rank + 1), theta_) * total_);
+    }
+
+  private:
+    double theta_;
+    double total_ = 0.0;
+    std::vector<double> cdf_; ///< Unnormalized cumulative masses.
 };
 
 } // namespace pmodv

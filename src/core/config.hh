@@ -62,6 +62,21 @@ struct SimConfig
      *  exporting Perfetto traces so transaction spans survive. */
     std::size_t eventRingCapacity = 256;
 
+    /**
+     * Number of request latency classes for open-loop workloads; 0
+     * (the default) disables request-latency tracking entirely, so
+     * existing stats trees are untouched. When > 0 the System keeps
+     * aggregate op_lat/op_queue histograms plus one
+     * op_lat_class<i>/op_queue_class<i> pair per class, fed by
+     * OpBegin records carrying arrival stamps (the server workload's
+     * hot/warm/cold tenant classes): latency is measured from the
+     * stamped *arrival* cycle — not service start — against a
+     * virtual clock that idles forward when the server catches up
+     * with the arrival process, so queueing (convoy) delay is
+     * included and separately histogrammed.
+     */
+    unsigned opClasses = 0;
+
     /** Cycles for @p seconds of wall-clock at the configured clock. */
     double
     cyclesPerSecond() const

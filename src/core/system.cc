@@ -124,6 +124,35 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
     for (std::size_t lat = 1; lat < kVisTableSize; ++lat)
         visTable_[lat] = visibleCycles(static_cast<Cycles>(lat));
 
+    if (config_.opClasses > 0) {
+        // Request-latency tracking for open-loop server replays.
+        // Queueing can push tail latencies far beyond the default
+        // 24-bucket reach (2^22 cycles), so these histograms get 40
+        // buckets (reach 2^38). They are created only on demand, so
+        // legacy configs keep their pinned golden stats trees.
+        opTrack_ = true;
+        constexpr unsigned kLatBuckets = 40;
+        opLat_ = std::make_unique<stats::Histogram>(
+            this, "op_lat",
+            "request latency: open-loop arrival to completion",
+            kLatBuckets);
+        opQueue_ = std::make_unique<stats::Histogram>(
+            this, "op_queue",
+            "queueing delay: arrival to service start", kLatBuckets);
+        opLatClass_.reserve(config_.opClasses);
+        opQueueClass_.reserve(config_.opClasses);
+        for (unsigned i = 0; i < config_.opClasses; ++i) {
+            opLatClass_.push_back(std::make_unique<stats::Histogram>(
+                this, "op_lat_class" + std::to_string(i),
+                "request latency of class " + std::to_string(i),
+                kLatBuckets));
+            opQueueClass_.push_back(std::make_unique<stats::Histogram>(
+                this, "op_queue_class" + std::to_string(i),
+                "queueing delay of class " + std::to_string(i),
+                kLatBuckets));
+        }
+    }
+
     if (config_.samplingEpochCycles != 0) {
         timeline.configure(config_.samplingEpochCycles,
                            config_.samplingMaxEpochs);
@@ -328,10 +357,15 @@ System::putMulti(const trace::TraceRecord &rec)
         }
         break;
       }
-      case RecordType::OpBegin:
+      case RecordType::OpBegin: {
         opStart_ = cycleCount_;
         opInFlight_ = true;
+        if (opTrack_ && rec.hasArrival()) {
+            CoreContext &core = *cores_[rec.tid % num_cores];
+            beginTrackedOp(rec, core.cycleCount, core.idleSkew);
+        }
         break;
+      }
       case RecordType::OpEnd:
         ++operations;
         if (opInFlight_) {
@@ -340,6 +374,10 @@ System::putMulti(const trace::TraceRecord &rec)
                          static_cast<std::uint32_t>(rec.aux),
                          cycleCount_ - opStart_);
             opInFlight_ = false;
+        }
+        if (opHasArrival_) {
+            CoreContext &core = *cores_[rec.tid % num_cores];
+            endTrackedOp(core.cycleCount, core.idleSkew);
         }
         break;
     }
@@ -404,6 +442,8 @@ System::put(const trace::TraceRecord &rec)
       case RecordType::OpBegin:
         opStart_ = cycleCount_;
         opInFlight_ = true;
+        if (opTrack_ && rec.hasArrival())
+            beginTrackedOp(rec, cycleCount_, idleSkew_);
         break;
       case RecordType::OpEnd:
         ++operations;
@@ -414,9 +454,48 @@ System::put(const trace::TraceRecord &rec)
                          cycleCount_ - opStart_);
             opInFlight_ = false;
         }
+        if (opHasArrival_)
+            endTrackedOp(cycleCount_, idleSkew_);
         break;
     }
     timeline.tick(cycleCount_);
+}
+
+void
+System::beginTrackedOp(const trace::TraceRecord &rec, Cycles cycle_now,
+                       Cycles &idle_skew)
+{
+    Cycles virt = cycle_now + idle_skew;
+    if (!opBaseSet_) {
+        opBaseSet_ = true;
+        opArrivalBase_ = virt;
+    }
+    const Cycles arrival = opArrivalBase_ + rec.addr;
+    if (virt < arrival) {
+        // The server caught up with the arrival process: the core
+        // idles until the stamped arrival. The jump lives only in the
+        // idle offset — cycleCount_ and the attribution buckets are
+        // untouched, so cycle sums and bit-identity with untracked
+        // replays are preserved.
+        idle_skew += arrival - virt;
+        virt = arrival;
+    }
+    opArrival_ = arrival;
+    opHasArrival_ = true;
+    opClassCur_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        rec.value, config_.opClasses - 1));
+    const Cycles qdelay = virt - arrival;
+    opQueue_->sample(qdelay);
+    opQueueClass_[opClassCur_]->sample(qdelay);
+}
+
+void
+System::endTrackedOp(Cycles cycle_now, Cycles idle_skew)
+{
+    const Cycles lat = cycle_now + idle_skew - opArrival_;
+    opLat_->sample(lat);
+    opLatClass_[opClassCur_]->sample(lat);
+    opHasArrival_ = false;
 }
 
 Cycles
@@ -621,6 +700,8 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
           case RecordType::OpBegin:
             opStart_ = cycleCount_;
             opInFlight_ = true;
+            if (opTrack_ && rec.hasArrival())
+                beginTrackedOp(rec, cycleCount_, idleSkew_);
             break;
           case RecordType::OpEnd:
             ++d.operations;
@@ -631,6 +712,8 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
                              cycleCount_ - opStart_);
                 opInFlight_ = false;
             }
+            if (opHasArrival_)
+                endTrackedOp(cycleCount_, idleSkew_);
             break;
         }
 

@@ -59,6 +59,12 @@ class CoreContext : public stats::Group
     ThreadId curTid = 0;
     /** This core's private cycle counter (makespan input). */
     Cycles cycleCount = 0;
+    /**
+     * Open-loop idle offset: cycles this core's virtual clock jumped
+     * forward waiting for the next stamped arrival (request-latency
+     * tracking only; never charged to any attribution bucket).
+     */
+    Cycles idleSkew = 0;
 };
 
 /** A full machine replaying a trace under one protection scheme. */
@@ -155,6 +161,28 @@ class System : public stats::Group, public trace::TraceSink
     stats::Histogram opCycles;
 
     /**
+     * Request-latency histograms, created only when
+     * config.opClasses > 0 (open-loop server replays); null
+     * otherwise, so legacy stats trees keep their pinned shape.
+     * op_lat measures stamped arrival -> completion (service time
+     * plus queueing), op_queue measures arrival -> service start.
+     */
+    const stats::Histogram *opLatHist() const { return opLat_.get(); }
+    const stats::Histogram *opQueueHist() const { return opQueue_.get(); }
+    /** Per-class variants (class i < config.opClasses, else null). */
+    const stats::Histogram *
+    opLatClassHist(unsigned i) const
+    {
+        return i < opLatClass_.size() ? opLatClass_[i].get() : nullptr;
+    }
+    const stats::Histogram *
+    opQueueClassHist(unsigned i) const
+    {
+        return i < opQueueClass_.size() ? opQueueClass_[i].get()
+                                        : nullptr;
+    }
+
+    /**
      * Epoch-sampled counter trajectory (config.samplingEpochCycles; off
      * by default). Tracks the replay counters, the cycle-attribution
      * buckets, L1 TLB misses and the scheme's eviction/shootdown
@@ -226,6 +254,21 @@ class System : public stats::Group, public trace::TraceSink
     /** The visible-latency formula (slow path / table filler). */
     Cycles visibleCycles(Cycles lat) const;
 
+    /**
+     * Request-latency tracking on a stamped OpBegin: advance the
+     * serving core's virtual clock (@p cycle_now + @p idle_skew) to
+     * the stamped arrival if the core is ahead of the arrival
+     * process (the jump moves only the idle offset — no attribution
+     * bucket is charged), then sample the queueing delay. The three
+     * dispatch paths (put, putMulti, replayBatch) all funnel here so
+     * their outputs stay bit-identical.
+     */
+    void beginTrackedOp(const trace::TraceRecord &rec, Cycles cycle_now,
+                        Cycles &idle_skew);
+
+    /** Sample arrival->completion latency at a stamped op's OpEnd. */
+    void endTrackedOp(Cycles cycle_now, Cycles idle_skew);
+
     SimConfig config_;
     arch::SchemeKind schemeKind_;
     trace::EventRing events_;
@@ -244,6 +287,28 @@ class System : public stats::Group, public trace::TraceSink
     /** Cycle count at the most recent OpBegin (op in flight if set). */
     Cycles opStart_ = 0;
     bool opInFlight_ = false;
+
+    // ---- request-latency tracking (config.opClasses > 0) ----
+    /** True when the op_lat/op_queue histograms exist. */
+    bool opTrack_ = false;
+    /** Single-core idle offset (multi-core uses CoreContext's). */
+    Cycles idleSkew_ = 0;
+    /** Arrival stamp / class of the in-flight tracked op. */
+    Cycles opArrival_ = 0;
+    std::uint32_t opClassCur_ = 0;
+    bool opHasArrival_ = false;
+    /**
+     * Virtual-clock origin of the arrival process, latched at the
+     * first stamped OpBegin: capture-time stamps are relative to the
+     * moment the server finishes setup and starts serving, so the
+     * (scheme-dependent) setup cost does not masquerade as queueing.
+     */
+    Cycles opArrivalBase_ = 0;
+    bool opBaseSet_ = false;
+    std::unique_ptr<stats::Histogram> opLat_;
+    std::unique_ptr<stats::Histogram> opQueue_;
+    std::vector<std::unique_ptr<stats::Histogram>> opLatClass_;
+    std::vector<std::unique_ptr<stats::Histogram>> opQueueClass_;
 };
 
 } // namespace pmodv::core

@@ -338,6 +338,58 @@ reduceWhisper(const WhisperPointSpec &spec, const PointRun &run)
     return row;
 }
 
+/** Quantile summary of one live latency/queue histogram pair. */
+void
+summarizeLatency(const stats::Histogram *lat, const stats::Histogram *q,
+                 std::uint64_t &samples, double &mean, double &p50,
+                 double &p99, double &p999, double &queue_p50,
+                 double &queue_p99)
+{
+    if (lat) {
+        samples = lat->samples();
+        mean = lat->mean();
+        p50 = lat->quantile(0.50);
+        p99 = lat->quantile(0.99);
+        p999 = lat->quantile(0.999);
+    }
+    if (q) {
+        queue_p50 = q->quantile(0.50);
+        queue_p99 = q->quantile(0.99);
+    }
+}
+
+ServerRow
+reduceServer(const ServerPointSpec &spec, const PointRun &run)
+{
+    ServerRow row;
+    row.numTenants = spec.params.numTenants;
+    row.cores = std::max(1u, spec.config.topology.numCores);
+    row.requests = spec.params.numRequests;
+    row.meanInterArrivalCycles = spec.params.meanInterArrivalCycles;
+    for (SchemeKind k : run.kinds) {
+        const core::System &sys = systemOf(run, k);
+        row.totalCycles[k] = sys.totalCycles();
+        ServerLatency lat;
+        summarizeLatency(sys.opLatHist(), sys.opQueueHist(), lat.samples,
+                         lat.mean, lat.p50, lat.p99, lat.p999,
+                         lat.queueP50, lat.queueP99);
+        for (unsigned c = 0; c < workloads::ServerWorkload::kNumTenantClasses;
+             ++c) {
+            ServerClassLatency cls;
+            cls.name = workloads::ServerWorkload::tenantClassName(c);
+            double unused_mean = 0;
+            summarizeLatency(sys.opLatClassHist(c), sys.opQueueClassHist(c),
+                             cls.samples, unused_mean, cls.p50, cls.p99,
+                             cls.p999, cls.queueP50, cls.queueP99);
+            lat.classes.push_back(std::move(cls));
+        }
+        row.latency[k] = std::move(lat);
+    }
+    captureObservability(run, row.statsJson, row.eventsJson,
+                         row.hotDomainsJson);
+    return row;
+}
+
 /**
  * Append every System of @p run to @p exporter (when one is set), one
  * track per scheme named "<point>/<scheme>". Runs on the coordinating
@@ -426,6 +478,43 @@ Executor::runWhisper(const std::vector<WhisperPointSpec> &specs)
     return rows;
 }
 
+std::vector<ServerRow>
+Executor::runServer(const std::vector<ServerPointSpec> &specs)
+{
+    std::vector<std::unique_ptr<PointRun>> runs;
+    std::vector<std::future<void>> captures;
+    runs.reserve(specs.size());
+    captures.reserve(specs.size());
+    for (const ServerPointSpec &spec : specs) {
+        runs.push_back(std::make_unique<PointRun>());
+        PointRun *run = runs.back().get();
+        run->kinds = microKinds(spec.schemes);
+        // Replays must grow the request-latency histograms the
+        // reduction reads, whatever the caller's config says.
+        core::SimConfig config = spec.config;
+        config.opClasses = workloads::ServerWorkload::kNumTenantClasses;
+        captures.push_back(pool_.submit([this, run, spec, config] {
+            trace::VectorSink buffer;
+            workloads::TraceCtx ctx(buffer, spec.params.seed);
+            workloads::ServerWorkload workload(spec.params);
+            workload.run(ctx);
+            run->buffer = trace::TraceBuffer::fromRecords(buffer.take());
+            launchReplays(pool_, *run, config);
+        }));
+    }
+    awaitAll(captures, runs, progress_);
+
+    std::vector<ServerRow> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        rows.push_back(reduceServer(specs[i], *runs[i]));
+        exportTracks(perfetto_, *runs[i],
+                     rows.back().benchmark + "/tenants=" +
+                         std::to_string(specs[i].params.numTenants));
+    }
+    return rows;
+}
+
 std::vector<RawPointResult>
 Executor::runRaw(const std::vector<RawPointSpec> &specs)
 {
@@ -477,6 +566,12 @@ WhisperRow
 Executor::runWhisper(const WhisperPointSpec &spec)
 {
     return runWhisper(std::vector<WhisperPointSpec>{spec}).front();
+}
+
+ServerRow
+Executor::runServer(const ServerPointSpec &spec)
+{
+    return runServer(std::vector<ServerPointSpec>{spec}).front();
 }
 
 RawPointResult

@@ -32,6 +32,7 @@
 #include "core/replay.hh"
 #include "trace/buffer.hh"
 #include "workloads/micro/micro.hh"
+#include "workloads/server/server.hh"
 #include "workloads/whisper/whisper.hh"
 
 namespace pmodv::trace
@@ -54,6 +55,50 @@ struct WhisperRow
     double overheadDomainVirtPct = 0;
     /** Raw cycle counts per scheme (incl. the unprotected baseline). */
     std::map<arch::SchemeKind, Cycles> totalCycles;
+    /** Full stats tree per scheme, serialized as compact JSON. */
+    std::map<arch::SchemeKind, std::string> statsJson;
+    /** Event-ring snapshot per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> eventsJson;
+    /** Top-N hot-domain table per scheme, as a JSON array. */
+    std::map<arch::SchemeKind, std::string> hotDomainsJson;
+};
+
+/** Tail-latency summary of one tenant class under one scheme. */
+struct ServerClassLatency
+{
+    std::string name; ///< "hot" / "warm" / "cold".
+    std::uint64_t samples = 0;
+    double p50 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    double queueP50 = 0;
+    double queueP99 = 0;
+};
+
+/** Request-latency summary of one scheme on a server point. */
+struct ServerLatency
+{
+    std::uint64_t samples = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    /** Queueing delay (arrival to service start). */
+    double queueP50 = 0;
+    double queueP99 = 0;
+    std::vector<ServerClassLatency> classes;
+};
+
+/** One (tenant-count, core-count) server sweep point's results. */
+struct ServerRow
+{
+    std::string benchmark = "kv";
+    unsigned numTenants = 0;
+    unsigned cores = 1;
+    std::uint64_t requests = 0;
+    double meanInterArrivalCycles = 0;
+    std::map<arch::SchemeKind, Cycles> totalCycles;
+    std::map<arch::SchemeKind, ServerLatency> latency;
     /** Full stats tree per scheme, serialized as compact JSON. */
     std::map<arch::SchemeKind, std::string> statsJson;
     /** Event-ring snapshot per scheme, as a JSON array. */
@@ -127,6 +172,20 @@ struct WhisperPointSpec
 };
 
 /**
+ * One open-loop server sweep point: the KV server at @p params under
+ * @p schemes (baseline and lowerbound are always added, like the
+ * micro points). The executor forces config.opClasses to the server's
+ * tenant-class count, so every replay grows the request-latency
+ * histograms the reduction reads its quantiles from.
+ */
+struct ServerPointSpec
+{
+    workloads::ServerParams params;
+    core::SimConfig config;
+    std::vector<arch::SchemeKind> schemes;
+};
+
+/**
  * A pre-captured trace replayed under @p schemes verbatim (no
  * baseline/lowerbound is added). Lets ad-hoc experiments (ablations,
  * tools) share the parallel replay machinery.
@@ -192,12 +251,15 @@ class Executor
     runMicro(const std::vector<MicroPointSpec> &specs);
     std::vector<WhisperRow>
     runWhisper(const std::vector<WhisperPointSpec> &specs);
+    std::vector<ServerRow>
+    runServer(const std::vector<ServerPointSpec> &specs);
     std::vector<RawPointResult>
     runRaw(const std::vector<RawPointSpec> &specs);
 
     /** Single-point conveniences. */
     MicroPoint runMicro(const MicroPointSpec &spec);
     WhisperRow runWhisper(const WhisperPointSpec &spec);
+    ServerRow runServer(const ServerPointSpec &spec);
     RawPointResult runRaw(const RawPointSpec &spec);
 
     common::ThreadPool &pool() { return pool_; }

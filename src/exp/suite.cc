@@ -39,6 +39,30 @@ SweepSpec::points() const
     return out;
 }
 
+std::vector<ServerPointSpec>
+ServerSweepSpec::points() const
+{
+    const std::vector<unsigned> cores =
+        coreCounts.empty() ? std::vector<unsigned>{0} : coreCounts;
+    std::vector<ServerPointSpec> out;
+    out.reserve(tenantCounts.size() * cores.size());
+    for (unsigned tenants : tenantCounts) {
+        for (unsigned k : cores) {
+            ServerPointSpec spec;
+            spec.params = base;
+            spec.params.numTenants = tenants;
+            spec.config = config;
+            if (k != 0) {
+                spec.config.topology.numCores = k;
+                spec.params.numThreads = k;
+            }
+            spec.schemes = schemes;
+            out.push_back(std::move(spec));
+        }
+    }
+    return out;
+}
+
 std::size_t
 ExperimentSuite::add(MicroPointSpec spec)
 {
@@ -54,11 +78,27 @@ ExperimentSuite::add(WhisperPointSpec spec)
 }
 
 std::size_t
+ExperimentSuite::add(ServerPointSpec spec)
+{
+    server_.push_back(std::move(spec));
+    return server_.size() - 1;
+}
+
+std::size_t
 ExperimentSuite::add(const SweepSpec &sweep)
 {
     const std::size_t first = micro_.size();
     for (MicroPointSpec &spec : sweep.points())
         micro_.push_back(std::move(spec));
+    return first;
+}
+
+std::size_t
+ExperimentSuite::add(const ServerSweepSpec &sweep)
+{
+    const std::size_t first = server_.size();
+    for (ServerPointSpec &spec : sweep.points())
+        server_.push_back(std::move(spec));
     return first;
 }
 
@@ -71,6 +111,7 @@ ExperimentSuite::run(common::ThreadPool &pool)
     executor.setPerfettoExporter(perfetto_);
     microRows_ = executor.runMicro(micro_);
     whisperRows_ = executor.runWhisper(whisper_);
+    serverRows_ = executor.runServer(server_);
     wallSeconds_ = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -198,6 +239,49 @@ writeWhisperRow(std::ostream &os, const WhisperRow &row)
     os << "}";
 }
 
+void
+writeServerRow(std::ostream &os, const ServerRow &row)
+{
+    os << "    {\"benchmark\": \"" << jsonEscape(row.benchmark)
+       << "\", \"tenants\": " << row.numTenants
+       << ", \"cores\": " << row.cores
+       << ", \"requests\": " << row.requests
+       << ", \"mean_interarrival_cycles\": "
+       << row.meanInterArrivalCycles << ",\n     \"total_cycles\": ";
+    writeSchemeCycles(os, row.totalCycles);
+    os << ",\n     \"latency\": {";
+    bool first = true;
+    for (const auto &[kind, lat] : row.latency) {
+        os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+           << "\": {\"samples\": " << lat.samples
+           << ", \"mean\": " << lat.mean << ", \"p50\": " << lat.p50
+           << ", \"p99\": " << lat.p99 << ", \"p999\": " << lat.p999
+           << ", \"queue_p50\": " << lat.queueP50
+           << ", \"queue_p99\": " << lat.queueP99
+           << ", \"classes\": [";
+        for (std::size_t c = 0; c < lat.classes.size(); ++c) {
+            const ServerClassLatency &cls = lat.classes[c];
+            os << (c == 0 ? "" : ", ") << "{\"class\": \""
+               << jsonEscape(cls.name)
+               << "\", \"samples\": " << cls.samples
+               << ", \"p50\": " << cls.p50 << ", \"p99\": " << cls.p99
+               << ", \"p999\": " << cls.p999
+               << ", \"queue_p50\": " << cls.queueP50
+               << ", \"queue_p99\": " << cls.queueP99 << "}";
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "}";
+    os << ",\n     \"stats\": ";
+    writeSchemeJson(os, row.statsJson);
+    os << ",\n     \"events\": ";
+    writeSchemeJson(os, row.eventsJson);
+    os << ",\n     \"hot_domains\": ";
+    writeSchemeJson(os, row.hotDomainsJson);
+    os << "}";
+}
+
 } // namespace
 
 void
@@ -219,6 +303,11 @@ ExperimentSuite::writeJson(std::ostream &os) const
     for (std::size_t i = 0; i < whisperRows_.size(); ++i) {
         writeWhisperRow(os, whisperRows_[i]);
         os << (i + 1 < whisperRows_.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n  \"server\": [\n";
+    for (std::size_t i = 0; i < serverRows_.size(); ++i) {
+        writeServerRow(os, serverRows_[i]);
+        os << (i + 1 < serverRows_.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";
 

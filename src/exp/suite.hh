@@ -59,6 +59,24 @@ struct SweepSpec
 };
 
 /**
+ * A (tenant-count x core-count) sweep grid over the open-loop KV
+ * server — the tail-latency evaluation's shape. Each core-count entry
+ * (when the axis is non-empty) overrides config.topology.numCores AND
+ * base.numThreads, exactly like SweepSpec's core axis.
+ */
+struct ServerSweepSpec
+{
+    std::vector<unsigned> tenantCounts;
+    std::vector<unsigned> coreCounts;
+    workloads::ServerParams base;
+    core::SimConfig config;
+    std::vector<arch::SchemeKind> schemes;
+
+    /** The grid as individual points, tenant-major. */
+    std::vector<ServerPointSpec> points() const;
+};
+
+/**
  * A named collection of experiment points with their result rows.
  * Rows come back in registration order, independent of the worker
  * count (see executor.hh for the determinism argument).
@@ -82,8 +100,10 @@ class ExperimentSuite
     /** Register points; returns the row index the result will have. */
     std::size_t add(MicroPointSpec spec);
     std::size_t add(WhisperPointSpec spec);
+    std::size_t add(ServerPointSpec spec);
     /** Expand and register a sweep grid; returns its first row index. */
     std::size_t add(const SweepSpec &sweep);
+    std::size_t add(const ServerSweepSpec &sweep);
 
     /** Run every registered point on @p pool and collect the rows. */
     void run(common::ThreadPool &pool);
@@ -96,6 +116,10 @@ class ExperimentSuite
     const std::vector<WhisperRow> &whisperRows() const
     {
         return whisperRows_;
+    }
+    const std::vector<ServerRow> &serverRows() const
+    {
+        return serverRows_;
     }
 
     /** Wall-clock seconds of the last run() (0 before any run). */
@@ -112,8 +136,10 @@ class ExperimentSuite
     std::string name_;
     std::vector<MicroPointSpec> micro_;
     std::vector<WhisperPointSpec> whisper_;
+    std::vector<ServerPointSpec> server_;
     std::vector<MicroPoint> microRows_;
     std::vector<WhisperRow> whisperRows_;
+    std::vector<ServerRow> serverRows_;
     double wallSeconds_ = 0;
     unsigned jobs_ = 0;
     bool progress_ = false;

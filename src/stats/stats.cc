@@ -1,6 +1,7 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
@@ -54,6 +55,65 @@ Histogram::bucketLabel(std::size_t i) const
         return ">=" + std::to_string(bucketLow(i));
     return "[" + std::to_string(bucketLow(i)) + "," +
            std::to_string(bucketHigh(i)) + ")";
+}
+
+double
+quantileFromBuckets(std::uint64_t samples, std::uint64_t min,
+                    std::uint64_t max,
+                    const std::vector<BucketCount> &buckets, double q)
+{
+    if (samples == 0)
+        return 0.0;
+    // Nearest rank: the k-th smallest sample, k = ceil(q * samples)
+    // clamped to [1, samples].
+    auto k = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(samples)));
+    k = std::clamp<std::uint64_t>(k, 1, samples);
+    // The extremes are recorded exactly; answer them exactly.
+    if (k == 1)
+        return static_cast<double>(min);
+    if (k == samples)
+        return static_cast<double>(max);
+    std::uint64_t cum = 0;
+    for (const BucketCount &b : buckets) {
+        if (b.count == 0)
+            continue;
+        if (k > cum + b.count) {
+            cum += b.count;
+            continue;
+        }
+        // The k-th sample lies in this bucket. Its exact value is
+        // gone, but min/max bound the bucket's reachable range; model
+        // the bucket's samples as evenly spaced across it.
+        const std::uint64_t lo = std::max(b.lo, min);
+        const std::uint64_t hi =
+            b.hi == 0 ? max : std::min(b.hi - 1, max);
+        if (hi <= lo || b.count == 1)
+            return static_cast<double>(lo);
+        const std::uint64_t idx = k - cum; // 1-based within the bucket.
+        return static_cast<double>(lo) +
+               static_cast<double>(hi - lo) *
+                   (static_cast<double>(idx - 1) /
+                    static_cast<double>(b.count - 1));
+    }
+    // Unreachable when the bucket counts sum to `samples`; fall back
+    // to the recorded maximum for malformed inputs.
+    return static_cast<double>(max);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    std::vector<BucketCount> bs;
+    bs.reserve(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        bs.push_back({bucketLow(i),
+                      bucketUnbounded(i) ? 0 : bucketHigh(i),
+                      buckets_[i]});
+    }
+    return quantileFromBuckets(samples_, min(), max_, bs, q);
 }
 
 void

@@ -162,6 +162,38 @@ class Vector : public StatBase
 };
 
 /**
+ * One histogram bucket as the exporters see it: [lo, hi) holding
+ * `count` samples, with hi == 0 standing in for the open-ended
+ * overflow bucket (whose upper edge does not exist). This is exactly
+ * the (lo, hi, count) triple the JSON exporter emits per nonempty
+ * bucket, so quantiles recomputed from a parsed report go through the
+ * same code as live Histogram::quantile() calls.
+ */
+struct BucketCount
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0; ///< 0 = unbounded (overflow bucket).
+    std::uint64_t count = 0;
+};
+
+/**
+ * The q-quantile (q in [0, 1]) reconstructed from exported histogram
+ * fields. Deterministic nearest-rank extraction: the k-th smallest
+ * sample with k = ceil(q * samples) clamped to [1, samples]. The k-th
+ * sample's bucket is found by a cumulative walk; within the bucket
+ * the count samples are modelled as evenly spaced across the bucket's
+ * *reachable* range [max(lo, min), min(hi - 1, max)] — the recorded
+ * global min/max clamp what the lost exact values could have been, so
+ * single-value histograms (and q = 0 / q = 1) are exact, and every
+ * answer provably lies inside the k-th sample's true bucket. Returns
+ * 0 for an empty histogram.
+ */
+double quantileFromBuckets(std::uint64_t samples, std::uint64_t min,
+                           std::uint64_t max,
+                           const std::vector<BucketCount> &buckets,
+                           double q);
+
+/**
  * A log2-bucketed histogram of sampled values. Bucket 0 holds the
  * value 0; bucket i >= 1 holds [2^(i-1), 2^i); the last bucket is
  * open-ended and absorbs everything at or above its lower edge.
@@ -210,6 +242,14 @@ class Histogram : public StatBase
 
     /** Canonical edge label: "[lo,hi)", or ">=lo" for the last. */
     std::string bucketLabel(std::size_t i) const;
+
+    /**
+     * The q-quantile of the sampled values via quantileFromBuckets()
+     * on this histogram's nonempty buckets — so p50/p99/p999 read
+     * from a live histogram and recomputed from its JSON export agree
+     * bit for bit.
+     */
+    double quantile(double q) const;
 
     void accept(Visitor &visitor) const override
     {

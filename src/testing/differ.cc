@@ -213,8 +213,9 @@ namespace
 class Runner
 {
   public:
-    Runner(const std::vector<Op> &ops, const DiffConfig &cfg)
-        : ops_(ops), cfg_(cfg)
+    Runner(const std::vector<Op> &ops, const DiffConfig &cfg,
+           bool silent = false)
+        : ops_(ops), cfg_(cfg), silent_(silent)
     {
         const auto kinds =
             cfg.schemes.empty() ? allSchemeKinds() : cfg.schemes;
@@ -222,15 +223,22 @@ class Runner
             machines_.push_back(std::make_unique<Machine>(
                 kind, cfg.params, cfg.topology, cfg.inject));
             eventCounts_.push_back({});
+            opTotals_.push_back({});
         }
     }
 
     DiffResult
     run()
     {
+        std::vector<Cycles> before(machines_.size());
         for (opIndex_ = 0; opIndex_ < ops_.size(); ++opIndex_) {
+            for (std::size_t i = 0; i < machines_.size(); ++i)
+                before[i] = machines_[i]->totalCycles();
             step(ops_[opIndex_]);
             drainEvents();
+            for (std::size_t i = 0; i < machines_.size(); ++i)
+                opTotals_[i].push_back(machines_[i]->totalCycles() -
+                                       before[i]);
             if (cfg_.stopAtFirst && !result_.violations.empty())
                 return result_;
         }
@@ -238,7 +246,23 @@ class Runner
         checkCycleOrder();
         checkBucketSums();
         checkEvents();
+        if (cfg_.checkTailLatency && !silent_)
+            checkTailLatency();
         return result_;
+    }
+
+    /** Execute ops up to (not including) @p end; report totalCycles. */
+    std::vector<Cycles>
+    executeThrough(std::size_t end)
+    {
+        for (; opIndex_ < end; ++opIndex_) {
+            step(ops_[opIndex_]);
+            drainEvents();
+        }
+        std::vector<Cycles> totals;
+        for (auto &m : machines_)
+            totals.push_back(m->totalCycles());
+        return totals;
     }
 
   private:
@@ -246,6 +270,8 @@ class Runner
     violate(const std::string &oracle, const std::string &scheme,
             const std::string &detail)
     {
+        if (silent_)
+            return;
         result_.violations.push_back(
             {oracle, scheme, opIndex_, detail});
     }
@@ -292,6 +318,9 @@ class Runner
             break;
           case OpKind::TlbChurn:
             doChurn(op);
+            break;
+          case OpKind::TenantChurn:
+            doTenantChurn(op);
             break;
         }
     }
@@ -365,6 +394,31 @@ class Runner
             std::max<std::uint32_t>(1, std::min(op.pages, kSlotPages));
         for (std::uint32_t p = 0; p < pages; ++p)
             doOneAccess(base + Addr{p % span} * kPage, AccessType::Read);
+    }
+
+    /**
+     * The KV server's inner loop: for each of `pages` consecutive
+     * domains starting at `domain`, grant the current thread RW and
+     * touch the domain once. Counts above 16 outrun the MPK key
+     * space, so the grant path has to evict and re-key mid-burst.
+     */
+    void
+    doTenantChurn(const Op &op)
+    {
+        const std::uint32_t count = std::max<std::uint32_t>(1, op.pages);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const auto d = static_cast<DomainId>(op.domain + i);
+            ref_.setPerm(currentTid_, d, Perm::ReadWrite);
+            for (auto &m : machines_)
+                m->setPerm(currentTid_, d, Perm::ReadWrite);
+            Op grant;
+            grant.kind = OpKind::SetPerm;
+            grant.tid = currentTid_;
+            grant.domain = d;
+            grant.perm = Perm::ReadWrite;
+            checkEffectivePerm(grant);
+            doAccess(d, 0, AccessType::Read);
+        }
     }
 
     void
@@ -494,11 +548,59 @@ class Runner
         }
     }
 
+    /**
+     * Per-request latency rests on two properties of the cycle
+     * accounting: the per-op totals recorded above must partition the
+     * machine total exactly (no cycles charged between requests), and
+     * a fresh fleet replaying the same episode split into two batches
+     * must land on the same totals at the split and at the end. The
+     * probe fleet is silent — any divergence is reported here, not
+     * double-counted from its own oracles.
+     */
+    void
+    checkTailLatency()
+    {
+        if (ops_.empty())
+            return;
+        Runner probe(ops_, cfg_, /*silent=*/true);
+        const std::size_t split = ops_.size() / 2;
+        const std::vector<Cycles> mid = probe.executeThrough(split);
+        const std::vector<Cycles> end =
+            probe.executeThrough(ops_.size());
+        for (std::size_t i = 0; i < machines_.size(); ++i) {
+            Cycles sum_first = 0, sum_all = 0;
+            for (std::size_t k = 0; k < opTotals_[i].size(); ++k) {
+                sum_all += opTotals_[i][k];
+                if (k < split)
+                    sum_first += opTotals_[i][k];
+            }
+            if (sum_all != machines_[i]->totalCycles()) {
+                std::ostringstream detail;
+                detail << "per-op cycle totals sum to " << sum_all
+                       << " but the machine total is "
+                       << machines_[i]->totalCycles();
+                violate("tail-latency", machines_[i]->name(),
+                        detail.str());
+            }
+            if (sum_first != mid[i] || sum_all != end[i]) {
+                std::ostringstream detail;
+                detail << "batch-split replay diverged: first batch "
+                       << sum_first << " vs " << mid[i] << ", total "
+                       << sum_all << " vs " << end[i];
+                violate("tail-latency", machines_[i]->name(),
+                        detail.str());
+            }
+        }
+    }
+
     const std::vector<Op> &ops_;
     const DiffConfig &cfg_;
     std::vector<std::unique_ptr<Machine>> machines_;
     /** Per-machine posted-event counts, indexed by EventKind. */
     std::vector<std::array<std::uint64_t, 6>> eventCounts_;
+    /** Per-machine, per-op totalCycles deltas (tail-latency oracle). */
+    std::vector<std::vector<Cycles>> opTotals_;
+    bool silent_ = false;
     ReferenceModel ref_;
     ThreadId currentTid_ = 0;
     std::size_t opIndex_ = 0;

@@ -16,7 +16,14 @@
  *  - events:         the event ring carries only kinds the scheme can
  *                    legitimately post (domain_virt never records a
  *                    shootdown), eviction/shootdown counts match the
- *                    stats, and nothing was dropped.
+ *                    stats, and nothing was dropped;
+ *  - tail-latency:   the per-op cycle totals the KV server's latency
+ *                    histograms are built from are deterministic — a
+ *                    second fleet replaying the same ops in two
+ *                    batches lands on the same cycle totals at the
+ *                    batch split and at the end, and the per-op
+ *                    deltas sum exactly to the machine total (no
+ *                    cycles charged between requests).
  *
  * Machines flush the TLB range on attach/detach uniformly (the
  * mmap/munmap shootdown every real scheme inherits from the kernel),
@@ -149,6 +156,8 @@ struct DiffConfig
     BugInjection inject = BugInjection::None;
     /** Stop at the first violation (shrinking wants this). */
     bool stopAtFirst = true;
+    /** Run the tail-latency oracle (replays the episode once more). */
+    bool checkTailLatency = true;
 };
 
 /** The six kinds in canonical order (none, lowerbound, protected x4). */

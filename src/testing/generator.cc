@@ -61,7 +61,7 @@ generateOps(std::uint64_t seed, const GenConfig &cfg)
 
     const unsigned weights[] = {cfg.wAttach,    cfg.wDetach, cfg.wSetPerm,
                                 cfg.wAccess,    cfg.wOutAccess,
-                                cfg.wSwitch,    cfg.wChurn};
+                                cfg.wSwitch,    cfg.wChurn,  cfg.wTenant};
     unsigned total_weight = 0;
     for (unsigned w : weights)
         total_weight += w;
@@ -145,11 +145,18 @@ generateOps(std::uint64_t seed, const GenConfig &cfg)
             st.currentTid = op.tid;
             break;
           }
-          default: { // TLB-pressure churn
+          case 6: { // TLB-pressure churn
             op.kind = OpKind::TlbChurn;
             op.domain = pickDomain(/*prefer_live=*/true);
             op.pages = static_cast<std::uint32_t>(
                 rng.range(1, cfg.maxPages));
+            break;
+          }
+          default: { // tenant-to-tenant re-key burst
+            op.kind = OpKind::TenantChurn;
+            op.domain = pickDomain(/*prefer_live=*/true);
+            op.pages = static_cast<std::uint32_t>(
+                rng.range(2, cfg.maxTenantBurst));
             break;
           }
         }

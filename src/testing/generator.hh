@@ -40,6 +40,10 @@ struct GenConfig
     unsigned wOutAccess = 8;
     unsigned wSwitch = 8;
     unsigned wChurn = 7;
+    unsigned wTenant = 6;
+    /** Tenant count cap for one TenantChurn burst (> 16 crosses the
+     *  MPK key cliff and forces mid-burst evictions). */
+    std::uint32_t maxTenantBurst = 24;
 };
 
 /** Generate a deterministic op sequence for @p seed. */

@@ -27,6 +27,8 @@ opKindName(OpKind kind)
         return "switch";
       case OpKind::TlbChurn:
         return "churn";
+      case OpKind::TenantChurn:
+        return "tenant";
     }
     return "?";
 }
@@ -137,6 +139,7 @@ opToString(const Op &op)
         out << " t=" << op.tid;
         break;
       case OpKind::TlbChurn:
+      case OpKind::TenantChurn:
         out << " d=" << op.domain << " pages=" << op.pages;
         break;
     }
@@ -179,6 +182,10 @@ opFromString(const std::string &line, Op &op)
         parsed.tid = static_cast<ThreadId>(f.t);
     } else if (f.verb == "churn") {
         parsed.kind = OpKind::TlbChurn;
+        parsed.domain = static_cast<DomainId>(f.d);
+        parsed.pages = static_cast<std::uint32_t>(f.pages);
+    } else if (f.verb == "tenant") {
+        parsed.kind = OpKind::TenantChurn;
         parsed.domain = static_cast<DomainId>(f.d);
         parsed.pages = static_cast<std::uint32_t>(f.pages);
     } else {

@@ -33,6 +33,7 @@ enum class OpKind : std::uint8_t
     OutAccess,    ///< One access by the current thread outside all PMOs.
     ThreadSwitch, ///< Context-switch the current thread.
     TlbChurn,     ///< A read loop over a PMO's pages (TLB pressure).
+    TenantChurn,  ///< A re-key burst across consecutive domains.
 };
 
 /** Stable lowercase mnemonic of @p kind (the text-format verb). */
@@ -47,6 +48,11 @@ const char *opKindName(OpKind kind);
  *  - OutAccess: offset (byte offset into the unmapped window), type
  *  - ThreadSwitch: tid (the incoming thread)
  *  - TlbChurn: domain, pages (number of consecutive pages read)
+ *  - TenantChurn: domain (first tenant), pages (tenant count) — for
+ *    each of the `pages` consecutive domains starting at `domain`,
+ *    grant the current thread RW and read one byte of the domain (the
+ *    KV server's tenant-to-tenant inner loop; counts above 16 cross
+ *    the MPK key cliff and force evictions mid-burst)
  */
 struct Op
 {

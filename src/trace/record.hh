@@ -61,6 +61,14 @@ inline constexpr std::size_t kNumRecordTypes = 10;
 /** Flag bit: the access targets PMO (NVM-backed) memory. */
 inline constexpr std::uint8_t kFlagPmo = 0x01;
 
+/**
+ * Flag bit on OpBegin records: the op carries an open-loop arrival
+ * stamp. `addr` then holds the request's arrival time in model cycles
+ * and `value` its latency class (see SimConfig::opClasses). Reuses
+ * bit 0, which only means kFlagPmo on load/store records.
+ */
+inline constexpr std::uint8_t kFlagOpArrival = 0x01;
+
 /** Encode a Perm value into record flags (bits 1..2). */
 constexpr std::uint8_t
 encodePermFlags(Perm p)
@@ -174,6 +182,30 @@ struct TraceRecord
     opBegin(std::uint16_t tid, std::uint32_t op_kind = 0)
     {
         return {RecordType::OpBegin, 0, tid, op_kind, 0, 0};
+    }
+
+    /**
+     * Build an operation-begin marker carrying an open-loop arrival
+     * stamp: the request arrived at model cycle @p arrival and
+     * belongs to latency class @p op_class. Replay engines with
+     * request-latency tracking enabled (SimConfig::opClasses > 0)
+     * measure queueing delay and arrival-to-completion latency
+     * against the stamp; engines without it ignore the extra fields,
+     * so stamped traces replay bit-identically on legacy configs.
+     */
+    static TraceRecord
+    opBeginAt(std::uint16_t tid, std::uint32_t op_kind,
+              std::uint64_t arrival, std::uint32_t op_class)
+    {
+        return {RecordType::OpBegin, kFlagOpArrival, tid, op_kind,
+                arrival, op_class};
+    }
+
+    /** True for an OpBegin record carrying an arrival stamp. */
+    bool
+    hasArrival() const
+    {
+        return type == RecordType::OpBegin && (flags & kFlagOpArrival);
     }
 
     /** Build an operation-end marker. */

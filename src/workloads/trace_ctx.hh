@@ -112,6 +112,19 @@ class TraceCtx
             static_cast<std::uint16_t>(tid_), kind));
     }
 
+    /**
+     * Begin an op with an open-loop arrival stamp: the request
+     * arrived at model cycle @p arrival and belongs to latency class
+     * @p op_class (see trace::TraceRecord::opBeginAt).
+     */
+    void
+    opBeginAt(std::uint32_t kind, std::uint64_t arrival,
+              std::uint32_t op_class)
+    {
+        sink_.put(trace::TraceRecord::opBeginAt(
+            static_cast<std::uint16_t>(tid_), kind, arrival, op_class));
+    }
+
     void
     opEnd(std::uint32_t kind = 0)
     {

@@ -231,6 +231,62 @@ TEST(Rng, ZipfSkew)
         EXPECT_LT(rng.zipf(50, 0.0), 50u);
 }
 
+TEST(ZipfDist, MassesSumToOneAndDecrease)
+{
+    const ZipfDist dist(100, 0.99);
+    EXPECT_EQ(dist.size(), 100u);
+    double sum = 0.0;
+    for (std::uint64_t r = 0; r < dist.size(); ++r) {
+        sum += dist.rankMass(r);
+        if (r > 0) {
+            EXPECT_LT(dist.rankMass(r), dist.rankMass(r - 1));
+        }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_EQ(dist.rankMass(100), 0.0); // Out of range.
+}
+
+TEST(ZipfDist, InverseCdfBoundaries)
+{
+    const ZipfDist dist(64, 0.99);
+    EXPECT_EQ(dist.sample(0.0), 0u);
+    EXPECT_EQ(dist.sample(0.999999999), 63u);
+    // The rank-0 slice of the CDF is exactly rankMass(0) wide.
+    const double edge = dist.rankMass(0);
+    EXPECT_EQ(dist.sample(edge - 1e-9), 0u);
+    EXPECT_EQ(dist.sample(edge + 1e-9), 1u);
+}
+
+TEST(ZipfDist, ThetaZeroIsUniform)
+{
+    const ZipfDist dist(10, 0.0);
+    for (std::uint64_t r = 0; r < 10; ++r)
+        EXPECT_NEAR(dist.rankMass(r), 0.1, 1e-12);
+    EXPECT_EQ(dist.sample(0.05), 0u);
+    EXPECT_EQ(dist.sample(0.95), 9u);
+}
+
+TEST(ZipfDist, DrawsMatchExactMassesChiSquare)
+{
+    const std::uint64_t n = 50;
+    const ZipfDist dist(n, 0.99);
+    Rng rng(1234);
+    const int draws = 50000;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[dist(rng)];
+    // Pearson chi-square against the exact masses. 49 dof; the 99.9th
+    // percentile is ~85, so 120 is a generous deterministic bound.
+    double chi2 = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+        const double expected = dist.rankMass(r) * draws;
+        ASSERT_GT(expected, 5.0); // Keep the test in chi-square regime.
+        const double diff = static_cast<double>(counts[r]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 120.0);
+}
+
 TEST(Logging, QuietFlagRoundTrip)
 {
     const bool old = setLogQuiet(true);

@@ -11,7 +11,10 @@ metric:
         <suite>:<benchmark>[/pmos=N][/cores=K]/<scheme>  ->  total_cycles
 
     (the /cores=K component appears only for multi-core sweep rows,
-    so single-core baselines keep their historical keys).
+    so single-core baselines keep their historical keys). Server rows
+    (the fig_tail KV sweep) pin the tail itself instead:
+
+        <suite>:<benchmark>/tenants=N[/cores=K]/<scheme>/p99  ->  cycles
 
     The simulator is deterministic, so on identical workload
     parameters a drift here means the *model* changed — which is
@@ -104,6 +107,17 @@ def metric_keys(report):
         bench = row.get("benchmark", "?")
         for scheme, cycles in sorted(row.get("total_cycles", {}).items()):
             yield f"{suite}:{bench}/{scheme}", cycles
+    for row in report.get("server", []):
+        bench = row.get("benchmark", "?")
+        point = f"{bench}/tenants={row.get('tenants')}"
+        cores = row.get("cores", 1)
+        if cores != 1:
+            point += f"/cores={cores}"
+        # The KV sweep's headline number is the tail itself: pin each
+        # scheme's p99 arrival-to-completion latency (the quantity the
+        # paper's flat-tail claim is about), not just total cycles.
+        for scheme, lat in sorted(row.get("latency", {}).items()):
+            yield f"{suite}:{point}/{scheme}/p99", lat.get("p99")
 
 
 def collect(report_paths):

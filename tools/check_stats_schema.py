@@ -22,7 +22,14 @@ Checks, for every micro/whisper row and every scheme:
     back to the same-named aggregate scalar — the reconstruction
     invariant stats::TimeSeries guarantees;
   * every row's `hot_domains` tables are well-formed (per-scheme
-    arrays of domain rows with the five attribution counters).
+    arrays of domain rows with the five attribution counters);
+  * every server row (the fig_tail KV sweep) carries a per-scheme
+    latency block with the tail quantiles (p50/p99/p999), the
+    queueing-delay quantiles (queue_p50/queue_p99), and one block per
+    tenant class whose sample counts partition the total — and the
+    quantiles are recomputed here, from the op_lat/op_queue histograms
+    embedded in the same row's stats trees, with a Python mirror of
+    stats::quantileFromBuckets that must agree bit for bit.
 
 With --diff A B, additionally asserts that two reports are identical
 except for the run-environment fields (wall_seconds, jobs) — the
@@ -39,6 +46,7 @@ violation.
 
 import argparse
 import json
+import math
 import sys
 
 REQUIRED_SCALARS = [
@@ -260,6 +268,109 @@ def check_row(path, row):
     check_hot_domains(path, row)
 
 
+def quantile_from_buckets(samples, lo, hi, buckets, q):
+    """Mirror of stats::quantileFromBuckets (stats.cc), bit for bit.
+
+    `buckets` is the exported histogram form: a list of {lo, hi?,
+    count} dicts where a missing "hi" marks the unbounded top bucket.
+    Nearest-rank with evenly-spaced within-bucket interpolation; the
+    extremes answer from the tracked min/max exactly.
+    """
+    if samples == 0:
+        return 0.0
+    k = math.ceil(q * samples)
+    k = min(max(k, 1), samples)
+    if k == 1:
+        return float(lo)
+    if k == samples:
+        return float(hi)
+    cum = 0
+    for b in buckets:
+        count = b["count"]
+        if count == 0:
+            continue
+        if k > cum + count:
+            cum += count
+            continue
+        blo = max(b["lo"], lo)
+        bhi = hi if "hi" not in b else min(b["hi"] - 1, hi)
+        if bhi <= blo or count == 1:
+            return float(blo)
+        idx = k - cum  # 1-based within the bucket.
+        return float(blo) + float(bhi - blo) * ((idx - 1) / (count - 1))
+    return float(hi)
+
+
+def histogram_quantile(hist, q):
+    """Quantile of an exported {samples,min,max,buckets} histogram."""
+    return quantile_from_buckets(hist["samples"], hist["min"],
+                                 hist["max"], hist["buckets"], q)
+
+
+LATENCY_QUANTILES = [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)]
+QUEUE_QUANTILES = [("queue_p50", 0.50), ("queue_p99", 0.99)]
+
+
+def check_latency_block(path, block, lat_hist, queue_hist):
+    """One scheme's (or class's) latency block vs its histograms."""
+    for key in ("samples", "p50", "p99", "p999",
+                "queue_p50", "queue_p99"):
+        if key not in block:
+            fail(path, f"missing latency field '{key}'")
+            return
+    if block["p50"] > block["p99"] or block["p99"] > block["p999"]:
+        fail(path, "latency quantiles not monotone in q")
+    if block["queue_p50"] > block["queue_p99"]:
+        fail(path, "queueing quantiles not monotone in q")
+    for hist, pairs in ((lat_hist, LATENCY_QUANTILES),
+                        (queue_hist, QUEUE_QUANTILES)):
+        if hist is None:
+            continue
+        if hist["samples"] != block["samples"]:
+            fail(path, f"histogram has {hist['samples']} samples, "
+                       f"latency block says {block['samples']}")
+            continue
+        for key, q in pairs:
+            want = histogram_quantile(hist, q)
+            if block[key] != want:
+                fail(path, f"recomputed {key} {want!r} != reported "
+                           f"{block[key]!r}")
+
+
+def check_server_row(path, row):
+    check_row(path, row)
+    for key in ("tenants", "requests", "mean_interarrival_cycles"):
+        value = row.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(path, f"bad '{key}' value {value!r}")
+    latency = row.get("latency")
+    if not isinstance(latency, dict) or not latency:
+        fail(path, "server row has no latency blocks")
+        return
+    stats = row.get("stats", {})
+    for scheme, block in latency.items():
+        lpath = f"{path}.latency.{scheme}"
+        tree = stats.get(scheme, {})
+        check_latency_block(lpath, block, tree.get("op_lat"),
+                            tree.get("op_queue"))
+        classes = block.get("classes")
+        if not isinstance(classes, list) or not classes:
+            fail(lpath, "no per-class latency blocks")
+            continue
+        class_samples = 0
+        for i, cls in enumerate(classes):
+            cpath = f"{lpath}.classes[{i}]"
+            if not isinstance(cls.get("class"), str):
+                fail(cpath, "class block has no name")
+            check_latency_block(cpath, cls,
+                                tree.get(f"op_lat_class{i}"),
+                                tree.get(f"op_queue_class{i}"))
+            class_samples += cls.get("samples", 0)
+        if "samples" in block and class_samples != block["samples"]:
+            fail(lpath, f"class samples sum to {class_samples}, "
+                        f"total is {block['samples']}")
+
+
 def check_perfetto_trace(path):
     try:
         with open(path) as f:
@@ -291,11 +402,15 @@ def check_perfetto_trace(path):
 
 def check_report(path, report):
     rows = report.get("micro", []) + report.get("whisper", [])
-    if not rows:
+    server = report.get("server", [])
+    if not rows and not server:
         fail(path, "report has no rows")
     for i, row in enumerate(rows):
         name = row.get("benchmark", f"#{i}")
         check_row(f"{path}:{name}[{i}]", row)
+    for i, row in enumerate(server):
+        name = row.get("benchmark", f"#{i}")
+        check_server_row(f"{path}:server/{name}[{i}]", row)
 
 
 def strip_environment(report):
