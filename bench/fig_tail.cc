@@ -41,6 +41,11 @@ main(int argc, char **argv)
         opt.ops ? opt.ops : (opt.quick ? 4'000 : 20'000);
     sweep.schemes = {SchemeKind::LibMpk, SchemeKind::MpkVirt,
                      SchemeKind::DomainVirt};
+    // Tail forensics: keep the 8 slowest requests per scheme (and per
+    // tenant class) with their blame breakdowns, so the blame columns
+    // below — and `pmodv-trace explain` on the --json output — can
+    // say WHY a p99 is slow, not just that it is.
+    sweep.config.slowRequestK = 8;
     bench::applyObservability(sweep.config, opt);
 
     exp::ExperimentSuite suite("fig_tail");
@@ -61,20 +66,33 @@ main(int argc, char **argv)
 
     if (opt.csv) {
         std::printf("tenants,cores,scheme,class,samples,p50,p99,p999,"
-                    "queue_p50,queue_p99\n");
+                    "queue_p50,queue_p99,cohort_queue_share,"
+                    "blamed_events,top_domain\n");
         for (const exp::ServerRow &row : suite.serverRows()) {
             for (SchemeKind k : cols) {
                 const exp::ServerLatency &lat = row.latency.at(k);
+                const auto blame = row.blame.find(k);
                 std::printf("%u,%u,%s,all,%llu,%.0f,%.0f,%.0f,%.0f,"
-                            "%.0f\n",
+                            "%.0f",
                             row.numTenants, row.cores,
                             arch::schemeName(k),
                             static_cast<unsigned long long>(lat.samples),
                             lat.p50, lat.p99, lat.p999, lat.queueP50,
                             lat.queueP99);
+                if (blame != row.blame.end()) {
+                    std::printf(",%.4f,%llu,%llu\n",
+                                blame->second.cohortQueueShare,
+                                static_cast<unsigned long long>(
+                                    blame->second.blamedEvents),
+                                static_cast<unsigned long long>(
+                                    blame->second.topDomain));
+                } else {
+                    std::printf(",,,\n");
+                }
                 for (const exp::ServerClassLatency &cls : lat.classes) {
                     std::printf(
-                        "%u,%u,%s,%s,%llu,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+                        "%u,%u,%s,%s,%llu,%.0f,%.0f,%.0f,%.0f,%.0f"
+                        ",,,\n",
                         row.numTenants, row.cores, arch::schemeName(k),
                         cls.name.c_str(),
                         static_cast<unsigned long long>(cls.samples),
@@ -88,16 +106,29 @@ main(int argc, char **argv)
             std::printf("\n-- %u tenants, %u core%s --\n",
                         row.numTenants, row.cores,
                         row.cores == 1 ? "" : "s");
-            std::printf("%12s %10s %10s %10s %9s %10s\n", "scheme",
-                        "p50", "p99", "p999", "p99/p50", "queue_p99");
-            bench::rule(66);
+            std::printf("%12s %10s %10s %10s %9s %10s %8s %7s\n",
+                        "scheme", "p50", "p99", "p999", "p99/p50",
+                        "queue_p99", "q_share", "blamed");
+            bench::rule(83);
             for (SchemeKind k : cols) {
                 const exp::ServerLatency &lat = row.latency.at(k);
-                std::printf("%12s %10.0f %10.0f %10.0f %9.2f %10.0f\n",
+                std::printf("%12s %10.0f %10.0f %10.0f %9.2f %10.0f",
                             arch::schemeName(k), lat.p50, lat.p99,
                             lat.p999,
                             lat.p50 == 0 ? 0.0 : lat.p99 / lat.p50,
                             lat.queueP99);
+                // Blame columns: what share of the p99 cohort's
+                // latency is queueing, and how many ring events were
+                // blamed on its windows.
+                const auto blame = row.blame.find(k);
+                if (blame != row.blame.end()) {
+                    std::printf(" %7.0f%% %7llu\n",
+                                100.0 * blame->second.cohortQueueShare,
+                                static_cast<unsigned long long>(
+                                    blame->second.blamedEvents));
+                } else {
+                    std::printf(" %8s %7s\n", "-", "-");
+                }
             }
         }
         std::printf(

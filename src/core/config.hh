@@ -77,6 +77,20 @@ struct SimConfig
      */
     unsigned opClasses = 0;
 
+    /**
+     * Top-K bound of the per-request tail-forensics digest; 0 (the
+     * default) disables per-request capture entirely — no digest
+     * stats, no per-event request tags, no extra fields in JSON
+     * reports — so golden stats trees and the batch fast path stay
+     * bit-identical. When > 0 (and opClasses > 0, since blame rides
+     * on the tracked-op machinery) the System keeps a deterministic
+     * top-K slow-request digest: each tracked request's 7-bucket
+     * cycle breakdown (which provably partitions its
+     * arrival-to-completion latency together with its queueing delay)
+     * plus the EventRing events that landed inside its window.
+     */
+    unsigned slowRequestK = 0;
+
     /** Cycles for @p seconds of wall-clock at the configured clock. */
     double
     cyclesPerSecond() const

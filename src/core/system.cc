@@ -18,6 +18,14 @@ namespace
  */
 constexpr std::size_t kVisTableSize = 1024;
 
+/**
+ * Per-entry cap on denormalized blamed events in the slow-request
+ * digest; in-window events beyond it are counted in eventsDropped.
+ * The chains of interest (a handful of evictions/IPIs per request)
+ * fit comfortably.
+ */
+constexpr std::size_t kMaxBlamedEvents = 16;
+
 /** Fallback fast-check: plain virtual dispatch. */
 arch::CheckResult
 virtualCheck(arch::ProtectionScheme &scheme,
@@ -151,6 +159,26 @@ System::System(const SimConfig &config, arch::SchemeKind scheme,
                 "queueing delay of class " + std::to_string(i),
                 kLatBuckets));
         }
+    }
+
+    if (config_.slowRequestK > 0 && opTrack_) {
+        // The tail-forensics layer rides on the tracked-op machinery,
+        // so it exists only when both knobs are on. Like the latency
+        // histograms, the digests are created on demand so legacy
+        // configs keep their pinned golden stats trees.
+        opForensics_ = true;
+        slowDigest_ = std::make_unique<stats::SlowRequestDigest>(
+            this, "slow_requests",
+            "top-K slowest requests with per-bucket blame",
+            config_.slowRequestK);
+        slowDigestClass_.reserve(config_.opClasses);
+        for (unsigned i = 0; i < config_.opClasses; ++i)
+            slowDigestClass_.push_back(
+                std::make_unique<stats::SlowRequestDigest>(
+                    this, "slow_requests_class" + std::to_string(i),
+                    "top-K slowest requests of class " +
+                        std::to_string(i),
+                    config_.slowRequestK));
     }
 
     if (config_.samplingEpochCycles != 0) {
@@ -363,6 +391,8 @@ System::putMulti(const trace::TraceRecord &rec)
         if (opTrack_ && rec.hasArrival()) {
             CoreContext &core = *cores_[rec.tid % num_cores];
             beginTrackedOp(rec, core.cycleCount, core.idleSkew);
+            if (opForensics_)
+                beginForensics(rec, bucketCycles());
         }
         break;
       }
@@ -377,6 +407,9 @@ System::putMulti(const trace::TraceRecord &rec)
         }
         if (opHasArrival_) {
             CoreContext &core = *cores_[rec.tid % num_cores];
+            if (opForensics_)
+                endForensics(rec, core.cycleCount, core.idleSkew,
+                             bucketCycles());
             endTrackedOp(core.cycleCount, core.idleSkew);
         }
         break;
@@ -442,8 +475,11 @@ System::put(const trace::TraceRecord &rec)
       case RecordType::OpBegin:
         opStart_ = cycleCount_;
         opInFlight_ = true;
-        if (opTrack_ && rec.hasArrival())
+        if (opTrack_ && rec.hasArrival()) {
             beginTrackedOp(rec, cycleCount_, idleSkew_);
+            if (opForensics_)
+                beginForensics(rec, bucketCycles());
+        }
         break;
       case RecordType::OpEnd:
         ++operations;
@@ -454,8 +490,12 @@ System::put(const trace::TraceRecord &rec)
                          cycleCount_ - opStart_);
             opInFlight_ = false;
         }
-        if (opHasArrival_)
+        if (opHasArrival_) {
+            if (opForensics_)
+                endForensics(rec, cycleCount_, idleSkew_,
+                             bucketCycles());
             endTrackedOp(cycleCount_, idleSkew_);
+        }
         break;
     }
     timeline.tick(cycleCount_);
@@ -485,8 +525,112 @@ System::beginTrackedOp(const trace::TraceRecord &rec, Cycles cycle_now,
     opClassCur_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         rec.value, config_.opClasses - 1));
     const Cycles qdelay = virt - arrival;
+    opQueueCur_ = qdelay;
     opQueue_->sample(qdelay);
     opQueueClass_[opClassCur_]->sample(qdelay);
+}
+
+std::array<std::uint64_t, stats::kSlowDigestBuckets>
+System::bucketCycles() const
+{
+    // Bucket values are integer cycle counts held in double Scalars;
+    // they stay far below 2^53, so the casts are exact.
+    return {static_cast<std::uint64_t>(cycIssue.value()),
+            static_cast<std::uint64_t>(cycMem.value()),
+            static_cast<std::uint64_t>(cycProtFill.value()),
+            static_cast<std::uint64_t>(cycProtCheck.value()),
+            static_cast<std::uint64_t>(cycPermInstr.value()),
+            static_cast<std::uint64_t>(cycSyscall.value()),
+            static_cast<std::uint64_t>(cycCtxSwitch.value())};
+}
+
+void
+System::addPendingBuckets(
+    std::array<std::uint64_t, stats::kSlowDigestBuckets> &snap,
+    const BatchCounters &d)
+{
+    snap[0] += d.cycIssue;
+    snap[1] += d.cycMem;
+    snap[2] += d.cycProtFill;
+    snap[3] += d.cycProtCheck;
+    snap[4] += d.cycPermInstr;
+    snap[5] += d.cycSyscall;
+    snap[6] += d.cycCtxSwitch;
+}
+
+void
+System::beginForensics(
+    const trace::TraceRecord &rec,
+    const std::array<std::uint64_t, stats::kSlowDigestBuckets> &snap)
+{
+    reqId_ = ++reqNextId_;
+    reqBegin_ = cycleCount_;
+    reqDomain_ = rec.aux;
+    reqRingMark_ = events_.lastId();
+    reqSnap_ = snap;
+    // Every event posted until endForensics() carries this request's
+    // id — the causal tag the blame layer and Perfetto flows use.
+    events_.setCurrentRequest(reqId_);
+}
+
+void
+System::endForensics(
+    const trace::TraceRecord &rec, Cycles cycle_now, Cycles idle_skew,
+    const std::array<std::uint64_t, stats::kSlowDigestBuckets> &snap)
+{
+    stats::SlowRequestEntry e;
+    e.id = reqId_;
+    e.tid = rec.tid;
+    e.domain = reqDomain_;
+    e.cls = opClassCur_;
+    e.arrival = opArrival_;
+    e.latency = cycle_now + idle_skew - opArrival_;
+    e.queue = opQueueCur_;
+    e.begin = reqBegin_;
+    e.commit = cycleCount_;
+    std::uint64_t service = 0;
+    for (unsigned b = 0; b < stats::kSlowDigestBuckets; ++b) {
+        e.buckets[b] = snap[b] - reqSnap_[b];
+        service += e.buckets[b];
+    }
+    // latency = queue + service exactly (the idle skew is constant
+    // while an op is in flight, so the virtual-clock delta equals the
+    // attribution-bucket delta); residue stays 0 unless that
+    // partition invariant is ever violated — then it shows up here
+    // instead of being silently absorbed.
+    e.residue = e.latency - e.queue - service;
+
+    // Collect the causal chain: ring events posted inside the window
+    // have ids above the OpBegin mark. Scan newest-first so the cost
+    // is O(window), not O(ring capacity), then restore chronological
+    // order. The request's own commit marker is not blame.
+    std::vector<stats::SlowBlamedEvent> chain;
+    for (std::size_t i = events_.size(); i-- > 0;) {
+        const trace::Event &ev = events_.at(i);
+        if (ev.id <= reqRingMark_)
+            break;
+        if (ev.kind == trace::EventKind::TxnCommit)
+            continue;
+        stats::SlowBlamedEvent b;
+        b.id = ev.id;
+        b.kind = trace::eventKindName(ev.kind);
+        b.cycle = ev.cycle;
+        b.tid = ev.tid;
+        b.arg = ev.arg;
+        b.value = ev.value;
+        chain.push_back(std::move(b));
+    }
+    std::reverse(chain.begin(), chain.end());
+    if (chain.size() > kMaxBlamedEvents) {
+        e.eventsDropped = chain.size() - kMaxBlamedEvents;
+        chain.resize(kMaxBlamedEvents);
+    }
+    e.events = std::move(chain);
+
+    slowDigest_->offer(e);
+    slowDigestClass_[e.cls]->offer(e);
+    events_.setCurrentRequest(0);
+    reqId_ = 0;
 }
 
 void
@@ -700,8 +844,17 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
           case RecordType::OpBegin:
             opStart_ = cycleCount_;
             opInFlight_ = true;
-            if (opTrack_ && rec.hasArrival())
+            if (opTrack_ && rec.hasArrival()) {
                 beginTrackedOp(rec, cycleCount_, idleSkew_);
+                if (opForensics_) {
+                    // The batch loop's Scalars lag behind by the
+                    // deferred counters; fold them in so the snapshot
+                    // equals what the per-record path would see.
+                    auto snap = bucketCycles();
+                    addPendingBuckets(snap, d);
+                    beginForensics(rec, snap);
+                }
+            }
             break;
           case RecordType::OpEnd:
             ++d.operations;
@@ -712,8 +865,14 @@ System::replayBatch(std::span<const trace::TraceRecord> records)
                              cycleCount_ - opStart_);
                 opInFlight_ = false;
             }
-            if (opHasArrival_)
+            if (opHasArrival_) {
+                if (opForensics_) {
+                    auto snap = bucketCycles();
+                    addPendingBuckets(snap, d);
+                    endForensics(rec, cycleCount_, idleSkew_, snap);
+                }
                 endTrackedOp(cycleCount_, idleSkew_);
+            }
             break;
         }
 

@@ -11,6 +11,7 @@
 #ifndef PMODV_CORE_SYSTEM_HH
 #define PMODV_CORE_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <span>
 #include <string>
@@ -20,6 +21,7 @@
 #include "arch/shootdown_bus.hh"
 #include "core/config.hh"
 #include "mem/hierarchy.hh"
+#include "stats/slow_digest.hh"
 #include "stats/stats.hh"
 #include "stats/timeseries.hh"
 #include "tlb/hierarchy.hh"
@@ -183,6 +185,27 @@ class System : public stats::Group, public trace::TraceSink
     }
 
     /**
+     * True when the per-request tail-forensics layer is active
+     * (config.slowRequestK > 0 and opClasses > 0). When off, stats
+     * trees, event rings and JSON exports are bit-identical to a
+     * build without the layer.
+     */
+    bool forensicsEnabled() const { return opForensics_; }
+
+    /** Aggregate top-K slow-request digest (null unless forensics). */
+    const stats::SlowRequestDigest *slowDigest() const
+    {
+        return slowDigest_.get();
+    }
+    /** Per-class digest (class i < config.opClasses, else null). */
+    const stats::SlowRequestDigest *
+    slowDigestClass(unsigned i) const
+    {
+        return i < slowDigestClass_.size() ? slowDigestClass_[i].get()
+                                           : nullptr;
+    }
+
+    /**
      * Epoch-sampled counter trajectory (config.samplingEpochCycles; off
      * by default). Tracks the replay counters, the cycle-attribution
      * buckets, L1 TLB misses and the scheme's eviction/shootdown
@@ -269,6 +292,37 @@ class System : public stats::Group, public trace::TraceSink
     /** Sample arrival->completion latency at a stamped op's OpEnd. */
     void endTrackedOp(Cycles cycle_now, Cycles idle_skew);
 
+    /** Current values of the 7 attribution buckets, digest order. */
+    std::array<std::uint64_t, stats::kSlowDigestBuckets>
+    bucketCycles() const;
+
+    /** Fold @p d's not-yet-flushed bucket cycles into @p snap (the
+     *  batch loop's Scalars lag behind by exactly these). */
+    static void addPendingBuckets(
+        std::array<std::uint64_t, stats::kSlowDigestBuckets> &snap,
+        const BatchCounters &d);
+
+    /**
+     * Open a request blame window at a stamped OpBegin (forensics
+     * only): assign the request id, mark the event ring so in-window
+     * events can be identified, tag subsequently posted events with
+     * the id, and remember the bucket snapshot @p snap.
+     */
+    void beginForensics(const trace::TraceRecord &rec,
+                        const std::array<std::uint64_t,
+                                         stats::kSlowDigestBuckets> &snap);
+
+    /**
+     * Close the blame window at the op's OpEnd: compute the request's
+     * bucket breakdown (snap - the OpBegin snapshot), its latency
+     * partition (queue + service + residue), collect the in-window
+     * event chain from the ring, and offer the entry to the digests.
+     */
+    void endForensics(const trace::TraceRecord &rec, Cycles cycle_now,
+                      Cycles idle_skew,
+                      const std::array<std::uint64_t,
+                                       stats::kSlowDigestBuckets> &snap);
+
     SimConfig config_;
     arch::SchemeKind schemeKind_;
     trace::EventRing events_;
@@ -309,6 +363,27 @@ class System : public stats::Group, public trace::TraceSink
     std::unique_ptr<stats::Histogram> opQueue_;
     std::vector<std::unique_ptr<stats::Histogram>> opLatClass_;
     std::vector<std::unique_ptr<stats::Histogram>> opQueueClass_;
+
+    // ---- tail forensics (config.slowRequestK > 0, opClasses > 0) ----
+    /** True when the slow-request digests exist. */
+    bool opForensics_ = false;
+    /** Queueing delay of the in-flight tracked op (beginTrackedOp). */
+    Cycles opQueueCur_ = 0;
+    /** Monotone tracked-request counter (ids are 1-based). */
+    std::uint64_t reqNextId_ = 0;
+    /** Id of the open blame window (0 = none). */
+    std::uint64_t reqId_ = 0;
+    /** Global cycle count at the window's OpBegin. */
+    Cycles reqBegin_ = 0;
+    /** Primary domain stamped on the window's OpBegin (aux field). */
+    std::uint64_t reqDomain_ = 0;
+    /** Ring lastId() at OpBegin: in-window events have larger ids. */
+    std::uint64_t reqRingMark_ = 0;
+    /** Attribution-bucket snapshot taken at OpBegin. */
+    std::array<std::uint64_t, stats::kSlowDigestBuckets> reqSnap_{};
+    std::unique_ptr<stats::SlowRequestDigest> slowDigest_;
+    std::vector<std::unique_ptr<stats::SlowRequestDigest>>
+        slowDigestClass_;
 };
 
 } // namespace pmodv::core

@@ -126,6 +126,10 @@ constexpr std::size_t kMaxEmbeddedEvents = 32;
 std::string
 eventsToJson(const core::System &sys)
 {
+    // The forensics id/req fields are emitted only when the layer is
+    // on, so reports from forensics-off runs stay byte-identical to
+    // their pre-blame form.
+    const bool forensics = sys.forensicsEnabled();
     const std::vector<trace::Event> events = sys.events().snapshot();
     const std::size_t skip = events.size() > kMaxEmbeddedEvents
                                  ? events.size() - kMaxEmbeddedEvents
@@ -140,10 +144,50 @@ eventsToJson(const core::System &sys)
         out += "\",\"cycle\":" + std::to_string(ev.cycle);
         out += ",\"tid\":" + std::to_string(ev.tid);
         out += ",\"arg\":" + std::to_string(ev.arg);
-        out += ",\"value\":" + std::to_string(ev.value) + "}";
+        out += ",\"value\":" + std::to_string(ev.value);
+        if (forensics) {
+            out += ",\"id\":" + std::to_string(ev.id);
+            out += ",\"req\":" + std::to_string(ev.req);
+        }
+        out += "}";
     }
     out += "]";
     return out;
+}
+
+/** Reduce @p digest into a row-level blame summary at @p p99. */
+ServerBlame
+summarizeBlame(const stats::SlowRequestDigest &digest, double p99)
+{
+    ServerBlame b;
+    b.present = true;
+    b.k = digest.k();
+    b.entries = digest.entries().size();
+    std::map<std::uint64_t, std::uint64_t> by_domain;
+    std::uint64_t lat_sum = 0;
+    std::uint64_t queue_sum = 0;
+    for (const stats::SlowRequestEntry &e : digest.entries()) {
+        if (static_cast<double>(e.latency) < p99)
+            continue;
+        ++b.cohort;
+        lat_sum += e.latency;
+        queue_sum += e.queue;
+        ++by_domain[e.domain];
+        b.blamedEvents += e.events.size() + e.eventsDropped;
+        for (const stats::SlowBlamedEvent &ev : e.events)
+            ++b.blamedByKind[ev.kind];
+    }
+    b.cohortQueueShare =
+        lat_sum == 0 ? 0.0
+                     : static_cast<double>(queue_sum) /
+                           static_cast<double>(lat_sum);
+    for (const auto &[domain, count] : by_domain) {
+        if (count > b.topDomainEntries) {
+            b.topDomain = domain;
+            b.topDomainEntries = count;
+        }
+    }
+    return b;
 }
 
 /**
@@ -383,6 +427,8 @@ reduceServer(const ServerPointSpec &spec, const PointRun &run)
                              cls.p999, cls.queueP50, cls.queueP99);
             lat.classes.push_back(std::move(cls));
         }
+        if (sys.forensicsEnabled())
+            row.blame[k] = summarizeBlame(*sys.slowDigest(), lat.p99);
         row.latency[k] = std::move(lat);
     }
     captureObservability(run, row.statsJson, row.eventsJson,

@@ -89,6 +89,29 @@ struct ServerLatency
     std::vector<ServerClassLatency> classes;
 };
 
+/**
+ * Blame summary of one scheme's slow-request digest — computed only
+ * when the point ran with tail forensics on (config.slowRequestK > 0).
+ * The cohort is the retained digest entries whose latency reaches the
+ * scheme's p99, so "why is the p99 bad" reads directly off it.
+ */
+struct ServerBlame
+{
+    bool present = false;
+    std::uint64_t k = 0;       ///< Digest bound (slowRequestK).
+    std::uint64_t entries = 0; ///< Retained digest entries.
+    std::uint64_t cohort = 0;  ///< Entries with latency >= p99.
+    /** sum(queue) / sum(latency) over the cohort (0 when empty). */
+    double cohortQueueShare = 0;
+    /** In-window blamed events over the cohort (dropped included). */
+    std::uint64_t blamedEvents = 0;
+    /** Cohort blamed-event counts by kind name (sorted by key). */
+    std::map<std::string, std::uint64_t> blamedByKind;
+    /** Domain appearing in the most cohort entries, and that count. */
+    std::uint64_t topDomain = 0;
+    std::uint64_t topDomainEntries = 0;
+};
+
 /** One (tenant-count, core-count) server sweep point's results. */
 struct ServerRow
 {
@@ -99,6 +122,8 @@ struct ServerRow
     double meanInterArrivalCycles = 0;
     std::map<arch::SchemeKind, Cycles> totalCycles;
     std::map<arch::SchemeKind, ServerLatency> latency;
+    /** Per-scheme blame summaries (present only with forensics on). */
+    std::map<arch::SchemeKind, ServerBlame> blame;
     /** Full stats tree per scheme, serialized as compact JSON. */
     std::map<arch::SchemeKind, std::string> statsJson;
     /** Event-ring snapshot per scheme, as a JSON array. */

@@ -273,6 +273,31 @@ writeServerRow(std::ostream &os, const ServerRow &row)
         first = false;
     }
     os << "}";
+    if (!row.blame.empty()) {
+        // Emitted only when the point ran with forensics on, so rows
+        // from forensics-off runs keep their pre-blame byte layout.
+        os << ",\n     \"blame\": {";
+        first = true;
+        for (const auto &[kind, b] : row.blame) {
+            os << (first ? "" : ", ") << '"' << arch::schemeName(kind)
+               << "\": {\"k\": " << b.k << ", \"entries\": " << b.entries
+               << ", \"cohort\": " << b.cohort
+               << ", \"cohort_queue_share\": " << b.cohortQueueShare
+               << ", \"blamed_events\": " << b.blamedEvents
+               << ", \"blamed_by_kind\": {";
+            bool first_kind = true;
+            for (const auto &[name, count] : b.blamedByKind) {
+                os << (first_kind ? "" : ", ") << '"' << jsonEscape(name)
+                   << "\": " << count;
+                first_kind = false;
+            }
+            os << "}, \"top_domain\": " << b.topDomain
+               << ", \"top_domain_entries\": " << b.topDomainEntries
+               << "}";
+            first = false;
+        }
+        os << "}";
+    }
     os << ",\n     \"stats\": ";
     writeSchemeJson(os, row.statsJson);
     os << ",\n     \"events\": ";

@@ -74,6 +74,27 @@ appendSystemTrack(trace::PerfettoExporter &exporter,
         }
     }
 
+    // With tail forensics on, draw a flow arrow from each blamed
+    // event instant into the delayed request's txn span. The arrow id
+    // is the ring event id — unique per arrow because an event lands
+    // in at most one request window.
+    if (sys.forensicsEnabled()) {
+        for (const stats::SlowRequestEntry &entry :
+             sys.slowDigest()->entries()) {
+            for (const stats::SlowBlamedEvent &ev : entry.events) {
+                const std::string name =
+                    "blame:" + ev.kind + "->req" +
+                    std::to_string(entry.id);
+                exporter.flowStart(track, name, ev.cycle,
+                                   static_cast<ThreadId>(ev.tid),
+                                   ev.id);
+                exporter.flowEnd(track, name, entry.commit,
+                                 static_cast<ThreadId>(entry.tid),
+                                 ev.id);
+            }
+        }
+    }
+
     // One counter series per timeline track, sampled at epoch ends.
     const stats::TimeSeries &tl = sys.timeline;
     if (tl.enabled()) {

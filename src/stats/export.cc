@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "stats/slow_digest.hh"
 #include "stats/timeseries.hh"
 
 namespace pmodv::stats
@@ -127,6 +128,28 @@ TextVisitor::visitTimeSeries(const TimeSeries &stat)
     for (std::size_t t = 0; t < stat.numTracks(); ++t) {
         line(base + "::" + stat.trackLabel(t) + "::total",
              stat.trackTotal(t), stat.desc());
+    }
+}
+
+void
+TextVisitor::visitSlowDigest(const SlowRequestDigest &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    line(base + "::k", static_cast<double>(stat.k()), stat.desc());
+    line(base + "::offered", static_cast<double>(stat.offered()),
+         stat.desc());
+    std::size_t i = 0;
+    for (const SlowRequestEntry &e : stat.entries()) {
+        const std::string row = base + "::" + std::to_string(i++);
+        line(row + "::id", static_cast<double>(e.id), stat.desc());
+        line(row + "::latency", static_cast<double>(e.latency),
+             stat.desc());
+        line(row + "::queue", static_cast<double>(e.queue),
+             stat.desc());
+        line(row + "::domain", static_cast<double>(e.domain),
+             stat.desc());
+        line(row + "::events", static_cast<double>(e.events.size()),
+             stat.desc());
     }
 }
 
@@ -272,6 +295,48 @@ JsonVisitor::visitTimeSeries(const TimeSeries &stat)
     os_ << "}";
 }
 
+void
+JsonVisitor::visitSlowDigest(const SlowRequestDigest &stat)
+{
+    key(stat.name());
+    os_ << "{";
+    first_.push_back(true);
+    key("k");
+    number(static_cast<double>(stat.k()));
+    key("offered");
+    number(static_cast<double>(stat.offered()));
+    key("entries");
+    os_ << "[";
+    bool first_entry = true;
+    for (const SlowRequestEntry &e : stat.entries()) {
+        os_ << (first_entry ? "" : ",") << "{\"id\":" << e.id
+            << ",\"tid\":" << e.tid << ",\"domain\":" << e.domain
+            << ",\"class\":" << e.cls << ",\"arrival\":" << e.arrival
+            << ",\"latency\":" << e.latency << ",\"queue\":" << e.queue
+            << ",\"residue\":" << e.residue << ",\"begin\":" << e.begin
+            << ",\"commit\":" << e.commit << ",\"buckets\":{";
+        for (unsigned b = 0; b < kSlowDigestBuckets; ++b) {
+            os_ << (b ? "," : "") << '"' << kSlowDigestBucketNames[b]
+                << "\":" << e.buckets[b];
+        }
+        os_ << "},\"events\":[";
+        bool first_ev = true;
+        for (const SlowBlamedEvent &ev : e.events) {
+            os_ << (first_ev ? "" : ",") << "{\"id\":" << ev.id
+                << ",\"kind\":\"" << jsonEscape(ev.kind)
+                << "\",\"cycle\":" << ev.cycle << ",\"tid\":" << ev.tid
+                << ",\"arg\":" << ev.arg << ",\"value\":" << ev.value
+                << "}";
+            first_ev = false;
+        }
+        os_ << "],\"events_dropped\":" << e.eventsDropped << "}";
+        first_entry = false;
+    }
+    os_ << "]";
+    first_.pop_back();
+    os_ << "}";
+}
+
 // -------------------------------------------------------------- csv
 
 CsvVisitor::CsvVisitor(std::ostream &os) : os_(os)
@@ -352,6 +417,28 @@ CsvVisitor::visitTimeSeries(const TimeSeries &stat)
         const std::string track = base + "::" + stat.trackLabel(t);
         for (std::size_t e = 0; e < stat.numEpochs(); ++e)
             row(track + "::e" + std::to_string(e), stat.sample(t, e));
+    }
+}
+
+void
+CsvVisitor::visitSlowDigest(const SlowRequestDigest &stat)
+{
+    const std::string base = prefixes_.back() + stat.name();
+    row(base + "::k", static_cast<double>(stat.k()));
+    row(base + "::offered", static_cast<double>(stat.offered()));
+    std::size_t i = 0;
+    for (const SlowRequestEntry &e : stat.entries()) {
+        const std::string r = base + "::" + std::to_string(i++);
+        row(r + "::id", static_cast<double>(e.id));
+        row(r + "::latency", static_cast<double>(e.latency));
+        row(r + "::queue", static_cast<double>(e.queue));
+        row(r + "::residue", static_cast<double>(e.residue));
+        row(r + "::domain", static_cast<double>(e.domain));
+        row(r + "::class", static_cast<double>(e.cls));
+        for (unsigned b = 0; b < kSlowDigestBuckets; ++b)
+            row(r + "::" + kSlowDigestBucketNames[b],
+                static_cast<double>(e.buckets[b]));
+        row(r + "::events", static_cast<double>(e.events.size()));
     }
 }
 

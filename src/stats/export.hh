@@ -40,6 +40,7 @@ class TextVisitor : public Visitor
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
     void visitTimeSeries(const TimeSeries &stat) override;
+    void visitSlowDigest(const SlowRequestDigest &stat) override;
 
   private:
     void line(const std::string &full_name, double value,
@@ -75,6 +76,7 @@ class JsonVisitor : public Visitor
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
     void visitTimeSeries(const TimeSeries &stat) override;
+    void visitSlowDigest(const SlowRequestDigest &stat) override;
 
   private:
     void key(const std::string &name);
@@ -105,6 +107,7 @@ class CsvVisitor : public Visitor
     void visitHistogram(const Histogram &stat) override;
     void visitFormula(const Formula &stat) override;
     void visitTimeSeries(const TimeSeries &stat) override;
+    void visitSlowDigest(const SlowRequestDigest &stat) override;
 
   private:
     void row(const std::string &name, double value);

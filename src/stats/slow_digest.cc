@@ -1,0 +1,74 @@
+#include "stats/slow_digest.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pmodv::stats
+{
+
+const std::array<const char *, kSlowDigestBuckets>
+    kSlowDigestBucketNames = {
+        "cyc_issue",      "cyc_mem",     "cyc_prot_fill",
+        "cyc_prot_check", "cyc_perm_instr", "cyc_syscall",
+        "cyc_ctx_switch",
+};
+
+namespace
+{
+
+/** splitmix64 finalizer: the seeded tie-break hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SlowRequestDigest::SlowRequestDigest(Group *parent, std::string name,
+                                     std::string desc, unsigned k,
+                                     std::uint64_t seed)
+    : StatBase(parent, std::move(name), std::move(desc)), k_(k),
+      seed_(seed)
+{
+    panic_if(k == 0, "slow-request digest needs K > 0");
+    entries_.reserve(k);
+}
+
+bool
+SlowRequestDigest::before(const SlowRequestEntry &a,
+                          const SlowRequestEntry &b) const
+{
+    if (a.latency != b.latency)
+        return a.latency > b.latency;
+    // Equal latencies: a seeded hash of the request id decides, so the
+    // retained cohort under ties is arbitrary-but-deterministic rather
+    // than biased toward early or late requests.
+    const std::uint64_t ha = mix(seed_ ^ a.id);
+    const std::uint64_t hb = mix(seed_ ^ b.id);
+    if (ha != hb)
+        return ha < hb;
+    return a.id < b.id;
+}
+
+void
+SlowRequestDigest::offer(const SlowRequestEntry &entry)
+{
+    ++offered_;
+    if (entries_.size() == k_ && before(entries_.back(), entry))
+        return;
+    const auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry,
+        [this](const SlowRequestEntry &a, const SlowRequestEntry &b) {
+            return before(a, b);
+        });
+    entries_.insert(pos, entry);
+    if (entries_.size() > k_)
+        entries_.pop_back();
+}
+
+} // namespace pmodv::stats

@@ -31,6 +31,7 @@ class Vector;
 class Histogram;
 class Formula;
 class TimeSeries;
+class SlowRequestDigest;
 
 /**
  * Traversal interface over a stats tree. beginGroup/endGroup bracket
@@ -52,6 +53,9 @@ class Visitor
     /** Defaulted (not pure) so visitors predating epoch sampling —
      *  including out-of-tree ones — keep compiling unchanged. */
     virtual void visitTimeSeries(const TimeSeries &) {}
+    /** Defaulted for the same reason (visitors predating the
+     *  slow-request forensics digest keep compiling unchanged). */
+    virtual void visitSlowDigest(const SlowRequestDigest &) {}
 };
 
 /** Base class for all statistics; handles naming and registration. */

@@ -224,6 +224,7 @@ class Runner
                 kind, cfg.params, cfg.topology, cfg.inject));
             eventCounts_.push_back({});
             opTotals_.push_back({});
+            nextEventId_.push_back(0);
         }
     }
 
@@ -234,8 +235,10 @@ class Runner
         for (opIndex_ = 0; opIndex_ < ops_.size(); ++opIndex_) {
             for (std::size_t i = 0; i < machines_.size(); ++i)
                 before[i] = machines_[i]->totalCycles();
+            tagRequest(opIndex_ + 1);
             step(ops_[opIndex_]);
             drainEvents();
+            tagRequest(0);
             for (std::size_t i = 0; i < machines_.size(); ++i)
                 opTotals_[i].push_back(machines_[i]->totalCycles() -
                                        before[i]);
@@ -256,8 +259,10 @@ class Runner
     executeThrough(std::size_t end)
     {
         for (; opIndex_ < end; ++opIndex_) {
+            tagRequest(opIndex_ + 1);
             step(ops_[opIndex_]);
             drainEvents();
+            tagRequest(0);
         }
         std::vector<Cycles> totals;
         for (auto &m : machines_)
@@ -445,6 +450,15 @@ class Runner
         }
     }
 
+    /** Stamp @p req as every machine's in-flight request id, the same
+     *  tagging System::beginForensics applies to tracked ops. */
+    void
+    tagRequest(std::uint64_t req)
+    {
+        for (auto &m : machines_)
+            m->events().setCurrentRequest(req);
+    }
+
     void
     drainEvents()
     {
@@ -457,6 +471,28 @@ class Runner
                     violate("events", machines_[i]->name(),
                             std::string("posted forbidden event ") +
                                 trace::eventKindName(ev.kind));
+                }
+                // Forensics ring contract: ids are assigned 1, 2, 3,
+                // ... in post order (the ring never drops here — see
+                // checkEvents), and every event posted while an op is
+                // in flight carries that op's request tag. This is
+                // the oracle blame chains rest on: a blamed id must
+                // name the one real ring event posted in the window.
+                if (ev.id != nextEventId_[i] + 1) {
+                    std::ostringstream detail;
+                    detail << "event id " << ev.id
+                           << " breaks the monotone sequence (expected "
+                           << nextEventId_[i] + 1 << ")";
+                    violate("forensics", machines_[i]->name(),
+                            detail.str());
+                }
+                nextEventId_[i] = ev.id;
+                if (ev.req != opIndex_ + 1) {
+                    std::ostringstream detail;
+                    detail << "event id " << ev.id << " tagged req "
+                           << ev.req << ", expected " << opIndex_ + 1;
+                    violate("forensics", machines_[i]->name(),
+                            detail.str());
                 }
             }
         }
@@ -600,6 +636,8 @@ class Runner
     std::vector<std::array<std::uint64_t, 6>> eventCounts_;
     /** Per-machine, per-op totalCycles deltas (tail-latency oracle). */
     std::vector<std::vector<Cycles>> opTotals_;
+    /** Per-machine last drained event id (forensics oracle). */
+    std::vector<std::uint64_t> nextEventId_;
     bool silent_ = false;
     ReferenceModel ref_;
     ThreadId currentTid_ = 0;

@@ -42,6 +42,8 @@ EventRing::post(EventKind kind, ThreadId tid, std::uint32_t arg,
     Event ev;
     ev.cycle = clock_ ? *clock_ : 0;
     ev.value = value;
+    ev.id = ++nextId_;
+    ev.req = curReq_;
     ev.arg = arg;
     ev.tid = tid;
     ev.kind = kind;

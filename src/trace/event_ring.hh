@@ -62,6 +62,21 @@ struct Event
 {
     Cycles cycle = 0;   ///< Owner's cycle count when posted.
     std::uint64_t value = 0; ///< Kind-specific payload (pages, cycles).
+    /**
+     * Monotone 1-based sequence number assigned by the owning ring:
+     * the id equals the ring's `recorded` count at post time, so an id
+     * always resolves to exactly one posted event even after the ring
+     * overwrote the slot. Identity, not payload — equality below
+     * deliberately ignores it.
+     */
+    std::uint64_t id = 0;
+    /**
+     * Request id of the in-flight tracked op when the event was
+     * posted (0 = no request open). Set by the owning System via
+     * EventRing::setCurrentRequest(); the blame layer uses it to hang
+     * causal event chains off slow requests.
+     */
+    std::uint64_t req = 0;
     std::uint32_t arg = 0;   ///< Kind-specific id (domain, key).
     ThreadId tid = 0;
     EventKind kind = EventKind::KeyEviction;
@@ -69,6 +84,9 @@ struct Event
     bool
     operator==(const Event &o) const
     {
+        // Payload equality only: id/req are bookkeeping identities
+        // (monotone counters), not part of what two replays must agree
+        // on record-for-record.
         return cycle == o.cycle && value == o.value && arg == o.arg &&
                tid == o.tid && kind == o.kind;
     }
@@ -91,9 +109,25 @@ class EventRing : public stats::Group
     void post(EventKind kind, ThreadId tid, std::uint32_t arg = 0,
               std::uint64_t value = 0);
 
+    /**
+     * Tag every subsequently posted event with request id @p req
+     * (0 clears the tag). The owning System brackets each tracked
+     * op's window with this so in-window events carry their request.
+     */
+    void setCurrentRequest(std::uint64_t req) { curReq_ = req; }
+
+    /** The id handed to the most recently posted event (0 if none). */
+    std::uint64_t lastId() const { return nextId_; }
+
     std::size_t capacity() const { return ring_.size(); }
     std::size_t size() const { return count_; }
     bool empty() const { return count_ == 0; }
+
+    /** The @p i-th buffered event, oldest first (i < size()). */
+    const Event &at(std::size_t i) const
+    {
+        return ring_[(head_ + i) % ring_.size()];
+    }
 
     /** The buffered events, oldest first. */
     std::vector<Event> snapshot() const;
@@ -109,6 +143,8 @@ class EventRing : public stats::Group
     std::size_t head_ = 0; ///< Index of the oldest buffered event.
     std::size_t count_ = 0;
     const Cycles *clock_ = nullptr;
+    std::uint64_t nextId_ = 0; ///< Last assigned event id (1-based).
+    std::uint64_t curReq_ = 0; ///< Request tag for posted events.
 };
 
 } // namespace pmodv::trace

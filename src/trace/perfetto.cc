@@ -118,6 +118,31 @@ PerfettoExporter::counter(int track, const std::string &name,
 }
 
 void
+PerfettoExporter::flowStart(int track, const std::string &name,
+                            std::uint64_t cycle, ThreadId tid,
+                            std::uint64_t id)
+{
+    events_.push_back("{\"name\":\"" + jsonEscape(name) +
+                      "\",\"ph\":\"s\",\"cat\":\"blame\",\"id\":" +
+                      std::to_string(id) + ",\"ts\":" + timestamp(cycle) +
+                      ",\"pid\":" + std::to_string(track) +
+                      ",\"tid\":" + std::to_string(tid) + "}");
+}
+
+void
+PerfettoExporter::flowEnd(int track, const std::string &name,
+                          std::uint64_t cycle, ThreadId tid,
+                          std::uint64_t id)
+{
+    events_.push_back("{\"name\":\"" + jsonEscape(name) +
+                      "\",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"blame\","
+                      "\"id\":" +
+                      std::to_string(id) + ",\"ts\":" + timestamp(cycle) +
+                      ",\"pid\":" + std::to_string(track) +
+                      ",\"tid\":" + std::to_string(tid) + "}");
+}
+
+void
 PerfettoExporter::write(std::ostream &os) const
 {
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";

@@ -64,6 +64,19 @@ class PerfettoExporter
     void counter(int track, const std::string &name, std::uint64_t cycle,
                  double value);
 
+    /**
+     * Flow arrow start (ph "s"). @p id pairs the start with its end:
+     * both halves must use the same id, which therefore has to be
+     * unique per arrow (blame flows use the ring event id). The UI
+     * binds each half to the enclosing slice on its track at @p cycle.
+     */
+    void flowStart(int track, const std::string &name,
+                   std::uint64_t cycle, ThreadId tid, std::uint64_t id);
+
+    /** Flow arrow end (ph "f", binding point "e"); see flowStart(). */
+    void flowEnd(int track, const std::string &name, std::uint64_t cycle,
+                 ThreadId tid, std::uint64_t id);
+
     std::size_t numTracks() const { return numTracks_; }
     std::size_t numEvents() const { return events_.size(); }
 

@@ -196,6 +196,33 @@ TEST(Quantile, JsonBucketFormRoundTripsBitForBit)
     }
 }
 
+TEST(Quantile, SingleCountBucketAtLowEdgeIsExact)
+{
+    // Regression pin: a bucket holding exactly one sample must report
+    // that bucket's reachable low edge, never an interpolated
+    // midpoint — with count == 1 there is nothing to interpolate
+    // between, and the recorded min/max clamp pins the edge to the
+    // sample when it sits exactly on the bucket boundary.
+    Fed f;
+    // 64 lands on the low edge of its log2 bucket [64, 128) and is
+    // the only sample there; the mass below fixes its rank.
+    for (int i = 0; i < 99; ++i)
+        f.feed({3});
+    f.feed({64});
+    EXPECT_EQ(f.hist.quantile(0.995), 64.0);
+    EXPECT_EQ(f.hist.quantile(1.0), 64.0);
+
+    // The same shape through the JSON bucket form: {lo=64, hi=128,
+    // count=1} with max=64 must come back as exactly 64.
+    EXPECT_EQ(quantileFromBuckets(100, 3, 64,
+                                  {{2, 4, 99}, {64, 128, 1}}, 0.995),
+              64.0);
+    // And a lone single-sample histogram recorded at its bucket's low
+    // edge is exact at every q.
+    EXPECT_EQ(quantileFromBuckets(1, 128, 128, {{128, 256, 1}}, 0.5),
+              128.0);
+}
+
 TEST(Quantile, FromBucketsHandlesDegenerateInput)
 {
     EXPECT_EQ(quantileFromBuckets(0, 0, 0, {}, 0.5), 0.0);

@@ -29,7 +29,15 @@ Checks, for every micro/whisper row and every scheme:
     tenant class whose sample counts partition the total — and the
     quantiles are recomputed here, from the op_lat/op_queue histograms
     embedded in the same row's stats trees, with a Python mirror of
-    stats::quantileFromBuckets that must agree bit for bit.
+    stats::quantileFromBuckets that must agree bit for bit;
+  * when a server row ran with tail forensics on (a `slow_requests`
+    digest in its stats trees), the digest is validated end to end:
+    at most K entries, sorted by latency, every entry's breakdown
+    (queue + the seven cyc_* buckets + residue) recomputed here and
+    required to equal its latency exactly, every blamed event id
+    resolving to a real EventRing post (1 <= id <= events.recorded)
+    inside the request's [begin, commit] window, and the row's
+    `blame` summary block recomputed from the digest + p99.
 
 With --diff A B, additionally asserts that two reports are identical
 except for the run-environment fields (wall_seconds, jobs) — the
@@ -265,6 +273,25 @@ def check_row(path, row):
     for scheme, ring in events.items():
         if not isinstance(ring, list):
             fail(f"{path}.events.{scheme}", "not a JSON array")
+            continue
+        # Forensics-on rows stamp each embedded event with its ring id
+        # (monotone post order) and the tagging request id. The fields
+        # are all-or-nothing per row: a forensics-off row must not
+        # carry them at all (golden byte-layout guarantee).
+        with_ids = [ev for ev in ring if "id" in ev]
+        if with_ids and len(with_ids) != len(ring):
+            fail(f"{path}.events.{scheme}",
+                 "only some events carry forensics ids")
+        prev_id = 0
+        for ev in with_ids:
+            if ev["id"] <= prev_id:
+                fail(f"{path}.events.{scheme}",
+                     f"event ids not monotone at {ev['id']}")
+            prev_id = ev["id"]
+            if "req" not in ev or not isinstance(ev["req"], int) \
+                    or ev["req"] < 0:
+                fail(f"{path}.events.{scheme}",
+                     f"event id {ev['id']} has a bad req tag")
     check_hot_domains(path, row)
 
 
@@ -337,6 +364,139 @@ def check_latency_block(path, block, lat_hist, queue_hist):
                            f"{block[key]!r}")
 
 
+DIGEST_BUCKETS = ATTRIBUTION  # Same seven names, same order.
+
+
+def find_slow_digest(tree, name="slow_requests"):
+    """Depth-first search for a digest object inside a stats tree."""
+    if not isinstance(tree, dict):
+        return None
+    for key, value in tree.items():
+        if key == name and isinstance(value, dict) and "entries" in value:
+            return value
+        hit = find_slow_digest(value, name)
+        if hit is not None:
+            return hit
+    return None
+
+
+def check_slow_digest(path, digest, recorded, cls=None):
+    """One digest: K bound, ordering, the latency partition, and
+    blamed-event referential integrity against the ring's post count.
+
+    Returns the entry list for the caller's blame cross-check.
+    """
+    k = digest.get("k", 0)
+    entries = digest.get("entries")
+    if not isinstance(entries, list):
+        fail(path, "digest has no entries array")
+        return []
+    if len(entries) > k:
+        fail(path, f"{len(entries)} entries exceed the K bound {k}")
+    if digest.get("offered", 0) < len(entries):
+        fail(path, "digest retained more entries than were offered")
+    prev_latency = None
+    for i, e in enumerate(entries):
+        epath = f"{path}.entries[{i}]"
+        latency = e.get("latency", 0)
+        if prev_latency is not None and latency > prev_latency:
+            fail(epath, "entries not sorted by latency descending")
+        prev_latency = latency
+        if cls is not None and e.get("class") != cls:
+            fail(epath, f"class {e.get('class')!r} in the class-{cls} "
+                        "digest")
+        # The partition invariant, recomputed here: queueing + the
+        # seven service buckets + residue must equal the request's
+        # arrival-to-completion latency exactly (integers, no slack).
+        buckets = e.get("buckets", {})
+        missing = [b for b in DIGEST_BUCKETS if b not in buckets]
+        if missing:
+            fail(epath, f"missing bucket(s) {missing}")
+            continue
+        service = sum(buckets[b] for b in DIGEST_BUCKETS)
+        total = e.get("queue", 0) + service + e.get("residue", 0)
+        if total != latency:
+            fail(epath, f"queue+buckets+residue = {total} but "
+                        f"latency = {latency}")
+        begin, commit = e.get("begin", 0), e.get("commit", 0)
+        if begin > commit:
+            fail(epath, f"begin {begin} after commit {commit}")
+        prev_id = 0
+        for j, ev in enumerate(e.get("events", [])):
+            vpath = f"{epath}.events[{j}]"
+            ev_id = ev.get("id", 0)
+            # Ids are 1-based monotone post counts: every blamed id
+            # must name an event the ring actually recorded.
+            if not 1 <= ev_id <= recorded:
+                fail(vpath, f"event id {ev_id} outside the ring's "
+                            f"recorded range [1, {recorded}]")
+            if ev_id <= prev_id:
+                fail(vpath, "blame chain not in post order")
+            prev_id = ev_id
+            if not begin <= ev.get("cycle", 0) <= commit:
+                fail(vpath, f"event cycle {ev.get('cycle')} outside "
+                            f"the request window [{begin}, {commit}]")
+            if ev.get("kind") == "txn_commit":
+                fail(vpath, "commit markers must not be blamed")
+    return entries
+
+
+def check_blame_block(path, blame, entries, p99):
+    """The row's blame summary, recomputed from the digest entries."""
+    for key in ("k", "entries", "cohort", "cohort_queue_share",
+                "blamed_events", "blamed_by_kind", "top_domain",
+                "top_domain_entries"):
+        if key not in blame:
+            fail(path, f"missing blame field '{key}'")
+            return
+    if blame["entries"] != len(entries):
+        fail(path, f"blame says {blame['entries']} entries, digest "
+                   f"has {len(entries)}")
+    cohort = [e for e in entries if e.get("latency", 0) >= p99]
+    if blame["cohort"] != len(cohort):
+        fail(path, f"blame cohort {blame['cohort']} != recomputed "
+                   f"{len(cohort)}")
+    lat_sum = sum(e.get("latency", 0) for e in cohort)
+    queue_sum = sum(e.get("queue", 0) for e in cohort)
+    want_share = queue_sum / lat_sum if lat_sum else 0.0
+    if abs(blame["cohort_queue_share"] - want_share) > 1e-12:
+        fail(path, f"cohort_queue_share {blame['cohort_queue_share']!r}"
+                   f" != recomputed {want_share!r}")
+    blamed = sum(len(e.get("events", [])) + e.get("events_dropped", 0)
+                 for e in cohort)
+    if blame["blamed_events"] != blamed:
+        fail(path, f"blamed_events {blame['blamed_events']} != "
+                   f"recomputed {blamed}")
+
+
+def check_server_forensics(path, row, scheme, tree, p99):
+    """Digest + blame validation for one scheme of a server row."""
+    digest = find_slow_digest(tree)
+    blame = row.get("blame", {}).get(scheme) if \
+        isinstance(row.get("blame"), dict) else None
+    if digest is None:
+        if blame is not None:
+            fail(f"{path}.blame.{scheme}",
+                 "blame block without a slow_requests digest")
+        return
+    recorded = tree.get("events", {}).get("recorded", 0)
+    entries = check_slow_digest(f"{path}.stats.{scheme}.slow_requests",
+                                digest, recorded)
+    # Per-class digests ride alongside; same checks, pinned class.
+    for c in range(64):
+        class_digest = find_slow_digest(tree, f"slow_requests_class{c}")
+        if class_digest is None:
+            break
+        check_slow_digest(
+            f"{path}.stats.{scheme}.slow_requests_class{c}",
+            class_digest, recorded, cls=c)
+    if blame is None:
+        fail(f"{path}.blame.{scheme}",
+             "digest present but no blame summary in the row")
+        return
+    check_blame_block(f"{path}.blame.{scheme}", blame, entries, p99)
+
+
 def check_server_row(path, row):
     check_row(path, row)
     for key in ("tenants", "requests", "mean_interarrival_cycles"):
@@ -353,6 +513,8 @@ def check_server_row(path, row):
         tree = stats.get(scheme, {})
         check_latency_block(lpath, block, tree.get("op_lat"),
                             tree.get("op_queue"))
+        check_server_forensics(path, row, scheme, tree,
+                               block.get("p99", 0))
         classes = block.get("classes")
         if not isinstance(classes, list) or not classes:
             fail(lpath, "no per-class latency blocks")
